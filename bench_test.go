@@ -1,0 +1,174 @@
+package eddie
+
+// This file is the benchmark harness required by DESIGN.md §4: one
+// testing.B target per paper table/figure. Each benchmark regenerates the
+// corresponding rows/series and prints them once (run with
+// `go test -bench=. -benchmem` and read the interleaved output, or use
+// cmd/eddie-bench for output without the benchmark framing).
+//
+// The experiments are macro-benchmarks: a single iteration takes seconds
+// to minutes, so the framework runs each exactly once per invocation.
+// Under `go test -short -bench=.` the run counts are scaled down.
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"eddie/internal/experiments"
+)
+
+// benchOut prints experiment rows on the first iteration only, so the
+// output is readable even if the framework re-runs an iteration.
+func benchOut(i int) io.Writer {
+	if i == 0 {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+func benchEnv() *experiments.Env { return experiments.NewEnv(testing.Short()) }
+
+func BenchmarkTable1(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(e, benchOut(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(e, benchOut(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(e, benchOut(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(e, benchOut(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(e, benchOut(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(e, benchOut(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkANOVA(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ANOVA(e, benchOut(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5And7(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5And7(e, benchOut(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(e, benchOut(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(e, benchOut(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(e, benchOut(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(e, benchOut(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationUTest(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationUTest(e, benchOut(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWindow(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationWindow(e, benchOut(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPeakThreshold(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPeakThreshold(e, benchOut(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationModes(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationModes(e, benchOut(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command eddie-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	eddie-bench [-short] [-run table1,fig5,...]
+//
+// With no -run flag every experiment runs, in paper order. -short scales
+// the run counts down (~10x faster, noisier numbers).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"eddie/internal/experiments"
+)
+
+func main() {
+	short := flag.Bool("short", false, "scaled-down run counts")
+	runList := flag.String("run", "all", "comma-separated experiments: table1,table2,fig1..fig10,anova,ablations or all")
+	flag.Parse()
+
+	e := experiments.NewEnv(*short)
+	type exp struct {
+		name string
+		fn   func() error
+	}
+	all := []exp{
+		{"fig1", func() error { _, err := experiments.Fig1(e, os.Stdout); return err }},
+		{"fig2", func() error { _, err := experiments.Fig2(e, os.Stdout); return err }},
+		{"fig3", func() error { _, err := experiments.Fig3(e, os.Stdout); return err }},
+		{"table1", func() error { _, err := experiments.Table1(e, os.Stdout); return err }},
+		{"table2", func() error { _, err := experiments.Table2(e, os.Stdout); return err }},
+		{"fig4", func() error { _, err := experiments.Fig4(e, os.Stdout); return err }},
+		{"anova", func() error { _, err := experiments.ANOVA(e, os.Stdout); return err }},
+		{"fig5", func() error { _, err := experiments.Fig5And7(e, os.Stdout); return err }},
+		{"fig7", func() error { _, err := experiments.Fig5And7(e, os.Stdout); return err }},
+		{"fig6", func() error { _, err := experiments.Fig6(e, os.Stdout); return err }},
+		{"fig8", func() error { _, err := experiments.Fig8(e, os.Stdout); return err }},
+		{"fig9", func() error { _, err := experiments.Fig9(e, os.Stdout); return err }},
+		{"fig10", func() error { _, err := experiments.Fig10(e, os.Stdout); return err }},
+		{"ablations", func() error {
+			if _, err := experiments.AblationUTest(e, os.Stdout); err != nil {
+				return err
+			}
+			if _, err := experiments.AblationWindow(e, os.Stdout); err != nil {
+				return err
+			}
+			if _, err := experiments.AblationModes(e, os.Stdout); err != nil {
+				return err
+			}
+			_, err := experiments.AblationPeakThreshold(e, os.Stdout)
+			return err
+		}},
+	}
+
+	want := map[string]bool{}
+	runAll := *runList == "all"
+	for _, name := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	seen := map[string]bool{}
+	for _, x := range all {
+		if !runAll && !want[x.name] {
+			continue
+		}
+		if seen[x.name] || (x.name == "fig7" && (runAll || want["fig5"])) {
+			continue // fig5 and fig7 share one sweep
+		}
+		seen[x.name] = true
+		start := time.Now()
+		if err := x.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "eddie-bench: %s: %v\n", x.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %s]\n\n", x.name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,147 @@
+// Command eddie trains an EDDIE model on one workload and monitors runs,
+// optionally with an injected attack.
+//
+// Usage:
+//
+//	eddie -workload bitcount -mode iot -train 25 -monitor 5 \
+//	      -attack burst -burst-size 476000 -nest 1
+//
+//	eddie -workload susan -mode sim -attack inloop -instrs 8 \
+//	      -memops 4 -contamination 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eddie"
+)
+
+func main() {
+	workload := flag.String("workload", "bitcount", "workload name (see -list)")
+	list := flag.Bool("list", false, "list workloads and exit")
+	mode := flag.String("mode", "iot", `pipeline: "iot" (EM channel) or "sim" (raw power)`)
+	trainRuns := flag.Int("train", 10, "training runs")
+	monitorRuns := flag.Int("monitor", 3, "monitoring runs")
+	attack := flag.String("attack", "none", `attack: "none", "burst" or "inloop"`)
+	burstSize := flag.Int("burst-size", 476_000, "burst attack: dynamic instruction count")
+	nest := flag.Int("nest", 0, "attack target loop nest")
+	instrs := flag.Int("instrs", 8, "in-loop attack: instructions per iteration")
+	memOps := flag.Int("memops", 4, "in-loop attack: memory ops among the injected instructions")
+	contamination := flag.Float64("contamination", 1.0, "in-loop attack: fraction of iterations injected")
+	saveModel := flag.String("save-model", "", "write the trained model to this file")
+	loadModel := flag.String("load-model", "", "load a previously saved model instead of training")
+	verbose := flag.Bool("v", false, "print the model and every report")
+	flag.Parse()
+
+	if *list {
+		for _, w := range eddie.Workloads() {
+			fmt.Println(w.Name)
+		}
+		return
+	}
+	if err := run(*workload, *mode, *trainRuns, *monitorRuns, *attack,
+		*burstSize, *nest, *instrs, *memOps, *contamination,
+		*saveModel, *loadModel, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "eddie:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, mode string, trainRuns, monitorRuns int, attack string,
+	burstSize, nest, instrs, memOps int, contamination float64,
+	saveModel, loadModel string, verbose bool) error {
+	w, err := eddie.WorkloadByName(workload)
+	if err != nil {
+		return err
+	}
+	var cfg eddie.PipelineConfig
+	switch mode {
+	case "iot":
+		cfg = eddie.IoTPipeline()
+	case "sim":
+		cfg = eddie.SimulatorPipeline()
+	default:
+		return fmt.Errorf("unknown mode %q (want iot or sim)", mode)
+	}
+
+	var model *eddie.Model
+	var machine *eddie.Machine
+	if loadModel != "" {
+		machine, err = eddie.BuildMachine(w)
+		if err != nil {
+			return err
+		}
+		model, err = eddie.LoadModel(loadModel, machine)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded model for %s from %s\n", model.ProgramName, loadModel)
+	} else {
+		fmt.Printf("training %s on %d runs (%s pipeline)...\n", workload, trainRuns, mode)
+		model, machine, err = eddie.Train(w, cfg, trainRuns, eddie.DefaultTrainConfig())
+		if err != nil {
+			return err
+		}
+	}
+	if saveModel != "" {
+		if err := eddie.SaveModel(model, saveModel); err != nil {
+			return err
+		}
+		fmt.Println("model saved to", saveModel)
+	}
+	if verbose {
+		fmt.Println(model)
+	}
+	if nest < 0 || nest >= len(machine.Nests) {
+		return fmt.Errorf("workload %s has %d loop nests; -nest %d out of range", workload, len(machine.Nests), nest)
+	}
+	var injector eddie.Injector
+	switch attack {
+	case "none":
+	case "burst":
+		injector = eddie.NewBurstInjector(machine, nest, burstSize)
+	case "inloop":
+		// Target the nest's hottest inner loop (profiled), like a real
+		// attacker maximizing executed work per unit time.
+		headers, err := eddie.HotLoopHeaders(w, machine)
+		if err != nil {
+			return err
+		}
+		injector = eddie.NewInLoopInjectorAt(headers[nest], instrs, memOps, contamination, 1)
+	default:
+		return fmt.Errorf("unknown attack %q (want none, burst or inloop)", attack)
+	}
+	if injector != nil {
+		fmt.Println("attack:", injector.Description())
+	}
+
+	agg := &eddie.Metrics{}
+	for i := 0; i < monitorRuns; i++ {
+		runIdx := 1000 + i*7
+		collected, err := eddie.CollectRun(w, machine, cfg, runIdx, injector)
+		if err != nil {
+			return err
+		}
+		mon, err := eddie.MonitorRun(model, collected, eddie.DefaultMonitorConfig())
+		if err != nil {
+			return err
+		}
+		m, err := eddie.Evaluate(model, cfg, collected, mon)
+		if err != nil {
+			return err
+		}
+		agg.Merge(m)
+		fmt.Printf("run %d: %d windows, %d reports, %s\n",
+			runIdx, len(collected.STS), len(mon.Reports), m)
+		if verbose {
+			for _, r := range mon.Reports {
+				fmt.Printf("  report at window %d (t=%.3f ms, region %v)\n",
+					r.Window, r.TimeSec*1e3, r.Region)
+			}
+		}
+	}
+	fmt.Printf("aggregate over %d runs: %s\n", monitorRuns, agg)
+	return nil
+}

@@ -1,0 +1,121 @@
+// Command spectro inspects the spectral structure of a workload: for each
+// loop/inter-loop region it prints the window count, the typical peak
+// count and the strongest peak frequencies — the raw material EDDIE's
+// models are built from (a Fig 1-style view of the whole program).
+//
+// Usage:
+//
+//	spectro -workload bitcount -mode sim -run 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"eddie"
+)
+
+func main() {
+	workload := flag.String("workload", "bitcount", "workload name")
+	mode := flag.String("mode", "sim", `pipeline: "iot" or "sim"`)
+	runIdx := flag.Int("run", 0, "input/run index")
+	topN := flag.Int("top", 5, "peaks to print per region")
+	heat := flag.Bool("heat", false, "render an ASCII spectrogram of the whole run")
+	disasm := flag.Bool("disasm", false, "print the workload's program listing and exit")
+	flag.Parse()
+	if err := run(*workload, *mode, *runIdx, *topN, *heat, *disasm); err != nil {
+		fmt.Fprintln(os.Stderr, "spectro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, mode string, runIdx, topN int, heat, disasm bool) error {
+	w, err := eddie.WorkloadByName(workload)
+	if err != nil {
+		return err
+	}
+	var cfg eddie.PipelineConfig
+	switch mode {
+	case "iot":
+		cfg = eddie.IoTPipeline()
+	case "sim":
+		cfg = eddie.SimulatorPipeline()
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	if disasm {
+		fmt.Print(w.Program.Disassemble())
+		return nil
+	}
+	machine, err := eddie.BuildMachine(w)
+	if err != nil {
+		return err
+	}
+	collected, err := eddie.CollectRun(w, machine, cfg, runIdx, nil)
+	if err != nil {
+		return err
+	}
+	if heat {
+		sg, err := eddie.NewSpectrogram(collected.Signal, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(sg.Render(28, 100, 3))
+		return nil
+	}
+
+	type rstat struct {
+		windows int
+		peaks   int
+		freqs   map[int]int // rounded kHz -> occurrences
+	}
+	stats := map[eddie.RegionID]*rstat{}
+	for i := range collected.STS {
+		s := &collected.STS[i]
+		rs := stats[s.Region]
+		if rs == nil {
+			rs = &rstat{freqs: map[int]int{}}
+			stats[s.Region] = rs
+		}
+		rs.windows++
+		rs.peaks += len(s.PeakFreqs)
+		for _, f := range s.PeakFreqs {
+			rs.freqs[int(f/1e3+0.5)]++
+		}
+	}
+
+	fmt.Printf("%s, run %d, %s pipeline: %d windows, %d regions seen\n",
+		workload, runIdx, mode, len(collected.STS), len(stats))
+	ids := make([]eddie.RegionID, 0, len(stats))
+	for id := range stats {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rs := stats[id]
+		label := "(untracked)"
+		if r := machine.Region(id); r != nil {
+			label = r.Label
+		}
+		fmt.Printf("  region %-3v %-22s %4d windows, %4.1f peaks/window;",
+			id, label, rs.windows, float64(rs.peaks)/float64(rs.windows))
+		type fc struct{ khz, count int }
+		var fcs []fc
+		for k, c := range rs.freqs {
+			fcs = append(fcs, fc{k, c})
+		}
+		sort.Slice(fcs, func(i, j int) bool { return fcs[i].count > fcs[j].count })
+		if len(fcs) > topN {
+			fcs = fcs[:topN]
+		}
+		sort.Slice(fcs, func(i, j int) bool { return fcs[i].khz < fcs[j].khz })
+		fmt.Printf(" common peaks (kHz):")
+		for _, f := range fcs {
+			fmt.Printf(" %d(x%d)", f.khz, f.count)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+// Package eddie is a from-scratch reproduction of EDDIE — "EM-Based
+// Detection of Deviations in Program Execution" (Nazari, Sehatbakhsh,
+// Alam, Zajic, Prvulovic; ISCA 2017) — as a reusable Go library.
+//
+// EDDIE monitors a device without touching it: it receives the
+// electromagnetic signal the processor emits as a side effect of
+// execution, converts it into a sequence of Short-Term Spectra (STSs),
+// and uses nonparametric (Kolmogorov–Smirnov) tests to decide whether the
+// observed spectra are statistically consistent with the spectra recorded
+// during training for the program region currently executing. Loops
+// produce spectral peaks at their per-iteration frequency, so injected
+// code — even a few instructions inside a loop body — shifts or adds
+// peaks and is detected.
+//
+// Because the original system needs an instrumented board, an EM probe
+// and a software-defined radio, this reproduction ships its own substrate:
+// a small ISA with ten MiBench-equivalent workloads, a cycle-level
+// simulator with a power model (the SESC/WATTCH stand-in), and an EM
+// channel model (AM modulation, noise, interference, envelope receiver).
+// See DESIGN.md for the substitution map and EXPERIMENTS.md for the
+// paper-versus-measured comparison of every table and figure.
+//
+// # Quick start
+//
+//	w, _ := eddie.WorkloadByName("bitcount")
+//	cfg := eddie.IoTPipeline() // in-order core + EM channel
+//	model, machine, err := eddie.Train(w, cfg, 25, eddie.DefaultTrainConfig())
+//	// monitor a run with a code-injection attack
+//	attack := eddie.NewBurstInjector(machine, 1, 476_000)
+//	run, err := eddie.CollectRun(w, machine, cfg, 100, attack)
+//	mon, err := eddie.NewMonitor(model, eddie.DefaultMonitorConfig())
+//	for i := range run.STS {
+//	    if mon.Observe(&run.STS[i]) {
+//	        fmt.Println("anomaly reported at", run.STS[i].TimeSec)
+//	    }
+//	}
+package eddie
+
+import (
+	"eddie/internal/cfg"
+	"eddie/internal/core"
+	"eddie/internal/dsp"
+	"eddie/internal/inject"
+	"eddie/internal/isa"
+	"eddie/internal/mibench"
+	"eddie/internal/pipeline"
+	"eddie/internal/stream"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Model is a trained characterization of one program's normal
+	// execution: per-region reference STS distributions plus the
+	// region-level state machine.
+	Model = core.Model
+	// RegionModel is one region's trained reference data.
+	RegionModel = core.RegionModel
+	// Monitor consumes a stream of STSs and reports anomalies.
+	Monitor = core.Monitor
+	// STS is one Short-Term Spectrum reduced to its peak frequencies.
+	STS = core.STS
+	// Report is one anomaly report.
+	Report = core.Report
+	// Metrics are evaluation results (latency, FP/FN, accuracy, coverage).
+	Metrics = core.Metrics
+	// TrainConfig controls training.
+	TrainConfig = core.TrainConfig
+	// MonitorConfig controls monitoring (report threshold etc.).
+	MonitorConfig = core.MonitorConfig
+	// PipelineConfig describes the measurement pipeline: simulated core,
+	// STFT parameters, optional EM channel.
+	PipelineConfig = pipeline.Config
+	// Run is one collected run: STS sequence plus simulation artifacts.
+	Run = pipeline.Run
+	// Machine is the region-level state machine of a program.
+	Machine = cfg.Machine
+	// RegionID identifies a region in a Machine.
+	RegionID = cfg.RegionID
+	// Workload is a benchmark program with its input generator.
+	Workload = mibench.Workload
+	// Injector is a code-injection attack model.
+	Injector = inject.Injector
+	// Detector is the streaming (online) form of EDDIE: it consumes raw
+	// receiver samples and raises reports without any whole-capture pass.
+	Detector = stream.Detector
+	// Spectrogram is a time-frequency power matrix with an ASCII renderer.
+	Spectrogram = dsp.Spectrogram
+)
+
+// DefaultTrainConfig returns the paper-equivalent training configuration
+// (99% K-S confidence, per-region group-size selection).
+func DefaultTrainConfig() TrainConfig { return core.DefaultTrainConfig() }
+
+// DefaultMonitorConfig returns the paper's monitoring operating point
+// (reportThreshold = 3).
+func DefaultMonitorConfig() MonitorConfig { return core.DefaultMonitorConfig() }
+
+// IoTPipeline returns the "real IoT device" pipeline of the paper's
+// Table 1: an in-order Cortex-A8-like core whose power emissions pass
+// through an EM channel (AM modulation, noise, interferers) and an
+// envelope receiver.
+func IoTPipeline() PipelineConfig { return pipeline.DefaultConfig() }
+
+// SimulatorPipeline returns the paper's Table 2 setup: an out-of-order
+// core whose simulator power signal feeds EDDIE directly.
+func SimulatorPipeline() PipelineConfig { return pipeline.SimulatorConfig() }
+
+// Workloads returns the ten MiBench-equivalent benchmark workloads.
+func Workloads() []*Workload { return mibench.All() }
+
+// WorkloadByName returns one workload by its MiBench name.
+func WorkloadByName(name string) (*Workload, error) { return mibench.ByName(name) }
+
+// BuildMachine derives the region-level state machine of a workload's
+// program (the compile-time analysis of the paper's §4.1).
+func BuildMachine(w *Workload) (*Machine, error) { return cfg.BuildMachine(w.Program) }
+
+// Train collects nRuns injection-free training runs of the workload and
+// builds an EDDIE model.
+func Train(w *Workload, c PipelineConfig, nRuns int, tc TrainConfig) (*Model, *Machine, error) {
+	return pipeline.Train(w, c, nRuns, tc)
+}
+
+// CollectRun executes one run (with an optional injected attack) and
+// returns its STS sequence. runIdx selects the input data and channel
+// noise realization; use indices disjoint from training for monitoring.
+func CollectRun(w *Workload, m *Machine, c PipelineConfig, runIdx int, attack Injector) (*Run, error) {
+	return pipeline.CollectRun(w, m, c, runIdx, attack)
+}
+
+// NewMonitor creates a monitor for a trained model.
+func NewMonitor(model *Model, mc MonitorConfig) (*Monitor, error) {
+	return core.NewMonitor(model, mc)
+}
+
+// MonitorRun replays a collected run through a fresh monitor.
+func MonitorRun(model *Model, run *Run, mc MonitorConfig) (*Monitor, error) {
+	return pipeline.Monitor(model, run.STS, mc)
+}
+
+// Evaluate scores a monitored run against its ground-truth labels.
+func Evaluate(model *Model, c PipelineConfig, run *Run, mon *Monitor) (*Metrics, error) {
+	return core.Evaluate(model, run.STS, mon.Outcomes, mon.Reports, c.HopSeconds())
+}
+
+// NewSpectrogram computes the spectrogram of a collected run's signal
+// (AC-coupled) under the pipeline's STFT settings.
+func NewSpectrogram(signal []float64, c PipelineConfig) (*Spectrogram, error) {
+	return dsp.NewSpectrogram(dsp.Detrend(signal), c.STFT)
+}
+
+// NewDetector creates a streaming detector: feed it raw signal samples
+// with Write and it raises anomaly reports online, using the pipeline's
+// STFT and peak settings.
+func NewDetector(model *Model, c PipelineConfig, mc MonitorConfig) (*Detector, error) {
+	return stream.NewDetector(model, stream.Config{
+		STFT:    c.STFT,
+		Peaks:   c.Peaks,
+		Monitor: mc,
+	})
+}
+
+// HotLoopHeaders profiles the workload and returns, per loop nest, the
+// inner loop header executed most often — the natural in-loop injection
+// site for an attacker maximizing work per unit time. The returned block
+// ids feed NewInLoopInjectorAt.
+func HotLoopHeaders(w *Workload, m *Machine) ([]int, error) {
+	headers, err := pipeline.HotLoopHeaders(w, m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(headers))
+	for i, h := range headers {
+		out[i] = int(h)
+	}
+	return out, nil
+}
+
+// NewInLoopInjectorAt is like NewInLoopInjector but targets an explicit
+// basic block (e.g. an inner loop header found by profiling) instead of a
+// nest's outermost header.
+func NewInLoopInjectorAt(block int, instrs, memOps int, contamination float64, seed int64) Injector {
+	return &inject.InLoop{
+		Header:        isa.BlockID(block),
+		Instrs:        instrs,
+		MemOps:        memOps,
+		Contamination: contamination,
+		Seed:          seed,
+	}
+}
+
+// SaveModel writes a trained model to a JSON file, so monitoring sessions
+// can start without re-training.
+func SaveModel(model *Model, path string) error { return model.SaveFile(path) }
+
+// LoadModel reads a model saved by SaveModel. The machine must have been
+// rebuilt (BuildMachine) from the same workload program; the loader
+// verifies the structural fingerprint.
+func LoadModel(path string, machine *Machine) (*Model, error) {
+	return core.LoadModelFile(path, machine)
+}
+
+// NewBurstInjector returns an attack that injects one burst of count
+// dynamic instructions (an empty-loop "shellcode") the first time control
+// leaves the given loop nest.
+func NewBurstInjector(m *Machine, fromNest, count int) Injector {
+	return &inject.Burst{BlockNest: m.BlockNest, FromNest: fromNest, Count: count}
+}
+
+// NewInLoopInjector returns an attack that injects instrs instructions
+// (memOps of them cache-hostile stores, the rest integer adds) into the
+// given fraction of the iterations of the loop headed by the nest's
+// header block.
+func NewInLoopInjector(m *Machine, nest, instrs, memOps int, contamination float64, seed int64) Injector {
+	return &inject.InLoop{
+		Header:        m.Nests[nest].Header,
+		Instrs:        instrs,
+		MemOps:        memOps,
+		Contamination: contamination,
+		Seed:          seed,
+	}
+}

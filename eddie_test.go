@@ -1,0 +1,106 @@
+package eddie
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPISurface exercises the exported facade end to end on a small
+// scale: workload lookup, machine construction, training, attack
+// construction, run collection, streaming monitoring and evaluation.
+func TestPublicAPISurface(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	ws := Workloads()
+	if len(ws) != 10 {
+		t.Fatalf("Workloads() returned %d entries, want 10", len(ws))
+	}
+	if _, err := WorkloadByName("no-such-benchmark"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	w, err := WorkloadByName("bitcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	machine, err := BuildMachine(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(machine.Nests) < 2 {
+		t.Fatalf("bitcount machine has %d nests", len(machine.Nests))
+	}
+
+	cfg := SimulatorPipeline()
+	model, machine, err := Train(w, cfg, 6, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(model.String(), "bitcount") {
+		t.Errorf("model string: %q", model.String())
+	}
+
+	// Clean run stays quiet.
+	clean, err := CollectRun(w, machine, cfg, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := MonitorRun(model, clean, DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mon.Reports) != 0 {
+		t.Errorf("clean run produced %d reports", len(mon.Reports))
+	}
+	m, err := Evaluate(model, cfg, clean, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FalsePositivePct() > 10 {
+		t.Errorf("clean FP %.1f%%", m.FalsePositivePct())
+	}
+
+	// Attacked run is reported, via the streaming API.
+	attack := NewInLoopInjector(machine, 0, 8, 4, 1.0, 1)
+	if !strings.Contains(attack.Description(), "8 instrs") {
+		t.Errorf("attack description: %q", attack.Description())
+	}
+	dirty, err := CollectRun(w, machine, cfg, 200, attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streaming, err := NewMonitor(model, DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reported := false
+	for i := range dirty.STS {
+		if streaming.Observe(&dirty.STS[i]) {
+			reported = true
+		}
+	}
+	if !reported {
+		t.Error("in-loop attack not reported through the streaming API")
+	}
+
+	burst := NewBurstInjector(machine, 1, 476_000)
+	if !strings.Contains(burst.Description(), "476000") {
+		t.Errorf("burst description: %q", burst.Description())
+	}
+}
+
+// TestPipelineConfigs sanity-checks the two preset pipelines.
+func TestPipelineConfigs(t *testing.T) {
+	iot := IoTPipeline()
+	if iot.Channel == nil {
+		t.Error("IoT pipeline must include the EM channel")
+	}
+	sim := SimulatorPipeline()
+	if sim.Channel != nil {
+		t.Error("simulator pipeline must feed the raw power signal")
+	}
+	if iot.HopSeconds() <= 0 || sim.HopSeconds() <= 0 {
+		t.Error("hop durations must be positive")
+	}
+}

@@ -1,0 +1,53 @@
+// Architecture study: how the monitored core's microarchitecture affects
+// EDDIE (the question behind the paper's §5.3/Fig 4). Trains the same
+// workload on an in-order and an out-of-order core and compares the
+// per-region K-S group sizes — i.e. the detection latency EDDIE needs on
+// each architecture.
+//
+//	go run ./examples/archstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eddie"
+)
+
+func main() {
+	w, err := eddie.WorkloadByName("susan")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	inorder := eddie.IoTPipeline()
+	inorder.Channel = nil // isolate the core effect: raw power both times
+	ooo := eddie.SimulatorPipeline()
+
+	fmt.Println("training susan on both cores (8 runs each)...")
+	mIn, machine, err := eddie.Train(w, inorder, 8, eddie.DefaultTrainConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mOoo, _, err := eddie.Train(w, ooo, 8, eddie.DefaultTrainConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-26s %14s %14s\n", "region", "in-order", "out-of-order")
+	for _, id := range mIn.RegionIDs() {
+		ri := mIn.Regions[id]
+		ro := mOoo.Regions[id]
+		if ro == nil {
+			continue
+		}
+		fmt.Printf("%-26s %8d STSs %8d STSs   (%.2f ms vs %.2f ms)\n",
+			ri.Label, ri.GroupSize, ro.GroupSize,
+			float64(ri.GroupSize)*inorder.HopSeconds()*1e3,
+			float64(ro.GroupSize)*ooo.HopSeconds()*1e3)
+	}
+	fmt.Println("\nlarger group size = the K-S test needs more windows to characterize")
+	fmt.Println("the region => longer detection latency (paper Fig 4: OOO cores add")
+	fmt.Println("schedule variation, broadening the reference distributions)")
+	_ = machine
+}

@@ -1,0 +1,64 @@
+// Quickstart: train EDDIE on a workload, monitor a clean run and an
+// attacked run, and print what the monitor reports.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eddie"
+)
+
+func main() {
+	// 1. Pick a workload (MiBench bitcount) and the simulator pipeline
+	//    (Table 2 mode: the core's power trace feeds EDDIE directly).
+	w, err := eddie.WorkloadByName("bitcount")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := eddie.SimulatorPipeline()
+
+	// 2. Train on a handful of injection-free runs with different inputs.
+	fmt.Println("training on 8 clean runs...")
+	model, machine, err := eddie.Train(w, cfg, 8, eddie.DefaultTrainConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(model)
+
+	// 3. Monitor a clean run: nothing should be reported.
+	clean, err := eddie.CollectRun(w, machine, cfg, 100, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon, err := eddie.MonitorRun(model, clean, eddie.DefaultMonitorConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean run: %d windows, %d anomaly reports\n", len(clean.STS), len(mon.Reports))
+
+	// 4. Monitor a run where an attacker injected a shellcode-sized burst
+	//    of execution between two loops: EDDIE reports it.
+	attack := eddie.NewBurstInjector(machine, 1, 476_000)
+	fmt.Println("attack:", attack.Description())
+	dirty, err := eddie.CollectRun(w, machine, cfg, 200, attack)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon, err = eddie.MonitorRun(model, dirty, eddie.DefaultMonitorConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attacked run: %d windows, %d anomaly reports\n", len(dirty.STS), len(mon.Reports))
+	for _, r := range mon.Reports {
+		fmt.Printf("  ANOMALY at t=%.3f ms (window %d, monitor in region %v)\n",
+			r.TimeSec*1e3, r.Window, r.Region)
+	}
+	m, err := eddie.Evaluate(model, cfg, dirty, mon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evaluation vs ground truth: %s\n", m)
+}

@@ -1,0 +1,3 @@
+module eddie
+
+go 1.22

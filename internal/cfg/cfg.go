@@ -1,0 +1,178 @@
+// Package cfg performs the compile-time analysis EDDIE's training phase
+// needs: it builds the control-flow graph of an isa.Program, finds natural
+// loops and loop nests via dominator analysis, and distills the
+// region-level state machine described in §4.1 of the paper — loop-nest
+// nodes connected by inter-loop edges — that constrains which region
+// sequences a valid execution may produce.
+package cfg
+
+import (
+	"fmt"
+
+	"eddie/internal/isa"
+)
+
+// Graph is the basic-block control-flow graph of a program.
+type Graph struct {
+	// Program is the analyzed program.
+	Program *isa.Program
+	// Succs[b] lists the successors of block b.
+	Succs [][]isa.BlockID
+	// Preds[b] lists the predecessors of block b.
+	Preds [][]isa.BlockID
+	// IDom[b] is the immediate dominator of block b (NoBlock for entry
+	// and unreachable blocks).
+	IDom []isa.BlockID
+	// Reachable[b] reports whether b is reachable from the entry.
+	Reachable []bool
+	// RPO holds the reachable blocks in reverse postorder.
+	RPO []isa.BlockID
+	// rpoIndex[b] is the position of b in RPO (-1 if unreachable).
+	rpoIndex []int
+}
+
+// Build constructs the CFG and dominator tree of p.
+func Build(p *isa.Program) (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Blocks)
+	g := &Graph{
+		Program:   p,
+		Succs:     make([][]isa.BlockID, n),
+		Preds:     make([][]isa.BlockID, n),
+		IDom:      make([]isa.BlockID, n),
+		Reachable: make([]bool, n),
+		rpoIndex:  make([]int, n),
+	}
+	for i := range p.Blocks {
+		g.Succs[i] = p.Blocks[i].Successors()
+	}
+	for b := range g.Succs {
+		for _, s := range g.Succs[b] {
+			g.Preds[s] = append(g.Preds[s], isa.BlockID(b))
+		}
+	}
+	g.computeRPO()
+	g.computeDominators()
+	return g, nil
+}
+
+// computeRPO fills Reachable, RPO and rpoIndex via an iterative DFS.
+func (g *Graph) computeRPO() {
+	n := len(g.Succs)
+	for i := range g.rpoIndex {
+		g.rpoIndex[i] = -1
+	}
+	post := make([]isa.BlockID, 0, n)
+	// Iterative postorder DFS.
+	type frame struct {
+		b    isa.BlockID
+		next int
+	}
+	stack := []frame{{b: g.Program.Entry}}
+	g.Reachable[g.Program.Entry] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(g.Succs[f.b]) {
+			s := g.Succs[f.b][f.next]
+			f.next++
+			if !g.Reachable[s] {
+				g.Reachable[s] = true
+				stack = append(stack, frame{b: s})
+			}
+			continue
+		}
+		post = append(post, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	g.RPO = make([]isa.BlockID, len(post))
+	for i := range post {
+		g.RPO[i] = post[len(post)-1-i]
+	}
+	for i, b := range g.RPO {
+		g.rpoIndex[b] = i
+	}
+}
+
+// computeDominators runs the Cooper–Harvey–Kennedy iterative algorithm.
+func (g *Graph) computeDominators() {
+	for i := range g.IDom {
+		g.IDom[i] = isa.NoBlock
+	}
+	entry := g.Program.Entry
+	g.IDom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.RPO {
+			if b == entry {
+				continue
+			}
+			var newIDom = isa.NoBlock
+			for _, p := range g.Preds[b] {
+				if g.IDom[p] == isa.NoBlock {
+					continue // predecessor not yet processed
+				}
+				if newIDom == isa.NoBlock {
+					newIDom = p
+				} else {
+					newIDom = g.intersect(p, newIDom)
+				}
+			}
+			if newIDom != isa.NoBlock && g.IDom[b] != newIDom {
+				g.IDom[b] = newIDom
+				changed = true
+			}
+		}
+	}
+	// The entry's IDom is conventionally itself during the fixpoint; clear
+	// it afterwards so Dominates() treats entry as dominated only by itself.
+	g.IDom[entry] = isa.NoBlock
+}
+
+func (g *Graph) intersect(a, b isa.BlockID) isa.BlockID {
+	for a != b {
+		for g.rpoIndex[a] > g.rpoIndex[b] {
+			a = g.IDom[a]
+			if a == isa.NoBlock {
+				return b
+			}
+		}
+		for g.rpoIndex[b] > g.rpoIndex[a] {
+			b = g.IDom[b]
+			if b == isa.NoBlock {
+				return a
+			}
+		}
+	}
+	return a
+}
+
+// Dominates reports whether block a dominates block b (reflexively).
+func (g *Graph) Dominates(a, b isa.BlockID) bool {
+	if !g.Reachable[a] || !g.Reachable[b] {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == g.Program.Entry {
+			return false
+		}
+		b = g.IDom[b]
+		if b == isa.NoBlock {
+			return false
+		}
+	}
+}
+
+// String renders a compact textual form of the graph for debugging.
+func (g *Graph) String() string {
+	s := fmt.Sprintf("cfg %q entry=%d\n", g.Program.Name, g.Program.Entry)
+	for b := range g.Succs {
+		s += fmt.Sprintf("  %d (%s) -> %v\n", b, g.Program.Blocks[b].Label, g.Succs[b])
+	}
+	return s
+}

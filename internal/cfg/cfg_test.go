@@ -1,0 +1,274 @@
+package cfg
+
+import (
+	"testing"
+
+	"eddie/internal/isa"
+)
+
+// buildDiamond: entry -> (a | b) -> join -> exit, no loops.
+func buildDiamond() *isa.Program {
+	b := isa.NewBuilder("diamond", 0)
+	entry := b.NewBlock("entry")
+	a := b.NewBlock("a")
+	c := b.NewBlock("b")
+	join := b.NewBlock("join")
+	entry.Branch(isa.EQ, 0, 0, a, c)
+	a.Jump(join)
+	c.Jump(join)
+	join.Halt()
+	return b.Build()
+}
+
+// buildTwoLoops: entry -> loop1 -> mid -> loop2 -> exit.
+func buildTwoLoops() *isa.Program {
+	b := isa.NewBuilder("twoloops", 4)
+	entry := b.NewBlock("entry")
+	h1 := b.NewBlock("h1")
+	b1 := b.NewBlock("b1")
+	mid := b.NewBlock("mid")
+	h2 := b.NewBlock("h2")
+	b2 := b.NewBlock("b2")
+	exit := b.NewBlock("exit")
+	entry.Li(1, 10).Li(0, 0)
+	entry.Jump(h1)
+	h1.Branch(isa.GT, 1, 0, b1, mid)
+	b1.SubI(1, 1, 1)
+	b1.Jump(h1)
+	mid.Li(1, 5)
+	mid.Jump(h2)
+	h2.Branch(isa.GT, 1, 0, b2, exit)
+	b2.SubI(1, 1, 1)
+	b2.Jump(h2)
+	exit.Halt()
+	return b.Build()
+}
+
+// buildNested: outer loop containing an inner loop.
+func buildNested() *isa.Program {
+	b := isa.NewBuilder("nested", 4)
+	entry := b.NewBlock("entry")
+	oh := b.NewBlock("outer_head")
+	ih := b.NewBlock("inner_head")
+	ib := b.NewBlock("inner_body")
+	on := b.NewBlock("outer_next")
+	exit := b.NewBlock("exit")
+	entry.Li(1, 5).Li(0, 0)
+	entry.Jump(oh)
+	oh.Branch(isa.GT, 1, 0, ihInit(b, ih), exit)
+	ih.Branch(isa.GT, 2, 0, ib, on)
+	ib.SubI(2, 2, 1)
+	ib.Jump(ih)
+	on.SubI(1, 1, 1)
+	on.Jump(oh)
+	exit.Halt()
+	return b.Build()
+}
+
+func ihInit(b *isa.Builder, ih *isa.BlockBuilder) *isa.BlockBuilder {
+	w := b.NewBlock("inner_init")
+	w.Li(2, 3)
+	w.Jump(ih)
+	return w
+}
+
+func TestDominators(t *testing.T) {
+	p := buildDiamond()
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry dominates everything; neither branch arm dominates the join.
+	for b := isa.BlockID(0); b < 4; b++ {
+		if !g.Dominates(0, b) {
+			t.Errorf("entry should dominate block %d", b)
+		}
+	}
+	if g.Dominates(1, 3) || g.Dominates(2, 3) {
+		t.Error("branch arms must not dominate the join")
+	}
+	if g.IDom[3] != 0 {
+		t.Errorf("idom(join) = %d, want 0", g.IDom[3])
+	}
+	if !g.Dominates(3, 3) {
+		t.Error("dominance must be reflexive")
+	}
+}
+
+func TestNaturalLoopsTwoLoops(t *testing.T) {
+	p := buildTwoLoops()
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := NaturalLoops(g)
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	for _, l := range loops {
+		if len(l.Body) != 2 {
+			t.Errorf("loop at %d has body %v, want header+body", l.Header, l.Body)
+		}
+		if !l.Body[l.Header] {
+			t.Errorf("loop body must contain its header")
+		}
+	}
+}
+
+func TestLoopNestsMergeInnerLoops(t *testing.T) {
+	p := buildNested()
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := NaturalLoops(g)
+	if len(loops) != 2 {
+		t.Fatalf("found %d natural loops, want 2 (outer+inner)", len(loops))
+	}
+	nests := LoopNests(g)
+	if len(nests) != 1 {
+		t.Fatalf("found %d nests, want 1 (inner merged into outer)", len(nests))
+	}
+	// The nest contains both headers.
+	headers := 0
+	for _, l := range loops {
+		if nests[0].Blocks[l.Header] {
+			headers++
+		}
+	}
+	if headers != 2 {
+		t.Errorf("nest contains %d of 2 loop headers", headers)
+	}
+}
+
+func TestRegionMachineTwoLoops(t *testing.T) {
+	p := buildTwoLoops()
+	m, err := BuildMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Nests) != 2 {
+		t.Fatalf("%d nests, want 2", len(m.Nests))
+	}
+	// Expect loop regions 0,1 plus transitions start->0, 0->1, 1->end.
+	wantTrans := [][2]int{{Boundary, 0}, {0, 1}, {1, Boundary}}
+	for _, tr := range wantTrans {
+		if _, ok := m.TransRegionOf(tr[0], tr[1]); !ok {
+			t.Errorf("missing transition region %v", tr)
+		}
+	}
+	// Successor relation: loop0 -> {trans(0,1), loop1}; trans(0,1) -> loop1.
+	succ0 := m.Successors(m.LoopRegionOf(0))
+	foundLoop1 := false
+	for _, s := range succ0 {
+		if s == m.LoopRegionOf(1) {
+			foundLoop1 = true
+		}
+	}
+	if !foundLoop1 {
+		t.Errorf("loop0 successors %v missing loop1", succ0)
+	}
+	// Valid walk accepted, invalid rejected.
+	t01, _ := m.TransRegionOf(0, 1)
+	if !m.Accepts([]RegionID{m.LoopRegionOf(0), t01, m.LoopRegionOf(1)}) {
+		t.Error("valid walk rejected")
+	}
+	if m.Accepts([]RegionID{m.LoopRegionOf(1), m.LoopRegionOf(0)}) {
+		t.Error("backwards walk accepted")
+	}
+}
+
+func TestRegionMachineBlockNest(t *testing.T) {
+	p := buildTwoLoops()
+	m, err := BuildMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inNest := 0
+	for _, n := range m.BlockNest {
+		if n >= 0 {
+			inNest++
+		}
+	}
+	if inNest != 4 {
+		t.Errorf("%d blocks in nests, want 4 (two 2-block loops)", inNest)
+	}
+}
+
+// TestRuntimeTraceIsAcceptedByMachine is the property tying static
+// analysis to dynamic behavior: every executed region sequence must be a
+// walk of the machine.
+func TestRuntimeTraceIsAcceptedByMachine(t *testing.T) {
+	for _, build := range []func() *isa.Program{buildTwoLoops, buildNested} {
+		p := build()
+		m, err := BuildMachine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reconstruct the nest sequence from a functional execution.
+		var nestSeq []int
+		prev := -2
+		_, err = isa.Execute(p, isa.ExecConfig{}, func(di *isa.DynInstr) bool {
+			n := m.BlockNest[di.Block]
+			if n != prev {
+				if n >= 0 {
+					nestSeq = append(nestSeq, n)
+				}
+				prev = n
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Convert to region walk with transitions inserted.
+		var walk []RegionID
+		last := Boundary
+		for _, n := range nestSeq {
+			if tr, ok := m.TransRegionOf(last, n); ok {
+				walk = append(walk, tr)
+			}
+			walk = append(walk, m.LoopRegionOf(n))
+			last = n
+		}
+		if !m.Accepts(walk) {
+			t.Errorf("%s: runtime walk %v rejected by machine\n%s", p.Name, walk, m)
+		}
+	}
+}
+
+func TestDiamondHasNoNests(t *testing.T) {
+	m, err := BuildMachine(buildDiamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Nests) != 0 {
+		t.Errorf("diamond has %d nests, want 0", len(m.Nests))
+	}
+	// Only the start->end transition exists.
+	if _, ok := m.TransRegionOf(Boundary, Boundary); !ok {
+		t.Error("missing start->end transition for loop-free program")
+	}
+}
+
+func TestUnreachableBlocksIgnored(t *testing.T) {
+	b := isa.NewBuilder("unreach", 0)
+	entry := b.NewBlock("entry")
+	dead := b.NewBlock("dead")
+	exit := b.NewBlock("exit")
+	entry.Jump(exit)
+	dead.Jump(dead) // unreachable self-loop
+	exit.Halt()
+	p := b.Build()
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Reachable[1] {
+		t.Error("dead block marked reachable")
+	}
+	loops := NaturalLoops(g)
+	if len(loops) != 0 {
+		t.Errorf("unreachable self-loop reported: %v", loops)
+	}
+}

@@ -1,0 +1,122 @@
+package cfg
+
+import (
+	"sort"
+
+	"eddie/internal/isa"
+)
+
+// Loop is a natural loop: the blocks strongly connected to a header via a
+// back edge.
+type Loop struct {
+	// Header is the loop entry block (the target of the back edge).
+	Header isa.BlockID
+	// Body is the set of blocks in the loop, including the header.
+	Body map[isa.BlockID]bool
+}
+
+// NaturalLoops finds every natural loop of the graph. Loops sharing a
+// header are merged into one Loop, as is conventional.
+func NaturalLoops(g *Graph) []*Loop {
+	byHeader := map[isa.BlockID]*Loop{}
+	for b := range g.Succs {
+		if !g.Reachable[b] {
+			continue
+		}
+		for _, h := range g.Succs[b] {
+			if !g.Dominates(h, isa.BlockID(b)) {
+				continue // not a back edge
+			}
+			l := byHeader[h]
+			if l == nil {
+				l = &Loop{Header: h, Body: map[isa.BlockID]bool{h: true}}
+				byHeader[h] = l
+			}
+			collectLoopBody(g, l, isa.BlockID(b))
+		}
+	}
+	loops := make([]*Loop, 0, len(byHeader))
+	for _, l := range byHeader {
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Header < loops[j].Header })
+	return loops
+}
+
+// collectLoopBody walks predecessors from the back-edge source until the
+// header, adding every visited block to the loop body.
+func collectLoopBody(g *Graph, l *Loop, tail isa.BlockID) {
+	if l.Body[tail] {
+		return
+	}
+	stack := []isa.BlockID{tail}
+	l.Body[tail] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.Preds[b] {
+			if !l.Body[p] && g.Reachable[p] {
+				l.Body[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+}
+
+// Nest is a loop nest: an outermost loop with all of its inner loops'
+// blocks merged in, which is exactly the granularity at which EDDIE
+// defines loop regions (§4.1: "for each loop nest we merge all the nodes
+// in the CFG that belong to that loop nest into a single loop-region node").
+type Nest struct {
+	// Index is the nest's position in the Nests slice.
+	Index int
+	// Header is the header of the outermost loop of the nest.
+	Header isa.BlockID
+	// Blocks is the set of all blocks in the nest.
+	Blocks map[isa.BlockID]bool
+}
+
+// LoopNests merges natural loops into maximal (outermost) loop nests.
+// Overlapping loops (possible only in irreducible graphs) are merged into
+// one nest so that every block belongs to at most one nest.
+func LoopNests(g *Graph) []*Nest {
+	loops := NaturalLoops(g)
+	// Sort by decreasing body size so outer loops come first.
+	sort.Slice(loops, func(i, j int) bool {
+		if len(loops[i].Body) != len(loops[j].Body) {
+			return len(loops[i].Body) > len(loops[j].Body)
+		}
+		return loops[i].Header < loops[j].Header
+	})
+	var nests []*Nest
+	owner := map[isa.BlockID]*Nest{}
+	for _, l := range loops {
+		// Find nests this loop overlaps with.
+		var hit *Nest
+		for b := range l.Body {
+			if n := owner[b]; n != nil {
+				hit = n
+				break
+			}
+		}
+		if hit == nil {
+			n := &Nest{Header: l.Header, Blocks: map[isa.BlockID]bool{}}
+			for b := range l.Body {
+				n.Blocks[b] = true
+				owner[b] = n
+			}
+			nests = append(nests, n)
+			continue
+		}
+		// Contained or overlapping: merge into the existing nest.
+		for b := range l.Body {
+			hit.Blocks[b] = true
+			owner[b] = hit
+		}
+	}
+	sort.Slice(nests, func(i, j int) bool { return nests[i].Header < nests[j].Header })
+	for i, n := range nests {
+		n.Index = i
+	}
+	return nests
+}

@@ -1,0 +1,254 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"eddie/internal/isa"
+)
+
+// RegionKind distinguishes the two region types of EDDIE's model.
+type RegionKind int
+
+const (
+	// LoopRegion is a loop nest: the program spends most of its time here
+	// and produces the spectral peaks EDDIE keys on.
+	LoopRegion RegionKind = iota
+	// TransRegion is an inter-loop region: the code executed between two
+	// loop nests (or between program start/end and a nest).
+	TransRegion
+)
+
+// RegionID identifies a region within a Machine.
+type RegionID int
+
+// NoRegion is the absent-region sentinel.
+const NoRegion RegionID = -1
+
+// Boundary is the virtual nest index used for the program start and end in
+// transition regions.
+const Boundary = -1
+
+// Region is one node or edge of the region-level state machine.
+type Region struct {
+	ID    RegionID
+	Kind  RegionKind
+	Label string
+	// Nest is the loop-nest index for LoopRegion (-1 otherwise).
+	Nest int
+	// From and To are the nest indices a TransRegion connects; Boundary
+	// stands for program start (From) or program end (To).
+	From, To int
+}
+
+// Machine is the region-level state machine of a program: the compact
+// model of valid region sequences that EDDIE's training phase produces and
+// its monitoring phase walks.
+type Machine struct {
+	// Graph is the underlying CFG.
+	Graph *Graph
+	// Nests are the loop nests of the program.
+	Nests []*Nest
+	// Regions lists all regions: loop regions first (index == nest
+	// index), then transition regions.
+	Regions []Region
+	// BlockNest maps each block to its nest index, or -1 for non-loop
+	// blocks.
+	BlockNest []int
+	// succ maps a region to the regions that may legally follow it.
+	succ map[RegionID][]RegionID
+	// trans maps a (from,to) nest pair to its transition region.
+	trans map[[2]int]RegionID
+}
+
+// BuildMachine constructs the region-level state machine of a program,
+// following §4.1: merge each loop nest into a single node, eliminate
+// non-loop blocks by connecting their predecessors to their successors,
+// and merge parallel edges.
+func BuildMachine(p *isa.Program) (*Machine, error) {
+	g, err := Build(p)
+	if err != nil {
+		return nil, err
+	}
+	nests := LoopNests(g)
+	m := &Machine{
+		Graph:     g,
+		Nests:     nests,
+		BlockNest: make([]int, len(p.Blocks)),
+		succ:      map[RegionID][]RegionID{},
+		trans:     map[[2]int]RegionID{},
+	}
+	for i := range m.BlockNest {
+		m.BlockNest[i] = -1
+	}
+	for _, n := range nests {
+		for b := range n.Blocks {
+			m.BlockNest[b] = n.Index
+		}
+		m.Regions = append(m.Regions, Region{
+			ID:    RegionID(n.Index),
+			Kind:  LoopRegion,
+			Label: fmt.Sprintf("loop%d@%s", n.Index, p.Blocks[n.Header].Label),
+			Nest:  n.Index,
+			From:  -1, To: -1,
+		})
+	}
+
+	// Discover transition pairs. For each nest (and the program entry),
+	// walk forward through non-loop blocks until hitting a nest or Halt.
+	pairs := map[[2]int]bool{}
+	addReach := func(from int, startBlocks []isa.BlockID) {
+		seen := map[isa.BlockID]bool{}
+		stack := append([]isa.BlockID(nil), startBlocks...)
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if nest := m.BlockNest[b]; nest >= 0 {
+				// Reaching a nest (including re-entering the one we left,
+				// e.g. through an outer control structure) ends the walk
+				// and records a legal transition.
+				pairs[[2]int{from, nest}] = true
+				continue
+			}
+			if seen[b] {
+				continue
+			}
+			seen[b] = true
+			blk := &p.Blocks[b]
+			if blk.Term.Kind == isa.Halt {
+				pairs[[2]int{from, Boundary}] = true
+				continue
+			}
+			stack = append(stack, g.Succs[b]...)
+		}
+	}
+
+	// From program entry.
+	addReach(Boundary, []isa.BlockID{p.Entry})
+	// From every nest's exit edges.
+	for _, n := range nests {
+		var exits []isa.BlockID
+		for b := range n.Blocks {
+			if p.Blocks[b].Term.Kind == isa.Halt {
+				pairs[[2]int{n.Index, Boundary}] = true
+				continue
+			}
+			for _, s := range g.Succs[b] {
+				if !n.Blocks[s] {
+					exits = append(exits, s)
+				}
+			}
+		}
+		addReach(n.Index, exits)
+	}
+
+	// Materialize transition regions deterministically.
+	keys := make([][2]int, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	name := func(n int) string {
+		if n == Boundary {
+			return "·"
+		}
+		return fmt.Sprintf("loop%d", n)
+	}
+	for _, k := range keys {
+		id := RegionID(len(m.Regions))
+		m.Regions = append(m.Regions, Region{
+			ID:    id,
+			Kind:  TransRegion,
+			Label: fmt.Sprintf("%s→%s", name(k[0]), name(k[1])),
+			Nest:  -1,
+			From:  k[0], To: k[1],
+		})
+		m.trans[k] = id
+	}
+
+	// Successor relation: loop region L → every transition (L, *); the
+	// transition (x, M) → loop region M. A transition ending at the
+	// program boundary has no successors.
+	for _, r := range m.Regions {
+		switch r.Kind {
+		case LoopRegion:
+			for _, k := range keys {
+				if k[0] == r.Nest {
+					m.succ[r.ID] = append(m.succ[r.ID], m.trans[k])
+					if k[1] != Boundary {
+						// Allow a direct hop to the next loop region too:
+						// very short transitions often never produce a
+						// whole STFT window of their own.
+						m.succ[r.ID] = append(m.succ[r.ID], RegionID(k[1]))
+					}
+				}
+			}
+		case TransRegion:
+			if r.To != Boundary {
+				m.succ[r.ID] = append(m.succ[r.ID], RegionID(r.To))
+			}
+		}
+	}
+	return m, nil
+}
+
+// NumRegions returns the total region count.
+func (m *Machine) NumRegions() int { return len(m.Regions) }
+
+// Region returns the region with the given id, or nil if out of range.
+func (m *Machine) Region(id RegionID) *Region {
+	if id < 0 || int(id) >= len(m.Regions) {
+		return nil
+	}
+	return &m.Regions[id]
+}
+
+// LoopRegionOf returns the region id of a nest index.
+func (m *Machine) LoopRegionOf(nest int) RegionID { return RegionID(nest) }
+
+// TransRegionOf returns the transition region for the (from, to) nest pair
+// and whether it exists in the machine.
+func (m *Machine) TransRegionOf(from, to int) (RegionID, bool) {
+	id, ok := m.trans[[2]int{from, to}]
+	return id, ok
+}
+
+// Successors returns the regions that may legally follow r. The caller
+// must not modify the returned slice.
+func (m *Machine) Successors(r RegionID) []RegionID { return m.succ[r] }
+
+// Accepts reports whether the sequence of region ids is a walk of the
+// machine (each consecutive pair connected by the successor relation,
+// possibly with the direct loop→loop shortcut).
+func (m *Machine) Accepts(seq []RegionID) bool {
+	for i := 0; i+1 < len(seq); i++ {
+		if seq[i] == seq[i+1] {
+			continue
+		}
+		ok := false
+		for _, s := range m.succ[seq[i]] {
+			if s == seq[i+1] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the machine for debugging.
+func (m *Machine) String() string {
+	s := fmt.Sprintf("region machine for %q: %d nests, %d regions\n", m.Graph.Program.Name, len(m.Nests), len(m.Regions))
+	for _, r := range m.Regions {
+		s += fmt.Sprintf("  R%d %s -> %v\n", r.ID, r.Label, m.succ[r.ID])
+	}
+	return s
+}

@@ -1,0 +1,76 @@
+package core
+
+import "eddie/internal/stats"
+
+// evalResult is the outcome of testing a monitored group against a region
+// model.
+type evalResult struct {
+	// rejected is true when no training mode accepts the group.
+	rejected bool
+	// bestMode is the index (into rm.Modes) of the best-matching mode.
+	bestMode int
+	// bestRejFrac is the fraction of rank tests that rejected for the
+	// best mode: 0 = perfect match, 1 = nothing matches.
+	bestRejFrac float64
+	// countOut reports that the peak-count bounds test failed (which
+	// rejects regardless of modes).
+	countOut bool
+}
+
+// evalGroups applies the region decision to monitored rank groups:
+// the group is accepted if its median peak count and median AC energy
+// fall inside the reference bounds and at least one training mode's
+// per-rank K-S tests accept it (rank rejections <= rejectFraction).
+// groups[k] holds the monitored rank-k values; counts the per-window peak
+// counts; energies the per-window AC energies (may be nil to skip the
+// energy check). modes may be a subset of rm.Modes (leave-one-out during
+// training); startMode rotates the scan order so the monitor can re-test
+// its last good mode first. scratch must have capacity >= len(groups[0]).
+func evalGroups(rm *RegionModel, modes []RegionMode, groups [][]float64, counts, energies []float64, rejectFraction, cAlpha float64, scratch []float64, startMode int) evalResult {
+	res := evalResult{rejected: true, bestMode: -1, bestRejFrac: 1}
+	if len(counts) > 0 && len(rm.CountRef) > 0 {
+		lo, hi := rm.CountBounds()
+		if med := stats.Median(counts); med < lo || med > hi {
+			res.countOut = true
+			return res
+		}
+	}
+	if len(energies) > 0 && len(rm.EnergyRef) > 0 {
+		lo, hi := rm.EnergyBounds()
+		if med := stats.Median(energies); med < lo || med > hi {
+			res.countOut = true
+			return res
+		}
+	}
+	if rm.NumPeaks == 0 || len(modes) == 0 {
+		// Nothing to test against: treat as accepted (blind region).
+		res.rejected = false
+		res.bestRejFrac = 0
+		return res
+	}
+	ranks := rm.NumPeaks
+	if ranks > len(groups) {
+		ranks = len(groups)
+	}
+	limit := rejectFraction * float64(ranks)
+	for i := 0; i < len(modes); i++ {
+		mi := (startMode + i) % len(modes)
+		mode := &modes[mi]
+		rej := 0
+		for k := 0; k < ranks && k < len(mode.Ref); k++ {
+			if stats.KSRejectSorted(mode.Ref[k], groups[k], scratch, cAlpha) {
+				rej++
+			}
+		}
+		frac := float64(rej) / float64(ranks)
+		if frac < res.bestRejFrac {
+			res.bestRejFrac = frac
+			res.bestMode = mi
+		}
+		if float64(rej) <= limit {
+			res.rejected = false
+			return res
+		}
+	}
+	return res
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+
+	"eddie/internal/cfg"
+)
+
+// Metrics are the paper's evaluation quantities (Tables 1–2, Figs 5–10)
+// computed over one or more monitored runs.
+type Metrics struct {
+	// Windows is the number of observed STSs (each observed STS heads one
+	// STS group, the unit the paper counts).
+	Windows int
+	// FalsePositives counts flagged groups containing no injected
+	// execution; CleanGroups counts all injection-free groups.
+	FalsePositives int
+	CleanGroups    int
+	// TruePositives counts flagged injection-containing groups;
+	// InjectedGroups counts all injection-containing groups.
+	TruePositives  int
+	InjectedGroups int
+	// regionCorrect/regionTotal back the per-region accuracy average.
+	regionCorrect map[cfg.RegionID]int
+	regionTotal   map[cfg.RegionID]int
+	// CoveredWindows counts windows attributed to the region that truly
+	// produced them.
+	CoveredWindows int
+	// Episodes is the number of injection episodes; Detections how many
+	// were reported; LatencySumSec accumulates their detection latencies.
+	Episodes      int
+	Detections    int
+	LatencySumSec float64
+}
+
+// FalsePositivePct returns flagged clean groups as a percentage of all groups.
+func (m *Metrics) FalsePositivePct() float64 {
+	if m.Windows == 0 {
+		return 0
+	}
+	return 100 * float64(m.FalsePositives) / float64(m.Windows)
+}
+
+// FalseNegativePct returns unflagged injected groups as a percentage of
+// injected groups.
+func (m *Metrics) FalseNegativePct() float64 {
+	if m.InjectedGroups == 0 {
+		return 0
+	}
+	return 100 * float64(m.InjectedGroups-m.TruePositives) / float64(m.InjectedGroups)
+}
+
+// TruePositivePct returns flagged injected groups as a percentage of
+// injected groups.
+func (m *Metrics) TruePositivePct() float64 {
+	if m.InjectedGroups == 0 {
+		return 0
+	}
+	return 100 * float64(m.TruePositives) / float64(m.InjectedGroups)
+}
+
+// AccuracyPct returns the average of per-region accuracies, the paper's
+// Table 1/2 accuracy definition: groups with a correct reporting outcome
+// (injected and flagged, or clean and unflagged) as a percentage of the
+// region's groups, averaged over regions.
+func (m *Metrics) AccuracyPct() float64 {
+	if len(m.regionTotal) == 0 {
+		return 0
+	}
+	var sum float64
+	for r, total := range m.regionTotal {
+		if total > 0 {
+			sum += float64(m.regionCorrect[r]) / float64(total)
+		}
+	}
+	return 100 * sum / float64(len(m.regionTotal))
+}
+
+// CoveragePct returns the fraction of time the STS was attributed to the
+// region that actually produced it.
+func (m *Metrics) CoveragePct() float64 {
+	if m.Windows == 0 {
+		return 0
+	}
+	return 100 * float64(m.CoveredWindows) / float64(m.Windows)
+}
+
+// DetectionLatencySec returns the mean latency between injection start and
+// the report, over detected injections.
+func (m *Metrics) DetectionLatencySec() float64 {
+	if m.Detections == 0 {
+		return 0
+	}
+	return m.LatencySumSec / float64(m.Detections)
+}
+
+// DetectionRatePct returns the share of injection episodes that were
+// reported at all.
+func (m *Metrics) DetectionRatePct() float64 {
+	if m.Episodes == 0 {
+		return 0
+	}
+	return 100 * float64(m.Detections) / float64(m.Episodes)
+}
+
+// Merge accumulates another run's metrics into m.
+func (m *Metrics) Merge(o *Metrics) {
+	m.Windows += o.Windows
+	m.FalsePositives += o.FalsePositives
+	m.CleanGroups += o.CleanGroups
+	m.TruePositives += o.TruePositives
+	m.InjectedGroups += o.InjectedGroups
+	m.CoveredWindows += o.CoveredWindows
+	m.Episodes += o.Episodes
+	m.Detections += o.Detections
+	m.LatencySumSec += o.LatencySumSec
+	if m.regionCorrect == nil {
+		m.regionCorrect = map[cfg.RegionID]int{}
+		m.regionTotal = map[cfg.RegionID]int{}
+	}
+	for r, v := range o.regionCorrect {
+		m.regionCorrect[r] += v
+	}
+	for r, v := range o.regionTotal {
+		m.regionTotal[r] += v
+	}
+}
+
+// String renders the Table 1/2 row for these metrics.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("latency=%.2fms fp=%.2f%% acc=%.1f%% cov=%.1f%% fn=%.1f%% det=%.0f%%",
+		m.DetectionLatencySec()*1e3, m.FalsePositivePct(), m.AccuracyPct(),
+		m.CoveragePct(), m.FalseNegativePct(), m.DetectionRatePct())
+}
+
+// Evaluate scores one monitored run against ground truth. stss must be the
+// sequence fed to the monitor (carrying ground-truth labels), outcomes and
+// reports the monitor's outputs, hopSec the STS hop duration, and model the
+// model used (for per-region group sizes).
+func Evaluate(model *Model, stss []STS, outcomes []WindowOutcome, reports []Report, hopSec float64) (*Metrics, error) {
+	if len(stss) != len(outcomes) {
+		return nil, fmt.Errorf("core: %d STSs but %d outcomes", len(stss), len(outcomes))
+	}
+	m := &Metrics{
+		regionCorrect: map[cfg.RegionID]int{},
+		regionTotal:   map[cfg.RegionID]int{},
+	}
+	m.Windows = len(stss)
+
+	// Prefix counts of injected windows for group-containment queries.
+	prefix := make([]int, len(stss)+1)
+	for i := range stss {
+		prefix[i+1] = prefix[i]
+		if stss[i].Injected {
+			prefix[i+1]++
+		}
+	}
+	groupInjected := func(i int) bool {
+		n := model.MaxGroupSize
+		if rm := model.Regions[outcomes[i].Region]; rm != nil {
+			n = rm.GroupSize
+		}
+		lo := i - n + 1
+		if lo < 0 {
+			lo = 0
+		}
+		return prefix[i+1]-prefix[lo] > 0
+	}
+
+	for i := range stss {
+		inj := groupInjected(i)
+		flagged := outcomes[i].Flagged
+		if inj {
+			m.InjectedGroups++
+			if flagged {
+				m.TruePositives++
+			}
+		} else {
+			m.CleanGroups++
+			if flagged {
+				m.FalsePositives++
+			}
+		}
+		truth := stss[i].Region
+		if truth != cfg.NoRegion {
+			m.regionTotal[truth]++
+			if (inj && flagged) || (!inj && !flagged) {
+				m.regionCorrect[truth]++
+			}
+			if outcomes[i].Region == truth {
+				m.CoveredWindows++
+			}
+		}
+	}
+
+	// Injection episodes: maximal runs of consecutive injected windows.
+	// An episode counts as detected when a report fires inside it (plus a
+	// post-window slack: rejections accumulate while the group still
+	// contains injected windows), or when the alarm raised by an earlier
+	// episode is still flagging its windows — the user has already been
+	// notified and the flag attributes the ongoing anomaly correctly.
+	slack := 2 * model.MaxGroupSize
+	i := 0
+	for i < len(stss) {
+		if !stss[i].Injected {
+			i++
+			continue
+		}
+		start := i
+		for i < len(stss) && stss[i].Injected {
+			i++
+		}
+		end := i - 1
+		m.Episodes++
+		detectedAt := -1
+		for _, r := range reports {
+			if r.Window >= start && r.Window <= end+slack {
+				detectedAt = r.Window
+				break
+			}
+		}
+		if detectedAt < 0 {
+			for w := start; w <= end+slack && w < len(outcomes); w++ {
+				if outcomes[w].Flagged {
+					detectedAt = w
+					break
+				}
+			}
+		}
+		if detectedAt >= 0 {
+			m.Detections++
+			if detectedAt > start {
+				m.LatencySumSec += float64(detectedAt-start) * hopSec
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"fmt"
+
+	"eddie/internal/cfg"
+	"eddie/internal/stats"
+)
+
+// MonitorConfig controls the monitoring algorithm (Algorithm 1).
+type MonitorConfig struct {
+	// ReportThreshold is how many consecutive K-S rejections are
+	// tolerated before an anomaly is reported; the paper uses 3 (an
+	// anomaly is reported on a 4-long-or-longer rejection streak).
+	ReportThreshold int
+	// ChangeFraction is the fraction of a successor region's peak ranks
+	// that must accept for the monitor to switch to that region.
+	ChangeFraction float64
+	// RejectFraction is the fraction of the current region's peak ranks
+	// that must reject for the region-level test to reject. Must match
+	// the value used in training.
+	RejectFraction float64
+	// GroupSizeScale multiplies every region's trained group size n;
+	// the sensitivity sweeps (Figs 3, 6, 8, 9, 10) use it to trade
+	// detection latency against accuracy. Zero means 1.
+	GroupSizeScale float64
+	// MinTestWindows is the smallest K-S group the monitor will test;
+	// right after a region switch the monitor only has a few windows of
+	// the new region and waits until this many have accumulated. Zero
+	// means 4.
+	MinTestWindows int
+	// ProbeWindows is the group size used when probing successor regions
+	// for a region change: small, so the probe reflects only the most
+	// recent windows (which belong to the new region at a true border).
+	// Zero means 8.
+	ProbeWindows int
+	// BurstWindows adds a second, short-horizon K-S test alongside the
+	// region's trained group size: regions with diffuse spectra train
+	// large n (hundreds of windows), and a brief injected burst would
+	// dilute to invisibility inside such a group. The short test keeps
+	// burst detection responsive; its occasional false rejections are
+	// absorbed by ReportThreshold. Zero means 12; negative disables it.
+	BurstWindows int
+}
+
+// DefaultMonitorConfig mirrors the paper's operating point.
+func DefaultMonitorConfig() MonitorConfig {
+	return MonitorConfig{
+		ReportThreshold: 3,
+		ChangeFraction:  0.5,
+		RejectFraction:  0.5,
+	}
+}
+
+// Report is one anomaly reported to the user.
+type Report struct {
+	// Window is the index of the STS at which the report fired.
+	Window int
+	// TimeSec is that STS's start time within the run.
+	TimeSec float64
+	// Region is the monitor's current region at report time.
+	Region cfg.RegionID
+}
+
+// WindowOutcome records the monitor's view of one observed STS, consumed
+// by the evaluation harness.
+type WindowOutcome struct {
+	// Region is the monitor's region estimate when the window was
+	// processed (used for the coverage metric).
+	Region cfg.RegionID
+	// Rejected reports whether the current region's K-S test rejected.
+	Rejected bool
+	// Flagged reports whether the window fell inside an active alarm
+	// (a rejection streak that crossed ReportThreshold).
+	Flagged bool
+}
+
+// Monitor consumes a stream of STSs and reports anomalies, walking the
+// region-level state machine as execution progresses (Algorithm 1).
+type Monitor struct {
+	model  *Model
+	mcfg   MonitorConfig
+	cAlpha float64
+
+	// ring buffers the last MaxGroupSize peak-frequency vectors.
+	ring    [][]float64
+	ringCap int
+	seen    int
+
+	cur        cfg.RegionID
+	streak     int
+	alarm      bool
+	lastSwitch int // value of seen when the monitor entered cur
+
+	scratchA []float64
+	groups   [][]float64
+	counts   []float64
+	energies []float64
+	// energyRing buffers each window's AC energy alongside ring.
+	energyRing []float64
+	lastMode   map[cfg.RegionID]int
+
+	// Reports collects the anomalies reported so far.
+	Reports []Report
+	// Outcomes collects one record per observed STS.
+	Outcomes []WindowOutcome
+}
+
+// NewMonitor creates a monitor positioned at the program start. The model
+// must contain at least one region.
+func NewMonitor(model *Model, mcfg MonitorConfig) (*Monitor, error) {
+	if model == nil || len(model.Regions) == 0 {
+		return nil, fmt.Errorf("core: monitor needs a trained model with at least one region")
+	}
+	if mcfg.ReportThreshold < 0 {
+		return nil, fmt.Errorf("core: negative report threshold %d", mcfg.ReportThreshold)
+	}
+	if mcfg.GroupSizeScale < 0 {
+		return nil, fmt.Errorf("core: negative group size scale %g", mcfg.GroupSizeScale)
+	}
+	if mcfg.ChangeFraction <= 0 {
+		mcfg.ChangeFraction = 0.5
+	}
+	if mcfg.RejectFraction <= 0 {
+		mcfg.RejectFraction = 0.5
+	}
+	if mcfg.MinTestWindows <= 0 {
+		mcfg.MinTestWindows = 4
+	}
+	if mcfg.ProbeWindows <= 0 {
+		mcfg.ProbeWindows = 8
+	}
+	if mcfg.BurstWindows == 0 {
+		mcfg.BurstWindows = 12
+	}
+	scale := mcfg.GroupSizeScale
+	if scale == 0 {
+		scale = 1
+	}
+	ringCap := int(float64(model.MaxGroupSize)*scale) + 1
+	if ringCap < 2 {
+		ringCap = 2
+	}
+	maxRanks := 0
+	for _, rm := range model.Regions {
+		if rm.NumPeaks > maxRanks {
+			maxRanks = rm.NumPeaks
+		}
+	}
+	groups := make([][]float64, maxRanks)
+	for k := range groups {
+		groups[k] = make([]float64, 0, ringCap)
+	}
+	m := &Monitor{
+		model:      model,
+		mcfg:       mcfg,
+		cAlpha:     stats.KolmogorovInverse(1 - model.Alpha),
+		ringCap:    ringCap,
+		ring:       make([][]float64, 0, ringCap),
+		scratchA:   make([]float64, ringCap),
+		groups:     groups,
+		counts:     make([]float64, 0, ringCap),
+		energies:   make([]float64, 0, ringCap),
+		energyRing: make([]float64, ringCap),
+		lastMode:   map[cfg.RegionID]int{},
+		cur:        startRegion(model),
+	}
+	return m, nil
+}
+
+// startRegion picks the monitor's initial region: the start-boundary
+// transition if modeled, else the lowest-numbered modeled region.
+func startRegion(model *Model) cfg.RegionID {
+	for _, r := range model.Machine.Regions {
+		if r.Kind == cfg.TransRegion && r.From == cfg.Boundary {
+			if _, ok := model.Regions[r.ID]; ok {
+				return r.ID
+			}
+		}
+	}
+	return model.RegionIDs()[0]
+}
+
+// CurrentRegion returns the monitor's current region estimate.
+func (m *Monitor) CurrentRegion() cfg.RegionID { return m.cur }
+
+// groupSize returns the effective K-S group size for a region.
+func (m *Monitor) groupSize(rm *RegionModel) int {
+	n := rm.GroupSize
+	if m.mcfg.GroupSizeScale != 0 {
+		n = int(float64(n) * m.mcfg.GroupSizeScale)
+	}
+	if n < 2 {
+		n = 2
+	}
+	if n > m.ringCap {
+		n = m.ringCap
+	}
+	return n
+}
+
+// Observe processes one STS and returns true if an anomaly report fired on
+// this window.
+func (m *Monitor) Observe(sts *STS) bool {
+	m.push(sts)
+	out := WindowOutcome{Region: m.cur}
+	reported := false
+
+	curModel := m.model.Regions[m.cur]
+	switch {
+	case curModel == nil:
+		// The monitor believes it is in a region training never modeled;
+		// treat as rejected and try to move on.
+		out.Rejected = true
+		reported = m.handleRejection(sts, &out)
+	case !curModel.Testable():
+		// Blind region: no peaks to test. Try to leave as soon as a
+		// successor matches; never raise anomalies from here (this is
+		// the coverage cost the paper attributes to peakless loops).
+		if id, ok := m.bestSuccessor(); ok {
+			m.switchTo(id)
+		}
+		m.streak = 0
+		m.alarm = false
+	default:
+		// Test only windows observed since entering the current region:
+		// mixing the previous region's windows into the group would make
+		// every region border look anomalous.
+		n := m.groupSize(curModel)
+		avail := m.seen - m.lastSwitch
+		if avail < n {
+			n = avail
+		}
+		if n < m.mcfg.MinTestWindows {
+			break // too few windows of this region yet
+		}
+		rejected := m.regionRejects(curModel, n)
+		if !rejected && m.mcfg.BurstWindows > 0 && n > m.mcfg.BurstWindows {
+			// Multi-scale: also test a short recent horizon so a brief
+			// burst cannot hide inside a large trained group size.
+			rejected = m.regionRejects(curModel, m.mcfg.BurstWindows)
+		}
+		if rejected {
+			out.Rejected = true
+			reported = m.handleRejection(sts, &out)
+		} else {
+			m.streak = 0
+			m.alarm = false
+		}
+	}
+
+	out.Flagged = m.alarm
+	out.Region = m.cur
+	m.Outcomes = append(m.Outcomes, out)
+	return reported
+}
+
+// handleRejection implements the rejected branch of Algorithm 1: consider
+// successor regions; failing that, count toward an anomaly report.
+func (m *Monitor) handleRejection(sts *STS, out *WindowOutcome) bool {
+	if id, ok := m.bestSuccessor(); ok {
+		m.switchTo(id)
+		return false
+	}
+	m.streak++
+	if m.streak > m.mcfg.ReportThreshold {
+		if !m.alarm {
+			m.alarm = true
+			m.Reports = append(m.Reports, Report{
+				Window:  m.seen - 1,
+				TimeSec: sts.TimeSec,
+				Region:  m.cur,
+			})
+			return true
+		}
+		// Alarm already raised and the stream still doesn't match: try a
+		// global re-lock so the monitor recovers tracking after the
+		// anomalous episode ends (e.g. once a burst finishes, execution
+		// continues somewhere the successor relation can't reach). A
+		// successful re-lock clears the alarm: the report already fired,
+		// and flagging the recovered-clean stream would only inflate
+		// false positives — if the attack is still ongoing, the re-locked
+		// region rejects again within a few windows and re-alarms.
+		if m.streak > 2*m.mcfg.ReportThreshold {
+			if id, ok := m.bestRegionGlobal(); ok {
+				m.switchTo(id)
+			}
+		}
+	}
+	return false
+}
+
+// bestRegionGlobal probes every modeled region (ignoring the successor
+// relation) and returns the best match, if any clears ChangeFraction.
+func (m *Monitor) bestRegionGlobal() (cfg.RegionID, bool) {
+	var bestID cfg.RegionID = cfg.NoRegion
+	bestScore := -1.0
+	for _, id := range m.model.RegionIDs() {
+		if id == m.cur {
+			continue
+		}
+		rm := m.model.Regions[id]
+		if !rm.Testable() {
+			continue
+		}
+		n := m.groupSize(rm)
+		if n > m.mcfg.ProbeWindows {
+			n = m.mcfg.ProbeWindows
+		}
+		if m.seen < n {
+			continue
+		}
+		res := m.evalRegion(rm, n)
+		if res.rejected {
+			continue
+		}
+		score := 1 - res.bestRejFrac
+		if score >= m.mcfg.ChangeFraction && score > bestScore {
+			bestScore = score
+			bestID = id
+		}
+	}
+	return bestID, bestID != cfg.NoRegion
+}
+
+// bestSuccessor evaluates the successors of the current region and
+// returns the best-matching one, if any clears ChangeFraction.
+func (m *Monitor) bestSuccessor() (cfg.RegionID, bool) {
+	var bestID cfg.RegionID = cfg.NoRegion
+	bestScore := -1.0
+	var blindID cfg.RegionID = cfg.NoRegion
+	for _, succ := range m.model.Machine.Successors(m.cur) {
+		rm := m.model.Regions[succ]
+		if rm == nil {
+			continue
+		}
+		if !rm.Testable() {
+			if blindID == cfg.NoRegion {
+				blindID = succ
+			}
+			continue
+		}
+		n := m.groupSize(rm)
+		if n > m.mcfg.ProbeWindows {
+			n = m.mcfg.ProbeWindows
+		}
+		if m.seen < n {
+			continue
+		}
+		res := m.evalRegion(rm, n)
+		if res.rejected {
+			continue
+		}
+		score := 1 - res.bestRejFrac
+		if score >= m.mcfg.ChangeFraction && score > bestScore {
+			bestScore = score
+			bestID = succ
+		}
+	}
+	if bestID != cfg.NoRegion {
+		return bestID, true
+	}
+	// Fall back to a blind successor only when nothing else matches AND
+	// the alarm has already fired: the program may well be inside a
+	// peakless loop (which produces no evidence either way), but moving
+	// there must never preempt the anomaly report itself.
+	if blindID != cfg.NoRegion && m.alarm {
+		return blindID, true
+	}
+	return cfg.NoRegion, false
+}
+
+// switchTo moves the monitor to a new region.
+func (m *Monitor) switchTo(id cfg.RegionID) {
+	if id == m.cur {
+		m.streak = 0
+		m.alarm = false
+		return
+	}
+	m.cur = id
+	m.streak = 0
+	m.alarm = false
+	m.lastSwitch = m.seen
+}
+
+// fillGroups loads the last n windows' rank values and peak counts into
+// the monitor's scratch group buffers.
+func (m *Monitor) fillGroups(n int) {
+	m.counts = m.counts[:0]
+	m.energies = m.energies[:0]
+	for k := range m.groups {
+		m.groups[k] = m.groups[k][:0]
+	}
+	for i := m.seen - n; i < m.seen; i++ {
+		v := m.ring[i%m.ringCap]
+		m.counts = append(m.counts, float64(len(v)))
+		m.energies = append(m.energies, m.energyRing[i%m.ringCap])
+		for k := range m.groups {
+			if k < len(v) {
+				m.groups[k] = append(m.groups[k], v[k])
+			} else {
+				m.groups[k] = append(m.groups[k], 0)
+			}
+		}
+	}
+}
+
+// evalRegion tests the last n windows against a region model, starting the
+// mode scan at the region's last good mode.
+func (m *Monitor) evalRegion(rm *RegionModel, n int) evalResult {
+	m.fillGroups(n)
+	start := 0
+	if len(rm.Modes) > 0 {
+		start = m.lastMode[rm.Region] % len(rm.Modes)
+	}
+	res := evalGroups(rm, rm.Modes, m.groups, m.counts, m.energies, m.mcfg.RejectFraction, m.cAlpha, m.scratchA, start)
+	if !res.rejected && res.bestMode >= 0 {
+		m.lastMode[rm.Region] = res.bestMode
+	}
+	return res
+}
+
+// regionRejects runs the region decision over the last n observed windows.
+func (m *Monitor) regionRejects(rm *RegionModel, n int) bool {
+	return m.evalRegion(rm, n).rejected
+}
+
+// push appends an STS's peak-frequency vector and energy to the history
+// ring.
+func (m *Monitor) push(sts *STS) {
+	var v []float64
+	if len(m.ring) < m.ringCap {
+		v = make([]float64, len(sts.PeakFreqs))
+		copy(v, sts.PeakFreqs)
+		m.ring = append(m.ring, v)
+	} else {
+		v = append(m.ring[m.seen%m.ringCap][:0], sts.PeakFreqs...)
+		m.ring[m.seen%m.ringCap] = v
+	}
+	m.energyRing[m.seen%m.ringCap] = sts.Energy
+	m.seen++
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"eddie/internal/cfg"
+)
+
+// modelFile is the on-disk representation of a trained model. The region
+// machine itself is not serialized — it is deterministic compile-time
+// analysis, so the loader rebuilds it from the program and verifies the
+// fingerprint matches.
+type modelFile struct {
+	Format       int               `json:"format"`
+	ProgramName  string            `json:"program"`
+	Alpha        float64           `json:"alpha"`
+	MaxGroupSize int               `json:"maxGroupSize"`
+	Machine      machineSummary    `json:"machine"`
+	Regions      []regionModelFile `json:"regions"`
+}
+
+// machineSummary fingerprints the region machine the model was built for.
+type machineSummary struct {
+	Nests   int `json:"nests"`
+	Regions int `json:"regions"`
+	Blocks  int `json:"blocks"`
+}
+
+type regionModelFile struct {
+	Region       cfg.RegionID     `json:"region"`
+	Label        string           `json:"label"`
+	NumPeaks     int              `json:"numPeaks"`
+	GroupSize    int              `json:"groupSize"`
+	TrainWindows int              `json:"trainWindows"`
+	Ref          [][]float64      `json:"ref"`
+	CountRef     []float64        `json:"countRef"`
+	EnergyRef    []float64        `json:"energyRef"`
+	Modes        []regionModeFile `json:"modes"`
+}
+
+type regionModeFile struct {
+	Run int         `json:"run"`
+	Ref [][]float64 `json:"ref"`
+}
+
+const modelFormatVersion = 1
+
+// Save writes the model to w as JSON.
+func (m *Model) Save(w io.Writer) error {
+	mf := modelFile{
+		Format:       modelFormatVersion,
+		ProgramName:  m.ProgramName,
+		Alpha:        m.Alpha,
+		MaxGroupSize: m.MaxGroupSize,
+		Machine: machineSummary{
+			Nests:   len(m.Machine.Nests),
+			Regions: m.Machine.NumRegions(),
+			Blocks:  len(m.Machine.BlockNest),
+		},
+	}
+	for _, id := range m.RegionIDs() {
+		rm := m.Regions[id]
+		rf := regionModelFile{
+			Region:       rm.Region,
+			Label:        rm.Label,
+			NumPeaks:     rm.NumPeaks,
+			GroupSize:    rm.GroupSize,
+			TrainWindows: rm.TrainWindows,
+			Ref:          rm.Ref,
+			CountRef:     rm.CountRef,
+			EnergyRef:    rm.EnergyRef,
+		}
+		for _, mode := range rm.Modes {
+			rf.Modes = append(rf.Modes, regionModeFile{Run: mode.Run, Ref: mode.Ref})
+		}
+		mf.Regions = append(mf.Regions, rf)
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(&mf); err != nil {
+		return fmt.Errorf("core: encoding model: %w", err)
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the model to a file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel reads a model saved by Save and attaches it to the given
+// region machine, which must have been rebuilt from the same program.
+func LoadModel(r io.Reader, machine *cfg.Machine) (*Model, error) {
+	var mf modelFile
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&mf); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if mf.Format != modelFormatVersion {
+		return nil, fmt.Errorf("core: model format %d not supported (want %d)", mf.Format, modelFormatVersion)
+	}
+	if mf.Alpha <= 0 || mf.Alpha >= 1 {
+		return nil, fmt.Errorf("core: model has invalid alpha %g", mf.Alpha)
+	}
+	got := machineSummary{
+		Nests:   len(machine.Nests),
+		Regions: machine.NumRegions(),
+		Blocks:  len(machine.BlockNest),
+	}
+	if got != mf.Machine {
+		return nil, fmt.Errorf("core: model was trained for a different program: machine %+v, model expects %+v", got, mf.Machine)
+	}
+	m := &Model{
+		ProgramName:  mf.ProgramName,
+		Machine:      machine,
+		Regions:      map[cfg.RegionID]*RegionModel{},
+		Alpha:        mf.Alpha,
+		MaxGroupSize: mf.MaxGroupSize,
+	}
+	for _, rf := range mf.Regions {
+		if machine.Region(rf.Region) == nil {
+			return nil, fmt.Errorf("core: model region %d not present in machine", rf.Region)
+		}
+		if rf.NumPeaks < 0 || rf.GroupSize < 0 {
+			return nil, fmt.Errorf("core: model region %d has negative sizes", rf.Region)
+		}
+		rm := &RegionModel{
+			Region:       rf.Region,
+			Label:        rf.Label,
+			NumPeaks:     rf.NumPeaks,
+			GroupSize:    rf.GroupSize,
+			TrainWindows: rf.TrainWindows,
+			Ref:          rf.Ref,
+			CountRef:     rf.CountRef,
+			EnergyRef:    rf.EnergyRef,
+		}
+		for _, mo := range rf.Modes {
+			rm.Modes = append(rm.Modes, RegionMode{Run: mo.Run, Ref: mo.Ref})
+		}
+		m.Regions[rf.Region] = rm
+	}
+	if len(m.Regions) == 0 {
+		return nil, fmt.Errorf("core: model contains no regions")
+	}
+	return m, nil
+}
+
+// LoadModelFile reads a model from a file.
+func LoadModelFile(path string, machine *cfg.Machine) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading model: %w", err)
+	}
+	defer f.Close()
+	return LoadModel(f, machine)
+}

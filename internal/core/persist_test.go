@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	m := testMachine(t)
+	model, err := Train("synthetic", m, synthTrainingRuns(m, 6, 100e3, 250e3), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ProgramName != model.ProgramName || loaded.Alpha != model.Alpha ||
+		loaded.MaxGroupSize != model.MaxGroupSize {
+		t.Error("header fields not preserved")
+	}
+	if len(loaded.Regions) != len(model.Regions) {
+		t.Fatalf("region count %d != %d", len(loaded.Regions), len(model.Regions))
+	}
+	for id, rm := range model.Regions {
+		lrm := loaded.Regions[id]
+		if lrm == nil {
+			t.Fatalf("region %d missing after load", id)
+		}
+		if lrm.NumPeaks != rm.NumPeaks || lrm.GroupSize != rm.GroupSize ||
+			lrm.TrainWindows != rm.TrainWindows || len(lrm.Modes) != len(rm.Modes) {
+			t.Errorf("region %d scalar fields differ", id)
+		}
+		for k := range rm.Ref {
+			if len(lrm.Ref[k]) != len(rm.Ref[k]) {
+				t.Fatalf("region %d rank %d length differs", id, k)
+			}
+			for i := range rm.Ref[k] {
+				if lrm.Ref[k][i] != rm.Ref[k][i] {
+					t.Fatalf("region %d rank %d value %d differs", id, k, i)
+				}
+			}
+		}
+	}
+
+	// The loaded model must behave identically under monitoring.
+	r := rand.New(rand.NewSource(77))
+	run := synthRun(r, m, 100e3, 250e3*0.85)
+	score := func(model *Model) int {
+		mon, err := NewMonitor(model, DefaultMonitorConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range run {
+			mon.Observe(&run[i])
+		}
+		return len(mon.Reports)
+	}
+	if a, b := score(model), score(loaded); a != b {
+		t.Errorf("original model: %d reports, loaded model: %d", a, b)
+	}
+}
+
+func TestModelSaveLoadFile(t *testing.T) {
+	m := testMachine(t)
+	model, err := Train("synthetic", m, synthTrainingRuns(m, 4, 100e3, 250e3), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModelFile(path, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ProgramName != "synthetic" {
+		t.Errorf("loaded program name %q", loaded.ProgramName)
+	}
+	if _, err := LoadModelFile(filepath.Join(t.TempDir(), "absent.json"), m); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+func TestLoadModelRejectsMismatchedMachine(t *testing.T) {
+	m := testMachine(t)
+	model, err := Train("synthetic", m, synthTrainingRuns(m, 4, 100e3, 250e3), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := otherMachine(t)
+	if _, err := LoadModel(&buf, other); err == nil {
+		t.Error("model attached to a machine of a different program")
+	} else if !strings.Contains(err.Error(), "different program") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// otherMachine builds a machine with a different shape than testMachine.
+func otherMachine(t *testing.T) *cfgMachine {
+	t.Helper()
+	b := builderNew("other", 4)
+	entry := b.NewBlock("entry")
+	h1 := b.NewBlock("h1")
+	b1 := b.NewBlock("b1")
+	exit := b.NewBlock("exit")
+	entry.Li(1, 10).Li(0, 0)
+	entry.Jump(h1)
+	h1.Branch(condGT, 1, 0, b1, exit)
+	b1.SubI(1, 1, 1)
+	b1.Jump(h1)
+	exit.Halt()
+	m, err := machineBuild(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	m := testMachine(t)
+	if _, err := LoadModel(strings.NewReader("not json"), m); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"format":99}`), m); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"format":1,"alpha":0.01,"machine":{"nests":2,"regions":5,"blocks":7},"regions":[]}`), m); err == nil {
+		t.Error("empty region list accepted")
+	}
+}

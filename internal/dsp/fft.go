@@ -1,0 +1,178 @@
+// Package dsp provides the digital signal processing substrate used by
+// EDDIE: fast Fourier transforms, window functions, the short-term Fourier
+// transform (STFT), and spectral peak extraction.
+//
+// All routines are implemented from scratch on top of the standard library
+// so the module has no external dependencies.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the discrete Fourier transform of x.
+//
+// For power-of-two lengths it runs an iterative radix-2 Cooley–Tukey
+// transform in O(n log n). Other lengths are handled by Bluestein's
+// algorithm, which re-expresses the DFT as a convolution of power-of-two
+// size. The input slice is not modified.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) == 0 {
+		out := make([]complex128, n)
+		copy(out, x)
+		fftRadix2(out, false)
+		return out
+	}
+	return bluestein(x, false)
+}
+
+// IFFT computes the inverse discrete Fourier transform of x, normalized by
+// 1/n so that IFFT(FFT(x)) == x up to floating-point error.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	var out []complex128
+	if n&(n-1) == 0 {
+		out = make([]complex128, n)
+		copy(out, x)
+		fftRadix2(out, true)
+	} else {
+		out = bluestein(x, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// FFTReal computes the DFT of a real-valued signal.
+func FFTReal(x []float64) []complex128 {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	return FFT(cx)
+}
+
+// fftRadix2 runs an in-place iterative radix-2 FFT. inverse selects the
+// conjugate transform (without normalization). len(x) must be a power of two.
+func fftRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n < 2 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein computes a DFT of arbitrary length as a circular convolution of
+// power-of-two size (the chirp z-transform trick).
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp factors w[k] = exp(sign*i*pi*k^2/n). k^2 mod 2n avoids overflow
+	// and precision loss for large k.
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := sign * math.Pi * float64(kk) / float64(n)
+		w[k] = cmplx.Exp(complex(0, ang))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * w[k]
+		b[k] = cmplx.Conj(w[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(w[k])
+	}
+	fftRadix2(a, false)
+	fftRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftRadix2(a, true)
+	out := make([]complex128, n)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * scale * w[k]
+	}
+	return out
+}
+
+// DFTNaive computes the DFT by direct summation in O(n^2). It exists as a
+// correctness oracle for FFT in tests and for very small transforms.
+func DFTNaive(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// NextPow2 returns the smallest power of two >= n. It panics if n exceeds
+// the largest power of two representable in an int.
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		if p > math.MaxInt/2 {
+			panic(fmt.Sprintf("dsp: NextPow2 overflow for n=%d", n))
+		}
+		p <<= 1
+	}
+	return p
+}

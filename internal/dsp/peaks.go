@@ -1,0 +1,142 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// Peak is one spectral peak extracted from a Short-Term Spectrum.
+type Peak struct {
+	// Bin is the index of the peak in the one-sided power spectrum.
+	Bin int
+	// Frequency is the peak position in Hz.
+	Frequency float64
+	// Power is the total power attributed to the peak (the local maximum
+	// bin plus its immediate shoulders).
+	Power float64
+	// Fraction is Power divided by the frame's total (non-DC) energy.
+	Fraction float64
+}
+
+// PeakConfig controls spectral peak extraction.
+type PeakConfig struct {
+	// MinEnergyFraction is the minimum fraction of the frame's total
+	// energy a local maximum must carry to count as a peak. The paper
+	// defines a peak as a frequency holding at least 1% of the window's
+	// signal energy.
+	MinEnergyFraction float64
+	// MaxPeaks caps the number of peaks returned (strongest first).
+	// Zero means no cap.
+	MaxPeaks int
+	// MinBin excludes bins below this index (DC and near-DC leakage).
+	// If zero, bin 1 is the first candidate (DC itself is always skipped).
+	MinBin int
+}
+
+// DefaultPeakConfig mirrors the paper: peaks are frequencies holding >=1%
+// of the window's energy, with no cap on the peak count.
+func DefaultPeakConfig() PeakConfig {
+	return PeakConfig{MinEnergyFraction: 0.01}
+}
+
+// FindPeaks extracts the spectral peaks of one STFT frame, strongest first.
+// binHz converts a bin index to a frequency; STFTConfig.BinFrequency is the
+// usual choice.
+func FindPeaks(frame *Frame, cfg PeakConfig, binHz func(int) float64) []Peak {
+	minBin := cfg.MinBin
+	if minBin < 1 {
+		minBin = 1
+	}
+	p := frame.Power
+	// Normalize by the energy of the candidate band only. Bins below
+	// MinBin hold residual DC and drift leakage whose level depends on
+	// unrelated parts of the signal (e.g. a high-power episode elsewhere
+	// in the run shifts the global mean); letting them into the
+	// denominator would suppress legitimate peaks.
+	var total float64
+	for i := minBin; i < len(p); i++ {
+		total += p[i]
+	}
+	if total <= 0 {
+		return nil
+	}
+	var peaks []Peak
+	for i := minBin; i < len(p); i++ {
+		left := math.Inf(-1)
+		if i > 0 {
+			left = p[i-1]
+		}
+		right := math.Inf(-1)
+		if i+1 < len(p) {
+			right = p[i+1]
+		}
+		if p[i] < left || p[i] <= right {
+			continue // not a local maximum
+		}
+		// Attribute the shoulders' power to the peak: a sinusoid windowed
+		// by a Hann taper spreads across ~3 bins.
+		power := p[i]
+		if i > minBin {
+			power += p[i-1]
+		}
+		if i+1 < len(p) {
+			power += p[i+1]
+		}
+		frac := power / total
+		if frac < cfg.MinEnergyFraction {
+			continue
+		}
+		peaks = append(peaks, Peak{
+			Bin:       i,
+			Frequency: binHz(i),
+			Power:     power,
+			Fraction:  frac,
+		})
+	}
+	sort.Slice(peaks, func(a, b int) bool {
+		if peaks[a].Power != peaks[b].Power {
+			return peaks[a].Power > peaks[b].Power
+		}
+		return peaks[a].Bin < peaks[b].Bin
+	})
+	if cfg.MaxPeaks > 0 && len(peaks) > cfg.MaxPeaks {
+		peaks = peaks[:cfg.MaxPeaks]
+	}
+	return peaks
+}
+
+// InterpolatePeakFrequency refines a peak position by parabolic
+// interpolation over the log-power of the peak bin and its neighbours.
+// It returns the refined frequency; if interpolation is impossible (edge
+// bins or non-positive powers) the bin-center frequency is returned.
+func InterpolatePeakFrequency(frame *Frame, bin int, binWidthHz float64) float64 {
+	p := frame.Power
+	center := float64(bin) * binWidthHz
+	if bin <= 0 || bin+1 >= len(p) {
+		return center
+	}
+	a, b, c := p[bin-1], p[bin], p[bin+1]
+	if a <= 0 || b <= 0 || c <= 0 {
+		return center
+	}
+	la, lb, lc := math.Log(a), math.Log(b), math.Log(c)
+	den := la - 2*lb + lc
+	if den == 0 {
+		return center
+	}
+	delta := 0.5 * (la - lc) / den
+	if delta < -0.5 {
+		delta = -0.5
+	} else if delta > 0.5 {
+		delta = 0.5
+	}
+	return (float64(bin) + delta) * binWidthHz
+}
+
+// DB converts a power ratio to decibels. Non-positive inputs map to -inf.
+func DB(power float64) float64 {
+	if power <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(power)
+}

@@ -1,0 +1,119 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Spectrogram is a time-frequency power matrix built from STFT frames.
+type Spectrogram struct {
+	// Frames are the underlying STFT frames.
+	Frames []Frame
+	// Cfg is the STFT configuration the frames were computed with.
+	Cfg STFTConfig
+}
+
+// NewSpectrogram computes the spectrogram of a signal.
+func NewSpectrogram(signal []float64, cfg STFTConfig) (*Spectrogram, error) {
+	frames, err := STFT(signal, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Spectrogram{Frames: frames, Cfg: cfg}, nil
+}
+
+// shades orders the ASCII ramp used by Render, darkest last.
+var shades = []byte(" .:-=+*#%@")
+
+// Render draws the spectrogram as ASCII art: time flows left to right,
+// frequency bottom to top, intensity in dB mapped onto a character ramp.
+// rows and cols bound the output size (the matrix is max-pooled down to
+// fit); minBin skips the DC/drift bins.
+func (s *Spectrogram) Render(rows, cols, minBin int) string {
+	if len(s.Frames) == 0 || rows <= 0 || cols <= 0 {
+		return "(empty spectrogram)\n"
+	}
+	nBins := len(s.Frames[0].Power)
+	if minBin < 0 {
+		minBin = 0
+	}
+	if minBin >= nBins {
+		minBin = nBins - 1
+	}
+	useBins := nBins - minBin
+	if rows > useBins {
+		rows = useBins
+	}
+	if cols > len(s.Frames) {
+		cols = len(s.Frames)
+	}
+
+	// Max-pool into the output grid, in dB.
+	grid := make([][]float64, rows)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for r := 0; r < rows; r++ {
+		grid[r] = make([]float64, cols)
+		for c := 0; c < cols; c++ {
+			f0 := c * len(s.Frames) / cols
+			f1 := (c + 1) * len(s.Frames) / cols
+			b0 := minBin + r*useBins/rows
+			b1 := minBin + (r+1)*useBins/rows
+			peak := 0.0
+			for f := f0; f < f1; f++ {
+				p := s.Frames[f].Power
+				for b := b0; b < b1 && b < len(p); b++ {
+					if p[b] > peak {
+						peak = p[b]
+					}
+				}
+			}
+			db := DB(peak)
+			grid[r][c] = db
+			if !math.IsInf(db, -1) {
+				if db < lo {
+					lo = db
+				}
+				if db > hi {
+					hi = db
+				}
+			}
+		}
+	}
+	if math.IsInf(lo, 1) || hi <= lo {
+		lo, hi = 0, 1
+	}
+	// Compress the dynamic range: show the top 50 dB.
+	if hi-lo > 50 {
+		lo = hi - 50
+	}
+
+	var sb strings.Builder
+	for r := rows - 1; r >= 0; r-- {
+		freq := s.Cfg.BinFrequency(minBin + r*useBins/rows)
+		fmt.Fprintf(&sb, "%8.0fkHz |", freq/1e3)
+		for c := 0; c < cols; c++ {
+			v := (grid[r][c] - lo) / (hi - lo)
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			idx := int(v * float64(len(shades)-1))
+			sb.WriteByte(shades[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	dur := float64(len(s.Frames)) * s.Cfg.HopDuration() * 1e3
+	fmt.Fprintf(&sb, "%8s     +%s\n", "", strings.Repeat("-", cols))
+	fmt.Fprintf(&sb, "%8s      0 ms %s %.1f ms\n", "", strings.Repeat(" ", max(0, cols-14)), dur)
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// WindowKind identifies a taper applied to each STFT frame before the FFT.
+type WindowKind int
+
+const (
+	// Rectangular applies no taper.
+	Rectangular WindowKind = iota
+	// Hann is the raised-cosine window used by default in EDDIE's STFT.
+	Hann
+	// Hamming is the optimized raised-cosine window.
+	Hamming
+	// Blackman is a three-term cosine window with very low sidelobes.
+	Blackman
+)
+
+// String returns the conventional name of the window.
+func (k WindowKind) String() string {
+	switch k {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	default:
+		return fmt.Sprintf("WindowKind(%d)", int(k))
+	}
+}
+
+// Window returns the n coefficients of the window. It panics on negative n.
+func Window(k WindowKind, n int) []float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("dsp: negative window length %d", n))
+	}
+	w := make([]float64, n)
+	if n == 0 {
+		return w
+	}
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	den := float64(n - 1)
+	for i := 0; i < n; i++ {
+		t := float64(i) / den
+		switch k {
+		case Rectangular:
+			w[i] = 1
+		case Hann:
+			w[i] = 0.5 - 0.5*math.Cos(2*math.Pi*t)
+		case Hamming:
+			w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*t)
+		case Blackman:
+			w[i] = 0.42 - 0.5*math.Cos(2*math.Pi*t) + 0.08*math.Cos(4*math.Pi*t)
+		default:
+			panic(fmt.Sprintf("dsp: unknown window kind %d", int(k)))
+		}
+	}
+	return w
+}
+
+// CoherentGain returns the mean of the window coefficients: the factor by
+// which a windowed sinusoid's spectral line is attenuated.
+func CoherentGain(w []float64) float64 {
+	if len(w) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	return sum / float64(len(w))
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"eddie/internal/mibench"
+	"eddie/internal/pipeline"
+	"eddie/internal/sim"
+	"eddie/internal/stats"
+)
+
+// Fig4Row is one region's detection latency under both core types.
+type Fig4Row struct {
+	Region    string
+	InOrderMs float64
+	OOOMs     float64
+}
+
+// fig4Benchmarks supply the regions of Fig 4 (the paper uses 15 regions
+// from three benchmarks; our workload versions expose 12 loop regions
+// across the same three, plus sha to reach 15).
+var fig4Benchmarks = []string{"basicmath", "bitcount", "susan", "sha"}
+
+// Fig4 reproduces "Figure 4: Detection latency of 15 different regions in
+// in-order and out-of-order architecture". Latency is the trained K-S
+// group size n times the window hop — exactly the paper's definition
+// ("this latency mainly reflects the number of STSs that are used in the
+// K-S test"). OOO cores produce more schedule variation, so their
+// references are broader and need larger n.
+func Fig4(e *Env, w io.Writer) ([]Fig4Row, error) {
+	inorder := e.Sim
+	inorder.Sim = sim.DefaultIoT() // in-order core, raw power signal
+	inorder.STFT = pipeline.DefaultSTFT(inorder.Sim)
+	inorder.Channel = nil
+	ooo := e.Sim
+
+	var rows []Fig4Row
+	for _, name := range fig4Benchmarks {
+		if len(rows) >= 15 {
+			break
+		}
+		wl, err := mibench.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		mIn, machine, err := pipeline.Train(wl, inorder, e.TrainRunsSim, e.Train)
+		if err != nil {
+			return nil, err
+		}
+		mOoo, _, err := pipeline.Train(wl, ooo, e.TrainRunsSim, e.Train)
+		if err != nil {
+			return nil, err
+		}
+		for nest := range machine.Nests {
+			if len(rows) >= 15 {
+				break
+			}
+			id := machine.LoopRegionOf(nest)
+			ri := mIn.Regions[id]
+			ro := mOoo.Regions[id]
+			if ri == nil || ro == nil {
+				continue
+			}
+			rows = append(rows, Fig4Row{
+				Region:    fmt.Sprintf("%s/%s", name, ri.Label),
+				InOrderMs: float64(ri.GroupSize) * inorder.HopSeconds() * 1e3,
+				OOOMs:     float64(ro.GroupSize) * ooo.HopSeconds() * 1e3,
+			})
+		}
+	}
+	fprintf(w, "Fig 4: per-region detection latency, in-order vs out-of-order\n")
+	fprintf(w, "%-4s %-34s %12s %12s\n", "#", "Region", "InOrder(ms)", "OOO(ms)")
+	var sumIn, sumOoo float64
+	for i, r := range rows {
+		fprintf(w, "%-4d %-34s %12.2f %12.2f\n", i+1, r.Region, r.InOrderMs, r.OOOMs)
+		sumIn += r.InOrderMs
+		sumOoo += r.OOOMs
+	}
+	if len(rows) > 0 {
+		fprintf(w, "%-4s %-34s %12.2f %12.2f\n", "", "Avg",
+			sumIn/float64(len(rows)), sumOoo/float64(len(rows)))
+	}
+	return rows, nil
+}
+
+// ANOVAResult is the §5.3 sensitivity study output.
+type ANOVAResult struct {
+	InOrder stats.ANOVAResult
+	OOO     stats.ANOVAResult
+	Configs int
+}
+
+// anovaBenchmarks are the three benchmarks of the paper's §5.3 study.
+var anovaBenchmarks = []string{"basicmath", "bitcount", "susan"}
+
+// ANOVA reproduces the §5.3 study: 51 simulator configurations (in-order:
+// 3 issue widths x 2 pipeline depths; out-of-order: 3 widths x 3 depths x
+// 5 ROB sizes), N-way analysis of variance of EDDIE's per-region detection
+// latency against the architectural factors.
+func ANOVA(e *Env, w io.Writer) (*ANOVAResult, error) {
+	trainRuns := e.TrainRunsSim
+	if trainRuns > 6 {
+		trainRuns = 6 // 51 configs x 3 benchmarks: keep each cell modest
+	}
+	type obs struct {
+		latency float64
+		width   int
+		depth   int
+		rob     int
+		bench   int
+	}
+	var inOrderObs, oooObs []obs
+
+	collect := func(c pipeline.Config, width, depth, rob, bench int, name string) error {
+		wl, err := mibench.ByName(name)
+		if err != nil {
+			return err
+		}
+		model, machine, err := pipeline.Train(wl, c, trainRuns, e.Train)
+		if err != nil {
+			return err
+		}
+		// Response: mean loop-region latency (n x hop) of the benchmark.
+		var sum float64
+		var count int
+		for nest := range machine.Nests {
+			if rm := model.Regions[machine.LoopRegionOf(nest)]; rm != nil {
+				sum += float64(rm.GroupSize) * c.HopSeconds() * 1e3
+				count++
+			}
+		}
+		if count == 0 {
+			return nil
+		}
+		o := obs{latency: sum / float64(count), width: width, depth: depth, rob: rob, bench: bench}
+		if rob == 0 {
+			inOrderObs = append(inOrderObs, o)
+		} else {
+			oooObs = append(oooObs, o)
+		}
+		return nil
+	}
+
+	configs := 0
+	for bi, name := range anovaBenchmarks {
+		// In-order: 3 widths x 2 depths.
+		for _, width := range []int{1, 2, 4} {
+			for _, depth := range []int{8, 13} {
+				c := e.Sim
+				sc := sim.DefaultIoT()
+				sc.IssueWidth = width
+				sc.PipelineDepth = depth
+				c.Sim = sc
+				c.STFT = pipeline.DefaultSTFT(sc)
+				c.Channel = nil
+				if err := collect(c, width, depth, 0, bi, name); err != nil {
+					return nil, err
+				}
+				if bi == 0 {
+					configs++
+				}
+			}
+		}
+		// Out-of-order: 3 widths x 3 depths x 5 ROB sizes.
+		for _, width := range []int{1, 2, 4} {
+			for _, depth := range []int{8, 13, 18} {
+				for _, rob := range []int{32, 64, 128, 192, 256} {
+					c := e.Sim
+					sc := sim.DefaultOOO()
+					sc.IssueWidth = width
+					sc.PipelineDepth = depth
+					sc.ROBSize = rob
+					c.Sim = sc
+					c.STFT = pipeline.DefaultSTFT(sc)
+					if err := collect(c, width, depth, rob, bi, name); err != nil {
+						return nil, err
+					}
+					if bi == 0 {
+						configs++
+					}
+				}
+			}
+		}
+	}
+
+	build := func(obsList []obs, withROB bool) (stats.ANOVAResult, error) {
+		resp := make([]float64, len(obsList))
+		factors := [][]int{{}, {}, {}}
+		names := []string{"issue-width", "pipeline-depth", "benchmark"}
+		if withROB {
+			factors = append(factors, []int{})
+			names = append(names, "rob-size")
+		}
+		for i, o := range obsList {
+			resp[i] = o.latency
+			factors[0] = append(factors[0], o.width)
+			factors[1] = append(factors[1], o.depth)
+			factors[2] = append(factors[2], o.bench)
+			if withROB {
+				factors[3] = append(factors[3], o.rob)
+			}
+		}
+		return stats.ANOVA(resp, factors, names, 0.05)
+	}
+	inRes, err := build(inOrderObs, false)
+	if err != nil {
+		return nil, err
+	}
+	oooRes, err := build(oooObs, true)
+	if err != nil {
+		return nil, err
+	}
+
+	fprintf(w, "ANOVA (§5.3): which architectural parameters affect EDDIE's latency (%d configs x %d benchmarks)\n",
+		configs, len(anovaBenchmarks))
+	printANOVA(w, "in-order", inRes)
+	printANOVA(w, "out-of-order", oooRes)
+	return &ANOVAResult{InOrder: inRes, OOO: oooRes, Configs: configs}, nil
+}
+
+func printANOVA(w io.Writer, title string, r stats.ANOVAResult) {
+	fprintf(w, "  %s cores:\n", title)
+	for _, ef := range r.Effects {
+		sig := "not significant"
+		if ef.Significant {
+			sig = "SIGNIFICANT"
+		}
+		fprintf(w, "    %-16s F=%8.2f p=%8.4f  %s\n", ef.Name, ef.F, ef.PValue, sig)
+	}
+}

@@ -1,0 +1,119 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Tables 1–2, Figures 1–10, and the §5.3 ANOVA study), plus
+// ablations of EDDIE's design choices. Each experiment prints the same
+// rows/series the paper reports; absolute numbers differ (the substrate is
+// a simulator, not the authors' testbed) but the shapes are comparable.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"eddie/internal/cfg"
+	"eddie/internal/core"
+	"eddie/internal/inject"
+	"eddie/internal/isa"
+	"eddie/internal/mibench"
+	"eddie/internal/pipeline"
+)
+
+// Env bundles the shared experiment configuration.
+type Env struct {
+	// IoT is the Table 1 pipeline: in-order core + EM channel.
+	IoT pipeline.Config
+	// Sim is the Table 2 pipeline: OOO core, raw power signal.
+	Sim pipeline.Config
+	// TrainRunsIoT/MonRunsIoT are the run counts for the real-IoT-style
+	// experiments (paper: 25/25).
+	TrainRunsIoT, MonRunsIoT int
+	// TrainRunsSim/MonRunsSim are the run counts for simulator-style
+	// experiments (paper: 10/10).
+	TrainRunsSim, MonRunsSim int
+	// Train is the training configuration.
+	Train core.TrainConfig
+	// MonitorCfg is the monitoring configuration (reportThreshold=3).
+	MonitorCfg core.MonitorConfig
+}
+
+// NewEnv returns the full-scale environment; short scales run counts down
+// for quick iterations (go test -short).
+func NewEnv(short bool) *Env {
+	e := &Env{
+		IoT:          pipeline.DefaultConfig(),
+		Sim:          pipeline.SimulatorConfig(),
+		TrainRunsIoT: 25,
+		MonRunsIoT:   25,
+		TrainRunsSim: 10,
+		MonRunsSim:   10,
+		Train:        core.DefaultTrainConfig(),
+		MonitorCfg:   core.DefaultMonitorConfig(),
+	}
+	if short {
+		e.TrainRunsIoT = 8
+		e.MonRunsIoT = 6
+		e.TrainRunsSim = 6
+		e.MonRunsSim = 4
+	}
+	return e
+}
+
+// trained couples a model with its machine and workload.
+type trained struct {
+	w       *mibench.Workload
+	machine *cfg.Machine
+	model   *core.Model
+	// hotHeaders[nest] is the most frequently entered loop header inside
+	// each nest — the attacker's natural in-loop injection site (the paper
+	// injects per iteration of an existing hot loop body).
+	hotHeaders []isa.BlockID
+}
+
+// train builds a model for a workload under a pipeline config.
+func (e *Env) train(name string, c pipeline.Config, runs int) (*trained, error) {
+	w, err := mibench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	model, machine, err := pipeline.Train(w, c, runs, e.Train)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training %s: %w", name, err)
+	}
+	t := &trained{w: w, machine: machine, model: model}
+	t.hotHeaders, err = pipeline.HotLoopHeaders(w, machine)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: profiling %s: %w", name, err)
+	}
+	return t, nil
+}
+
+// score monitors one run (collected with the given injector and run index)
+// and returns its metrics.
+func (e *Env) score(t *trained, c pipeline.Config, runIdx int, inj inject.Injector, mc core.MonitorConfig) (*core.Metrics, error) {
+	run, err := pipeline.CollectRun(t.w, t.machine, c, runIdx, inj)
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.MonitorAndScore(t.model, c, run.STS, mc)
+}
+
+// loopNests returns the workload's loop-nest count.
+func (t *trained) loopNests() int { return len(t.machine.Nests) }
+
+// nestHeader returns the hot inner-loop header block of nest i.
+func (t *trained) nestHeader(i int) isa.BlockID { return t.hotHeaders[i] }
+
+// monitorRunIndex offsets monitoring inputs away from training inputs.
+const monitorRunBase = 1000
+
+// injectionRunBase offsets injected runs from clean monitoring runs.
+const injectionRunBase = 2000
+
+// fprintf writes formatted output, ignoring errors (experiment output is
+// best-effort console text).
+func fprintf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+// cfgRegionID aliases cfg.RegionID for files that do not otherwise import
+// the cfg package.
+type cfgRegionID = cfg.RegionID

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"io"
+
+	"eddie/internal/core"
+	"eddie/internal/inject"
+	"eddie/internal/pipeline"
+)
+
+// ContaminationPoint is one (rate, FN, latency) measurement.
+type ContaminationPoint struct {
+	RatePct       float64
+	FNPct         float64
+	FirstDetectMs float64 // time from first injected window to first report; -1 if undetected
+	Detected      bool
+}
+
+// ContaminationSeries is one benchmark's sweep.
+type ContaminationSeries struct {
+	Benchmark string
+	Points    []ContaminationPoint
+}
+
+// fig5Benchmarks are the five benchmarks of Figs 5 and 7.
+var fig5Benchmarks = []string{"basicmath", "bitcount", "gsm", "patricia", "susan"}
+
+// Fig5And7 reproduces "Figure 5: False negative rate of variable injection
+// rates" and "Figure 7: Detection latency of variable injection rates":
+// 8 memory + 8 integer instructions injected into a randomly chosen
+// subset of the target loop's iterations, contamination 10%..100%.
+func Fig5And7(e *Env, w io.Writer) ([]ContaminationSeries, error) {
+	rates := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	var series []ContaminationSeries
+	for _, name := range fig5Benchmarks {
+		t, err := e.train(name, e.Sim, e.TrainRunsSim)
+		if err != nil {
+			return nil, err
+		}
+		s := ContaminationSeries{Benchmark: name}
+		for _, rate := range rates {
+			inj := &inject.InLoop{
+				Header:        t.nestHeader(0),
+				Instrs:        16,
+				MemOps:        8,
+				Contamination: rate,
+				Seed:          int64(rate * 1000),
+			}
+			run, err := pipeline.CollectRun(t.w, t.machine, e.Sim, injectionRunBase+int(rate*100), inj)
+			if err != nil {
+				return nil, err
+			}
+			mon, err := pipeline.Monitor(t.model, run.STS, e.MonitorCfg)
+			if err != nil {
+				return nil, err
+			}
+			m, err := core.Evaluate(t.model, run.STS, mon.Outcomes, mon.Reports, e.Sim.HopSeconds())
+			if err != nil {
+				return nil, err
+			}
+			firstInj := -1
+			for i := range run.STS {
+				if run.STS[i].Injected {
+					firstInj = i
+					break
+				}
+			}
+			det := -1.0
+			if firstInj >= 0 {
+				for _, r := range mon.Reports {
+					if r.Window >= firstInj {
+						det = float64(r.Window-firstInj) * e.Sim.HopSeconds() * 1e3
+						break
+					}
+				}
+			}
+			s.Points = append(s.Points, ContaminationPoint{
+				RatePct:       rate * 100,
+				FNPct:         m.FalseNegativePct(),
+				FirstDetectMs: det,
+				Detected:      det >= 0,
+			})
+		}
+		series = append(series, s)
+	}
+	fprintf(w, "Fig 5: false-negative rate vs contamination rate (16 instrs: 8 mem + 8 int)\n")
+	for _, s := range series {
+		fprintf(w, "  %-12s:", s.Benchmark)
+		for _, p := range s.Points {
+			fprintf(w, " [%3.0f%%: FN %5.1f%%]", p.RatePct, p.FNPct)
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "Fig 7: detection latency vs contamination rate\n")
+	for _, s := range series {
+		fprintf(w, "  %-12s:", s.Benchmark)
+		for _, p := range s.Points {
+			if p.Detected {
+				fprintf(w, " [%3.0f%%: %6.2fms]", p.RatePct, p.FirstDetectMs)
+			} else {
+				fprintf(w, " [%3.0f%%:  missed]", p.RatePct)
+			}
+		}
+		fprintf(w, "\n")
+	}
+	return series, nil
+}

@@ -1,0 +1,381 @@
+package experiments
+
+import (
+	"io"
+
+	"eddie/internal/cfg"
+	"eddie/internal/core"
+	"eddie/internal/inject"
+	"eddie/internal/mibench"
+	"eddie/internal/pipeline"
+)
+
+// latencyScales is the GroupSizeScale grid used by the latency sweeps; the
+// effective K-S group size is scale * trained n, and detection latency is
+// proportional to it.
+var latencyScales = []float64{0.25, 0.5, 1, 2, 4}
+
+// Fig3Point is one (latency, false-rejection-rate) point of Fig 3.
+type Fig3Point struct {
+	Scale     float64
+	LatencyMs float64
+	FRRPct    float64
+}
+
+// Fig3Series is the curve of one loop archetype.
+type Fig3Series struct {
+	Loop   string
+	Region cfg.RegionID
+	Points []Fig3Point
+}
+
+// bitcountArchetypes maps the paper's three Fig 3 loop shapes onto
+// bitcount's nests: the 32-step shift loop has one sharp peak and
+// harmonics, the nibble-table loop has several peaks, and the Kernighan
+// loop (iteration count = popcount of the data) has poorly defined peaks.
+var bitcountArchetypes = []struct {
+	name string
+	nest int
+}{
+	{"sharp peak + harmonics (shift loop)", 0},
+	{"several peaks (table loop)", 2},
+	{"poorly defined peaks (kernighan loop)", 1},
+}
+
+// Fig3 reproduces "Figure 3: Buffer size selection for three loops": the
+// false-rejection rate of the K-S test on injection-free runs as a
+// function of the detection latency (the monitored group size n).
+func Fig3(e *Env, w io.Writer) ([]Fig3Series, error) {
+	t, err := e.train("bitcount", e.Sim, e.TrainRunsSim)
+	if err != nil {
+		return nil, err
+	}
+	// Collect clean monitoring runs once; score them per scale.
+	runs := make([][]core.STS, 0, e.MonRunsSim)
+	for i := 0; i < e.MonRunsSim; i++ {
+		run, err := pipeline.CollectRun(t.w, t.machine, e.Sim, monitorRunBase+i*3, nil)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run.STS)
+	}
+	var series []Fig3Series
+	for _, arch := range bitcountArchetypes {
+		region := t.machine.LoopRegionOf(arch.nest)
+		rm := t.model.Regions[region]
+		if rm == nil {
+			continue
+		}
+		s := Fig3Series{Loop: arch.name, Region: region}
+		for _, scale := range latencyScales {
+			mc := e.MonitorCfg
+			mc.GroupSizeScale = scale
+			rejected, total := 0, 0
+			for _, sts := range runs {
+				mon, err := pipeline.Monitor(t.model, sts, mc)
+				if err != nil {
+					return nil, err
+				}
+				for i := range mon.Outcomes {
+					if mon.Outcomes[i].Region == region && sts[i].Region == region {
+						total++
+						if mon.Outcomes[i].Rejected {
+							rejected++
+						}
+					}
+				}
+			}
+			frr := 0.0
+			if total > 0 {
+				frr = 100 * float64(rejected) / float64(total)
+			}
+			s.Points = append(s.Points, Fig3Point{
+				Scale:     scale,
+				LatencyMs: scale * float64(rm.GroupSize) * e.Sim.HopSeconds() * 1e3,
+				FRRPct:    frr,
+			})
+		}
+		series = append(series, s)
+	}
+	fprintf(w, "Fig 3: false-rejection rate vs detection latency (K-S group size), clean runs\n")
+	for _, s := range series {
+		fprintf(w, "  %s (R%d):\n", s.Loop, s.Region)
+		for _, p := range s.Points {
+			fprintf(w, "    latency %7.3f ms (scale %.2f): FRR %.2f%%\n", p.LatencyMs, p.Scale, p.FRRPct)
+		}
+	}
+	return series, nil
+}
+
+// TPRPoint is one (latency, true-positive-rate) sweep point.
+type TPRPoint struct {
+	Scale     float64
+	LatencyMs float64
+	TPRPct    float64
+	// FirstDetectMs is the time from injection start to the first
+	// report, or -1 if never reported.
+	FirstDetectMs float64
+}
+
+// tprSweep runs one injected configuration across the latency scale grid.
+func (e *Env) tprSweep(t *trained, c pipeline.Config, runIdx int, inj inject.Injector, region cfg.RegionID) ([]TPRPoint, error) {
+	run, err := pipeline.CollectRun(t.w, t.machine, c, runIdx, inj)
+	if err != nil {
+		return nil, err
+	}
+	rm := t.model.Regions[region]
+	baseN := t.model.MaxGroupSize
+	if rm != nil {
+		baseN = rm.GroupSize
+	}
+	var out []TPRPoint
+	for _, scale := range latencyScales {
+		mc := e.MonitorCfg
+		mc.GroupSizeScale = scale
+		mon, err := pipeline.Monitor(t.model, run.STS, mc)
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.Evaluate(t.model, run.STS, mon.Outcomes, mon.Reports, c.HopSeconds())
+		if err != nil {
+			return nil, err
+		}
+		firstInj := -1
+		for i := range run.STS {
+			if run.STS[i].Injected {
+				firstInj = i
+				break
+			}
+		}
+		firstDet := -1.0
+		if firstInj >= 0 {
+			for _, r := range mon.Reports {
+				if r.Window >= firstInj {
+					firstDet = float64(r.Window-firstInj) * c.HopSeconds() * 1e3
+					break
+				}
+			}
+		}
+		out = append(out, TPRPoint{
+			Scale:         scale,
+			LatencyMs:     scale * float64(baseN) * c.HopSeconds() * 1e3,
+			TPRPct:        m.TruePositivePct(),
+			FirstDetectMs: firstDet,
+		})
+	}
+	return out, nil
+}
+
+// Fig6Series is one injected-size curve for one loop archetype.
+type Fig6Series struct {
+	Loop   string
+	Instrs int
+	Points []TPRPoint
+}
+
+// Fig6 reproduces "Figure 6: EDDIE's accuracy when changing the number of
+// injected instructions inside loops": 2/4/6/8 instructions (half stores,
+// half adds) injected into the three loop archetypes.
+func Fig6(e *Env, w io.Writer) ([]Fig6Series, error) {
+	t, err := e.train("bitcount", e.Sim, e.TrainRunsSim)
+	if err != nil {
+		return nil, err
+	}
+	var series []Fig6Series
+	for _, arch := range bitcountArchetypes {
+		for _, instrs := range []int{2, 4, 6, 8} {
+			inj := &inject.InLoop{
+				Header:        t.nestHeader(arch.nest),
+				Instrs:        instrs,
+				MemOps:        instrs / 2,
+				Contamination: 1,
+				Seed:          int64(instrs),
+			}
+			pts, err := e.tprSweep(t, e.Sim, injectionRunBase+instrs, inj, t.machine.LoopRegionOf(arch.nest))
+			if err != nil {
+				return nil, err
+			}
+			series = append(series, Fig6Series{Loop: arch.name, Instrs: instrs, Points: pts})
+		}
+	}
+	fprintf(w, "Fig 6: TPR vs detection latency for 2/4/6/8 injected instructions per iteration\n")
+	printTPRSeries(w, series)
+	return series, nil
+}
+
+func printTPRSeries(w io.Writer, series []Fig6Series) {
+	last := ""
+	for _, s := range series {
+		if s.Loop != last {
+			fprintf(w, "  %s:\n", s.Loop)
+			last = s.Loop
+		}
+		fprintf(w, "    %d instr:", s.Instrs)
+		for _, p := range s.Points {
+			fprintf(w, "  [%.2fms %.0f%%]", p.LatencyMs, p.TPRPct)
+		}
+		fprintf(w, "\n")
+	}
+}
+
+// Fig8Series is one burst-size curve of Fig 8.
+type Fig8Series struct {
+	Instrs int
+	Points []TPRPoint
+}
+
+// Fig8 reproduces "Figure 8: EDDIE's accuracy when changing the number of
+// injected instructions outside loops": an empty-loop burst between
+// bitcount's loops 2 and 3, 100k–500k dynamic instructions.
+func Fig8(e *Env, w io.Writer) ([]Fig8Series, error) {
+	t, err := e.train("bitcount", e.Sim, e.TrainRunsSim)
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{100_000, 187_000, 218_000, 315_000, 400_000, 500_000}
+	var series []Fig8Series
+	for _, size := range sizes {
+		inj := &inject.Burst{
+			BlockNest: t.machine.BlockNest,
+			FromNest:  1, // between bitcount's second and third loop
+			Count:     size,
+		}
+		pts, err := e.tprSweep(t, e.Sim, injectionRunBase+size/1000, inj, t.machine.LoopRegionOf(1))
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, Fig8Series{Instrs: size, Points: pts})
+	}
+	fprintf(w, "Fig 8: TPR vs detection latency for bursts outside loops (empty loop between loops 2 and 3)\n")
+	for _, s := range series {
+		fprintf(w, "  %6dk instr:", s.Instrs/1000)
+		for _, p := range s.Points {
+			fprintf(w, "  [%.2fms %.0f%%]", p.LatencyMs, p.TPRPct)
+		}
+		fprintf(w, "\n")
+	}
+	return series, nil
+}
+
+// Fig10Series is one instruction-mix curve of Fig 10.
+type Fig10Series struct {
+	Mix    string
+	Points []TPRPoint
+}
+
+// Fig10 reproduces "Figure 10: Effect of changing the type of injected
+// instructions": 8 on-chip adds vs 4 adds + 4 cache-missing stores.
+func Fig10(e *Env, w io.Writer) ([]Fig10Series, error) {
+	t, err := e.train("bitcount", e.Sim, e.TrainRunsSim)
+	if err != nil {
+		return nil, err
+	}
+	mixes := []struct {
+		name   string
+		memOps int
+	}{
+		{"on-chip (8 add)", 0},
+		{"off-chip and on-chip (4 add + 4 store)", 4},
+	}
+	var series []Fig10Series
+	for _, mix := range mixes {
+		inj := &inject.InLoop{
+			Header:        t.nestHeader(0),
+			Instrs:        8,
+			MemOps:        mix.memOps,
+			Contamination: 1,
+			Seed:          77,
+		}
+		pts, err := e.tprSweep(t, e.Sim, injectionRunBase+900+mix.memOps, inj, t.machine.LoopRegionOf(0))
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, Fig10Series{Mix: mix.name, Points: pts})
+	}
+	fprintf(w, "Fig 10: TPR vs latency by injected-instruction type\n")
+	for _, s := range series {
+		fprintf(w, "  %-40s:", s.Mix)
+		for _, p := range s.Points {
+			fprintf(w, "  [%.2fms %.0f%%]", p.LatencyMs, p.TPRPct)
+		}
+		fprintf(w, "\n")
+	}
+	return series, nil
+}
+
+// Fig9Point is one (latency, FP-rate) point at one confidence level.
+type Fig9Point struct {
+	Scale     float64
+	LatencyMs float64
+	FPPct     float64
+}
+
+// Fig9Series is one confidence level's curve.
+type Fig9Series struct {
+	ConfidencePct float64
+	Points        []Fig9Point
+}
+
+// Fig9 reproduces "Figure 9: False positives in EDDIE for different K-S
+// test confidence levels" — 99% keeps false positives near zero at
+// reasonable latency; lower confidence levels reject too eagerly.
+func Fig9(e *Env, w io.Writer) ([]Fig9Series, error) {
+	var series []Fig9Series
+	for _, conf := range []float64{99, 97, 95} {
+		tc := e.Train
+		tc.Alpha = 1 - conf/100
+		wl, err := mibench.ByName("bitcount")
+		if err != nil {
+			return nil, err
+		}
+		model, machine, err := pipeline.Train(wl, e.Sim, e.TrainRunsSim, tc)
+		if err != nil {
+			return nil, err
+		}
+		t := &trained{w: wl, machine: machine, model: model}
+		s := Fig9Series{ConfidencePct: conf}
+		for _, scale := range latencyScales {
+			mc := e.MonitorCfg
+			mc.GroupSizeScale = scale
+			// Like the paper's Fig 9, plot the raw K-S rejection rate on
+			// clean runs (before the reportThreshold filtering), which is
+			// what the confidence level directly controls.
+			rejected, total := 0, 0
+			for i := 0; i < e.MonRunsSim; i++ {
+				run, err := pipeline.CollectRun(t.w, t.machine, e.Sim, monitorRunBase+i*3, nil)
+				if err != nil {
+					return nil, err
+				}
+				mon, err := pipeline.Monitor(t.model, run.STS, mc)
+				if err != nil {
+					return nil, err
+				}
+				for j := range mon.Outcomes {
+					total++
+					if mon.Outcomes[j].Rejected {
+						rejected++
+					}
+				}
+			}
+			fp := 0.0
+			if total > 0 {
+				fp = 100 * float64(rejected) / float64(total)
+			}
+			s.Points = append(s.Points, Fig9Point{
+				Scale:     scale,
+				LatencyMs: scale * float64(model.MaxGroupSize) * e.Sim.HopSeconds() * 1e3,
+				FPPct:     fp,
+			})
+		}
+		series = append(series, s)
+	}
+	fprintf(w, "Fig 9: false positives vs latency for K-S confidence levels\n")
+	for _, s := range series {
+		fprintf(w, "  %.0f%% confidence:", s.ConfidencePct)
+		for _, p := range s.Points {
+			fprintf(w, "  [%.2fms %.2f%%]", p.LatencyMs, p.FPPct)
+		}
+		fprintf(w, "\n")
+	}
+	return series, nil
+}

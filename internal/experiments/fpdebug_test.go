@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+// TestDebugTable1Breakdown localizes Table 1 FPs per run type.
+func TestDebugTable1Breakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	e := NewEnv(true)
+	for _, name := range []string{"bitcount", "sha"} {
+		tr, err := e.train(name, e.IoT, e.TrainRunsIoT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < e.MonRunsIoT; i++ {
+			inj := tableInjector(tr, i)
+			kind := "clean"
+			desc := ""
+			if inj != nil {
+				desc = inj.Description()
+				if i%3 == 1 {
+					kind = "burst"
+				} else {
+					kind = "inloop"
+				}
+			}
+			m, err := e.score(tr, e.IoT, monitorRunBase+i*7, inj, e.MonitorCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-9s run%02d %-6s %s | %s", name, i, kind, m, desc)
+		}
+	}
+}

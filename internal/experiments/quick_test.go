@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+func TestQuickTable2(t *testing.T) {
+	e := NewEnv(true)
+	if _, err := Table2(e, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFigs(t *testing.T) {
+	e := NewEnv(true)
+	type exp struct {
+		name string
+		fn   func() error
+	}
+	exps := []exp{
+		{"Fig1", func() error { _, err := Fig1(e, os.Stdout); return err }},
+		{"Fig2", func() error { _, err := Fig2(e, os.Stdout); return err }},
+		{"Fig3", func() error { _, err := Fig3(e, os.Stdout); return err }},
+		{"Fig6", func() error { _, err := Fig6(e, os.Stdout); return err }},
+		{"Fig8", func() error { _, err := Fig8(e, os.Stdout); return err }},
+		{"Fig9", func() error { _, err := Fig9(e, os.Stdout); return err }},
+		{"Fig10", func() error { _, err := Fig10(e, os.Stdout); return err }},
+	}
+	for _, x := range exps {
+		t.Run(x.name, func(t *testing.T) {
+			if err := x.fn(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestQuickFig9(t *testing.T) {
+	e := NewEnv(true)
+	if _, err := Fig9(e, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFig4(t *testing.T) {
+	e := NewEnv(true)
+	if _, err := Fig4(e, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFig5(t *testing.T) {
+	e := NewEnv(true)
+	if _, err := Fig5And7(e, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAblations(t *testing.T) {
+	e := NewEnv(true)
+	if _, err := AblationUTest(e, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationWindow(e, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationPeakThreshold(e, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slower quick table")
+	}
+	e := NewEnv(true)
+	if _, err := Table1(e, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAblationModes(t *testing.T) {
+	e := NewEnv(true)
+	res, err := AblationModes(e, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PooledFPPct < res.ModesFPPct {
+		t.Errorf("pooled reference FP (%.2f%%) should exceed per-run-mode FP (%.2f%%)",
+			res.PooledFPPct, res.ModesFPPct)
+	}
+}
+
+// TestExperimentInvariants checks structural invariants of the
+// experiment outputs on top of "doesn't error".
+func TestExperimentInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several experiments")
+	}
+	e := NewEnv(true)
+
+	rows, err := Table2(e, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("Table 2 has %d rows, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if r.FalsePosPct < 0 || r.FalsePosPct > 100 || r.AccuracyPct < 0 || r.AccuracyPct > 100 {
+			t.Errorf("%s: percentages out of range: %+v", r.Benchmark, r)
+		}
+		if r.LatencyMs < 0 {
+			t.Errorf("%s: negative latency", r.Benchmark)
+		}
+	}
+
+	peaks, err := Fig1(e, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var carrier float64
+	for _, p := range peaks {
+		if p.Label == "carrier (Fclock)" {
+			carrier = p.FreqHz
+		}
+	}
+	if carrier == 0 {
+		t.Fatal("Fig 1: no carrier line identified")
+	}
+	// Sidebands must come in symmetric pairs around the carrier.
+	var offsets []float64
+	for _, p := range peaks {
+		if p.Label == "sideband" {
+			offsets = append(offsets, p.FreqHz-carrier)
+		}
+	}
+	for _, off := range offsets {
+		found := false
+		for _, other := range offsets {
+			if other+off < 1e3 && other+off > -1e3 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("sideband at %+.1f kHz has no mirror", off/1e3)
+		}
+	}
+
+	fig2, err := Fig2(e, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig2.FitKS <= 0.02 {
+		t.Errorf("Fig 2: bi-normal fit K-S distance %.3f suspiciously good; the multi-modality argument needs a mismatch", fig2.FitKS)
+	}
+	var mass float64
+	for _, b := range fig2.Bins {
+		mass += b.Empirical
+	}
+	if mass <= 0 {
+		t.Error("Fig 2: empty empirical histogram")
+	}
+
+	fig8, err := Fig8(e, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig8) != 6 {
+		t.Fatalf("Fig 8 has %d sizes, want 6", len(fig8))
+	}
+	// Largest burst must beat the smallest at the operating scale (index 2).
+	small := fig8[0].Points[2].TPRPct
+	large := fig8[len(fig8)-1].Points[2].TPRPct
+	if large < small {
+		t.Errorf("Fig 8: 500k burst TPR %.1f%% below 100k burst %.1f%%", large, small)
+	}
+}

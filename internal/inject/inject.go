@@ -1,0 +1,163 @@
+// Package inject implements the code-injection attack models EDDIE is
+// evaluated against. An injector wraps the dynamic instruction stream
+// between the functional executor (isa.Execute) and the timing engine
+// (sim.Engine), inserting extra dynamic instructions without changing the
+// architectural state of the host program — exactly the paper's idealized
+// attack that "directly injects dynamic instructions into the simulated
+// instruction stream without changing the application's code or using any
+// architectural registers" (§5.3).
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"eddie/internal/isa"
+)
+
+// Injector transforms the dynamic instruction stream.
+type Injector interface {
+	// Wrap returns a consumer that forwards the original stream to next,
+	// interleaved with injected instructions.
+	Wrap(next isa.Consumer) isa.Consumer
+	// Description summarizes the attack for logs and reports.
+	Description() string
+}
+
+// InLoop injects a fixed number of instructions into (a fraction of) the
+// iterations of a target loop, the stealth strategy of §5.2/§5.4/§5.5:
+// small chunks of work spread over many iterations.
+type InLoop struct {
+	// Header is the header block of the target loop nest. A new iteration
+	// is recognized each time control enters this block.
+	Header isa.BlockID
+	// Instrs is the number of instructions injected per contaminated
+	// iteration.
+	Instrs int
+	// MemOps of the Instrs instructions are stores that walk a large
+	// array (cache-hostile); the rest are integer adds. The paper's
+	// default in-loop injection is 8 instructions: 4 integer + 4 memory.
+	MemOps int
+	// Contamination is the fraction of iterations that receive the
+	// injection, in (0, 1]. The paper sweeps 10%..100% (Fig 5/7).
+	Contamination float64
+	// StrideWords is the address stride between consecutive injected
+	// memory accesses; large strides defeat the caches. Zero selects a
+	// default that misses both cache levels.
+	StrideWords int64
+	// Seed drives the iteration-selection randomness.
+	Seed int64
+}
+
+// Description implements Injector.
+func (a *InLoop) Description() string {
+	return fmt.Sprintf("in-loop injection: %d instrs (%d mem) in %.0f%% of iterations of block %d",
+		a.Instrs, a.MemOps, a.Contamination*100, a.Header)
+}
+
+// Wrap implements Injector.
+func (a *InLoop) Wrap(next isa.Consumer) isa.Consumer {
+	rng := rand.New(rand.NewSource(a.Seed))
+	stride := a.StrideWords
+	if stride == 0 {
+		stride = 8192 // 64 KB in bytes: misses a 32 KB L1 quickly and churns L2
+	}
+	var addr int64 = 1 << 30 // far from any program data
+	prevBlock := isa.NoBlock
+	inj := isa.DynInstr{Injected: true, MemAddr: -1}
+	return func(di *isa.DynInstr) bool {
+		if !next(di) {
+			return false
+		}
+		entered := di.Block == a.Header && prevBlock != a.Header
+		prevBlock = di.Block
+		if !entered {
+			return true
+		}
+		if a.Contamination < 1 && rng.Float64() >= a.Contamination {
+			return true
+		}
+		for k := 0; k < a.Instrs; k++ {
+			inj.Block = di.Block
+			if k < a.MemOps {
+				inj.Op = isa.Store
+				addr += stride
+				inj.MemAddr = addr
+			} else {
+				inj.Op = isa.Add
+				inj.MemAddr = -1
+			}
+			inj.IsBranch = false
+			inj.Taken = false
+			if !next(&inj) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Burst injects a single burst of execution at a region boundary: the
+// shellcode model of §5.2 (a shell invocation executes ~476k instructions
+// even with an empty payload) and the empty-loop burst of §5.5/Fig 8.
+type Burst struct {
+	// BlockNest maps blocks to loop-nest indices (from cfg.Machine);
+	// the burst fires the first time control leaves FromNest.
+	BlockNest []int
+	// FromNest is the nest whose exit triggers the burst.
+	FromNest int
+	// Count is the number of dynamic instructions in the burst.
+	Count int
+	// The burst is an empty loop: every iteration is an add followed by a
+	// taken branch, matching the paper's empty-loop injection.
+}
+
+// Description implements Injector.
+func (a *Burst) Description() string {
+	return fmt.Sprintf("burst injection: %d instrs after nest %d", a.Count, a.FromNest)
+}
+
+// Wrap implements Injector.
+func (a *Burst) Wrap(next isa.Consumer) isa.Consumer {
+	fired := false
+	inNest := false
+	inj := isa.DynInstr{Injected: true, MemAddr: -1}
+	return func(di *isa.DynInstr) bool {
+		nest := -1
+		if int(di.Block) < len(a.BlockNest) {
+			nest = a.BlockNest[di.Block]
+		}
+		leaving := inNest && nest != a.FromNest && !fired
+		inNest = nest == a.FromNest
+		if leaving {
+			fired = true
+			// Emit the burst *before* the first instruction of the next
+			// region, i.e. exactly at the boundary.
+			for k := 0; k < a.Count; k++ {
+				inj.Block = di.Block
+				if k%2 == 0 {
+					inj.Op = isa.Add
+					inj.IsBranch = false
+					inj.Taken = false
+				} else {
+					inj.Op = isa.Sub
+					inj.IsBranch = true
+					inj.Taken = k+2 < a.Count
+				}
+				if !next(&inj) {
+					return false
+				}
+			}
+		}
+		return next(di)
+	}
+}
+
+// None is the no-op injector used for clean runs.
+type None struct{}
+
+// Description implements Injector.
+func (None) Description() string { return "no injection" }
+
+// Wrap implements Injector.
+func (None) Wrap(next isa.Consumer) isa.Consumer { return next }

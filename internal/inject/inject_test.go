@@ -1,0 +1,215 @@
+package inject
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eddie/internal/cfg"
+	"eddie/internal/isa"
+	"eddie/internal/mibench"
+)
+
+// runWith executes a workload with an injector, returning the final
+// memory, total consumed instructions and the injected subset.
+func runWith(t *testing.T, w *mibench.Workload, inj Injector) (mem []int64, total, injected int64) {
+	t.Helper()
+	consumer := func(di *isa.DynInstr) bool {
+		total++
+		if di.Injected {
+			injected++
+		}
+		return true
+	}
+	var c isa.Consumer = consumer
+	if inj != nil {
+		c = inj.Wrap(c)
+	}
+	res, err := isa.Execute(w.Program, isa.ExecConfig{
+		MaxInstrs: 30_000_000,
+		InitMem:   w.GenInput(0),
+	}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Mem, total, injected
+}
+
+func TestInjectionPreservesArchitecturalState(t *testing.T) {
+	// Property (paper §5.3): the injection changes only the dynamic
+	// stream, never the program's results.
+	w := mibench.Bitcount()
+	machine, err := cfg.BuildMachine(w.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanMem, cleanTotal, cleanInj := runWith(t, w, nil)
+	if cleanInj != 0 {
+		t.Fatal("clean run has injected instructions")
+	}
+	injectors := []Injector{
+		&InLoop{Header: machine.Nests[0].Header, Instrs: 8, MemOps: 4, Contamination: 1, Seed: 1},
+		&InLoop{Header: machine.Nests[1].Header, Instrs: 2, MemOps: 1, Contamination: 0.3, Seed: 2},
+		&Burst{BlockNest: machine.BlockNest, FromNest: 0, Count: 10_000},
+		None{},
+	}
+	for _, inj := range injectors {
+		mem, total, injected := runWith(t, w, inj)
+		for i := range cleanMem {
+			if mem[i] != cleanMem[i] {
+				t.Fatalf("%s: memory differs at word %d", inj.Description(), i)
+			}
+		}
+		if total != cleanTotal+injected {
+			t.Errorf("%s: total %d != clean %d + injected %d", inj.Description(), total, cleanTotal, injected)
+		}
+	}
+}
+
+func TestInLoopInjectionCountMatchesIterations(t *testing.T) {
+	w := mibench.Bitcount()
+	machine, err := cfg.BuildMachine(w.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := machine.Nests[0].Header
+	// Count header entries in a clean run.
+	entries := int64(0)
+	prev := isa.NoBlock
+	_, err = isa.Execute(w.Program, isa.ExecConfig{MaxInstrs: 30_000_000, InitMem: w.GenInput(0)},
+		func(di *isa.DynInstr) bool {
+			if di.Block == header && prev != header {
+				entries++
+			}
+			prev = di.Block
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &InLoop{Header: header, Instrs: 8, MemOps: 4, Contamination: 1, Seed: 1}
+	_, _, injected := runWith(t, w, inj)
+	if injected != entries*8 {
+		t.Errorf("injected %d instrs, want %d (%d iterations x 8)", injected, entries*8, entries)
+	}
+}
+
+func TestInLoopContaminationScalesInjection(t *testing.T) {
+	w := mibench.Bitcount()
+	machine, err := cfg.BuildMachine(w.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := machine.Nests[0].Header
+	full := &InLoop{Header: header, Instrs: 8, MemOps: 4, Contamination: 1, Seed: 1}
+	_, _, fullCount := runWith(t, w, full)
+	half := &InLoop{Header: header, Instrs: 8, MemOps: 4, Contamination: 0.5, Seed: 1}
+	_, _, halfCount := runWith(t, w, half)
+	ratio := float64(halfCount) / float64(fullCount)
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("50%% contamination injected %.0f%% of the instructions", ratio*100)
+	}
+}
+
+func TestBurstInjectsExactCountOnce(t *testing.T) {
+	w := mibench.Bitcount()
+	machine, err := cfg.BuildMachine(w.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &Burst{BlockNest: machine.BlockNest, FromNest: 1, Count: 12_345}
+	_, _, injected := runWith(t, w, inj)
+	if injected != 12_345 {
+		t.Errorf("burst injected %d instrs, want 12345", injected)
+	}
+}
+
+func TestBurstEmptyLoopShape(t *testing.T) {
+	w := mibench.Bitcount()
+	machine, err := cfg.BuildMachine(w.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &Burst{BlockNest: machine.BlockNest, FromNest: 0, Count: 1000}
+	branches, adds := 0, 0
+	var lastInjected *isa.DynInstr
+	c := inj.Wrap(func(di *isa.DynInstr) bool {
+		if di.Injected {
+			cp := *di
+			lastInjected = &cp
+			if di.IsBranch {
+				branches++
+			} else {
+				adds++
+			}
+		}
+		return true
+	})
+	if _, err := isa.Execute(w.Program, isa.ExecConfig{MaxInstrs: 30_000_000, InitMem: w.GenInput(0)}, c); err != nil {
+		t.Fatal(err)
+	}
+	if adds != 500 || branches != 500 {
+		t.Errorf("burst shape: %d adds, %d branches; want 500/500 (empty loop)", adds, branches)
+	}
+	if lastInjected == nil || lastInjected.Taken {
+		t.Error("the final burst branch should fall through (loop exit)")
+	}
+}
+
+func TestInjectedMemOpsUseDistinctLines(t *testing.T) {
+	w := mibench.Bitcount()
+	machine, err := cfg.BuildMachine(w.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &InLoop{Header: machine.Nests[0].Header, Instrs: 4, MemOps: 4, Contamination: 1, Seed: 1}
+	seen := map[int64]bool{}
+	dup := 0
+	c := inj.Wrap(func(di *isa.DynInstr) bool {
+		if di.Injected && di.Op == isa.Store {
+			if seen[di.MemAddr] {
+				dup++
+			}
+			seen[di.MemAddr] = true
+		}
+		return true
+	})
+	if _, err := isa.Execute(w.Program, isa.ExecConfig{MaxInstrs: 30_000_000, InitMem: w.GenInput(0)}, c); err != nil {
+		t.Fatal(err)
+	}
+	if dup != 0 {
+		t.Errorf("%d duplicate injected store addresses; stride walk must not repeat", dup)
+	}
+	if len(seen) == 0 {
+		t.Fatal("no injected stores observed")
+	}
+}
+
+func TestInjectionDeterministicProperty(t *testing.T) {
+	w := mibench.Bitcount()
+	machine, err := cfg.BuildMachine(w.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, contamPct uint8) bool {
+		contam := float64(contamPct%100+1) / 100
+		count := func() int64 {
+			inj := &InLoop{Header: machine.Nests[1].Header, Instrs: 4, MemOps: 2, Contamination: contam, Seed: seed}
+			var injected int64
+			c := inj.Wrap(func(di *isa.DynInstr) bool {
+				if di.Injected {
+					injected++
+				}
+				return true
+			})
+			if _, err := isa.Execute(w.Program, isa.ExecConfig{MaxInstrs: 30_000_000, InitMem: w.GenInput(0)}, c); err != nil {
+				return -1
+			}
+			return injected
+		}
+		a := count()
+		return a >= 0 && a == count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,70 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders an instruction in assembler-like form.
+func (i Instr) String() string {
+	switch i.Op {
+	case Nop:
+		return "nop"
+	case LoadImm:
+		return fmt.Sprintf("li    r%d, %d", i.Dst, i.Imm)
+	case Mov:
+		return fmt.Sprintf("mov   r%d, r%d", i.Dst, i.A)
+	case Load:
+		return fmt.Sprintf("load  r%d, [r%d%+d]", i.Dst, i.A, i.Imm)
+	case Store:
+		return fmt.Sprintf("store [r%d%+d], r%d", i.A, i.Imm, i.B)
+	default:
+		if i.HasImm {
+			return fmt.Sprintf("%-5s r%d, r%d, %d", i.Op, i.Dst, i.A, i.Imm)
+		}
+		return fmt.Sprintf("%-5s r%d, r%d, r%d", i.Op, i.Dst, i.A, i.B)
+	}
+}
+
+// String renders a terminator.
+func (t Terminator) String() string {
+	switch t.Kind {
+	case Jump:
+		return fmt.Sprintf("jmp   .B%d", t.Then)
+	case Branch:
+		return fmt.Sprintf("b.%-3s r%d, r%d, .B%d, .B%d", t.Cond, t.A, t.B, t.Then, t.Else)
+	case Halt:
+		return "halt"
+	default:
+		return fmt.Sprintf("term(%d)", t.Kind)
+	}
+}
+
+// Disassemble renders the whole program as a block-structured listing.
+func (p *Program) Disassemble() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; program %q: %d blocks, %d memory words, entry .B%d\n",
+		p.Name, len(p.Blocks), p.MemWords, p.Entry)
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		fmt.Fprintf(&sb, ".B%d:  ; %s\n", b.ID, b.Label)
+		for _, ins := range b.Code {
+			fmt.Fprintf(&sb, "\t%s\n", ins)
+		}
+		fmt.Fprintf(&sb, "\t%s\n", b.Term)
+	}
+	return sb.String()
+}
+
+// StaticInstrCount returns the number of static instructions, counting
+// each conditional terminator as one.
+func (p *Program) StaticInstrCount() int {
+	n := 0
+	for i := range p.Blocks {
+		n += len(p.Blocks[i].Code)
+		if p.Blocks[i].Term.Kind == Branch {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,233 @@
+// Package isa defines the instruction set, program representation, and
+// functional (architectural) executor of the simulated processor that
+// EDDIE's workloads run on.
+//
+// The ISA is a small RISC-like register machine: 32 general-purpose 64-bit
+// registers, a flat word-addressed memory, basic blocks terminated by an
+// explicit jump/branch/halt, and a fixed operation set. The timing and
+// power behaviour of a program is modeled separately by package sim; this
+// package only defines *what* executes, in what order.
+package isa
+
+import "fmt"
+
+// Reg names one of the 32 general-purpose registers.
+type Reg uint8
+
+// NumRegs is the architectural register count.
+const NumRegs = 32
+
+// Op is an operation code.
+type Op uint8
+
+// Operation codes. Alu ops compute Dst = A op B (or A op Imm). Load reads
+// Dst = Mem[A+Imm]; Store writes Mem[A+Imm] = B. LoadImm sets Dst = Imm.
+// Mov copies Dst = A. Nop does nothing (used by injected filler code).
+const (
+	Nop Op = iota
+	LoadImm
+	Mov
+	Add
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Load
+	Store
+	numOps
+)
+
+// String returns the assembler mnemonic of the op.
+func (o Op) String() string {
+	names := [...]string{
+		"nop", "li", "mov", "add", "sub", "mul", "div", "rem",
+		"and", "or", "xor", "shl", "shr", "load", "store",
+	}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsMem reports whether the op accesses memory.
+func (o Op) IsMem() bool { return o == Load || o == Store }
+
+// Instr is one instruction inside a basic block.
+type Instr struct {
+	Op  Op
+	Dst Reg
+	A   Reg
+	B   Reg
+	// Imm is the immediate operand. For ALU ops it is used instead of B
+	// when HasImm is set; for Load/Store it is the address offset added to
+	// register A; for LoadImm it is the value loaded.
+	Imm    int64
+	HasImm bool
+}
+
+// Cond is a branch condition comparing two registers (signed).
+type Cond uint8
+
+// Branch conditions.
+const (
+	EQ Cond = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String returns the mnemonic of the condition.
+func (c Cond) String() string {
+	names := [...]string{"eq", "ne", "lt", "le", "gt", "ge"}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Eval applies the condition to two values.
+func (c Cond) Eval(a, b int64) bool {
+	switch c {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	case GE:
+		return a >= b
+	default:
+		panic(fmt.Sprintf("isa: invalid condition %d", uint8(c)))
+	}
+}
+
+// BlockID identifies a basic block within a program.
+type BlockID int
+
+// NoBlock is the absent-block sentinel.
+const NoBlock BlockID = -1
+
+// TermKind discriminates block terminators.
+type TermKind uint8
+
+// Terminator kinds.
+const (
+	// Jump transfers unconditionally to Then.
+	Jump TermKind = iota
+	// Branch transfers to Then when Cond(A, B) holds, else to Else.
+	Branch
+	// Halt ends the program.
+	Halt
+)
+
+// Terminator ends a basic block.
+type Terminator struct {
+	Kind TermKind
+	Cond Cond
+	A, B Reg
+	Then BlockID
+	Else BlockID
+}
+
+// Block is a basic block: a straight-line instruction sequence plus a
+// terminator.
+type Block struct {
+	ID    BlockID
+	Label string
+	Code  []Instr
+	Term  Terminator
+}
+
+// Program is a complete executable program.
+type Program struct {
+	// Name identifies the workload (e.g. "bitcount").
+	Name string
+	// Blocks holds the basic blocks; Blocks[i].ID == i.
+	Blocks []Block
+	// Entry is the first block executed.
+	Entry BlockID
+	// MemWords is the size of the data memory in 64-bit words.
+	MemWords int
+}
+
+// Block returns the block with the given id, or nil if out of range.
+func (p *Program) Block(id BlockID) *Block {
+	if id < 0 || int(id) >= len(p.Blocks) {
+		return nil
+	}
+	return &p.Blocks[id]
+}
+
+// Validate checks structural invariants: entry in range, every terminator
+// target in range, register indices valid.
+func (p *Program) Validate() error {
+	if p.Entry < 0 || int(p.Entry) >= len(p.Blocks) {
+		return fmt.Errorf("isa: program %q entry block %d out of range [0,%d)", p.Name, p.Entry, len(p.Blocks))
+	}
+	if p.MemWords < 0 {
+		return fmt.Errorf("isa: program %q has negative memory size %d", p.Name, p.MemWords)
+	}
+	checkTarget := func(b *Block, id BlockID, what string) error {
+		if id < 0 || int(id) >= len(p.Blocks) {
+			return fmt.Errorf("isa: program %q block %d (%s): %s target %d out of range", p.Name, b.ID, b.Label, what, id)
+		}
+		return nil
+	}
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		if b.ID != BlockID(i) {
+			return fmt.Errorf("isa: program %q block at index %d has ID %d", p.Name, i, b.ID)
+		}
+		for j, ins := range b.Code {
+			if ins.Op >= numOps {
+				return fmt.Errorf("isa: program %q block %d instr %d: invalid op %d", p.Name, i, j, ins.Op)
+			}
+			if ins.Dst >= NumRegs || ins.A >= NumRegs || ins.B >= NumRegs {
+				return fmt.Errorf("isa: program %q block %d instr %d: register out of range", p.Name, i, j)
+			}
+		}
+		switch b.Term.Kind {
+		case Jump:
+			if err := checkTarget(b, b.Term.Then, "jump"); err != nil {
+				return err
+			}
+		case Branch:
+			if err := checkTarget(b, b.Term.Then, "branch-then"); err != nil {
+				return err
+			}
+			if err := checkTarget(b, b.Term.Else, "branch-else"); err != nil {
+				return err
+			}
+		case Halt:
+		default:
+			return fmt.Errorf("isa: program %q block %d: invalid terminator kind %d", p.Name, i, b.Term.Kind)
+		}
+	}
+	return nil
+}
+
+// Successors returns the possible next blocks of b.
+func (b *Block) Successors() []BlockID {
+	switch b.Term.Kind {
+	case Jump:
+		return []BlockID{b.Term.Then}
+	case Branch:
+		if b.Term.Then == b.Term.Else {
+			return []BlockID{b.Term.Then}
+		}
+		return []BlockID{b.Term.Then, b.Term.Else}
+	default:
+		return nil
+	}
+}

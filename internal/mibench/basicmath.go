@@ -1,0 +1,164 @@
+package mibench
+
+import "eddie/internal/isa"
+
+// Basicmath memory layout (word addresses):
+//
+//	0:            N (item count, <= basicmathMaxN)
+//	1..3:         per-phase checksum outputs
+//	16..16+maxN:  input array V (positive values)
+//	cbrt out:     16+maxN
+//	isqrt out:    16+2*maxN
+//	rad out:      16+3*maxN
+//
+// Mirrors MiBench basicmath: cube-root solving (Newton iteration), integer
+// square root (bit-by-bit), and angle conversion, each its own loop nest.
+const (
+	basicmathMaxN  = 2048
+	basicmathNAddr = 0
+	basicmathSums  = 1
+	basicmathArr   = 16
+	basicmathWords = basicmathArr + basicmathMaxN*4
+	basicmathN     = 1100
+)
+
+// Basicmath builds the basicmath workload.
+func Basicmath() *Workload {
+	b := isa.NewBuilder("basicmath", basicmathWords)
+
+	// Registers: r0=0, r1=N, r2=i, r3=v, r4=x/result, r5=addr/scratch,
+	// r6=inner counter, r7/r9/r10=scratch, r8=checksum, r11=bit.
+	entry := b.NewBlock("entry")
+	cbHead := b.NewBlock("cbrt_head")
+	cbItem := b.NewBlock("cbrt_item")
+	cbIterHead := b.NewBlock("cbrt_iter_head")
+	cbIterBody := b.NewBlock("cbrt_iter_body")
+	cbItemDone := b.NewBlock("cbrt_item_done")
+	cbDone := b.NewBlock("cbrt_done")
+	sqHead := b.NewBlock("isqrt_head")
+	sqItem := b.NewBlock("isqrt_item")
+	sqBitHead := b.NewBlock("isqrt_bit_head")
+	sqBitBody := b.NewBlock("isqrt_bit_body")
+	sqBitSet := b.NewBlock("isqrt_bit_set")
+	sqBitNext := b.NewBlock("isqrt_bit_next")
+	sqItemDone := b.NewBlock("isqrt_item_done")
+	sqDone := b.NewBlock("isqrt_done")
+	radHead := b.NewBlock("rad_head")
+	radItem := b.NewBlock("rad_item")
+	radDone := b.NewBlock("rad_done")
+	exit := b.NewBlock("exit")
+
+	entry.
+		Li(r0, 0).
+		Load(r1, r0, basicmathNAddr).
+		Li(r2, 0).
+		Li(r8, 0)
+	entry.Jump(cbHead)
+
+	// Phase 1: integer cube root by 8 Newton steps:
+	// x <- (2x + v/(x*x)) / 3, seeded with x = (v >> 20) + 64.
+	cbHead.Branch(isa.LT, r2, r1, cbItem, cbDone)
+	cbItem.
+		AddI(r5, r2, basicmathArr).
+		Load(r3, r5, 0).
+		ShrI(r4, r3, 20).
+		AddI(r4, r4, 64).
+		Li(r6, 0)
+	cbItem.Jump(cbIterHead)
+	cbIterHead.
+		Li(r7, 8)
+	cbIterHead.Branch(isa.LT, r6, r7, cbIterBody, cbItemDone)
+	cbIterBody.
+		Mul(r9, r4, r4).
+		Div(r9, r3, r9).
+		MulI(r10, r4, 2).
+		Add(r9, r9, r10).
+		Li(r10, 3).
+		Div(r4, r9, r10).
+		AddI(r6, r6, 1)
+	cbIterBody.Jump(cbIterHead)
+	cbItemDone.
+		AddI(r5, r2, basicmathArr+basicmathMaxN).
+		Store(r5, 0, r4).
+		Add(r8, r8, r4).
+		AddI(r2, r2, 1)
+	cbItemDone.Jump(cbHead)
+	cbDone.
+		Store(r0, basicmathSums+0, r8).
+		Li(r2, 0).
+		Li(r8, 0)
+	cbDone.Jump(sqHead)
+
+	// Phase 2: integer square root, bit-by-bit from bit 15 down.
+	sqHead.Branch(isa.LT, r2, r1, sqItem, sqDone)
+	sqItem.
+		AddI(r5, r2, basicmathArr).
+		Load(r3, r5, 0).
+		AndI(r3, r3, 0x3fffffff).
+		Li(r4, 0).
+		Li(r11, 15)
+	sqItem.Jump(sqBitHead)
+	sqBitHead.Branch(isa.GE, r11, r0, sqBitBody, sqItemDone)
+	sqBitBody.
+		// trial = x | (1 << bit); if trial*trial <= v keep it.
+		Li(r7, 1).
+		Shl(r7, r7, r11).
+		Or(r7, r4, r7).
+		Mul(r9, r7, r7).
+		Nop()
+	sqBitBody.Branch(isa.LE, r9, r3, sqBitSet, sqBitNext)
+	sqBitSet.
+		Li(r7, 1).
+		Shl(r7, r7, r11).
+		Or(r4, r4, r7)
+	sqBitSet.Jump(sqBitNext)
+	sqBitNext.
+		SubI(r11, r11, 1)
+	sqBitNext.Jump(sqBitHead)
+	sqItemDone.
+		AddI(r5, r2, basicmathArr+2*basicmathMaxN).
+		Store(r5, 0, r4).
+		Add(r8, r8, r4).
+		AddI(r2, r2, 1)
+	sqItemDone.Jump(sqHead)
+	sqDone.
+		Store(r0, basicmathSums+1, r8).
+		Li(r2, 0).
+		Li(r8, 0)
+	sqDone.Jump(radHead)
+
+	// Phase 3: fixed-point degree-to-radian conversion:
+	// rad = v * 314159 / 18000000 (values treated as millidegrees).
+	radHead.Branch(isa.LT, r2, r1, radItem, radDone)
+	radItem.
+		AddI(r5, r2, basicmathArr).
+		Load(r3, r5, 0).
+		MulI(r4, r3, 314159).
+		Li(r7, 18000000).
+		Div(r4, r4, r7).
+		AddI(r5, r2, basicmathArr+3*basicmathMaxN).
+		Store(r5, 0, r4).
+		Add(r8, r8, r4).
+		AddI(r2, r2, 1)
+	radItem.Jump(radHead)
+	radDone.
+		Store(r0, basicmathSums+2, r8)
+	radDone.Jump(exit)
+	exit.Halt()
+
+	prog := b.Build()
+	return &Workload{
+		Name:    "basicmath",
+		Program: prog,
+		GenInput: func(run int) []int64 {
+			r := rng("basicmath", run)
+			n := basicmathN + r.Intn(300) - 150
+			mem := make([]int64, basicmathArr+basicmathMaxN)
+			mem[basicmathNAddr] = int64(n)
+			for i := 0; i < n; i++ {
+				mem[basicmathArr+i] = int64(r.Int31n(1<<28) + 1)
+			}
+			return mem
+		},
+	}
+}

@@ -1,0 +1,335 @@
+package mibench
+
+import "eddie/internal/isa"
+
+// Bitcount memory layout (word addresses):
+//
+//	0:               N (item count, <= bitcountMaxN)
+//	1..7:            per-method checksum outputs
+//	8..23:           nibble popcount table (16 entries)
+//	btab..btab+256:  byte popcount table (256 entries)
+//	arr..arr+maxN:   input array A
+//	out_m = arr+maxN*(1+m) for m in 0..6: per-method result arrays
+//
+// The program mirrors MiBench bitcount's structure: seven independent
+// bit-counting methods (the original has seven too), each a loop nest over
+// the same input array, with short non-loop checksum code between nests.
+const (
+	bitcountMaxN    = 2048
+	bitcountNAddr   = 0
+	bitcountSums    = 1
+	bitcountTable   = 8
+	bitcountByteTab = 32
+	bitcountArr     = bitcountByteTab + 256
+	bitcountOut     = bitcountArr + bitcountMaxN
+	bitcountMethods = 7
+	bitcountWords   = bitcountArr + bitcountMaxN*(1+bitcountMethods)
+	bitcountNScale  = 1200 // nominal N; varies per run
+)
+
+// Bitcount builds the bitcount workload: seven bit-counting methods —
+// shift-and-mask, Kernighan, nibble table lookup, SWAR, byte table lookup,
+// shift-until-zero, and a 2x unrolled shift loop — each its own loop nest.
+func Bitcount() *Workload {
+	b := isa.NewBuilder("bitcount", bitcountWords)
+
+	// Register conventions:
+	//   r0  = constant 0        r1  = N
+	//   r2  = i (item index)    r3  = x (current value)
+	//   r4  = c (bit count)     r5  = scratch/address
+	//   r6  = b (bit index)     r7  = scratch
+	//   r8  = sum accumulator   r9  = constant base
+	entry := b.NewBlock("entry")
+	m1Head := b.NewBlock("m1_head")
+	m1Item := b.NewBlock("m1_item")
+	m1BitHead := b.NewBlock("m1_bit_head")
+	m1BitBody := b.NewBlock("m1_bit_body")
+	m1ItemDone := b.NewBlock("m1_item_done")
+	m1Done := b.NewBlock("m1_done")
+	m2Head := b.NewBlock("m2_head")
+	m2Item := b.NewBlock("m2_item")
+	m2KernHead := b.NewBlock("m2_kern_head")
+	m2KernBody := b.NewBlock("m2_kern_body")
+	m2ItemDone := b.NewBlock("m2_item_done")
+	m2Done := b.NewBlock("m2_done")
+	m3Head := b.NewBlock("m3_head")
+	m3Item := b.NewBlock("m3_item")
+	m3NibHead := b.NewBlock("m3_nib_head")
+	m3NibBody := b.NewBlock("m3_nib_body")
+	m3ItemDone := b.NewBlock("m3_item_done")
+	m3Done := b.NewBlock("m3_done")
+	m4Head := b.NewBlock("m4_head")
+	m4Item := b.NewBlock("m4_item")
+	m4Done := b.NewBlock("m4_done")
+	m5Head := b.NewBlock("m5_head")
+	m5Item := b.NewBlock("m5_item")
+	m5ByteHead := b.NewBlock("m5_byte_head")
+	m5ByteBody := b.NewBlock("m5_byte_body")
+	m5ItemDone := b.NewBlock("m5_item_done")
+	m5Done := b.NewBlock("m5_done")
+	m6Head := b.NewBlock("m6_head")
+	m6Item := b.NewBlock("m6_item")
+	m6ShiftHead := b.NewBlock("m6_shift_head")
+	m6ShiftBody := b.NewBlock("m6_shift_body")
+	m6ItemDone := b.NewBlock("m6_item_done")
+	m6Done := b.NewBlock("m6_done")
+	m7Head := b.NewBlock("m7_head")
+	m7Item := b.NewBlock("m7_item")
+	m7BitHead := b.NewBlock("m7_bit_head")
+	m7BitBody := b.NewBlock("m7_bit_body")
+	m7ItemDone := b.NewBlock("m7_item_done")
+	m7Done := b.NewBlock("m7_done")
+	exit := b.NewBlock("exit")
+
+	entry.
+		Li(r0, 0).
+		Load(r1, r0, bitcountNAddr).
+		Li(r2, 0).
+		Li(r8, 0)
+	entry.Jump(m1Head)
+
+	// Method 1: test-and-shift over the low 32 bits of each item.
+	m1Head.Branch(isa.LT, r2, r1, m1Item, m1Done)
+	m1Item.
+		AddI(r5, r2, bitcountArr).
+		Load(r3, r5, 0).
+		Li(r4, 0).
+		Li(r6, 0)
+	m1Item.Jump(m1BitHead)
+	m1BitHead.
+		Li(r7, 32)
+	m1BitHead.Branch(isa.LT, r6, r7, m1BitBody, m1ItemDone)
+	m1BitBody.
+		AndI(r7, r3, 1).
+		Add(r4, r4, r7).
+		ShrI(r3, r3, 1).
+		AddI(r6, r6, 1)
+	m1BitBody.Jump(m1BitHead)
+	m1ItemDone.
+		AddI(r5, r2, bitcountOut).
+		Store(r5, 0, r4).
+		Add(r8, r8, r4).
+		AddI(r2, r2, 1)
+	m1ItemDone.Jump(m1Head)
+	// Inter-loop: record the method-1 checksum, reset for method 2.
+	m1Done.
+		Store(r0, bitcountSums+0, r8).
+		Li(r2, 0).
+		Li(r8, 0).
+		XorI(r7, r8, 0x5a5a).
+		AddI(r7, r7, 17)
+	m1Done.Jump(m2Head)
+
+	// Method 2: Kernighan's x &= x-1 loop (iteration count = popcount).
+	m2Head.Branch(isa.LT, r2, r1, m2Item, m2Done)
+	m2Item.
+		AddI(r5, r2, bitcountArr).
+		Load(r3, r5, 0).
+		Li(r4, 0)
+	m2Item.Jump(m2KernHead)
+	m2KernHead.Branch(isa.NE, r3, r0, m2KernBody, m2ItemDone)
+	m2KernBody.
+		SubI(r7, r3, 1).
+		And(r3, r3, r7).
+		AddI(r4, r4, 1)
+	m2KernBody.Jump(m2KernHead)
+	m2ItemDone.
+		AddI(r5, r2, bitcountOut+bitcountMaxN).
+		Store(r5, 0, r4).
+		Add(r8, r8, r4).
+		AddI(r2, r2, 1)
+	m2ItemDone.Jump(m2Head)
+	m2Done.
+		Store(r0, bitcountSums+1, r8).
+		Li(r2, 0).
+		Li(r8, 0).
+		MulI(r7, r1, 3).
+		ShrI(r7, r7, 2)
+	m2Done.Jump(m3Head)
+
+	// Method 3: nibble table lookup over the low 32 bits (8 nibbles).
+	m3Head.Branch(isa.LT, r2, r1, m3Item, m3Done)
+	m3Item.
+		AddI(r5, r2, bitcountArr).
+		Load(r3, r5, 0).
+		Li(r4, 0).
+		Li(r6, 0)
+	m3Item.Jump(m3NibHead)
+	m3NibHead.
+		Li(r7, 8)
+	m3NibHead.Branch(isa.LT, r6, r7, m3NibBody, m3ItemDone)
+	m3NibBody.
+		AndI(r7, r3, 15).
+		AddI(r7, r7, bitcountTable).
+		Load(r7, r7, 0).
+		Add(r4, r4, r7).
+		ShrI(r3, r3, 4).
+		AddI(r6, r6, 1)
+	m3NibBody.Jump(m3NibHead)
+	m3ItemDone.
+		AddI(r5, r2, bitcountOut+2*bitcountMaxN).
+		Store(r5, 0, r4).
+		Add(r8, r8, r4).
+		AddI(r2, r2, 1)
+	m3ItemDone.Jump(m3Head)
+	m3Done.
+		Store(r0, bitcountSums+2, r8).
+		Li(r2, 0).
+		Li(r8, 0)
+	m3Done.Jump(m4Head)
+
+	// Method 4: SWAR parallel popcount of the low 32 bits, straight-line.
+	m4Head.Branch(isa.LT, r2, r1, m4Item, m4Done)
+	m4Item.
+		AddI(r5, r2, bitcountArr).
+		Load(r3, r5, 0).
+		// x = x - ((x >> 1) & 0x55555555)
+		ShrI(r7, r3, 1).
+		AndI(r7, r7, 0x55555555).
+		Sub(r3, r3, r7).
+		// x = (x & 0x33..) + ((x >> 2) & 0x33..)
+		AndI(r7, r3, 0x33333333).
+		ShrI(r3, r3, 2).
+		AndI(r3, r3, 0x33333333).
+		Add(r3, r3, r7).
+		// x = (x + (x >> 4)) & 0x0f0f0f0f
+		ShrI(r7, r3, 4).
+		Add(r3, r3, r7).
+		AndI(r3, r3, 0x0f0f0f0f).
+		// c = (x * 0x01010101) >> 24
+		MulI(r3, r3, 0x01010101).
+		ShrI(r4, r3, 24).
+		AndI(r4, r4, 0xff).
+		AddI(r5, r2, bitcountOut+3*bitcountMaxN).
+		Store(r5, 0, r4).
+		Add(r8, r8, r4).
+		AddI(r2, r2, 1)
+	m4Item.Jump(m4Head)
+	m4Done.
+		Store(r0, bitcountSums+3, r8).
+		Li(r2, 0).
+		Li(r8, 0)
+	m4Done.Jump(m5Head)
+
+	// Method 5: byte table lookup over the low 32 bits (4 bytes).
+	m5Head.Branch(isa.LT, r2, r1, m5Item, m5Done)
+	m5Item.
+		AddI(r5, r2, bitcountArr).
+		Load(r3, r5, 0).
+		Li(r4, 0).
+		Li(r6, 0)
+	m5Item.Jump(m5ByteHead)
+	m5ByteHead.
+		Li(r7, 4)
+	m5ByteHead.Branch(isa.LT, r6, r7, m5ByteBody, m5ItemDone)
+	m5ByteBody.
+		AndI(r7, r3, 255).
+		AddI(r7, r7, bitcountByteTab).
+		Load(r7, r7, 0).
+		Add(r4, r4, r7).
+		ShrI(r3, r3, 8).
+		AddI(r6, r6, 1)
+	m5ByteBody.Jump(m5ByteHead)
+	m5ItemDone.
+		AddI(r5, r2, bitcountOut+4*bitcountMaxN).
+		Store(r5, 0, r4).
+		Add(r8, r8, r4).
+		AddI(r2, r2, 1)
+	m5ItemDone.Jump(m5Head)
+	m5Done.
+		Store(r0, bitcountSums+4, r8).
+		Li(r2, 0).
+		Li(r8, 0)
+	m5Done.Jump(m6Head)
+
+	// Method 6: shift-until-zero — like method 1 but the inner loop ends
+	// as soon as the remaining value is zero (data-dependent length =
+	// position of the highest set bit).
+	m6Head.Branch(isa.LT, r2, r1, m6Item, m6Done)
+	m6Item.
+		AddI(r5, r2, bitcountArr).
+		Load(r3, r5, 0).
+		Li(r4, 0)
+	m6Item.Jump(m6ShiftHead)
+	m6ShiftHead.Branch(isa.NE, r3, r0, m6ShiftBody, m6ItemDone)
+	m6ShiftBody.
+		AndI(r7, r3, 1).
+		Add(r4, r4, r7).
+		ShrI(r3, r3, 1)
+	m6ShiftBody.Jump(m6ShiftHead)
+	m6ItemDone.
+		AddI(r5, r2, bitcountOut+5*bitcountMaxN).
+		Store(r5, 0, r4).
+		Add(r8, r8, r4).
+		AddI(r2, r2, 1)
+	m6ItemDone.Jump(m6Head)
+	m6Done.
+		Store(r0, bitcountSums+5, r8).
+		Li(r2, 0).
+		Li(r8, 0)
+	m6Done.Jump(m7Head)
+
+	// Method 7: 2x unrolled test-and-shift (16 inner iterations covering
+	// 32 bits) — same work as method 1 at half the iteration frequency, so
+	// its spectral peak sits an octave below method 1's.
+	m7Head.Branch(isa.LT, r2, r1, m7Item, m7Done)
+	m7Item.
+		AddI(r5, r2, bitcountArr).
+		Load(r3, r5, 0).
+		Li(r4, 0).
+		Li(r6, 0)
+	m7Item.Jump(m7BitHead)
+	m7BitHead.
+		Li(r7, 16)
+	m7BitHead.Branch(isa.LT, r6, r7, m7BitBody, m7ItemDone)
+	m7BitBody.
+		AndI(r7, r3, 1).
+		Add(r4, r4, r7).
+		ShrI(r3, r3, 1).
+		AndI(r7, r3, 1).
+		Add(r4, r4, r7).
+		ShrI(r3, r3, 1).
+		AddI(r6, r6, 1)
+	m7BitBody.Jump(m7BitHead)
+	m7ItemDone.
+		AddI(r5, r2, bitcountOut+6*bitcountMaxN).
+		Store(r5, 0, r4).
+		Add(r8, r8, r4).
+		AddI(r2, r2, 1)
+	m7ItemDone.Jump(m7Head)
+	m7Done.
+		Store(r0, bitcountSums+6, r8)
+	m7Done.Jump(exit)
+	exit.Halt()
+
+	prog := b.Build()
+	return &Workload{
+		Name:    "bitcount",
+		Program: prog,
+		GenInput: func(run int) []int64 {
+			r := rng("bitcount", run)
+			n := bitcountNScale + r.Intn(400) - 200
+			mem := make([]int64, bitcountArr+bitcountMaxN)
+			mem[bitcountNAddr] = int64(n)
+			for i := 0; i < 16; i++ {
+				mem[bitcountTable+i] = int64(popcount4(i))
+			}
+			for i := 0; i < 256; i++ {
+				mem[bitcountByteTab+i] = int64(popcount4(i))
+			}
+			for i := 0; i < n; i++ {
+				mem[bitcountArr+i] = int64(r.Uint32())
+			}
+			return mem
+		},
+	}
+}
+
+func popcount4(x int) int {
+	c := 0
+	for x != 0 {
+		c += x & 1
+		x >>= 1
+	}
+	return c
+}

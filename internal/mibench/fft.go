@@ -1,0 +1,266 @@
+package mibench
+
+import (
+	"math"
+
+	"eddie/internal/isa"
+)
+
+// FFT memory layout (word addresses):
+//
+//	0:      B (batch count)      1: N (FFT size, power of two)
+//	3..4:   checksum outputs
+//	tw:     16 .. 16+N           twiddle table, Q15 fixed point, interleaved
+//	        (tw[2k] = cos, tw[2k+1] = -sin for angle 2*pi*k/N, k < N/2)
+//	in:     inBase .. +B*N*2     input complex samples (re, im interleaved)
+//	buf:    bufBase .. +N*2      working buffer
+//	mag:    magBase .. +B        per-batch energy output
+//
+// Mirrors MiBench fft: a batch loop around bit-reversal and the classic
+// triple-nested radix-2 butterfly loops, plus an energy-summary nest.
+const (
+	fftMaxB    = 14
+	fftN       = 256
+	fftLogN    = 8
+	fftTw      = 16
+	fftInBase  = fftTw + fftN
+	fftBufBase = fftInBase + fftMaxB*fftN*2
+	fftMagBase = fftBufBase + fftN*2
+	fftWords   = fftMagBase + fftMaxB
+)
+
+// FFT builds the fixed-point FFT workload.
+func FFT() *Workload {
+	b := isa.NewBuilder("fft", fftWords)
+
+	// Registers:
+	//   r0=0, r1=B, r2=N, r3=batch, r4=i (group start), r5=j (butterfly),
+	//   r6=len, r7=scratch, r8=checksum, r9..r12=ar/ai/br/bi,
+	//   r13=in-batch base, r14=half, r15=twiddle stride,
+	//   r16=&buf[j], r17=&buf[j+half], r18=&tw[k], r19=c, r20=-s,
+	//   r21=tr, r22=ti, r23=energy acc.
+	entry := b.NewBlock("entry")
+	batchHead := b.NewBlock("batch_head")
+	batchInit := b.NewBlock("batch_init")
+	brHead := b.NewBlock("br_head")
+	brBody := b.NewBlock("br_body")
+	brDone := b.NewBlock("br_done")
+	stageHead := b.NewBlock("stage_head")
+	stageInit := b.NewBlock("stage_init")
+	grpHead := b.NewBlock("grp_head")
+	grpInit := b.NewBlock("grp_init")
+	bflyHead := b.NewBlock("bfly_head")
+	bflyBody := b.NewBlock("bfly_body")
+	grpNext := b.NewBlock("grp_next")
+	stageNext := b.NewBlock("stage_next")
+	stageDone := b.NewBlock("stage_done")
+	outHead := b.NewBlock("out_head")
+	outBody := b.NewBlock("out_body")
+	batchNext := b.NewBlock("batch_next")
+	batchDone := b.NewBlock("batch_done")
+	enHead := b.NewBlock("energy_head")
+	enPassInit := b.NewBlock("energy_pass_init")
+	enBody := b.NewBlock("energy_body")
+	enIBody := b.NewBlock("energy_inner")
+	enPassNext := b.NewBlock("energy_pass_next")
+	enDone := b.NewBlock("energy_done")
+	exit := b.NewBlock("exit")
+
+	entry.
+		Li(r0, 0).
+		Load(r1, r0, 0).
+		Load(r2, r0, 1).
+		Li(r3, 0).
+		Li(r8, 0)
+	entry.Jump(batchHead)
+
+	batchHead.Branch(isa.LT, r3, r1, batchInit, batchDone)
+	batchInit.
+		Mul(r13, r3, r2).
+		MulI(r13, r13, 2).
+		AddI(r13, r13, fftInBase).
+		Li(r4, 0)
+	batchInit.Jump(brHead)
+
+	// Bit-reverse copy: buf[rev(i)] = in[base + i], 8 unrolled bit steps.
+	brHead.Branch(isa.LT, r4, r2, brBody, brDone)
+	brBody.
+		Mov(r5, r4).
+		Li(r7, 0).
+		AndI(r9, r5, 1).ShlI(r7, r7, 1).Or(r7, r7, r9).ShrI(r5, r5, 1).
+		AndI(r9, r5, 1).ShlI(r7, r7, 1).Or(r7, r7, r9).ShrI(r5, r5, 1).
+		AndI(r9, r5, 1).ShlI(r7, r7, 1).Or(r7, r7, r9).ShrI(r5, r5, 1).
+		AndI(r9, r5, 1).ShlI(r7, r7, 1).Or(r7, r7, r9).ShrI(r5, r5, 1).
+		AndI(r9, r5, 1).ShlI(r7, r7, 1).Or(r7, r7, r9).ShrI(r5, r5, 1).
+		AndI(r9, r5, 1).ShlI(r7, r7, 1).Or(r7, r7, r9).ShrI(r5, r5, 1).
+		AndI(r9, r5, 1).ShlI(r7, r7, 1).Or(r7, r7, r9).ShrI(r5, r5, 1).
+		AndI(r9, r5, 1).ShlI(r7, r7, 1).Or(r7, r7, r9).
+		MulI(r16, r4, 2).
+		Add(r16, r16, r13).
+		Load(r10, r16, 0).
+		Load(r11, r16, 1).
+		MulI(r17, r7, 2).
+		AddI(r17, r17, fftBufBase).
+		Store(r17, 0, r10).
+		Store(r17, 1, r11).
+		AddI(r4, r4, 1)
+	brBody.Jump(brHead)
+	brDone.
+		Li(r6, 2)
+	brDone.Jump(stageHead)
+
+	// Stages: len = 2,4,...,N.
+	stageHead.Branch(isa.LE, r6, r2, stageInit, stageDone)
+	stageInit.
+		ShrI(r14, r6, 1).
+		Div(r15, r2, r6).
+		Li(r4, 0)
+	stageInit.Jump(grpHead)
+	grpHead.Branch(isa.LT, r4, r2, grpInit, stageNext)
+	grpInit.
+		Mov(r5, r4)
+	grpInit.Jump(bflyHead)
+	bflyHead.
+		Add(r7, r4, r14)
+	bflyHead.Branch(isa.LT, r5, r7, bflyBody, grpNext)
+	bflyBody.
+		// addresses
+		MulI(r16, r5, 2).
+		AddI(r16, r16, fftBufBase).
+		Add(r17, r16, r14).
+		Add(r17, r17, r14).
+		// operands
+		Load(r9, r16, 0).
+		Load(r10, r16, 1).
+		Load(r11, r17, 0).
+		Load(r12, r17, 1).
+		// twiddle: k = (j-i)*stride
+		Sub(r18, r5, r4).
+		Mul(r18, r18, r15).
+		MulI(r18, r18, 2).
+		AddI(r18, r18, fftTw).
+		Load(r19, r18, 0).
+		Load(r20, r18, 1).
+		// tr = (br*c + bi*(-s)) >> 15 ; ti = (bi*c - br*(-s)) >> 15
+		Mul(r21, r11, r19).
+		Mul(r7, r12, r20).
+		Add(r21, r21, r7).
+		ShrI(r21, r21, 15).
+		Mul(r22, r12, r19).
+		Mul(r7, r11, r20).
+		Sub(r22, r22, r7).
+		ShrI(r22, r22, 15).
+		// buf[j] = a + t ; buf[j+half] = a - t
+		Add(r7, r9, r21).
+		Store(r16, 0, r7).
+		Add(r7, r10, r22).
+		Store(r16, 1, r7).
+		Sub(r7, r9, r21).
+		Store(r17, 0, r7).
+		Sub(r7, r10, r22).
+		Store(r17, 1, r7).
+		AddI(r5, r5, 1)
+	bflyBody.Jump(bflyHead)
+	grpNext.
+		Add(r4, r4, r6)
+	grpNext.Jump(grpHead)
+	stageNext.
+		ShlI(r6, r6, 1)
+	stageNext.Jump(stageHead)
+	stageDone.
+		Li(r4, 0).
+		Li(r23, 0)
+	stageDone.Jump(outHead)
+
+	// Per-batch energy: sum |buf[i]|^2 >> 15.
+	outHead.Branch(isa.LT, r4, r2, outBody, batchNext)
+	outBody.
+		MulI(r16, r4, 2).
+		AddI(r16, r16, fftBufBase).
+		Load(r10, r16, 0).
+		Load(r11, r16, 1).
+		Mul(r10, r10, r10).
+		Mul(r11, r11, r11).
+		Add(r10, r10, r11).
+		ShrI(r10, r10, 15).
+		Add(r23, r23, r10).
+		AddI(r4, r4, 1)
+	outBody.Jump(outHead)
+	batchNext.
+		AddI(r16, r3, fftMagBase).
+		Store(r16, 0, r23).
+		Add(r8, r8, r23).
+		AddI(r3, r3, 1)
+	batchNext.Jump(batchHead)
+	batchDone.
+		Store(r0, 3, r8).
+		Li(r3, 0).
+		Li(r8, 0)
+	batchDone.Jump(enHead)
+
+	// Nest 2: spectral smoothing — 40 passes of a 1-2-1 filter over the
+	// last batch's real parts (r3 = pass, r4 = i).
+	enHead.
+		Li(r7, 40)
+	enHead.Branch(isa.LT, r3, r7, enPassInit, enDone)
+	enPassInit.
+		Li(r4, 1)
+	enPassInit.Jump(enBody)
+	enBody.
+		SubI(r7, r2, 1)
+	enBody.Branch(isa.LT, r4, r7, enIBody, enPassNext)
+	enIBody.
+		MulI(r16, r4, 2).
+		AddI(r16, r16, fftBufBase).
+		Load(r9, r16, -2).
+		Load(r10, r16, 0).
+		Load(r11, r16, 2).
+		ShlI(r10, r10, 1).
+		Add(r9, r9, r10).
+		Add(r9, r9, r11).
+		ShrI(r9, r9, 2).
+		Store(r16, 0, r9).
+		Xor(r8, r8, r9).
+		AddI(r4, r4, 1)
+	enIBody.Jump(enBody)
+	enPassNext.
+		AddI(r3, r3, 1)
+	enPassNext.Jump(enHead)
+	enDone.
+		Store(r0, 4, r8)
+	enDone.Jump(exit)
+	exit.Halt()
+
+	prog := b.Build()
+	return &Workload{Name: "fft", Program: prog, GenInput: fftInput}
+}
+
+// fftInput builds one run's memory image: the Q15 twiddle table plus a
+// multi-tone input signal.
+func fftInput(run int) []int64 {
+	r := rng("fft", run)
+	batches := 10 + r.Intn(4)
+	mem := make([]int64, fftInBase+batches*fftN*2)
+	mem[0] = int64(batches)
+	mem[1] = fftN
+	for k := 0; k < fftN/2; k++ {
+		ang := 2 * math.Pi * float64(k) / float64(fftN)
+		mem[fftTw+2*k] = int64(math.Round(math.Cos(ang) * 32767))
+		mem[fftTw+2*k+1] = int64(math.Round(-math.Sin(ang) * 32767))
+	}
+	for bt := 0; bt < batches; bt++ {
+		f1 := 3 + r.Intn(20)
+		f2 := 30 + r.Intn(60)
+		a1 := 4000 + r.Intn(8000)
+		a2 := 1000 + r.Intn(4000)
+		for i := 0; i < fftN; i++ {
+			t := 2 * math.Pi * float64(i) / float64(fftN)
+			v := float64(a1)*math.Sin(t*float64(f1)) +
+				float64(a2)*math.Cos(t*float64(f2)) +
+				float64(r.Intn(600)-300)
+			mem[fftInBase+(bt*fftN+i)*2] = int64(v)
+			mem[fftInBase+(bt*fftN+i)*2+1] = 0
+		}
+	}
+	return mem
+}

@@ -1,0 +1,223 @@
+package mibench
+
+import "eddie/internal/isa"
+
+// GSM memory layout (word addresses):
+//
+//	0:      F (frame count)    1: S (samples per frame)   2: gain g
+//	3..5:   checksum outputs
+//	sig:    16 .. 16+F*S            input speech samples
+//	acf:    acfBase .. +F*9         per-frame autocorrelation (lags 0..8)
+//	enc:    encBase .. +F*S         quantized output
+//
+// Mirrors MiBench gsm (encoder side): an autocorrelation nest (regular,
+// multiply-heavy), an irregular long-term-search-like nest whose
+// per-frame work is strongly data-dependent (this is the "peakless"
+// region responsible for GSM's poor coverage in the paper), and a
+// quantization nest.
+const (
+	gsmMaxF    = 140
+	gsmMaxS    = 96
+	gsmSig     = 16
+	gsmAcfBase = gsmSig + gsmMaxF*gsmMaxS
+	gsmEncBase = gsmAcfBase + gsmMaxF*9
+	gsmWords   = gsmEncBase + gsmMaxF*gsmMaxS
+)
+
+// GSM builds the gsm speech-codec workload.
+func GSM() *Workload {
+	b := isa.NewBuilder("gsm", gsmWords)
+
+	// Registers: r0=0, r1=F, r2=S, r3=f, r4=lag, r5=n, r6=acc,
+	// r7/r9/r10=scratch, r8=checksum, r11=frame base, r12=g,
+	// r13=addr, r14=irregular counter.
+	entry := b.NewBlock("entry")
+	acFrame := b.NewBlock("ac_frame")
+	acLagHead := b.NewBlock("ac_lag_head")
+	acNHead := b.NewBlock("ac_n_head")
+	acNBody := b.NewBlock("ac_n_body")
+	acLagDone := b.NewBlock("ac_lag_done")
+	acFrameDone := b.NewBlock("ac_frame_done")
+	acDone := b.NewBlock("ac_done")
+	ltFrame := b.NewBlock("lt_frame")
+	ltWorkHead := b.NewBlock("lt_work_head")
+	ltWorkBody := b.NewBlock("lt_work_body")
+	ltFrameDone := b.NewBlock("lt_frame_done")
+	ltDone := b.NewBlock("lt_done")
+	qFrame := b.NewBlock("q_frame")
+	qNHead := b.NewBlock("q_n_head")
+	qNBody := b.NewBlock("q_n_body")
+	qClampHi := b.NewBlock("q_clamp_hi")
+	qStore := b.NewBlock("q_store")
+	qFrameDone := b.NewBlock("q_frame_done")
+	qDone := b.NewBlock("q_done")
+	exit := b.NewBlock("exit")
+
+	entry.
+		Li(r0, 0).
+		Load(r1, r0, 0).
+		Load(r2, r0, 1).
+		Load(r12, r0, 2).
+		Li(r3, 0).
+		Li(r8, 0)
+	entry.Jump(acFrame)
+
+	// Nest 1: autocorrelation, lags 0..8 over each frame.
+	acFrame.Branch(isa.LT, r3, r1, acLagHeadInit(b, acLagHead), acDone)
+	acLagHead.
+		Li(r7, 9)
+	acLagHead.Branch(isa.LT, r4, r7, acNHeadInit(b, acNHead), acFrameDone)
+	acNHead.Branch(isa.LT, r5, r2, acNBody, acLagDone)
+	acNBody.
+		Add(r13, r11, r5).
+		Load(r9, r13, 0).
+		Sub(r13, r13, r4).
+		Load(r10, r13, 0).
+		Mul(r9, r9, r10).
+		ShrI(r9, r9, 8).
+		Add(r6, r6, r9).
+		AddI(r5, r5, 1)
+	acNBody.Jump(acNHead)
+	acLagDone.
+		// acf[f*9+lag] = acc
+		MulI(r13, r3, 9).
+		Add(r13, r13, r4).
+		AddI(r13, r13, gsmAcfBase).
+		Store(r13, 0, r6).
+		Add(r8, r8, r6).
+		AddI(r4, r4, 1)
+	acLagDone.Jump(acLagHead)
+	acFrameDone.
+		AddI(r3, r3, 1)
+	acFrameDone.Jump(acFrame)
+	acDone.
+		Store(r0, 3, r8).
+		Li(r3, 0).
+		Li(r8, 0)
+	acDone.Jump(ltFrame)
+
+	// Nest 2: irregular search — per-frame work proportional to the
+	// frame's first sample modulo a prime, so per-iteration time varies
+	// wildly and the spectrum shows no clean peak.
+	ltFrame.Branch(isa.LT, r3, r1, ltSetup(b, ltWorkHead), ltDone)
+	ltWorkHead.Branch(isa.GT, r14, r0, ltWorkBody, ltFrameDone)
+	ltWorkBody.
+		// A small multiply-accumulate chain over pseudo-random offsets.
+		MulI(r9, r14, 2654435761).
+		AndI(r9, r9, 63).
+		Add(r13, r11, r9).
+		Load(r10, r13, 0).
+		Mul(r10, r10, r10).
+		ShrI(r10, r10, 6).
+		Add(r8, r8, r10).
+		SubI(r14, r14, 1)
+	ltWorkBody.Jump(ltWorkHead)
+	ltFrameDone.
+		AddI(r3, r3, 1)
+	ltFrameDone.Jump(ltFrame)
+	ltDone.
+		Store(r0, 4, r8).
+		Li(r3, 0).
+		Li(r8, 0)
+	ltDone.Jump(qFrame)
+
+	// Nest 3: quantize each sample: q = clamp((s*g) >> 6, 0..4095).
+	qFrame.Branch(isa.LT, r3, r1, qSetup(b, qNHead), qDone)
+	qNHead.Branch(isa.LT, r5, r2, qNBody, qFrameDone)
+	qNBody.
+		Add(r13, r11, r5).
+		Load(r9, r13, 0).
+		Mul(r9, r9, r12).
+		ShrI(r9, r9, 6).
+		Li(r7, 4095)
+	qNBody.Branch(isa.GT, r9, r7, qClampHi, qStore)
+	qClampHi.
+		Li(r9, 4095)
+	qClampHi.Jump(qStore)
+	qStore.
+		Mul(r13, r3, r2).
+		Add(r13, r13, r5).
+		AddI(r13, r13, gsmEncBase).
+		Store(r13, 0, r9).
+		Add(r8, r8, r9).
+		AddI(r5, r5, 1)
+	qStore.Jump(qNHead)
+	qFrameDone.
+		AddI(r3, r3, 1)
+	qFrameDone.Jump(qFrame)
+	qDone.
+		Store(r0, 5, r8)
+	qDone.Jump(exit)
+	exit.Halt()
+
+	prog := b.Build()
+	return &Workload{Name: "gsm", Program: prog, GenInput: gsmInput}
+}
+
+// acLagHeadInit prepares one frame's autocorrelation state.
+func acLagHeadInit(b *isa.Builder, lagHead *isa.BlockBuilder) *isa.BlockBuilder {
+	w := b.NewBlock("ac_frame_init")
+	w.
+		Mul(r11, r3, r2).
+		AddI(r11, r11, gsmSig).
+		Li(r4, 0)
+	w.Jump(lagHead)
+	return w
+}
+
+// acNHeadInit prepares one lag's accumulation: start n at the lag so the
+// window never reads before the frame base.
+func acNHeadInit(b *isa.Builder, nHead *isa.BlockBuilder) *isa.BlockBuilder {
+	w := b.NewBlock("ac_lag_init")
+	w.
+		Mov(r5, r4).
+		Li(r6, 0)
+	w.Jump(nHead)
+	return w
+}
+
+// ltSetup derives the highly variable per-frame work count.
+func ltSetup(b *isa.Builder, workHead *isa.BlockBuilder) *isa.BlockBuilder {
+	w := b.NewBlock("lt_setup")
+	w.
+		Mul(r11, r3, r2).
+		AddI(r11, r11, gsmSig).
+		Load(r14, r11, 0).
+		RemI(r14, r14, 389).
+		MulI(r14, r14, 3)
+	w.Jump(workHead)
+	return w
+}
+
+// qSetup prepares one frame's quantization loop.
+func qSetup(b *isa.Builder, nHead *isa.BlockBuilder) *isa.BlockBuilder {
+	w := b.NewBlock("q_setup")
+	w.
+		Mul(r11, r3, r2).
+		AddI(r11, r11, gsmSig).
+		Li(r5, 0)
+	w.Jump(nHead)
+	return w
+}
+
+// gsmInput builds one run's memory image: a synthetic voiced-speech-like
+// signal (sum of two "formants" plus noise).
+func gsmInput(run int) []int64 {
+	r := rng("gsm", run)
+	f := 110 + r.Intn(24)
+	s := 72 + r.Intn(20)
+	mem := make([]int64, gsmSig+f*s)
+	mem[0] = int64(f)
+	mem[1] = int64(s)
+	mem[2] = int64(20 + r.Intn(30))
+	p1 := 7 + r.Intn(5)
+	p2 := 17 + r.Intn(7)
+	for i := 0; i < f*s; i++ {
+		v := 200 + 80*((i%p1)-(p1/2)) + 40*((i%p2)-(p2/2)) + r.Intn(60)
+		if v < 1 {
+			v = 1
+		}
+		mem[gsmSig+i] = int64(v)
+	}
+	return mem
+}

@@ -1,0 +1,149 @@
+package mibench
+
+import (
+	"testing"
+
+	"eddie/internal/cfg"
+	"eddie/internal/isa"
+)
+
+// run executes a workload functionally and returns the result.
+func run(t *testing.T, w *Workload, runIdx int) *isa.ExecResult {
+	t.Helper()
+	res, err := isa.Execute(w.Program, isa.ExecConfig{
+		MaxInstrs: 20_000_000,
+		InitMem:   w.GenInput(runIdx),
+	}, nil)
+	if err != nil {
+		t.Fatalf("%s: execute: %v", w.Name, err)
+	}
+	return res
+}
+
+func TestWorkloadsExecuteWithinBudget(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			res := run(t, w, 0)
+			if res.DynInstrs < 100_000 {
+				t.Errorf("%s: only %d dynamic instructions; too small for a region trace", w.Name, res.DynInstrs)
+			}
+			if res.DynInstrs > 5_000_000 {
+				t.Errorf("%s: %d dynamic instructions; too slow for the experiment matrix", w.Name, res.DynInstrs)
+			}
+			t.Logf("%s: %d dynamic instructions", w.Name, res.DynInstrs)
+		})
+	}
+}
+
+func TestWorkloadsHaveMultipleLoopNests(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			m, err := cfg.BuildMachine(w.Program)
+			if err != nil {
+				t.Fatalf("BuildMachine: %v", err)
+			}
+			if len(m.Nests) < 2 {
+				t.Errorf("%s: %d loop nests, want >= 2 (EDDIE needs region transitions)", w.Name, len(m.Nests))
+			}
+			t.Logf("%s: %d nests, %d regions", w.Name, len(m.Nests), m.NumRegions())
+		})
+	}
+}
+
+func TestWorkloadInputsVaryAcrossRuns(t *testing.T) {
+	for _, w := range All() {
+		a := w.GenInput(0)
+		b := w.GenInput(1)
+		same := len(a) == len(b)
+		if same {
+			diff := 0
+			for i := range a {
+				if a[i] != b[i] {
+					diff++
+				}
+			}
+			if diff == 0 {
+				t.Errorf("%s: runs 0 and 1 have identical inputs", w.Name)
+			}
+		}
+		c := w.GenInput(0)
+		if len(c) != len(a) {
+			t.Fatalf("%s: GenInput(0) not deterministic in length", w.Name)
+		}
+		for i := range a {
+			if a[i] != c[i] {
+				t.Fatalf("%s: GenInput(0) not deterministic at word %d", w.Name, i)
+			}
+		}
+	}
+}
+
+func TestBitcountOracle(t *testing.T) {
+	w := Bitcount()
+	mem := w.GenInput(3)
+	res := run(t, w, 3)
+	n := int(mem[bitcountNAddr])
+	var want int64
+	for i := 0; i < n; i++ {
+		v := uint32(mem[bitcountArr+i])
+		c := int64(popcount32(v))
+		want += c
+		for m := 0; m < bitcountMethods; m++ {
+			got := res.Mem[bitcountOut+m*bitcountMaxN+i]
+			if got != c {
+				t.Fatalf("method %d item %d: got %d bits, want %d (v=%#x)", m+1, i, got, c, v)
+			}
+		}
+	}
+	for m := 0; m < bitcountMethods; m++ {
+		if got := res.Mem[bitcountSums+m]; got != want {
+			t.Errorf("method %d checksum: got %d, want %d", m+1, got, want)
+		}
+	}
+}
+
+func popcount32(v uint32) int {
+	c := 0
+	for v != 0 {
+		c += int(v & 1)
+		v >>= 1
+	}
+	return c
+}
+
+func TestBasicmathOracle(t *testing.T) {
+	w := Basicmath()
+	mem := w.GenInput(5)
+	res := run(t, w, 5)
+	n := int(mem[basicmathNAddr])
+	for i := 0; i < n; i++ {
+		v := mem[basicmathArr+i]
+		// Cube root: replicate the 8 Newton steps exactly.
+		x := (v >> 20) + 64
+		for it := 0; it < 8; it++ {
+			x = (2*x + v/(x*x)) / 3
+		}
+		if got := res.Mem[basicmathArr+basicmathMaxN+i]; got != x {
+			t.Fatalf("cbrt item %d: got %d, want %d (v=%d)", i, got, x, v)
+		}
+		// isqrt: exact integer square root of v & 0x3fffffff.
+		vv := v & 0x3fffffff
+		var s int64
+		for bit := int64(15); bit >= 0; bit-- {
+			trial := s | 1<<uint(bit)
+			if trial*trial <= vv {
+				s = trial
+			}
+		}
+		if got := res.Mem[basicmathArr+2*basicmathMaxN+i]; got != s {
+			t.Fatalf("isqrt item %d: got %d, want %d (v=%d)", i, got, s, vv)
+		}
+		// Degree conversion.
+		rad := v * 314159 / 18000000
+		if got := res.Mem[basicmathArr+3*basicmathMaxN+i]; got != rad {
+			t.Fatalf("rad item %d: got %d, want %d", i, got, rad)
+		}
+	}
+}

@@ -1,0 +1,453 @@
+package mibench
+
+import "testing"
+
+// These tests replicate each workload's algorithm in plain Go (including
+// fixed-point truncation) and compare architectural results word by word,
+// proving the ISA programs compute what they claim to.
+
+func TestDijkstraOracle(t *testing.T) {
+	w := Dijkstra()
+	mem := w.GenInput(2)
+	res := run(t, w, 2)
+	v := int(mem[0])
+	k := int(mem[1])
+	// Replicate the weight derivation nest.
+	adj := make([]int64, v*v)
+	for i := 0; i < v*v; i++ {
+		raw := mem[dijkstraAdj+i]
+		wgt := raw%97 + 1
+		wgt *= int64((i / v) ^ (i % v))
+		adj[i] = wgt
+	}
+	var checksum int64
+	for s := 0; s < k; s++ {
+		dist := make([]int64, v)
+		vis := make([]bool, v)
+		for i := range dist {
+			dist[i] = dijkstraInf
+		}
+		dist[s] = 0
+		for step := 0; step < v; step++ {
+			best := int64(dijkstraInf * 2)
+			bi := -1
+			for i := 0; i < v; i++ {
+				if !vis[i] && dist[i] < best {
+					best = dist[i]
+					bi = i
+				}
+			}
+			if bi < 0 {
+				break
+			}
+			vis[bi] = true
+			for j := 0; j < v; j++ {
+				if nd := dist[bi] + adj[bi*v+j]; nd < dist[j] {
+					dist[j] = nd
+				}
+			}
+		}
+		for i := 0; i < v; i++ {
+			got := res.Mem[dijkstraOut+s*v+i]
+			if got != dist[i] {
+				t.Fatalf("source %d vertex %d: got %d, want %d", s, i, got, dist[i])
+			}
+			checksum += dist[i]
+		}
+	}
+	if got := res.Mem[2]; got != checksum {
+		t.Errorf("checksum: got %d, want %d", got, checksum)
+	}
+}
+
+func TestPatriciaOracle(t *testing.T) {
+	w := Patricia()
+	mem := w.GenInput(7)
+	res := run(t, w, 7)
+	m := int(mem[0])
+	q := int(mem[1])
+	d := int(mem[2])
+	type node struct {
+		child [2]int
+		val   int64
+	}
+	nodes := make([]node, 1, patriciaMaxNodes) // node 0 = root
+	for i := 0; i < m; i++ {
+		key := mem[patriciaKeys+i]
+		cur := 0
+		for bit := d - 1; bit >= 0; bit-- {
+			c := int(key>>uint(bit)) & 1
+			if nodes[cur].child[c] == 0 {
+				nodes = append(nodes, node{})
+				nodes[cur].child[c] = len(nodes) - 1
+			}
+			cur = nodes[cur].child[c]
+		}
+		nodes[cur].val++
+	}
+	if got := res.Mem[3]; got != int64(len(nodes)) {
+		t.Errorf("node count: got %d, want %d", got, len(nodes))
+	}
+	var hits int64
+	for i := 0; i < q; i++ {
+		key := mem[patriciaProbes+i]
+		cur := 0
+		found := true
+		for bit := d - 1; bit >= 0; bit-- {
+			c := int(key>>uint(bit)) & 1
+			if nodes[cur].child[c] == 0 {
+				found = false
+				break
+			}
+			cur = nodes[cur].child[c]
+		}
+		if found && nodes[cur].val > 0 {
+			hits++
+		}
+	}
+	if got := res.Mem[4]; got != hits {
+		t.Errorf("hit count: got %d, want %d", got, hits)
+	}
+}
+
+func TestShaOracle(t *testing.T) {
+	w := Sha()
+	mem := w.GenInput(11)
+	res := run(t, w, 11)
+	l := int(mem[0])
+	mask := int64(shaMask)
+	// Pre-pass.
+	msg := make([]int64, l*16)
+	for i := range msg {
+		v := mem[shaMsg+i]
+		v = ((v << 8) | (v >> 24)) & mask
+		v ^= 0x36363636
+		v &= mask
+		msg[i] = v
+	}
+	h := []int64{mem[1], mem[2], mem[3], mem[4], mem[5]}
+	rotl := func(x int64, s uint) int64 {
+		return ((x << s) | (x >> (32 - s))) & mask
+	}
+	var ww [16]int64
+	for blk := 0; blk < l; blk++ {
+		copy(ww[:], msg[blk*16:blk*16+16])
+		a, b2, c, d, e := h[0], h[1], h[2], h[3], h[4]
+		for t2 := 0; t2 < 80; t2++ {
+			if t2 >= 16 {
+				v := ww[(t2-3)&15] ^ ww[(t2-8)&15] ^ ww[(t2-14)&15] ^ ww[t2&15]
+				ww[t2&15] = rotl(v&mask, 1)
+			}
+			wt := ww[t2&15]
+			var f, k2 int64
+			switch {
+			case t2 < 20:
+				f = (b2 & c) | ((b2 ^ mask) & d)
+				k2 = 0x5a827999
+			case t2 < 40:
+				f = b2 ^ c ^ d
+				k2 = 0x6ed9eba1
+			case t2 < 60:
+				f = (b2 & c) | (b2 & d) | (c & d)
+				k2 = 0x8f1bbcdc
+			default:
+				f = b2 ^ c ^ d
+				k2 = 0xca62c1d6
+			}
+			temp := (rotl(a, 5) + f + e + k2 + wt) & mask
+			e, d, c, b2, a = d, c, rotl(b2, 30), a, temp
+		}
+		h[0] = (h[0] + a) & mask
+		h[1] = (h[1] + b2) & mask
+		h[2] = (h[2] + c) & mask
+		h[3] = (h[3] + d) & mask
+		h[4] = (h[4] + e) & mask
+	}
+	for i := 0; i < 5; i++ {
+		if got := res.Mem[1+i]; got != h[i] {
+			t.Fatalf("h%d: got %#x, want %#x", i, got, h[i])
+		}
+	}
+	want := h[0] ^ h[1] ^ h[2] ^ h[3] ^ h[4]
+	if got := res.Mem[6]; got != want {
+		t.Errorf("digest checksum: got %#x, want %#x", got, want)
+	}
+}
+
+func TestRijndaelOracle(t *testing.T) {
+	w := Rijndael()
+	mem := w.GenInput(4)
+	res := run(t, w, 4)
+	l := int(mem[0])
+	mask := int64(0xffffffff)
+	sbox := mem[rijSbox : rijSbox+256]
+	rk := mem[rijRkBase : rijRkBase+176]
+	var checksum int64
+	for blk := 0; blk < l; blk++ {
+		var st [16]int64
+		for i := 0; i < 16; i++ {
+			v := mem[rijMsgBase+blk*16+i]
+			idx := blk*16 + i
+			v ^= rk[idx%16]
+			v = (v + int64(idx)) & mask
+			st[i] = v
+		}
+		for r := 0; r < 10; r++ {
+			var tmp [16]int64
+			for i := 0; i < 16; i++ {
+				v := sbox[st[(i*5+r)&15]&255]
+				tmp[i] = v ^ rk[r*16+i]
+			}
+			for i := 0; i < 16; i++ {
+				st[i] = (tmp[i] ^ (tmp[(i+1)&15] << 1)) & mask
+			}
+		}
+		for i := 0; i < 16; i++ {
+			got := res.Mem[rijOutBase+blk*16+i]
+			if got != st[i] {
+				t.Fatalf("block %d word %d: got %#x, want %#x", blk, i, got, st[i])
+			}
+			checksum ^= st[i]
+		}
+	}
+	if got := res.Mem[1]; got != checksum {
+		t.Errorf("checksum: got %#x, want %#x", got, checksum)
+	}
+}
+
+func TestStringsearchOracle(t *testing.T) {
+	w := Stringsearch()
+	mem := w.GenInput(9)
+	res := run(t, w, 9)
+	n := int(mem[0])
+	p := int(mem[1])
+	text := make([]int64, n)
+	var hash int64
+	for i := 0; i < n; i++ {
+		c := mem[ssTextBase+i]
+		if c >= 32 {
+			c -= 32
+		}
+		text[i] = c
+	}
+	// Every pre-pass round hashes the (idempotently) normalized text, so
+	// the stored checksum equals one round's hash.
+	for _, c := range text {
+		hash = (hash*31 + c) & 0xffffffff
+	}
+	if got := res.Mem[3]; got != hash {
+		t.Fatalf("pre-pass hash: got %#x, want %#x", got, hash)
+	}
+	var matches int64
+	for k := 0; k < p; k++ {
+		plen := int(mem[ssPlens+k])
+		pat := mem[ssPatBase+k*16 : ssPatBase+k*16+plen]
+		var skip [64]int64
+		for i := range skip {
+			skip[i] = int64(plen)
+		}
+		for i := 0; i < plen-1; i++ {
+			skip[pat[i]&63] = int64(plen - 1 - i)
+		}
+		i := plen - 1
+		for i < n {
+			j := 0
+			for j < plen && pat[plen-1-j] == text[i-j] {
+				j++
+			}
+			if j == plen {
+				matches++
+			}
+			i += int(skip[text[i]&63])
+		}
+	}
+	if got := res.Mem[2]; got != matches {
+		t.Errorf("match count: got %d, want %d (patterns=%d)", got, matches, p)
+	}
+	if matches == 0 {
+		t.Error("no matches found; inputs should guarantee some hits")
+	}
+}
+
+func TestFFTOracle(t *testing.T) {
+	w := FFT()
+	mem := w.GenInput(6)
+	res := run(t, w, 6)
+	batches := int(mem[0])
+	n := int(mem[1])
+	tw := mem[fftTw : fftTw+n]
+	var checksum int64
+	for bt := 0; bt < batches; bt++ {
+		re := make([]int64, n)
+		im := make([]int64, n)
+		for i := 0; i < n; i++ {
+			// bit reverse of 8 bits
+			j := 0
+			x := i
+			for b := 0; b < 8; b++ {
+				j = (j << 1) | (x & 1)
+				x >>= 1
+			}
+			re[j] = mem[fftInBase+(bt*n+i)*2]
+			im[j] = mem[fftInBase+(bt*n+i)*2+1]
+		}
+		for length := 2; length <= n; length <<= 1 {
+			half := length / 2
+			stride := n / length
+			for g := 0; g < n; g += length {
+				for j := g; j < g+half; j++ {
+					k := (j - g) * stride
+					c := tw[2*k]
+					ns := tw[2*k+1]
+					br, bi := re[j+half], im[j+half]
+					tr := (br*c + bi*ns) >> 15
+					ti := (bi*c - br*ns) >> 15
+					ar, ai := re[j], im[j]
+					re[j], im[j] = ar+tr, ai+ti
+					re[j+half], im[j+half] = ar-tr, ai-ti
+				}
+			}
+		}
+		var energy int64
+		for i := 0; i < n; i++ {
+			energy += (re[i]*re[i] + im[i]*im[i]) >> 15
+		}
+		checksum += energy
+		if got := res.Mem[fftMagBase+bt]; got != energy {
+			t.Errorf("batch %d energy: got %d, want %d", bt, got, energy)
+		}
+		if bt == batches-1 {
+			// Nest 2: 40 in-place (Gauss–Seidel) passes of a 1-2-1 filter
+			// over the last batch's real parts, XOR-folded into word 4.
+			var x int64
+			for pass := 0; pass < 40; pass++ {
+				for i := 1; i < n-1; i++ {
+					v := (re[i-1] + 2*re[i] + re[i+1]) >> 2
+					re[i] = v
+					x ^= v
+				}
+			}
+			if got := res.Mem[4]; got != x {
+				t.Errorf("filter checksum: got %#x, want %#x", got, x)
+			}
+			for i := 1; i < n-1; i++ {
+				if got := res.Mem[fftBufBase+2*i]; got != re[i] {
+					t.Fatalf("filtered buf[%d]: got %d, want %d", i, got, re[i])
+				}
+			}
+		}
+	}
+	if got := res.Mem[3]; got != checksum {
+		t.Errorf("energy checksum: got %d, want %d", got, checksum)
+	}
+}
+
+func TestSusanOracle(t *testing.T) {
+	w := Susan()
+	mem := w.GenInput(8)
+	res := run(t, w, 8)
+	wd := int(mem[0])
+	ht := int(mem[1])
+	thr := mem[2]
+	img := func(y, x int) int64 { return mem[susanImg+y*wd+x] }
+	// Nest 1: smoothing.
+	smooth := make([]int64, wd*ht)
+	var sum1 int64
+	for y := 1; y < ht-1; y++ {
+		for x := 1; x < wd-1; x++ {
+			var s int64
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					s += img(y+dy, x+dx)
+				}
+			}
+			s /= 9
+			smooth[y*wd+x] = s
+			sum1 += s
+			if got := res.Mem[susanSm+y*wd+x]; got != s {
+				t.Fatalf("smooth (%d,%d): got %d, want %d", y, x, got, s)
+			}
+		}
+	}
+	if got := res.Mem[3]; got != sum1 {
+		t.Fatalf("smooth checksum: got %d, want %d", got, sum1)
+	}
+	// Nest 2: USAN counts.
+	var sum2 int64
+	for y := 1; y < ht-1; y++ {
+		for x := 1; x < wd-1; x++ {
+			c := smooth[y*wd+x]
+			var cnt int64
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					d := smooth[(y+dy)*wd+x+dx] - c
+					if d < 0 {
+						d = -d
+					}
+					if d <= thr {
+						cnt++
+					}
+				}
+			}
+			sum2 += cnt
+		}
+	}
+	if got := res.Mem[4]; got != sum2 {
+		t.Errorf("usan checksum: got %d, want %d", got, sum2)
+	}
+	// Nest 5: histogram over raw image.
+	hist := make([]int64, 256)
+	for i := 0; i < wd*ht; i++ {
+		hist[mem[susanImg+i]&255]++
+	}
+	for v := 0; v < 256; v++ {
+		if got := res.Mem[susanHist+v]; got != hist[v] {
+			t.Fatalf("hist[%d]: got %d, want %d", v, got, hist[v])
+		}
+	}
+}
+
+func TestGSMOracle(t *testing.T) {
+	w := GSM()
+	mem := w.GenInput(10)
+	res := run(t, w, 10)
+	f := int(mem[0])
+	s := int(mem[1])
+	g := mem[2]
+	// Nest 1: autocorrelation checksum + stored values.
+	var sum1 int64
+	for fr := 0; fr < f; fr++ {
+		base := fr * s
+		for lag := 0; lag < 9; lag++ {
+			var acc int64
+			for n := lag; n < s; n++ {
+				acc += (mem[gsmSig+base+n] * mem[gsmSig+base+n-lag]) >> 8
+			}
+			if got := res.Mem[gsmAcfBase+fr*9+lag]; got != acc {
+				t.Fatalf("acf frame %d lag %d: got %d, want %d", fr, lag, got, acc)
+			}
+			sum1 += acc
+		}
+	}
+	if got := res.Mem[3]; got != sum1 {
+		t.Errorf("acf checksum: got %d, want %d", got, sum1)
+	}
+	// Nest 3: quantization.
+	var sum3 int64
+	for fr := 0; fr < f; fr++ {
+		base := fr * s
+		for n := 0; n < s; n++ {
+			q := (mem[gsmSig+base+n] * g) >> 6
+			if q > 4095 {
+				q = 4095
+			}
+			if got := res.Mem[gsmEncBase+base+n]; got != q {
+				t.Fatalf("enc frame %d sample %d: got %d, want %d", fr, n, got, q)
+			}
+			sum3 += q
+		}
+	}
+	if got := res.Mem[5]; got != sum3 {
+		t.Errorf("quantize checksum: got %d, want %d", got, sum3)
+	}
+}

@@ -1,0 +1,181 @@
+package mibench
+
+import "eddie/internal/isa"
+
+// Patricia memory layout (word addresses):
+//
+//	0:       M  (insert key count)
+//	1:       Q  (probe key count)
+//	2:       D  (trie depth in bits)
+//	3..4:    outputs: node count, hit count
+//	5:       next free node index (bump allocator, starts at 1)
+//	keys:    16 .. 16+M                  insert keys
+//	probes:  16+maxM .. +Q               probe keys
+//	nodes:   nodeBase ..                 nodes: 3 words {left, right, value}
+//
+// Mirrors MiBench patricia: a trie-insert nest with data-dependent
+// branching per key bit, then a lookup nest over probe keys. Node links
+// are word indices into the node array (0 = null; node 0 is the root).
+const (
+	patriciaMaxM     = 2600
+	patriciaMaxQ     = 2600
+	patriciaKeys     = 16
+	patriciaProbes   = patriciaKeys + patriciaMaxM
+	patriciaNodeBase = patriciaProbes + patriciaMaxQ
+	patriciaMaxNodes = 40000
+	patriciaWords    = patriciaNodeBase + 3*patriciaMaxNodes
+	patriciaDepth    = 12
+)
+
+// Patricia builds the patricia trie workload.
+func Patricia() *Workload {
+	b := isa.NewBuilder("patricia", patriciaWords)
+
+	// Registers: r0=0, r1=M, r2=Q, r3=i, r4=key, r5=cur node addr,
+	// r6=bit index, r7=scratch, r8=hits, r9=child idx, r10=next-free,
+	// r11=D, r12=child slot addr, r13=scratch, r14=scratch.
+	entry := b.NewBlock("entry")
+	insHead := b.NewBlock("ins_head")
+	insKey := b.NewBlock("ins_key")
+	insBitHead := b.NewBlock("ins_bit_head")
+	insBitBody := b.NewBlock("ins_bit_body")
+	insAlloc := b.NewBlock("ins_alloc")
+	insWalk := b.NewBlock("ins_walk")
+	insLeaf := b.NewBlock("ins_leaf")
+	insDone := b.NewBlock("ins_done")
+	qHead := b.NewBlock("probe_head")
+	qKey := b.NewBlock("probe_key")
+	qBitHead := b.NewBlock("probe_bit_head")
+	qBitBody := b.NewBlock("probe_bit_body")
+	qMiss := b.NewBlock("probe_miss")
+	qLeaf := b.NewBlock("probe_leaf")
+	qHit := b.NewBlock("probe_hit")
+	qNext := b.NewBlock("probe_next")
+	qDone := b.NewBlock("probe_done")
+	exit := b.NewBlock("exit")
+
+	entry.
+		Li(r0, 0).
+		Load(r1, r0, 0).
+		Load(r2, r0, 1).
+		Load(r11, r0, 2).
+		Li(r3, 0).
+		Li(r10, 1) // node 0 is the root; allocation starts at 1
+	entry.Jump(insHead)
+
+	// Nest 1: insert M keys, walking D bits from the top.
+	insHead.Branch(isa.LT, r3, r1, insKey, insDone)
+	insKey.
+		AddI(r7, r3, patriciaKeys).
+		Load(r4, r7, 0).
+		Li(r5, 0). // cur = root node index
+		SubI(r6, r11, 1)
+	insKey.Jump(insBitHead)
+	insBitHead.Branch(isa.GE, r6, r0, insBitBody, insLeaf)
+	insBitBody.
+		// child slot = &nodes[cur].left + bit(key, r6)
+		Shr(r7, r4, r6).
+		AndI(r7, r7, 1).
+		MulI(r12, r5, 3).
+		AddI(r12, r12, patriciaNodeBase).
+		Add(r12, r12, r7).
+		Load(r9, r12, 0)
+	insBitBody.Branch(isa.EQ, r9, r0, insAlloc, insWalk)
+	insAlloc.
+		// allocate node r10, link it into the slot
+		Store(r12, 0, r10).
+		Mov(r9, r10).
+		AddI(r10, r10, 1)
+	insAlloc.Jump(insWalk)
+	insWalk.
+		Mov(r5, r9).
+		SubI(r6, r6, 1)
+	insWalk.Jump(insBitHead)
+	insLeaf.
+		// value += 1 at the leaf (counts duplicate keys too)
+		MulI(r12, r5, 3).
+		AddI(r12, r12, patriciaNodeBase).
+		Load(r7, r12, 2).
+		AddI(r7, r7, 1).
+		Store(r12, 2, r7).
+		AddI(r3, r3, 1)
+	insLeaf.Jump(insHead)
+	insDone.
+		Store(r0, 3, r10).
+		Li(r3, 0).
+		Li(r8, 0)
+	insDone.Jump(qHead)
+
+	// Nest 2: probe Q keys; count how many reach a populated leaf.
+	qHead.Branch(isa.LT, r3, r2, qKey, qDone)
+	qKey.
+		AddI(r7, r3, patriciaProbes).
+		Load(r4, r7, 0).
+		Li(r5, 0).
+		SubI(r6, r11, 1)
+	qKey.Jump(qBitHead)
+	qBitHead.Branch(isa.GE, r6, r0, qBitBody, qLeaf)
+	qBitBody.
+		Shr(r7, r4, r6).
+		AndI(r7, r7, 1).
+		MulI(r12, r5, 3).
+		AddI(r12, r12, patriciaNodeBase).
+		Add(r12, r12, r7).
+		Load(r9, r12, 0)
+	qBitBody.Branch(isa.EQ, r9, r0, qMiss, qWalk(b, qBitHead))
+	qMiss.
+		Nop()
+	qMiss.Jump(qNext)
+	qLeaf.
+		MulI(r12, r5, 3).
+		AddI(r12, r12, patriciaNodeBase).
+		Load(r7, r12, 2)
+	qLeaf.Branch(isa.GT, r7, r0, qHit, qNext)
+	qHit.
+		AddI(r8, r8, 1)
+	qHit.Jump(qNext)
+	qNext.
+		AddI(r3, r3, 1)
+	qNext.Jump(qHead)
+	qDone.
+		Store(r0, 4, r8)
+	qDone.Jump(exit)
+	exit.Halt()
+
+	prog := b.Build()
+	return &Workload{Name: "patricia", Program: prog, GenInput: patriciaInput}
+}
+
+// qWalk advances the probe walk to the child and loops back to the bit head.
+func qWalk(b *isa.Builder, bitHead *isa.BlockBuilder) *isa.BlockBuilder {
+	w := b.NewBlock("probe_walk")
+	w.
+		Mov(r5, r9).
+		SubI(r6, r6, 1)
+	w.Jump(bitHead)
+	return w
+}
+
+// patriciaInput builds one run's memory image: random keys clustered so
+// that probe hit rate is data-dependent.
+func patriciaInput(run int) []int64 {
+	r := rng("patricia", run)
+	m := 2200 + r.Intn(300)
+	q := 2200 + r.Intn(300)
+	mem := make([]int64, patriciaProbes+patriciaMaxQ)
+	mem[0] = int64(m)
+	mem[1] = int64(q)
+	mem[2] = patriciaDepth
+	for i := 0; i < m; i++ {
+		mem[patriciaKeys+i] = int64(r.Int31n(1 << patriciaDepth))
+	}
+	for i := 0; i < q; i++ {
+		if r.Intn(2) == 0 {
+			// probe an inserted key
+			mem[patriciaProbes+i] = mem[patriciaKeys+r.Intn(m)]
+		} else {
+			mem[patriciaProbes+i] = int64(r.Int31n(1 << patriciaDepth))
+		}
+	}
+	return mem
+}

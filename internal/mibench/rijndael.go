@@ -1,0 +1,206 @@
+package mibench
+
+import "eddie/internal/isa"
+
+// Rijndael memory layout (word addresses):
+//
+//	0:      L (block count, 16 words each)
+//	1..2:   checksum outputs
+//	sbox:   16 .. 16+256         substitution box (input-provided)
+//	rk:     rkBase .. +176       expanded round keys (11 x 16 words)
+//	msg:    msgBase .. +L*16     plaintext blocks
+//	out:    outBase .. +L*16     ciphertext blocks
+//	st:     stBase .. +16        state buffer
+//	tmp:    tmpBase .. +16       round temporary buffer
+//
+// Mirrors MiBench rijndael: a whitening/swizzle nest over the input, then
+// the encryption nest (blocks x 10 rounds x 16 byte substitutions with a
+// shift-rows-style permutation and a mix step).
+const (
+	rijMaxL    = 300
+	rijSbox    = 16
+	rijRkBase  = rijSbox + 256
+	rijMsgBase = rijRkBase + 176
+	rijOutBase = rijMsgBase + rijMaxL*16
+	rijStBase  = rijOutBase + rijMaxL*16
+	rijTmpBase = rijStBase + 16
+	rijWords   = rijTmpBase + 16
+)
+
+// Rijndael builds the AES-like block-cipher workload.
+func Rijndael() *Workload {
+	b := isa.NewBuilder("rijndael", rijWords)
+
+	// Registers: r0=0, r1=L, r3=block, r4=round, r5=i (byte), r6=val,
+	// r7=scratch, r8=checksum, r9=addr, r10=scratch, r11=msg block base,
+	// r12=out block base, r13=round-key base, r14=total words L*16,
+	// r15=i2 (pre-pass index).
+	entry := b.NewBlock("entry")
+	whHead := b.NewBlock("whiten_head")
+	whBody := b.NewBlock("whiten_body")
+	whDone := b.NewBlock("whiten_done")
+	blkHead := b.NewBlock("blk_head")
+	blkInit := b.NewBlock("blk_init")
+	ldHead := b.NewBlock("ld_head")
+	ldBody := b.NewBlock("ld_body")
+	ldDone := b.NewBlock("ld_done")
+	rndHead := b.NewBlock("rnd_head")
+	rndInit := b.NewBlock("rnd_init")
+	subHead := b.NewBlock("sub_head")
+	subBody := b.NewBlock("sub_body")
+	subDone := b.NewBlock("sub_done")
+	mixHead := b.NewBlock("mix_head")
+	mixBody := b.NewBlock("mix_body")
+	mixDone := b.NewBlock("mix_done")
+	stHead := b.NewBlock("st_head")
+	stBody := b.NewBlock("st_body")
+	blkNext := b.NewBlock("blk_next")
+	blkDone := b.NewBlock("blk_done")
+	exit := b.NewBlock("exit")
+
+	entry.
+		Li(r0, 0).
+		Load(r1, r0, 0).
+		MulI(r14, r1, 16).
+		Li(r15, 0).
+		Li(r8, 0)
+	entry.Jump(whHead)
+
+	// Nest 1: whitening pre-pass: msg[i] ^= rk[i % 16] + i.
+	whHead.Branch(isa.LT, r15, r14, whBody, whDone)
+	whBody.
+		AddI(r9, r15, rijMsgBase).
+		Load(r6, r9, 0).
+		AndI(r7, r15, 15).
+		AddI(r7, r7, rijRkBase).
+		Load(r7, r7, 0).
+		Xor(r6, r6, r7).
+		Add(r6, r6, r15).
+		AndI(r6, r6, 0xffffffff).
+		Store(r9, 0, r6).
+		AddI(r15, r15, 1)
+	whBody.Jump(whHead)
+	whDone.
+		Li(r3, 0)
+	whDone.Jump(blkHead)
+
+	// Main nest: encrypt each block.
+	blkHead.Branch(isa.LT, r3, r1, blkInit, blkDone)
+	blkInit.
+		MulI(r11, r3, 16).
+		AddI(r12, r11, rijOutBase).
+		AddI(r11, r11, rijMsgBase).
+		Li(r5, 0)
+	blkInit.Jump(ldHead)
+	// Load state = msg block.
+	ldHead.
+		Li(r7, 16)
+	ldHead.Branch(isa.LT, r5, r7, ldBody, ldDone)
+	ldBody.
+		Add(r9, r11, r5).
+		Load(r6, r9, 0).
+		AddI(r9, r5, rijStBase).
+		Store(r9, 0, r6).
+		AddI(r5, r5, 1)
+	ldBody.Jump(ldHead)
+	ldDone.
+		Li(r4, 0)
+	ldDone.Jump(rndHead)
+
+	rndHead.
+		Li(r7, 10)
+	rndHead.Branch(isa.LT, r4, r7, rndInit, stHead)
+	rndInit.
+		MulI(r13, r4, 16).
+		AddI(r13, r13, rijRkBase).
+		Li(r5, 0)
+	rndInit.Jump(subHead)
+	// Sub+shift: tmp[i] = sbox[st[(i*5+r) % 16] & 255] ^ rk[i].
+	subHead.
+		Li(r7, 16)
+	subHead.Branch(isa.LT, r5, r7, subBody, subDone)
+	subBody.
+		MulI(r9, r5, 5).
+		Add(r9, r9, r4).
+		AndI(r9, r9, 15).
+		AddI(r9, r9, rijStBase).
+		Load(r6, r9, 0).
+		AndI(r6, r6, 255).
+		AddI(r6, r6, rijSbox).
+		Load(r6, r6, 0).
+		Add(r9, r13, r5).
+		Load(r7, r9, 0).
+		Xor(r6, r6, r7).
+		AddI(r9, r5, rijTmpBase).
+		Store(r9, 0, r6).
+		AddI(r5, r5, 1)
+	subBody.Jump(subHead)
+	subDone.
+		Li(r5, 0)
+	subDone.Jump(mixHead)
+	// Mix: st[i] = tmp[i] ^ (tmp[(i+1)%16] << 1), masked to 32 bits.
+	mixHead.
+		Li(r7, 16)
+	mixHead.Branch(isa.LT, r5, r7, mixBody, mixDone)
+	mixBody.
+		AddI(r9, r5, rijTmpBase).
+		Load(r6, r9, 0).
+		AddI(r9, r5, 1).
+		AndI(r9, r9, 15).
+		AddI(r9, r9, rijTmpBase).
+		Load(r7, r9, 0).
+		ShlI(r7, r7, 1).
+		Xor(r6, r6, r7).
+		AndI(r6, r6, 0xffffffff).
+		AddI(r9, r5, rijStBase).
+		Store(r9, 0, r6).
+		AddI(r5, r5, 1)
+	mixBody.Jump(mixHead)
+	mixDone.
+		AddI(r4, r4, 1)
+	mixDone.Jump(rndHead)
+
+	// Store ciphertext block and fold the checksum.
+	stHead.
+		Li(r5, 0)
+	stHead.Jump(stBody)
+	stBody.
+		AddI(r9, r5, rijStBase).
+		Load(r6, r9, 0).
+		Add(r9, r12, r5).
+		Store(r9, 0, r6).
+		Xor(r8, r8, r6).
+		AddI(r5, r5, 1).
+		Li(r7, 16)
+	stBody.Branch(isa.LT, r5, r7, stBody, blkNext)
+	blkNext.
+		AddI(r3, r3, 1)
+	blkNext.Jump(blkHead)
+	blkDone.
+		Store(r0, 1, r8)
+	blkDone.Jump(exit)
+	exit.Halt()
+
+	prog := b.Build()
+	return &Workload{Name: "rijndael", Program: prog, GenInput: rijndaelInput}
+}
+
+// rijndaelInput builds one run's memory image: a random permutation S-box,
+// expanded round keys and random plaintext.
+func rijndaelInput(run int) []int64 {
+	r := rng("rijndael", run)
+	l := 230 + r.Intn(60)
+	mem := make([]int64, rijMsgBase+l*16)
+	mem[0] = int64(l)
+	perm := r.Perm(256)
+	for i, v := range perm {
+		mem[rijSbox+i] = int64(v)
+	}
+	for i := 0; i < 176; i++ {
+		mem[rijRkBase+i] = int64(r.Uint32())
+	}
+	for i := 0; i < l*16; i++ {
+		mem[rijMsgBase+i] = int64(r.Uint32())
+	}
+	return mem
+}

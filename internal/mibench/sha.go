@@ -1,0 +1,251 @@
+package mibench
+
+import "eddie/internal/isa"
+
+// Sha memory layout (word addresses):
+//
+//	0:      L (block count)
+//	1..5:   hash state h0..h4 (initialized by the input generator)
+//	6:      digest checksum output
+//	msg:    16 .. 16+L*16        message blocks (16 32-bit words each)
+//	w:      wBase .. +16         circular message-schedule buffer
+//
+// Mirrors MiBench sha: a byte-swizzle preprocessing nest over the whole
+// message, then the block nest with the classic 80-round compression loop
+// (a fixed-length inner loop — the paper's sharpest spectral peak shape).
+const (
+	shaMaxL  = 260
+	shaMsg   = 16
+	shaWBase = shaMsg + shaMaxL*16
+	shaWords = shaWBase + 16
+	shaMask  = 0xffffffff
+)
+
+// Sha builds the SHA-1 workload.
+func Sha() *Workload {
+	b := isa.NewBuilder("sha", shaWords)
+
+	// Registers: r0=0, r1=L, r3=block, r4=t, r5=addr, r6=wt, r7=scratch,
+	// r8=f, r9..r13=a..e, r14=k, r15=msg block base, r16=scratch,
+	// r17=i (pre-pass).
+	entry := b.NewBlock("entry")
+	preHead := b.NewBlock("pre_head")
+	preBody := b.NewBlock("pre_body")
+	preDone := b.NewBlock("pre_done")
+	blkHead := b.NewBlock("blk_head")
+	blkInit := b.NewBlock("blk_init")
+	cpHead := b.NewBlock("cp_head")
+	cpBody := b.NewBlock("cp_body")
+	cpDone := b.NewBlock("cp_done")
+	rndHead := b.NewBlock("rnd_head")
+	rndSched := b.NewBlock("rnd_sched")
+	rndCalc := b.NewBlock("rnd_calc")
+	rndF := b.NewBlock("rnd_f")
+	q1 := b.NewBlock("rnd_q1")
+	q23 := b.NewBlock("rnd_q23")
+	q2 := b.NewBlock("rnd_q2")
+	q3 := b.NewBlock("rnd_q3")
+	q4 := b.NewBlock("rnd_q4")
+	rndMix := b.NewBlock("rnd_mix")
+	blkDone := b.NewBlock("blk_done")
+	shaDone := b.NewBlock("sha_done")
+	exit := b.NewBlock("exit")
+
+	entry.
+		Li(r0, 0).
+		Load(r1, r0, 0).
+		MulI(r7, r1, 16).
+		Li(r17, 0)
+	entry.Jump(preHead)
+
+	// Nest 1: byte-swizzle pre-pass over the message (r7 = L*16).
+	preHead.Branch(isa.LT, r17, r7, preBody, preDone)
+	preBody.
+		AddI(r5, r17, shaMsg).
+		Load(r6, r5, 0).
+		ShlI(r9, r6, 8).
+		ShrI(r10, r6, 24).
+		Or(r9, r9, r10).
+		AndI(r9, r9, shaMask).
+		XorI(r9, r9, 0x36363636).
+		AndI(r9, r9, shaMask).
+		Store(r5, 0, r9).
+		AddI(r17, r17, 1)
+	preBody.Jump(preHead)
+	preDone.
+		Li(r3, 0)
+	preDone.Jump(blkHead)
+
+	// Main nest: per block, copy the schedule seed then run 80 rounds.
+	blkHead.Branch(isa.LT, r3, r1, blkInit, shaDone)
+	blkInit.
+		MulI(r15, r3, 16).
+		AddI(r15, r15, shaMsg).
+		Li(r4, 0)
+	blkInit.Jump(cpHead)
+	cpHead.
+		Li(r7, 16)
+	cpHead.Branch(isa.LT, r4, r7, cpBody, cpDone)
+	cpBody.
+		Add(r5, r15, r4).
+		Load(r6, r5, 0).
+		AddI(r5, r4, shaWBase).
+		Store(r5, 0, r6).
+		AddI(r4, r4, 1)
+	cpBody.Jump(cpHead)
+	cpDone.
+		Load(r9, r0, 1).
+		Load(r10, r0, 2).
+		Load(r11, r0, 3).
+		Load(r12, r0, 4).
+		Load(r13, r0, 5).
+		Li(r4, 0)
+	cpDone.Jump(rndHead)
+
+	rndHead.
+		Li(r7, 80)
+	rndHead.Branch(isa.LT, r4, r7, rndSched, blkDone)
+	rndSched.
+		Li(r7, 16)
+	rndSched.Branch(isa.LT, r4, r7, rndF, rndCalc)
+	rndCalc.
+		// w[t&15] = rotl1(w[(t-3)&15] ^ w[(t-8)&15] ^ w[(t-14)&15] ^ w[t&15])
+		SubI(r5, r4, 3).
+		AndI(r5, r5, 15).
+		AddI(r5, r5, shaWBase).
+		Load(r6, r5, 0).
+		SubI(r5, r4, 8).
+		AndI(r5, r5, 15).
+		AddI(r5, r5, shaWBase).
+		Load(r7, r5, 0).
+		Xor(r6, r6, r7).
+		SubI(r5, r4, 14).
+		AndI(r5, r5, 15).
+		AddI(r5, r5, shaWBase).
+		Load(r7, r5, 0).
+		Xor(r6, r6, r7).
+		AndI(r5, r4, 15).
+		AddI(r5, r5, shaWBase).
+		Load(r7, r5, 0).
+		Xor(r6, r6, r7).
+		ShlI(r7, r6, 1).
+		ShrI(r6, r6, 31).
+		Or(r6, r6, r7).
+		AndI(r6, r6, shaMask).
+		AndI(r5, r4, 15).
+		AddI(r5, r5, shaWBase).
+		Store(r5, 0, r6)
+	rndCalc.Jump(rndF)
+	rndF.
+		// load wt (already stored for t>=16; for t<16 it is the seed)
+		AndI(r5, r4, 15).
+		AddI(r5, r5, shaWBase).
+		Load(r6, r5, 0).
+		Li(r7, 20)
+	rndF.Branch(isa.LT, r4, r7, q1, q23)
+	q1.
+		// f = (b & c) | (~b & d), k = 0x5a827999
+		And(r8, r10, r11).
+		XorI(r7, r10, shaMask).
+		And(r7, r7, r12).
+		Or(r8, r8, r7).
+		Li(r14, 0x5a827999)
+	q1.Jump(rndMix)
+	q23.
+		Li(r7, 40)
+	q23.Branch(isa.LT, r4, r7, q2, q3)
+	q2.
+		// f = b ^ c ^ d, k = 0x6ed9eba1
+		Xor(r8, r10, r11).
+		Xor(r8, r8, r12).
+		Li(r14, 0x6ed9eba1)
+	q2.Jump(rndMix)
+	q3.
+		Li(r7, 60)
+	q3.Branch(isa.GE, r4, r7, q4, q3Work(b, rndMix))
+	q4.
+		Xor(r8, r10, r11).
+		Xor(r8, r8, r12).
+		Li(r14, 0xca62c1d6)
+	q4.Jump(rndMix)
+
+	rndMix.
+		// temp = rotl5(a) + f + e + k + wt
+		ShlI(r7, r9, 5).
+		ShrI(r16, r9, 27).
+		Or(r7, r7, r16).
+		AndI(r7, r7, shaMask).
+		Add(r7, r7, r8).
+		Add(r7, r7, r13).
+		Add(r7, r7, r14).
+		Add(r7, r7, r6).
+		AndI(r7, r7, shaMask).
+		// e=d, d=c, c=rotl30(b), b=a, a=temp
+		Mov(r13, r12).
+		Mov(r12, r11).
+		ShlI(r11, r10, 30).
+		ShrI(r16, r10, 2).
+		Or(r11, r11, r16).
+		AndI(r11, r11, shaMask).
+		Mov(r10, r9).
+		Mov(r9, r7).
+		AddI(r4, r4, 1)
+	rndMix.Jump(rndHead)
+
+	blkDone.
+		// h += a..e (mod 2^32)
+		Load(r7, r0, 1).Add(r7, r7, r9).AndI(r7, r7, shaMask).Store(r0, 1, r7).
+		Load(r7, r0, 2).Add(r7, r7, r10).AndI(r7, r7, shaMask).Store(r0, 2, r7).
+		Load(r7, r0, 3).Add(r7, r7, r11).AndI(r7, r7, shaMask).Store(r0, 3, r7).
+		Load(r7, r0, 4).Add(r7, r7, r12).AndI(r7, r7, shaMask).Store(r0, 4, r7).
+		Load(r7, r0, 5).Add(r7, r7, r13).AndI(r7, r7, shaMask).Store(r0, 5, r7).
+		AddI(r3, r3, 1)
+	blkDone.Jump(blkHead)
+	shaDone.
+		Load(r7, r0, 1).
+		Load(r16, r0, 2).
+		Xor(r7, r7, r16).
+		Load(r16, r0, 3).
+		Xor(r7, r7, r16).
+		Load(r16, r0, 4).
+		Xor(r7, r7, r16).
+		Load(r16, r0, 5).
+		Xor(r7, r7, r16).
+		Store(r0, 6, r7)
+	shaDone.Jump(exit)
+	exit.Halt()
+
+	prog := b.Build()
+	return &Workload{Name: "sha", Program: prog, GenInput: shaInput}
+}
+
+// q3Work emits quarter 3: f = (b&c) | (b&d) | (c&d), k = 0x8f1bbcdc.
+func q3Work(b *isa.Builder, rndMix *isa.BlockBuilder) *isa.BlockBuilder {
+	w := b.NewBlock("rnd_q3_work")
+	w.
+		And(r8, r10, r11).
+		And(r7, r10, r12).
+		Or(r8, r8, r7).
+		And(r7, r11, r12).
+		Or(r8, r8, r7).
+		Li(r14, 0x8f1bbcdc)
+	w.Jump(rndMix)
+	return w
+}
+
+// shaInput builds one run's memory image.
+func shaInput(run int) []int64 {
+	r := rng("sha", run)
+	l := 200 + r.Intn(50)
+	mem := make([]int64, shaMsg+l*16)
+	mem[0] = int64(l)
+	mem[1] = 0x67452301
+	mem[2] = 0xefcdab89
+	mem[3] = 0x98badcfe
+	mem[4] = 0x10325476
+	mem[5] = 0xc3d2e1f0
+	for i := 0; i < l*16; i++ {
+		mem[shaMsg+i] = int64(r.Uint32())
+	}
+	return mem
+}

@@ -1,0 +1,229 @@
+package mibench
+
+import "eddie/internal/isa"
+
+// Stringsearch memory layout (word addresses):
+//
+//	0:      N (text length)      1: P (pattern count)
+//	2..3:   outputs: match count, checksum
+//	plens:  8 .. 8+maxP           pattern lengths
+//	pats:   patBase .. +P*16      patterns (16 words reserved each)
+//	skip:   skipBase .. +64       Boyer–Moore–Horspool skip table
+//	text:   textBase .. +N        text (small alphabet, one char per word)
+//
+// Mirrors MiBench stringsearch: a case-normalization nest over the text,
+// then the search nest (per pattern: build the skip table, BMH scan with a
+// data-dependent backwards-compare inner loop).
+// Like MiBench stringsearch, the workload scans for *many short search
+// strings* in a small text: the pattern loop is the hot outer iteration,
+// so every analysis window averages over many patterns and the region's
+// spectral signature is homogeneous.
+const (
+	ssMaxP     = 320
+	ssMaxN     = 800
+	ssPlens    = 8
+	ssPatBase  = ssPlens + ssMaxP
+	ssSkipBase = ssPatBase + ssMaxP*16
+	ssTextBase = ssSkipBase + 64
+	ssWords    = ssTextBase + ssMaxN
+	// ssNormRounds is the number of normalize+hash pre-pass rounds; the
+	// normalization is idempotent so repeated rounds are semantically a
+	// fixed hashing workload over the normalized text.
+	ssNormRounds = 24
+)
+
+// Stringsearch builds the Boyer–Moore–Horspool search workload.
+func Stringsearch() *Workload {
+	b := isa.NewBuilder("stringsearch", ssWords)
+
+	// Registers: r0=0, r1=N, r2=P, r3=p (pattern idx), r4=i (text pos),
+	// r5=j (compare idx), r6=plen, r7=scratch, r8=match count,
+	// r9=addr/scratch, r10=scratch, r11=pattern base, r12=k,
+	// r13=checksum, r14=text char, r15=pattern char.
+	entry := b.NewBlock("entry")
+	nmRound := b.NewBlock("norm_round")
+	nmRoundInit := b.NewBlock("norm_round_init")
+	nmHead := b.NewBlock("norm_head")
+	nmBody := b.NewBlock("norm_body")
+	nmLower := b.NewBlock("norm_lower")
+	nmStore := b.NewBlock("norm_store")
+	nmRoundNext := b.NewBlock("norm_round_next")
+	nmDone := b.NewBlock("norm_done")
+	patHead := b.NewBlock("pat_head")
+	patInit := b.NewBlock("pat_init")
+	skHead := b.NewBlock("skip_head")
+	skBody := b.NewBlock("skip_body")
+	skDone := b.NewBlock("skip_done")
+	sk2Head := b.NewBlock("skip2_head")
+	sk2Body := b.NewBlock("skip2_body")
+	sk2Done := b.NewBlock("skip2_done")
+	scanHead := b.NewBlock("scan_head")
+	cmpInit := b.NewBlock("cmp_init")
+	cmpHead := b.NewBlock("cmp_head")
+	cmpBody := b.NewBlock("cmp_body")
+	cmpMatch := b.NewBlock("cmp_match")
+	cmpMiss := b.NewBlock("cmp_miss")
+	scanDone := b.NewBlock("scan_done")
+	patDone := b.NewBlock("pat_done")
+	exit := b.NewBlock("exit")
+
+	entry.
+		Li(r0, 0).
+		Load(r1, r0, 0).
+		Load(r2, r0, 1).
+		Li(r17, 0)
+	entry.Jump(nmRound)
+
+	// Nest 1: pre-pass — ssNormRounds rounds of (idempotent) case
+	// normalization fused with a rolling polynomial hash of the text.
+	// Chars 32..57 (our "uppercase") shift down by 32.
+	nmRound.
+		Li(r7, ssNormRounds)
+	nmRound.Branch(isa.LT, r17, r7, nmRoundInit, nmDone)
+	nmRoundInit.
+		Li(r4, 0).
+		Li(r13, 0)
+	nmRoundInit.Jump(nmHead)
+	nmHead.Branch(isa.LT, r4, r1, nmBody, nmRoundNext)
+	nmBody.
+		AddI(r9, r4, ssTextBase).
+		Load(r14, r9, 0).
+		Li(r7, 32)
+	nmBody.Branch(isa.GE, r14, r7, nmLower, nmStore)
+	nmLower.
+		SubI(r14, r14, 32)
+	nmLower.Jump(nmStore)
+	nmStore.
+		Store(r9, 0, r14).
+		MulI(r13, r13, 31).
+		Add(r13, r13, r14).
+		AndI(r13, r13, 0xffffffff).
+		AddI(r4, r4, 1)
+	nmStore.Jump(nmHead)
+	nmRoundNext.
+		AddI(r17, r17, 1)
+	nmRoundNext.Jump(nmRound)
+	nmDone.
+		Store(r0, 3, r13).
+		Li(r3, 0).
+		Li(r8, 0)
+	nmDone.Jump(patHead)
+
+	// Main nest: for each pattern, build the BMH table then scan.
+	patHead.Branch(isa.LT, r3, r2, patInit, patDone)
+	patInit.
+		AddI(r9, r3, ssPlens).
+		Load(r6, r9, 0).
+		MulI(r11, r3, 16).
+		AddI(r11, r11, ssPatBase).
+		Li(r12, 0)
+	patInit.Jump(skHead)
+	// skip[k] = plen for all 64 alphabet slots.
+	skHead.
+		Li(r7, 64)
+	skHead.Branch(isa.LT, r12, r7, skBody, skDone)
+	skBody.
+		AddI(r9, r12, ssSkipBase).
+		Store(r9, 0, r6).
+		AddI(r12, r12, 1)
+	skBody.Jump(skHead)
+	skDone.
+		Li(r12, 0)
+	skDone.Jump(sk2Head)
+	// skip[pat[k] & 63] = plen-1-k for k < plen-1.
+	sk2Head.
+		SubI(r7, r6, 1)
+	sk2Head.Branch(isa.LT, r12, r7, sk2Body, sk2Done)
+	sk2Body.
+		Add(r9, r11, r12).
+		Load(r15, r9, 0).
+		AndI(r15, r15, 63).
+		AddI(r15, r15, ssSkipBase).
+		SubI(r7, r6, 1).
+		Sub(r7, r7, r12).
+		Store(r15, 0, r7).
+		AddI(r12, r12, 1)
+	sk2Body.Jump(sk2Head)
+	sk2Done.
+		SubI(r4, r6, 1)
+	sk2Done.Jump(scanHead)
+
+	// BMH scan: i is the text index aligned with the pattern's last char.
+	scanHead.Branch(isa.LT, r4, r1, cmpInit, scanDone)
+	cmpInit.
+		Li(r5, 0)
+	cmpInit.Jump(cmpHead)
+	cmpHead.Branch(isa.LT, r5, r6, cmpBody, cmpMatch)
+	cmpBody.
+		// compare pat[plen-1-j] with text[i-j]
+		SubI(r7, r6, 1).
+		Sub(r7, r7, r5).
+		Add(r9, r11, r7).
+		Load(r15, r9, 0).
+		Sub(r9, r4, r5).
+		AddI(r9, r9, ssTextBase).
+		Load(r14, r9, 0).
+		AddI(r5, r5, 1)
+	cmpBody.Branch(isa.EQ, r14, r15, cmpHead, cmpMiss)
+	cmpMatch.
+		AddI(r8, r8, 1)
+	cmpMatch.Jump(cmpMiss)
+	cmpMiss.
+		// advance by the skip of the text char under the pattern's end
+		AddI(r9, r4, ssTextBase).
+		Load(r14, r9, 0).
+		AndI(r14, r14, 63).
+		AddI(r14, r14, ssSkipBase).
+		Load(r7, r14, 0).
+		Add(r4, r4, r7)
+	cmpMiss.Jump(scanHead)
+	scanDone.
+		AddI(r3, r3, 1)
+	scanDone.Jump(patHead)
+	patDone.
+		Store(r0, 2, r8)
+	patDone.Jump(exit)
+	exit.Halt()
+
+	prog := b.Build()
+	return &Workload{Name: "stringsearch", Program: prog, GenInput: stringsearchInput}
+}
+
+// stringsearchInput builds one run's memory image: text over a small
+// alphabet with some "uppercase" chars, patterns half sampled from the
+// text (guaranteed hits) and half random.
+func stringsearchInput(run int) []int64 {
+	r := rng("stringsearch", run)
+	n := 620 + r.Intn(120)
+	p := 260 + r.Intn(50)
+	mem := make([]int64, ssTextBase+n)
+	mem[0] = int64(n)
+	mem[1] = int64(p)
+	for i := 0; i < n; i++ {
+		c := int64(r.Intn(26)) // lowercase alphabet 0..25
+		if r.Intn(8) == 0 {
+			c += 32 // "uppercase"
+		}
+		mem[ssTextBase+i] = c
+	}
+	for k := 0; k < p; k++ {
+		plen := 4 + r.Intn(9)
+		mem[ssPlens+k] = int64(plen)
+		if k%2 == 0 {
+			// sample from the (post-normalization) text
+			start := r.Intn(n - plen)
+			for j := 0; j < plen; j++ {
+				c := mem[ssTextBase+start+j]
+				if c >= 32 {
+					c -= 32
+				}
+				mem[ssPatBase+k*16+j] = c
+			}
+		} else {
+			for j := 0; j < plen; j++ {
+				mem[ssPatBase+k*16+j] = int64(r.Intn(26))
+			}
+		}
+	}
+	return mem
+}

@@ -1,0 +1,150 @@
+package mibench
+
+import (
+	"testing"
+
+	"eddie/internal/cfg"
+	"eddie/internal/isa"
+)
+
+// TestWorkloadInstructionMixes verifies each workload exercises a
+// realistic mix: memory operations, multiplies (where its namesake is
+// multiply-heavy), and data-dependent branches. A workload whose dynamic
+// stream is all ALU ops would give the power model nothing to modulate.
+func TestWorkloadInstructionMixes(t *testing.T) {
+	type mix struct {
+		mem, mul, branch, total int64
+		taken                   int64
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			var m mix
+			_, err := isa.Execute(w.Program, isa.ExecConfig{
+				MaxInstrs: 20_000_000,
+				InitMem:   w.GenInput(1),
+			}, func(di *isa.DynInstr) bool {
+				m.total++
+				switch {
+				case di.IsBranch:
+					m.branch++
+					if di.Taken {
+						m.taken++
+					}
+				case di.Op.IsMem():
+					m.mem++
+				case di.Op == isa.Mul:
+					m.mul++
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			memFrac := float64(m.mem) / float64(m.total)
+			branchFrac := float64(m.branch) / float64(m.total)
+			if memFrac < 0.02 {
+				t.Errorf("memory ops only %.1f%% of the stream", memFrac*100)
+			}
+			if branchFrac < 0.03 || branchFrac > 0.5 {
+				t.Errorf("branches are %.1f%% of the stream", branchFrac*100)
+			}
+			// Branches must not be all-taken or all-fallthrough: loop
+			// back-edges dominate, but exits and data-dependent branches
+			// must appear.
+			takenFrac := float64(m.taken) / float64(m.branch)
+			if takenFrac < 0.15 || takenFrac > 0.999 {
+				t.Errorf("taken fraction %.3f implausible", takenFrac)
+			}
+			t.Logf("%s: %.1f%% mem, %.1f%% mul, %.1f%% branch (%.1f%% taken)",
+				w.Name, memFrac*100, float64(m.mul)/float64(m.total)*100,
+				branchFrac*100, takenFrac*100)
+		})
+	}
+}
+
+// TestWorkloadRegionDwells verifies every workload's loop nests each hold
+// a meaningful share of execution: EDDIE needs regions that last many
+// STFT windows.
+func TestWorkloadRegionDwells(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			machine, err := cfg.BuildMachine(w.Program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := make([]int64, len(machine.Nests))
+			var total int64
+			_, err = isa.Execute(w.Program, isa.ExecConfig{
+				MaxInstrs: 20_000_000,
+				InitMem:   w.GenInput(2),
+			}, func(di *isa.DynInstr) bool {
+				total++
+				if n := machine.BlockNest[di.Block]; n >= 0 {
+					counts[n]++
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var inNests int64
+			for nest, c := range counts {
+				inNests += c
+				if c < 10_000 {
+					t.Errorf("nest %d executes only %d instructions; too brief to model", nest, c)
+				}
+			}
+			if frac := float64(inNests) / float64(total); frac < 0.95 {
+				t.Errorf("only %.1f%% of execution inside loop nests; inter-loop code dominates", frac*100)
+			}
+		})
+	}
+}
+
+// TestWorkloadRuntimeWalkAcceptedByMachine ties every workload's dynamic
+// region sequence to its static region machine.
+func TestWorkloadRuntimeWalkAcceptedByMachine(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			machine, err := cfg.BuildMachine(w.Program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var nestSeq []int
+			prev := -2
+			_, err = isa.Execute(w.Program, isa.ExecConfig{
+				MaxInstrs: 20_000_000,
+				InitMem:   w.GenInput(3),
+			}, func(di *isa.DynInstr) bool {
+				if n := machine.BlockNest[di.Block]; n != prev {
+					if n >= 0 {
+						nestSeq = append(nestSeq, n)
+					}
+					prev = n
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var walk []cfg.RegionID
+			last := cfg.Boundary
+			for _, n := range nestSeq {
+				if n == last {
+					continue
+				}
+				if tr, ok := machine.TransRegionOf(last, n); ok {
+					walk = append(walk, tr)
+				}
+				walk = append(walk, machine.LoopRegionOf(n))
+				last = n
+			}
+			if !machine.Accepts(walk) {
+				t.Errorf("runtime region walk rejected by the machine (len %d)", len(walk))
+			}
+		})
+	}
+}

@@ -1,0 +1,347 @@
+package mibench
+
+import "eddie/internal/isa"
+
+// Susan memory layout (word addresses):
+//
+//	0:       W (image width)    1: H (height)    2: threshold T
+//	3..7:    checksum outputs
+//	8..16:   3x3 neighborhood offset table (9 entries, dy*W+dx)
+//	img:     32 .. 32+S             input image (pixel brightness 0..255)
+//	smooth:  32+S .. 32+2S          smoothed image (S = maxW*maxH)
+//	usan:    32+2S .. 32+3S         USAN corner response
+//	edge:    32+3S .. 32+4S         gradient magnitude
+//	hist:    32+4S .. 32+4S+256     brightness histogram
+//
+// Mirrors MiBench susan's five instrumented loop nests: 3x3 smoothing,
+// USAN area computation, thresholding, gradient, and histogram.
+const (
+	susanMaxW  = 72
+	susanMaxH  = 72
+	susanS     = susanMaxW * susanMaxH
+	susanOffs  = 8
+	susanImg   = 32
+	susanSm    = susanImg + susanS
+	susanUsan  = susanImg + 2*susanS
+	susanEdge  = susanImg + 3*susanS
+	susanHist  = susanImg + 4*susanS
+	susanWords = susanHist + 256
+)
+
+// Susan builds the susan image-processing workload.
+func Susan() *Workload {
+	b := isa.NewBuilder("susan", susanWords)
+
+	// Registers: r0=0, r1=W, r2=H, r3=y, r4=x, r5=center addr, r6=acc,
+	// r7/r9/r10=scratch, r8=checksum, r11=center value, r12=threshold T,
+	// r13=y*W, r14=k (neighbor index), r15=pixel count W*H.
+	entry := b.NewBlock("entry")
+
+	smYHead := b.NewBlock("smooth_y_head")
+	smXHead := b.NewBlock("smooth_x_head")
+	smPixel := b.NewBlock("smooth_pixel")
+	smYNext := b.NewBlock("smooth_y_next")
+	smDone := b.NewBlock("smooth_done")
+
+	usYHead := b.NewBlock("usan_y_head")
+	usXHead := b.NewBlock("usan_x_head")
+	usPixel := b.NewBlock("usan_pixel")
+	usKHead := b.NewBlock("usan_k_head")
+	usKBody := b.NewBlock("usan_k_body")
+	usNeg := b.NewBlock("usan_neg")
+	usCmp := b.NewBlock("usan_cmp")
+	usCount := b.NewBlock("usan_count")
+	usKNext := b.NewBlock("usan_k_next")
+	usPixelDone := b.NewBlock("usan_pixel_done")
+	usYNext := b.NewBlock("usan_y_next")
+	usDone := b.NewBlock("usan_done")
+
+	thHead := b.NewBlock("thresh_head")
+	thBody := b.NewBlock("thresh_body")
+	thMark := b.NewBlock("thresh_mark")
+	thZero := b.NewBlock("thresh_zero")
+	thNext := b.NewBlock("thresh_next")
+	thDone := b.NewBlock("thresh_done")
+
+	edYHead := b.NewBlock("edge_y_head")
+	edXHead := b.NewBlock("edge_x_head")
+	edPixel := b.NewBlock("edge_pixel")
+	edNegX := b.NewBlock("edge_negx")
+	edAfterX := b.NewBlock("edge_afterx")
+	edNegY := b.NewBlock("edge_negy")
+	edAfterY := b.NewBlock("edge_aftery")
+	edYNext := b.NewBlock("edge_y_next")
+	edDone := b.NewBlock("edge_done")
+
+	hiHead := b.NewBlock("hist_head")
+	hiBody := b.NewBlock("hist_body")
+	hiDone := b.NewBlock("hist_done")
+	exit := b.NewBlock("exit")
+
+	entry.
+		Li(r0, 0).
+		Load(r1, r0, 0).
+		Load(r2, r0, 1).
+		Load(r12, r0, 2).
+		Mul(r15, r1, r2).
+		Li(r3, 1).
+		Li(r8, 0)
+	entry.Jump(smYHead)
+
+	// Nest 1: 3x3 box smoothing over the interior (offset-table driven).
+	smYHead.
+		SubI(r7, r2, 1)
+	smYHead.Branch(isa.LT, r3, r7, smXHead, smDone)
+	smXHead.
+		Mul(r13, r3, r1).
+		Li(r4, 1)
+	smXHead.Jump(smPixel)
+	smPixel.
+		SubI(r7, r1, 1)
+	smPixel.Branch(isa.GE, r4, r7, smYNext, smPixelWork(b, smPixel))
+	// smPixelWork emits the per-pixel body inline and jumps back to
+	// smPixel; see helper below. (The helper exists because the body is
+	// long and identical in shape for every pixel.)
+	smYNext.
+		AddI(r3, r3, 1)
+	smYNext.Jump(smYHead)
+	smDone.
+		Store(r0, 3, r8).
+		Li(r3, 1).
+		Li(r8, 0)
+	smDone.Jump(usYHead)
+
+	// Nest 2: USAN area — count 3x3 neighbours whose smoothed brightness
+	// is within the threshold of the center pixel.
+	usYHead.
+		SubI(r7, r2, 1)
+	usYHead.Branch(isa.LT, r3, r7, usXHead, usDone)
+	usXHead.
+		Mul(r13, r3, r1).
+		Li(r4, 1)
+	usXHead.Jump(usPixel)
+	usPixel.
+		SubI(r7, r1, 1)
+	usPixel.Branch(isa.LT, r4, r7, usKHead, usYNext)
+	usKHead.
+		Add(r5, r13, r4).
+		AddI(r5, r5, susanSm).
+		Load(r11, r5, 0).
+		Li(r6, 0).
+		Li(r14, 0)
+	usKHead.Jump(usKBody)
+	usKBody.
+		Li(r7, 9)
+	usKBody.Branch(isa.GE, r14, r7, usPixelDone, usKBodyWork(b, usKBody, usNeg, usCmp, usCount, usKNext))
+	usPixelDone.
+		Add(r9, r13, r4).
+		AddI(r9, r9, susanUsan).
+		Store(r9, 0, r6).
+		Add(r8, r8, r6).
+		AddI(r4, r4, 1)
+	usPixelDone.Jump(usPixel)
+	usYNext.
+		AddI(r3, r3, 1)
+	usYNext.Jump(usYHead)
+	usDone.
+		Store(r0, 4, r8).
+		Li(r3, 0).
+		Li(r8, 0)
+	usDone.Jump(thHead)
+
+	// Nest 3: thresholding pass over the USAN map (1-D loop, r3 = index).
+	thHead.Branch(isa.LT, r3, r15, thBody, thDone)
+	thBody.
+		AddI(r5, r3, susanUsan).
+		Load(r6, r5, 0).
+		Li(r7, 6)
+	thBody.Branch(isa.LT, r6, r7, thMark, thZero)
+	thMark.
+		// Corner candidate: response = 6 - usan.
+		Li(r7, 6).
+		Sub(r6, r7, r6).
+		Store(r5, 0, r6).
+		Add(r8, r8, r6)
+	thMark.Jump(thNext)
+	thZero.
+		Store(r5, 0, r0)
+	thZero.Jump(thNext)
+	thNext.
+		AddI(r3, r3, 1)
+	thNext.Jump(thHead)
+	thDone.
+		Store(r0, 5, r8).
+		Li(r3, 1).
+		Li(r8, 0)
+	thDone.Jump(edYHead)
+
+	// Nest 4: gradient magnitude |dx| + |dy| on the smoothed image.
+	edYHead.
+		SubI(r7, r2, 1)
+	edYHead.Branch(isa.LT, r3, r7, edXHead, edDone)
+	edXHead.
+		Mul(r13, r3, r1).
+		Li(r4, 1)
+	edXHead.Jump(edPixel)
+	edPixel.
+		SubI(r7, r1, 1)
+	edPixel.Branch(isa.GE, r4, r7, edYNext, edPixelWork(b, edPixel, edNegX, edAfterX, edNegY, edAfterY))
+	edYNext.
+		AddI(r3, r3, 1)
+	edYNext.Jump(edYHead)
+	edDone.
+		Store(r0, 6, r8).
+		Li(r3, 0).
+		Li(r8, 0)
+	edDone.Jump(hiHead)
+
+	// Nest 5: brightness histogram of the raw image.
+	hiHead.Branch(isa.LT, r3, r15, hiBody, hiDone)
+	hiBody.
+		AddI(r5, r3, susanImg).
+		Load(r6, r5, 0).
+		AndI(r6, r6, 255).
+		AddI(r6, r6, susanHist).
+		Load(r7, r6, 0).
+		AddI(r7, r7, 1).
+		Store(r6, 0, r7).
+		AddI(r3, r3, 1)
+	hiBody.Jump(hiHead)
+	hiDone.
+		Store(r0, 7, r8)
+	hiDone.Jump(exit)
+	exit.Halt()
+
+	prog := b.Build()
+	return &Workload{Name: "susan", Program: prog, GenInput: susanInput}
+}
+
+// smPixelWork emits the smoothing per-pixel body as its own block and
+// returns it. The block jumps back to loopHead after advancing x.
+func smPixelWork(b *isa.Builder, loopHead *isa.BlockBuilder) *isa.BlockBuilder {
+	w := b.NewBlock("smooth_work")
+	w.
+		Add(r5, r13, r4).
+		AddI(r5, r5, susanImg).
+		Li(r6, 0).
+		Li(r14, 0)
+	inner := b.NewBlock("smooth_inner")
+	innerBody := b.NewBlock("smooth_inner_body")
+	done := b.NewBlock("smooth_work_done")
+	w.Jump(inner)
+	inner.
+		Li(r7, 9)
+	inner.Branch(isa.LT, r14, r7, innerBody, done)
+	innerBody.
+		AddI(r9, r14, susanOffs).
+		Load(r9, r9, 0).
+		Add(r9, r9, r5).
+		Load(r7, r9, 0).
+		Add(r6, r6, r7).
+		AddI(r14, r14, 1)
+	innerBody.Jump(inner)
+	done.
+		Li(r7, 9).
+		Div(r6, r6, r7).
+		Add(r9, r13, r4).
+		AddI(r9, r9, susanSm).
+		Store(r9, 0, r6).
+		Add(r8, r8, r6).
+		AddI(r4, r4, 1)
+	done.Jump(loopHead)
+	return w
+}
+
+// usKBodyWork emits the per-neighbor USAN comparison chain and returns its
+// entry block: load neighbor, abs-difference via conditional negate,
+// threshold compare, count.
+func usKBodyWork(b *isa.Builder, kHead, neg, cmp, count, next *isa.BlockBuilder) *isa.BlockBuilder {
+	w := b.NewBlock("usan_work")
+	w.
+		AddI(r9, r14, susanOffs).
+		Load(r9, r9, 0).
+		Add(r9, r9, r5).
+		Load(r9, r9, 0).
+		Sub(r9, r9, r11)
+	w.Branch(isa.LT, r9, r0, neg, cmp)
+	neg.
+		Sub(r9, r0, r9)
+	neg.Jump(cmp)
+	cmp.
+		Nop()
+	cmp.Branch(isa.LE, r9, r12, count, next)
+	count.
+		AddI(r6, r6, 1)
+	count.Jump(next)
+	next.
+		AddI(r14, r14, 1)
+	next.Jump(kHead)
+	return w
+}
+
+// edPixelWork emits the gradient per-pixel body: |left-right| + |up-down|
+// with conditional-negate absolute values.
+func edPixelWork(b *isa.Builder, loopHead, negX, afterX, negY, afterY *isa.BlockBuilder) *isa.BlockBuilder {
+	w := b.NewBlock("edge_work")
+	w.
+		Add(r5, r13, r4).
+		AddI(r5, r5, susanSm).
+		Load(r6, r5, -1).
+		Load(r7, r5, 1).
+		Sub(r6, r6, r7)
+	w.Branch(isa.LT, r6, r0, negX, afterX)
+	negX.
+		Sub(r6, r0, r6)
+	negX.Jump(afterX)
+	afterX.
+		Sub(r9, r5, r1).
+		Load(r9, r9, 0).
+		Add(r10, r5, r1).
+		Load(r10, r10, 0).
+		Sub(r9, r9, r10)
+	afterX.Branch(isa.LT, r9, r0, negY, afterY)
+	negY.
+		Sub(r9, r0, r9)
+	negY.Jump(afterY)
+	afterY.
+		Add(r6, r6, r9).
+		Add(r9, r13, r4).
+		AddI(r9, r9, susanEdge).
+		Store(r9, 0, r6).
+		Add(r8, r8, r6).
+		AddI(r4, r4, 1)
+	afterY.Jump(loopHead)
+	return w
+}
+
+// susanInput builds one run's memory image.
+func susanInput(run int) []int64 {
+	r := rng("susan", run)
+	w := 56 + r.Intn(16)
+	h := 56 + r.Intn(16)
+	mem := make([]int64, susanImg+susanS)
+	mem[0] = int64(w)
+	mem[1] = int64(h)
+	mem[2] = int64(12 + r.Intn(12)) // brightness threshold
+	k := 0
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			mem[susanOffs+k] = int64(dy*w + dx)
+			k++
+		}
+	}
+	// A smooth random field with edges: sum of a gradient, blobs and noise.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 40 + (x*2+y)%120 + r.Intn(30)
+			if (x/12+y/12)%2 == 0 {
+				v += 50
+			}
+			if v > 255 {
+				v = 255
+			}
+			mem[susanImg+y*w+x] = int64(v)
+		}
+	}
+	return mem
+}

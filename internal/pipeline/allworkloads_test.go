@@ -1,0 +1,67 @@
+package pipeline
+
+import (
+	"testing"
+
+	"eddie/internal/cfg"
+	"eddie/internal/core"
+	"eddie/internal/mibench"
+)
+
+// TestAllWorkloadsTrainAndStayQuiet is the breadth check: every benchmark
+// must train a usable model from a handful of runs and keep a held-out
+// clean run essentially alarm-free in both pipeline modes.
+func TestAllWorkloadsTrainAndStayQuiet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	modes := []struct {
+		name string
+		cfg  Config
+	}{
+		{"sim", SimulatorConfig()},
+		{"iot", DefaultConfig()},
+	}
+	for _, mode := range modes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			for _, w := range mibench.All() {
+				w := w
+				t.Run(w.Name, func(t *testing.T) {
+					model, machine, err := Train(w, mode.cfg, 10, core.DefaultTrainConfig())
+					if err != nil {
+						t.Fatalf("train: %v", err)
+					}
+					// Every loop nest with substantial dwell should be modeled.
+					modeled := 0
+					for nest := range machine.Nests {
+						if model.Regions[machine.LoopRegionOf(nest)] != nil {
+							modeled++
+						}
+					}
+					if modeled < len(machine.Nests)-1 {
+						t.Errorf("only %d of %d loop nests modeled", modeled, len(machine.Nests))
+					}
+					m, err := e2eScore(model, machine, w, mode.cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if fp := m.FalsePositivePct(); fp > 12 {
+						t.Errorf("clean run FP %.1f%%", fp)
+					}
+					if cov := m.CoveragePct(); cov < 40 {
+						t.Errorf("coverage %.1f%%", cov)
+					}
+				})
+			}
+		})
+	}
+}
+
+func e2eScore(model *core.Model, machine *cfg.Machine, w *mibench.Workload, c Config) (*core.Metrics, error) {
+	run, err := CollectRun(w, machine, c, 4242, nil)
+	if err != nil {
+		return nil, err
+	}
+	return MonitorAndScore(model, c, run.STS, core.DefaultMonitorConfig())
+}

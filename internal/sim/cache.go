@@ -1,0 +1,170 @@
+package sim
+
+// cache is one set-associative cache level with true-LRU replacement.
+// Addresses are byte addresses; the simulator converts the ISA's
+// word addresses by multiplying by 8.
+type cache struct {
+	cfg      CacheConfig
+	sets     int
+	lineBits uint
+	setMask  uint64
+	// tags[set*ways+way] holds the line tag; valid tracks occupancy; lru
+	// holds a recency counter (higher = more recent).
+	tags  []uint64
+	valid []bool
+	lru   []uint64
+	tick  uint64
+
+	// Statistics.
+	Accesses int64
+	Misses   int64
+}
+
+func newCache(cfg CacheConfig) *cache {
+	lines := cfg.SizeBytes / cfg.LineBytes
+	sets := lines / cfg.Ways
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineBytes {
+		lineBits++
+	}
+	return &cache{
+		cfg:      cfg,
+		sets:     sets,
+		lineBits: lineBits,
+		setMask:  uint64(sets - 1),
+		tags:     make([]uint64, lines),
+		valid:    make([]bool, lines),
+		lru:      make([]uint64, lines),
+	}
+}
+
+// access looks up addr, allocating the line on a miss (write-allocate for
+// stores, standard allocate for loads). It returns true on a hit.
+func (c *cache) access(addr uint64) bool {
+	c.Accesses++
+	c.tick++
+	line := addr >> c.lineBits
+	var set uint64
+	if c.setMask != 0 {
+		set = line & c.setMask
+	}
+	base := int(set) * c.cfg.Ways
+	tag := line
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.lru[base+w] = c.tick
+			return true
+		}
+	}
+	c.Misses++
+	// Fill: pick an invalid way, else the least recently used.
+	victim := base
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.valid[base+w] {
+			victim = base + w
+			break
+		}
+		if c.lru[base+w] < c.lru[victim] {
+			victim = base + w
+		}
+	}
+	c.valid[victim] = true
+	c.tags[victim] = tag
+	c.lru[victim] = c.tick
+	return false
+}
+
+// reset clears contents and statistics.
+func (c *cache) reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.lru[i] = 0
+		c.tags[i] = 0
+	}
+	c.tick = 0
+	c.Accesses = 0
+	c.Misses = 0
+}
+
+// memLevel reports which level served an access: 1 = L1, 2 = L2, 3 = DRAM.
+type memLevel int
+
+const (
+	hitL1  memLevel = 1
+	hitL2  memLevel = 2
+	hitMem memLevel = 3
+)
+
+// hierarchy is the two-level cache hierarchy.
+type hierarchy struct {
+	l1, l2     *cache
+	memLatency int64
+}
+
+func newHierarchy(cfg Config) *hierarchy {
+	return &hierarchy{
+		l1:         newCache(cfg.L1),
+		l2:         newCache(cfg.L2),
+		memLatency: cfg.MemLatency,
+	}
+}
+
+// access returns the latency of a data access and the level that served it.
+func (h *hierarchy) access(wordAddr int64) (int64, memLevel) {
+	addr := uint64(wordAddr) * 8
+	if h.l1.access(addr) {
+		return h.l1.cfg.HitLatency, hitL1
+	}
+	if h.l2.access(addr) {
+		return h.l1.cfg.HitLatency + h.l2.cfg.HitLatency, hitL2
+	}
+	return h.l1.cfg.HitLatency + h.l2.cfg.HitLatency + h.memLatency, hitMem
+}
+
+// bimodal is a table of 2-bit saturating counters indexed by a hash of the
+// branch's block id.
+type bimodal struct {
+	counters []uint8
+	mask     uint64
+
+	// Statistics.
+	Lookups     int64
+	Mispredicts int64
+}
+
+func newBimodal(entries int) *bimodal {
+	// Round up to a power of two for cheap masking.
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	c := make([]uint8, n)
+	for i := range c {
+		c[i] = 1 // weakly not-taken
+	}
+	return &bimodal{counters: c, mask: uint64(n - 1)}
+}
+
+func (b *bimodal) index(key uint64) uint64 {
+	key ^= key >> 7
+	key *= 0x9e3779b97f4a7c15
+	return (key >> 17) & b.mask
+}
+
+// predictAndUpdate returns whether the prediction matched the outcome and
+// trains the counter.
+func (b *bimodal) predictAndUpdate(key uint64, taken bool) bool {
+	b.Lookups++
+	i := b.index(key)
+	pred := b.counters[i] >= 2
+	if taken && b.counters[i] < 3 {
+		b.counters[i]++
+	} else if !taken && b.counters[i] > 0 {
+		b.counters[i]--
+	}
+	if pred != taken {
+		b.Mispredicts++
+		return false
+	}
+	return true
+}

@@ -1,0 +1,193 @@
+// Package sim is the cycle-level microarchitecture simulator that stands in
+// for SESC (with CACTI/WATTCH power models) in the paper's evaluation. It
+// consumes the dynamic instruction stream produced by isa.Execute, models
+// in-order and out-of-order pipelines, a two-level cache hierarchy and a
+// bimodal branch predictor, and produces (a) a power trace sampled every
+// SamplePeriod cycles and (b) a region trace: which loop/inter-loop region
+// of the program occupied each cycle interval.
+package sim
+
+import "fmt"
+
+// CoreKind selects the pipeline model.
+type CoreKind int
+
+const (
+	// InOrder models a stall-on-hazard in-order superscalar pipeline
+	// (the ARM Cortex-A8-like IoT configuration of the paper).
+	InOrder CoreKind = iota
+	// OutOfOrder models a dataflow-scheduled core bounded by a reorder
+	// buffer (the paper's simulated 4-issue OOO configuration).
+	OutOfOrder
+)
+
+// String names the core kind.
+func (k CoreKind) String() string {
+	switch k {
+	case InOrder:
+		return "in-order"
+	case OutOfOrder:
+		return "out-of-order"
+	default:
+		return fmt.Sprintf("CoreKind(%d)", int(k))
+	}
+}
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the line size.
+	LineBytes int
+	// Ways is the associativity.
+	Ways int
+	// HitLatency is the access latency in cycles on a hit.
+	HitLatency int64
+}
+
+// Validate checks the cache geometry.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("sim: cache config must be positive, got %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("sim: cache line size must be a power of two, got %d", c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines%c.Ways != 0 || lines/c.Ways == 0 {
+		return fmt.Errorf("sim: cache geometry invalid: %d lines, %d ways", lines, c.Ways)
+	}
+	if c.HitLatency < 0 {
+		return fmt.Errorf("sim: negative hit latency %d", c.HitLatency)
+	}
+	return nil
+}
+
+// EnergyConfig assigns an energy cost (arbitrary units, think pJ) to each
+// microarchitectural event. The absolute scale is irrelevant to EDDIE —
+// only the time-variation of power matters — but the relative costs shape
+// how visible different instruction mixes are, which §5.7 of the paper
+// studies (off-chip accesses are far more visible than ALU ops).
+type EnergyConfig struct {
+	Fetch     float64 // per instruction: fetch+decode+rename
+	ALU       float64 // simple integer op
+	Mul       float64
+	Div       float64
+	Branch    float64 // branch resolution
+	L1Access  float64
+	L2Access  float64
+	MemAccess float64 // off-chip DRAM access
+	Mispred   float64 // pipeline flush cost
+	Leakage   float64 // static energy per cycle
+}
+
+// DefaultEnergy returns the WATTCH-flavoured default energy model.
+func DefaultEnergy() EnergyConfig {
+	return EnergyConfig{
+		Fetch:     2,
+		ALU:       3,
+		Mul:       10,
+		Div:       40,
+		Branch:    4,
+		L1Access:  6,
+		L2Access:  30,
+		MemAccess: 220,
+		Mispred:   25,
+		Leakage:   5,
+	}
+}
+
+// Config is the complete simulator configuration.
+type Config struct {
+	// Kind selects in-order or out-of-order timing.
+	Kind CoreKind
+	// IssueWidth is the maximum instructions issued per cycle.
+	IssueWidth int
+	// PipelineDepth is the front-end depth; it sets the branch
+	// misprediction penalty.
+	PipelineDepth int
+	// ROBSize is the reorder-buffer size (OutOfOrder only).
+	ROBSize int
+	// ClockHz is the core clock used to convert cycles to seconds.
+	ClockHz float64
+	// L1 and L2 are the cache levels; MemLatency is the miss penalty
+	// beyond L2 in cycles.
+	L1, L2     CacheConfig
+	MemLatency int64
+	// PredictorEntries is the bimodal branch predictor table size.
+	PredictorEntries int
+	// SamplePeriod is the power sampling period in cycles (the paper
+	// samples the simulator's power signal every 20 cycles).
+	SamplePeriod int
+	// Energy is the event energy model.
+	Energy EnergyConfig
+}
+
+// DefaultIoT returns the IoT-board-like configuration: a 2-issue in-order
+// core, 32 KB L1 and 256 KB L2, modeled after the A13-OLinuXino's
+// Cortex-A8. The clock is scaled down (100 MHz) to keep cycle-accurate
+// simulation laptop-feasible; see DESIGN.md §5.
+func DefaultIoT() Config {
+	return Config{
+		Kind:             InOrder,
+		IssueWidth:       2,
+		PipelineDepth:    13,
+		ROBSize:          0,
+		ClockHz:          100e6,
+		L1:               CacheConfig{SizeBytes: 32 << 10, LineBytes: 64, Ways: 4, HitLatency: 1},
+		L2:               CacheConfig{SizeBytes: 256 << 10, LineBytes: 64, Ways: 8, HitLatency: 10},
+		MemLatency:       80,
+		PredictorEntries: 1024,
+		SamplePeriod:     8,
+		Energy:           DefaultEnergy(),
+	}
+}
+
+// DefaultOOO returns the paper's simulated configuration: a 4-issue
+// out-of-order core with 32 KB L1 and a large L2.
+func DefaultOOO() Config {
+	c := DefaultIoT()
+	c.Kind = OutOfOrder
+	c.IssueWidth = 4
+	c.PipelineDepth = 14
+	c.ROBSize = 128
+	c.L2 = CacheConfig{SizeBytes: 2 << 20, LineBytes: 64, Ways: 16, HitLatency: 12}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.IssueWidth <= 0 {
+		return fmt.Errorf("sim: issue width must be positive, got %d", c.IssueWidth)
+	}
+	if c.PipelineDepth <= 0 {
+		return fmt.Errorf("sim: pipeline depth must be positive, got %d", c.PipelineDepth)
+	}
+	if c.Kind == OutOfOrder && c.ROBSize <= 0 {
+		return fmt.Errorf("sim: out-of-order core needs a positive ROB size, got %d", c.ROBSize)
+	}
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("sim: clock must be positive, got %g", c.ClockHz)
+	}
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	if err := c.L2.Validate(); err != nil {
+		return err
+	}
+	if c.MemLatency < 0 {
+		return fmt.Errorf("sim: negative memory latency %d", c.MemLatency)
+	}
+	if c.PredictorEntries <= 0 {
+		return fmt.Errorf("sim: predictor entries must be positive, got %d", c.PredictorEntries)
+	}
+	if c.SamplePeriod <= 0 {
+		return fmt.Errorf("sim: sample period must be positive, got %d", c.SamplePeriod)
+	}
+	return nil
+}
+
+// SampleRate returns the power-trace sample rate in Hz.
+func (c Config) SampleRate() float64 {
+	return c.ClockHz / float64(c.SamplePeriod)
+}

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// FactorEffect is the ANOVA result for one factor.
+type FactorEffect struct {
+	// Name of the factor (e.g. "pipeline-depth").
+	Name string
+	// SumSq is the between-level sum of squares attributed to the factor.
+	SumSq float64
+	// DF is the factor's degrees of freedom (levels - 1).
+	DF int
+	// F is the F statistic (factor mean square over residual mean square).
+	F float64
+	// PValue is the probability of an F at least this large under the
+	// null hypothesis that the factor has no effect.
+	PValue float64
+	// Significant reports PValue < alpha for the alpha given to ANOVA.
+	Significant bool
+}
+
+// ANOVAResult is the outcome of an N-way main-effects ANOVA.
+type ANOVAResult struct {
+	Effects    []FactorEffect
+	ResidualSS float64
+	ResidualDF int
+	TotalSS    float64
+}
+
+// ANOVA performs an N-way main-effects analysis of variance.
+//
+// response[i] is the i-th observation; levels[f][i] is the level of factor
+// f for observation i. Factor names are given in names. alpha is the
+// significance threshold for the Significant flag (the paper uses the
+// conventional 0.05).
+//
+// This is the unbalanced-design sequential (type I) decomposition with main
+// effects only, which matches how the paper uses ANOVA: to ask which
+// architectural parameters have a statistically significant impact on
+// EDDIE's detection latency.
+func ANOVA(response []float64, levels [][]int, names []string, alpha float64) (ANOVAResult, error) {
+	n := len(response)
+	if n < 2 {
+		return ANOVAResult{}, fmt.Errorf("stats: ANOVA requires at least 2 observations, got %d", n)
+	}
+	if len(levels) != len(names) {
+		return ANOVAResult{}, fmt.Errorf("stats: ANOVA got %d factors but %d names", len(levels), len(names))
+	}
+	for f, lv := range levels {
+		if len(lv) != n {
+			return ANOVAResult{}, fmt.Errorf("stats: factor %q has %d observations, want %d", names[f], len(lv), n)
+		}
+	}
+	grand := Mean(response)
+	var totalSS float64
+	for _, y := range response {
+		d := y - grand
+		totalSS += d * d
+	}
+
+	var effects []FactorEffect
+	var explainedSS float64
+	residualDF := n - 1
+	for f := range levels {
+		sums := map[int]float64{}
+		counts := map[int]int{}
+		for i, y := range response {
+			sums[levels[f][i]] += y
+			counts[levels[f][i]]++
+		}
+		var ss float64
+		for lvl, s := range sums {
+			m := s / float64(counts[lvl])
+			d := m - grand
+			ss += float64(counts[lvl]) * d * d
+		}
+		df := len(sums) - 1
+		effects = append(effects, FactorEffect{Name: names[f], SumSq: ss, DF: df})
+		explainedSS += ss
+		residualDF -= df
+	}
+	residualSS := totalSS - explainedSS
+	if residualSS < 0 {
+		residualSS = 0
+	}
+	if residualDF < 1 {
+		residualDF = 1
+	}
+	msr := residualSS / float64(residualDF)
+	for i := range effects {
+		e := &effects[i]
+		if e.DF <= 0 || msr <= 0 {
+			e.F = math.Inf(1)
+			e.PValue = 0
+		} else {
+			e.F = (e.SumSq / float64(e.DF)) / msr
+			e.PValue = FSurvival(e.F, float64(e.DF), float64(residualDF))
+		}
+		e.Significant = e.PValue < alpha
+	}
+	return ANOVAResult{
+		Effects:    effects,
+		ResidualSS: residualSS,
+		ResidualDF: residualDF,
+		TotalSS:    totalSS,
+	}, nil
+}
+
+// FSurvival returns P(F > x) for an F distribution with d1 and d2 degrees
+// of freedom, via the regularized incomplete beta function.
+func FSurvival(x, d1, d2 float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	// P(F <= x) = I_{d1*x/(d1*x+d2)}(d1/2, d2/2)
+	z := d1 * x / (d1*x + d2)
+	return 1 - RegIncBeta(d1/2, d2/2, z)
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes style, modified
+// Lentz algorithm).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction of the incomplete beta function.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 1e-14
+		tiny    = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		mf := float64(m)
+		m2 := 2 * mf
+		aa := mf * (b - mf) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + mf) * (qab + mf) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,62 @@
+// Package stats implements the statistical machinery EDDIE relies on: the
+// two-sample Kolmogorov–Smirnov test (EDDIE's core decision procedure), the
+// Wilcoxon–Mann–Whitney U test (the alternative the paper evaluated and
+// rejected), empirical distribution functions, descriptive statistics,
+// histograms, and N-way ANOVA (used for the architecture-sensitivity study
+// in §5.3 of the paper).
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function built from a sample.
+// The zero value is unusable; construct with NewECDF.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from the sample. The input is copied and sorted.
+func NewECDF(sample []float64) (*ECDF, error) {
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("stats: ECDF requires a non-empty sample")
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// At returns F(x) = P(X <= x), the fraction of the sample <= x.
+func (e *ECDF) At(x float64) float64 {
+	// sort.SearchFloat64s returns the first index i with sorted[i] >= x,
+	// so we search for the first index strictly greater than x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Quantile returns the q-th empirical quantile, q in [0,1], using the
+// nearest-rank definition. Values of q outside [0,1] are clamped.
+func (e *ECDF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	idx := int(q*float64(len(e.sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(e.sorted) {
+		idx = len(e.sorted) - 1
+	}
+	return e.sorted[idx]
+}
+
+// Sorted returns the underlying sorted sample. The caller must not modify it.
+func (e *ECDF) Sorted() []float64 { return e.sorted }

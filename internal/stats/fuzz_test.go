@@ -1,0 +1,62 @@
+package stats
+
+import "testing"
+
+// FuzzKSStatistic checks the two-sample K-S statistic invariants on
+// arbitrary samples: range [0,1], symmetry, identity.
+func FuzzKSStatistic(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{3, 2, 1})
+	f.Add([]byte{0}, []byte{255})
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		if len(ab) == 0 || len(bb) == 0 || len(ab)+len(bb) > 2048 {
+			t.Skip()
+		}
+		a := make([]float64, len(ab))
+		b := make([]float64, len(bb))
+		for i, v := range ab {
+			a[i] = float64(v)
+		}
+		for i, v := range bb {
+			b[i] = float64(v)
+		}
+		d := KSStatistic(a, b)
+		if d < 0 || d > 1 {
+			t.Fatalf("D = %g outside [0,1]", d)
+		}
+		if d2 := KSStatistic(b, a); d != d2 {
+			t.Fatalf("asymmetric: %g vs %g", d, d2)
+		}
+		if KSStatistic(a, a) != 0 {
+			t.Fatal("self-distance nonzero")
+		}
+	})
+}
+
+// FuzzECDF checks ECDF bounds and monotonicity for arbitrary samples.
+func FuzzECDF(f *testing.F) {
+	f.Add([]byte{5, 1, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 2048 {
+			t.Skip()
+		}
+		s := make([]float64, len(data))
+		for i, v := range data {
+			s[i] = float64(v)
+		}
+		e, err := NewECDF(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := 0.0
+		for x := -1.0; x <= 256; x += 16 {
+			v := e.At(x)
+			if v < prev || v < 0 || v > 1 {
+				t.Fatalf("ECDF not monotone in [0,1] at %g: %g (prev %g)", x, v, prev)
+			}
+			prev = v
+		}
+		if e.At(256) != 1 {
+			t.Fatal("ECDF must reach 1 beyond the maximum")
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSResult reports the outcome of a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	// D is the K-S statistic: the maximum absolute difference between the
+	// two empirical distribution functions.
+	D float64
+	// Critical is the rejection threshold D_{m,n,alpha} at the requested
+	// significance level.
+	Critical float64
+	// PValue is the asymptotic probability of observing a statistic at
+	// least as large as D under the null hypothesis that both samples were
+	// drawn from the same population.
+	PValue float64
+	// Reject reports whether the null hypothesis is rejected at the
+	// requested significance level (D > Critical).
+	Reject bool
+	// M and N are the two sample sizes.
+	M, N int
+}
+
+// KSTest runs the two-sample Kolmogorov–Smirnov test on reference sample
+// ref (size m) and monitored sample mon (size n) at significance level
+// alpha (e.g. 0.01 for the paper's 99% confidence).
+//
+// The null hypothesis H0 is that both samples come from the same
+// population. H0 is rejected when D_{m,n} > c(alpha)*sqrt((m+n)/(m*n)),
+// where c is the inverse of the Kolmogorov distribution.
+func KSTest(ref, mon []float64, alpha float64) (KSResult, error) {
+	if len(ref) == 0 || len(mon) == 0 {
+		return KSResult{}, fmt.Errorf("stats: K-S test requires non-empty samples (m=%d, n=%d)", len(ref), len(mon))
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return KSResult{}, fmt.Errorf("stats: K-S significance level must be in (0,1), got %g", alpha)
+	}
+	d := KSStatistic(ref, mon)
+	m := float64(len(ref))
+	n := float64(len(mon))
+	en := math.Sqrt(m * n / (m + n))
+	crit := KolmogorovInverse(1-alpha) / en
+	p := KolmogorovSurvival(d * en)
+	return KSResult{
+		D:        d,
+		Critical: crit,
+		PValue:   p,
+		Reject:   d > crit,
+		M:        len(ref),
+		N:        len(mon),
+	}, nil
+}
+
+// KSRejectSorted is the allocation-light K-S path used by EDDIE's hot
+// loops: refSorted must already be sorted ascending; mon is copied into
+// scratch (which must have len >= len(mon)) and sorted there. cAlpha is
+// KolmogorovInverse(1-alpha), computed once by the caller. It reports
+// whether H0 (same population) is rejected.
+func KSRejectSorted(refSorted, mon, scratch []float64, cAlpha float64) bool {
+	n := copy(scratch, mon)
+	s := scratch[:n]
+	sort.Float64s(s)
+	d := ksStatSorted(refSorted, s)
+	m := float64(len(refSorted))
+	nf := float64(n)
+	crit := cAlpha * math.Sqrt((m+nf)/(m*nf))
+	return d > crit
+}
+
+// ksStatSorted computes the two-sample K-S statistic over two already
+// sorted samples.
+func ksStatSorted(as, bs []float64) float64 {
+	var i, j int
+	var d float64
+	m := float64(len(as))
+	n := float64(len(bs))
+	for i < len(as) && j < len(bs) {
+		x := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/m - float64(j)/n)
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSStatistic computes the two-sample K-S statistic
+// D = max_x |F_ref(x) - F_mon(x)| with a single merge pass over the two
+// sorted samples. It copies its inputs.
+func KSStatistic(a, b []float64) float64 {
+	as := make([]float64, len(a))
+	bs := make([]float64, len(b))
+	copy(as, a)
+	copy(bs, b)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	return ksStatSorted(as, bs)
+}
+
+// KolmogorovSurvival returns Q(x) = P(K > x) for the Kolmogorov
+// distribution, using the classic alternating series
+// Q(x) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 x^2).
+func KolmogorovSurvival(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	if x > 5 {
+		return 0 // series underflows; survival is ~1e-22 already
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := math.Exp(-2 * float64(k) * float64(k) * x * x)
+		sum += sign * term
+		sign = -sign
+		if term < 1e-12 {
+			break
+		}
+	}
+	q := 2 * sum
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// KolmogorovCDF returns P(K <= x) for the Kolmogorov distribution.
+func KolmogorovCDF(x float64) float64 { return 1 - KolmogorovSurvival(x) }
+
+// KolmogorovInverse returns c such that KolmogorovCDF(c) = p, i.e. the
+// critical value c(alpha) for confidence level p = 1-alpha. Computed by
+// bisection; the CDF is strictly increasing on (0, inf).
+func KolmogorovInverse(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	lo, hi := 0.0, 5.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if KolmogorovCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12 {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// UTestResult reports the outcome of a two-sample Wilcoxon–Mann–Whitney
+// rank-sum test (normal approximation with tie correction).
+type UTestResult struct {
+	// U is the Mann–Whitney U statistic for the first sample.
+	U float64
+	// Z is the standardized statistic under the normal approximation.
+	Z float64
+	// PValue is the two-sided p-value.
+	PValue float64
+	// Reject reports whether the null hypothesis of equal distributions
+	// (sensitive to median shifts) is rejected at the requested level.
+	Reject bool
+}
+
+// UTest runs the two-sided Wilcoxon–Mann–Whitney test at significance level
+// alpha. The paper compared this test against the K-S test and found the
+// K-S test performs better for EDDIE; we keep it as the ablation baseline.
+func UTest(a, b []float64, alpha float64) (UTestResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return UTestResult{}, fmt.Errorf("stats: U test requires non-empty samples (m=%d, n=%d)", len(a), len(b))
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return UTestResult{}, fmt.Errorf("stats: U test significance level must be in (0,1), got %g", alpha)
+	}
+	m := len(a)
+	n := len(b)
+	type obs struct {
+		v     float64
+		fromA bool
+	}
+	all := make([]obs, 0, m+n)
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks with tie correction term sum(t^3 - t).
+	ranks := make([]float64, len(all))
+	var tieCorrection float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = r
+		}
+		t := float64(j - i)
+		tieCorrection += t*t*t - t
+		i = j
+	}
+	var rankSumA float64
+	for i, o := range all {
+		if o.fromA {
+			rankSumA += ranks[i]
+		}
+	}
+	mf := float64(m)
+	nf := float64(n)
+	u := rankSumA - mf*(mf+1)/2
+	mean := mf * nf / 2
+	total := mf + nf
+	variance := mf * nf / 12 * ((total + 1) - tieCorrection/(total*(total-1)))
+	if variance <= 0 {
+		// All observations identical: no evidence against H0.
+		return UTestResult{U: u, Z: 0, PValue: 1, Reject: false}, nil
+	}
+	z := (u - mean) / math.Sqrt(variance)
+	p := 2 * NormalSurvival(math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return UTestResult{U: u, Z: z, PValue: p, Reject: p < alpha}, nil
+}
+
+// NormalSurvival returns P(Z > z) for the standard normal distribution.
+func NormalSurvival(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// NormalCDF returns P(Z <= z) for the standard normal distribution.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

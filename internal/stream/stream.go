@@ -1,0 +1,164 @@
+// Package stream provides the deployable, online form of EDDIE: a
+// Detector that consumes raw receiver samples as they arrive (no whole-
+// capture passes), maintains the sliding STFT internally, and feeds each
+// completed Short-Term Spectrum to the monitor. This is the software
+// equivalent of the paper's envisioned low-cost receiver (§5.1: "ASIC
+// block for STFT and peak finding, simple CPU for tests").
+package stream
+
+import (
+	"fmt"
+
+	"eddie/internal/core"
+	"eddie/internal/dsp"
+)
+
+// Config describes the detector's signal front end.
+type Config struct {
+	// STFT is the window analysis configuration; SampleRate must match
+	// the incoming sample stream.
+	STFT dsp.STFTConfig
+	// Peaks controls spectral peak extraction.
+	Peaks dsp.PeakConfig
+	// Monitor is the monitoring configuration.
+	Monitor core.MonitorConfig
+	// DCTau is the time constant (in samples) of the streaming DC
+	// blocker (an exponential moving average subtracted from the input).
+	// Zero means 2048.
+	DCTau float64
+}
+
+// Detector consumes raw samples and raises anomaly reports online.
+type Detector struct {
+	cfg     Config
+	model   *core.Model
+	monitor *core.Monitor
+
+	win     []float64 // analysis window coefficients
+	buf     []float64 // pending samples (DC-blocked)
+	fftBuf  []complex128
+	dcMean  float64
+	dcInit  bool
+	dcAlpha float64
+
+	samplesIn int64
+	windows   int
+	binW      float64
+}
+
+// NewDetector creates a streaming detector for a trained model.
+func NewDetector(model *core.Model, cfg Config) (*Detector, error) {
+	if err := cfg.STFT.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.STFT.HopSize > cfg.STFT.WindowSize {
+		return nil, fmt.Errorf("stream: hop %d larger than window %d", cfg.STFT.HopSize, cfg.STFT.WindowSize)
+	}
+	if cfg.DCTau == 0 {
+		cfg.DCTau = 2048
+	}
+	if cfg.DCTau < 1 {
+		return nil, fmt.Errorf("stream: DC blocker time constant %g < 1 sample", cfg.DCTau)
+	}
+	mon, err := core.NewMonitor(model, cfg.Monitor)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{
+		cfg:     cfg,
+		model:   model,
+		monitor: mon,
+		win:     dsp.Window(cfg.STFT.Window, cfg.STFT.WindowSize),
+		fftBuf:  make([]complex128, cfg.STFT.WindowSize),
+		dcAlpha: 1 / cfg.DCTau,
+		binW:    cfg.STFT.SampleRate / float64(cfg.STFT.WindowSize),
+	}, nil
+}
+
+// Write feeds a batch of raw samples to the detector and returns the
+// anomaly reports that fired while processing it (nil if none). Batches
+// may be of any size, including single samples.
+func (d *Detector) Write(samples []float64) []core.Report {
+	if len(samples) == 0 {
+		return nil
+	}
+	if !d.dcInit {
+		d.dcMean = samples[0]
+		d.dcInit = true
+	}
+	before := len(d.monitor.Reports)
+	for _, s := range samples {
+		// Streaming DC blocker: subtract a slow EWMA of the input (the
+		// offline pipeline subtracts the global mean instead).
+		d.dcMean += d.dcAlpha * (s - d.dcMean)
+		d.buf = append(d.buf, s-d.dcMean)
+		d.samplesIn++
+	}
+	for len(d.buf) >= d.cfg.STFT.WindowSize {
+		d.processWindow()
+		// Slide by one hop, reusing the backing array.
+		n := copy(d.buf, d.buf[d.cfg.STFT.HopSize:])
+		d.buf = d.buf[:n]
+	}
+	if len(d.monitor.Reports) == before {
+		return nil
+	}
+	out := make([]core.Report, len(d.monitor.Reports)-before)
+	copy(out, d.monitor.Reports[before:])
+	return out
+}
+
+// processWindow turns the first WindowSize buffered samples into an STS
+// and feeds the monitor.
+func (d *Detector) processWindow() {
+	ws := d.cfg.STFT.WindowSize
+	for i := 0; i < ws; i++ {
+		d.fftBuf[i] = complex(d.buf[i]*d.win[i], 0)
+	}
+	spec := dsp.FFT(d.fftBuf)
+	half := ws/2 + 1
+	power := make([]float64, half)
+	for k := 0; k < half; k++ {
+		re, im := real(spec[k]), imag(spec[k])
+		power[k] = re*re + im*im
+	}
+	frame := dsp.Frame{Index: d.windows, Power: power}
+	peaks := dsp.FindPeaks(&frame, d.cfg.Peaks, d.cfg.STFT.BinFrequency)
+	freqs := make([]float64, len(peaks))
+	for i, p := range peaks {
+		freqs[i] = dsp.InterpolatePeakFrequency(&frame, p.Bin, d.binW)
+	}
+	sortFloats(freqs)
+	minBin := d.cfg.Peaks.MinBin
+	if minBin < 1 {
+		minBin = 1
+	}
+	var energy float64
+	for b := minBin; b < len(power); b++ {
+		energy += power[b]
+	}
+	sts := core.STS{
+		PeakFreqs: freqs,
+		Energy:    energy,
+		TimeSec:   float64(d.samplesIn-int64(len(d.buf))) / d.cfg.STFT.SampleRate,
+	}
+	d.monitor.Observe(&sts)
+	d.windows++
+}
+
+// Windows returns the number of STSs processed so far.
+func (d *Detector) Windows() int { return d.windows }
+
+// Monitor exposes the underlying monitor (reports, outcomes, current
+// region estimate).
+func (d *Detector) Monitor() *core.Monitor { return d.monitor }
+
+// sortFloats is insertion sort: peak lists are short and this avoids an
+// allocation-heavy sort.Float64s call per window on the hot path.
+func sortFloats(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package stream
+
+import (
+	"testing"
+
+	"eddie/internal/cfg"
+	"eddie/internal/core"
+	"eddie/internal/inject"
+	"eddie/internal/mibench"
+	"eddie/internal/pipeline"
+)
+
+func streamCfg(p pipeline.Config) Config {
+	return Config{STFT: p.STFT, Peaks: p.Peaks, Monitor: core.DefaultMonitorConfig()}
+}
+
+func trainFixture(t *testing.T) (*core.Model, *cfg.Machine, *mibench.Workload, pipeline.Config) {
+	t.Helper()
+	w, err := mibench.ByName("bitcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pipeline.SimulatorConfig()
+	model, machine, err := pipeline.Train(w, p, 8, core.DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, machine, w, p
+}
+
+func TestDetectorQuietOnCleanStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	model, machine, w, p := trainFixture(t)
+	run, err := pipeline.CollectRun(w, machine, p, 500, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDetector(model, streamCfg(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed in awkward batch sizes to exercise buffering.
+	var reports []core.Report
+	sig := run.Signal
+	for len(sig) > 0 {
+		n := 173
+		if n > len(sig) {
+			n = len(sig)
+		}
+		reports = append(reports, d.Write(sig[:n])...)
+		sig = sig[n:]
+	}
+	if len(reports) != 0 {
+		t.Errorf("clean stream produced %d reports", len(reports))
+	}
+	if d.Windows() == 0 {
+		t.Fatal("no windows processed")
+	}
+	// The streaming detector should see the same number of windows as the
+	// offline STFT (up to trailing remainder).
+	if diff := len(run.STS) - d.Windows(); diff < 0 || diff > 2 {
+		t.Errorf("streaming windows %d vs offline %d", d.Windows(), len(run.STS))
+	}
+}
+
+func TestDetectorReportsInjectedStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	model, machine, w, p := trainFixture(t)
+	injector := &inject.InLoop{
+		Header: machine.Nests[0].Header, Instrs: 8, MemOps: 4,
+		Contamination: 1, Seed: 9,
+	}
+	run, err := pipeline.CollectRun(w, machine, p, 600, injector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDetector(model, streamCfg(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := d.Write(run.Signal)
+	if len(reports) == 0 {
+		t.Fatal("injected stream produced no reports")
+	}
+	// Report timestamps are within the run duration.
+	dur := run.Sim.Duration()
+	for _, r := range reports {
+		if r.TimeSec < 0 || r.TimeSec > dur {
+			t.Errorf("report at %.4f s outside run duration %.4f s", r.TimeSec, dur)
+		}
+	}
+}
+
+func TestDetectorBatchSizeInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	model, machine, w, p := trainFixture(t)
+	run, err := pipeline.CollectRun(w, machine, p, 700, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countWindows := func(batch int) int {
+		d, err := NewDetector(model, streamCfg(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := run.Signal
+		for len(sig) > 0 {
+			n := batch
+			if n > len(sig) {
+				n = len(sig)
+			}
+			d.Write(sig[:n])
+			sig = sig[n:]
+		}
+		return d.Windows()
+	}
+	all := countWindows(len(run.Signal))
+	one := countWindows(1)
+	odd := countWindows(997)
+	if all != one || all != odd {
+		t.Errorf("window counts differ by batch size: whole=%d single=%d odd=%d", all, one, odd)
+	}
+}
+
+func TestDetectorValidation(t *testing.T) {
+	model := &core.Model{} // only needed for config validation paths
+	p := pipeline.SimulatorConfig()
+	bad := streamCfg(p)
+	bad.STFT.WindowSize = 0
+	if _, err := NewDetector(model, bad); err == nil {
+		t.Error("zero window size accepted")
+	}
+	bad = streamCfg(p)
+	bad.STFT.HopSize = bad.STFT.WindowSize * 2
+	if _, err := NewDetector(model, bad); err == nil {
+		t.Error("hop > window accepted")
+	}
+	bad = streamCfg(p)
+	bad.DCTau = 0.5
+	if _, err := NewDetector(model, bad); err == nil {
+		t.Error("sub-sample DC time constant accepted")
+	}
+}

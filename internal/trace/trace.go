@@ -1,0 +1,86 @@
+// Package trace aligns the signal domain with the program domain: it
+// labels each STFT window with the code region that produced it (ground
+// truth from the simulator's region trace) and with whether the window
+// overlaps injected execution. Training consumes the region labels — the
+// equivalent of the paper's lightweight loop instrumentation — while
+// evaluation consumes both.
+package trace
+
+import (
+	"eddie/internal/cfg"
+	"eddie/internal/dsp"
+	"eddie/internal/sim"
+)
+
+// LabeledFrame is an STFT frame with ground-truth annotations.
+type LabeledFrame struct {
+	// Frame is the Short-Term Spectrum.
+	Frame dsp.Frame
+	// Region is the region that dominated the window (the region holding
+	// the largest share of the window's cycles), or cfg.NoRegion if the
+	// window lies outside the traced execution.
+	Region cfg.RegionID
+	// Injected reports whether any injected execution fell in the window.
+	Injected bool
+	// TimeSec is the window start time in seconds.
+	TimeSec float64
+}
+
+// LabelFrames annotates STFT frames using the simulator's region trace.
+// stftCfg must be the configuration the frames were computed with, and its
+// SampleRate must equal run.Config.SampleRate().
+func LabelFrames(frames []dsp.Frame, stftCfg dsp.STFTConfig, run *sim.RunResult) []LabeledFrame {
+	out := make([]LabeledFrame, 0, len(frames))
+	period := int64(run.Config.SamplePeriod)
+	segs := run.Segments
+	segIdx := 0
+	for _, f := range frames {
+		startCycle := int64(f.Start) * period
+		endCycle := (int64(f.Start) + int64(stftCfg.WindowSize)) * period
+
+		// Advance past segments that end before this window.
+		for segIdx < len(segs) && segs[segIdx].EndCycle <= startCycle {
+			segIdx++
+		}
+		// Find the region with the largest cycle overlap.
+		best := cfg.NoRegion
+		var bestOverlap int64
+		for i := segIdx; i < len(segs) && segs[i].StartCycle < endCycle; i++ {
+			s := segs[i]
+			lo := max64(s.StartCycle, startCycle)
+			hi := min64(s.EndCycle, endCycle)
+			if hi-lo > bestOverlap {
+				bestOverlap = hi - lo
+				best = s.Region
+			}
+		}
+		injected := false
+		for k := f.Start; k < f.Start+stftCfg.WindowSize && k < len(run.InjectedSamples); k++ {
+			if run.InjectedSamples[k] {
+				injected = true
+				break
+			}
+		}
+		out = append(out, LabeledFrame{
+			Frame:    f,
+			Region:   best,
+			Injected: injected,
+			TimeSec:  float64(f.Start) / stftCfg.SampleRate,
+		})
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

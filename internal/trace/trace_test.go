@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"testing"
+
+	"eddie/internal/cfg"
+	"eddie/internal/dsp"
+	"eddie/internal/sim"
+)
+
+// fakeRun builds a RunResult with hand-placed segments and injected marks.
+func fakeRun(samplePeriod int, segments []sim.Segment, injected []bool) *sim.RunResult {
+	c := sim.DefaultIoT()
+	c.SamplePeriod = samplePeriod
+	return &sim.RunResult{
+		Segments:        segments,
+		InjectedSamples: injected,
+		Config:          c,
+	}
+}
+
+func frames(n, windowSize, hop int) []dsp.Frame {
+	out := make([]dsp.Frame, n)
+	for i := range out {
+		out[i] = dsp.Frame{Index: i, Start: i * hop, Power: []float64{0, 1}}
+	}
+	return out
+}
+
+func TestLabelFramesMajorityOverlap(t *testing.T) {
+	// Sample period 1 cycle for easy arithmetic: window k covers samples
+	// [64k, 64k+128).
+	segs := []sim.Segment{
+		{Region: 1, StartCycle: 0, EndCycle: 100},
+		{Region: 2, StartCycle: 100, EndCycle: 1000},
+	}
+	fs := frames(5, 128, 64)
+	stft := dsp.STFTConfig{WindowSize: 128, HopSize: 64, SampleRate: 1e6}
+	labeled := LabelFrames(fs, stft, fakeRun(1, segs, nil))
+	// Window 0 covers [0,128): 100 cycles in region 1, 28 in region 2.
+	if labeled[0].Region != 1 {
+		t.Errorf("window 0 labeled %v, want 1", labeled[0].Region)
+	}
+	// Window 1 covers [64,192): 36 cycles region 1, 92 region 2.
+	if labeled[1].Region != 2 {
+		t.Errorf("window 1 labeled %v, want 2", labeled[1].Region)
+	}
+	for i := 2; i < 5; i++ {
+		if labeled[i].Region != 2 {
+			t.Errorf("window %d labeled %v, want 2", i, labeled[i].Region)
+		}
+	}
+}
+
+func TestLabelFramesOutsideTrace(t *testing.T) {
+	segs := []sim.Segment{{Region: 1, StartCycle: 0, EndCycle: 10}}
+	fs := frames(3, 128, 64)
+	stft := dsp.STFTConfig{WindowSize: 128, HopSize: 64, SampleRate: 1e6}
+	labeled := LabelFrames(fs, stft, fakeRun(1, segs, nil))
+	if labeled[2].Region != cfg.NoRegion {
+		t.Errorf("window beyond the trace labeled %v, want NoRegion", labeled[2].Region)
+	}
+}
+
+func TestLabelFramesInjectedFlag(t *testing.T) {
+	segs := []sim.Segment{{Region: 1, StartCycle: 0, EndCycle: 10000}}
+	injected := make([]bool, 400)
+	injected[200] = true // one injected sample
+	fs := frames(5, 128, 64)
+	stft := dsp.STFTConfig{WindowSize: 128, HopSize: 64, SampleRate: 1e6}
+	labeled := LabelFrames(fs, stft, fakeRun(1, segs, injected))
+	// Sample 200 falls in windows starting at 128 and 192 (covering
+	// [128,256) and [192,320)) and window 2 starting 128... indices:
+	// window i covers samples [64i, 64i+128).
+	wantInjected := map[int]bool{2: true, 3: true}
+	for i, lf := range labeled {
+		if lf.Injected != wantInjected[i] {
+			t.Errorf("window %d injected=%t, want %t", i, lf.Injected, wantInjected[i])
+		}
+	}
+}
+
+func TestLabelFramesTimeSec(t *testing.T) {
+	fs := frames(3, 128, 64)
+	stft := dsp.STFTConfig{WindowSize: 128, HopSize: 64, SampleRate: 1000}
+	labeled := LabelFrames(fs, stft, fakeRun(1, nil, nil))
+	if labeled[1].TimeSec != 0.064 {
+		t.Errorf("window 1 starts at %g s, want 0.064", labeled[1].TimeSec)
+	}
+}
