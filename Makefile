@@ -1,0 +1,24 @@
+.PHONY: all build test race bench dsp-bench
+
+all: build test
+
+# Tier 1: everything compiles and the full test suite passes.
+build:
+	go build ./...
+
+test: build
+	go test ./...
+
+# Race tier: vet plus the short suite under the race detector. Exercises
+# the FFT plan cache, the parallel run scheduler and the model cache.
+race:
+	go vet ./...
+	go test -race -short ./...
+
+# Wall-clock benchmarks of the experiment harnesses.
+bench:
+	go test -short -bench 'Table1|Fig4' -benchtime=1x -run '^$$' .
+
+# DSP kernel micro-benchmarks, machine-readable output.
+dsp-bench:
+	go run ./cmd/eddie-bench -dsp-bench BENCH_dsp.json

@@ -29,6 +29,28 @@ func benchOut(i int) io.Writer {
 
 func benchEnv() *experiments.Env { return experiments.NewEnv(testing.Short()) }
 
+// BenchmarkCollectRuns measures the throughput of the parallel run
+// collector that every experiment above sits on. The worker count follows
+// SetParallelism / EDDIE_PARALLELISM / GOMAXPROCS; output is identical at
+// any setting.
+func BenchmarkCollectRuns(b *testing.B) {
+	w, err := WorkloadByName("bitcount")
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine, err := BuildMachine(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := SimulatorPipeline()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CollectRuns(w, machine, c, 0, 8, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTable1(b *testing.B) {
 	e := benchEnv()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+
+	"eddie/internal/dsp"
+)
+
+// dspBenchResult is one kernel's measurement in BENCH_dsp.json.
+type dspBenchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`    // transform or signal size
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// dspBenchFile is the top-level schema of BENCH_dsp.json.
+type dspBenchFile struct {
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Results    []dspBenchResult `json:"results"`
+}
+
+// runDSPBench times the DSP kernels with the stdlib benchmark driver and
+// writes the results as JSON. The same kernels are covered by the
+// go-test benchmarks in internal/dsp; this mode exists so the numbers can
+// be captured by scripts without parsing `go test -bench` text output.
+func runDSPBench(path string) error {
+	sig := make([]float64, 1<<17)
+	for i := range sig {
+		sig[i] = math.Sin(2*math.Pi*float64(i)/64) + 0.25*math.Sin(2*math.Pi*float64(i)/7)
+	}
+	stftCfg := dsp.STFTConfig{WindowSize: 1024, HopSize: 512, Window: dsp.Hann, SampleRate: 1e6}
+
+	type bench struct {
+		name string
+		n    int
+		fn   func(b *testing.B)
+	}
+	benches := []bench{
+		{"FFTPow2", 1024, func(b *testing.B) {
+			x := make([]complex128, 1024)
+			for i := range x {
+				x[i] = complex(sig[i], 0)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dsp.FFT(x)
+			}
+		}},
+		{"FFTBluestein", 1000, func(b *testing.B) {
+			x := make([]complex128, 1000)
+			for i := range x {
+				x[i] = complex(sig[i], 0)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dsp.FFT(x)
+			}
+		}},
+		{"FFTReal", 1024, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dsp.FFTReal(sig[:1024])
+			}
+		}},
+		{"STFT", len(sig), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dsp.STFT(sig, stftCfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"PowerSpectrum", 1 << 14, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dsp.PowerSpectrum(sig[:1<<14])
+			}
+		}},
+	}
+
+	out := dspBenchFile{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.fn)
+		res := dspBenchResult{
+			Name:        bm.name,
+			N:           bm.n,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		out.Results = append(out.Results, res)
+		fmt.Printf("%-16s n=%-7d %12.0f ns/op %10d B/op %6d allocs/op\n",
+			res.Name, res.N, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -2,10 +2,14 @@
 //
 // Usage:
 //
-//	eddie-bench [-short] [-run table1,fig5,...]
+//	eddie-bench [-short] [-run table1,fig5,...] [-parallel N]
+//	eddie-bench -dsp-bench BENCH_dsp.json
 //
 // With no -run flag every experiment runs, in paper order. -short scales
-// the run counts down (~10x faster, noisier numbers).
+// the run counts down (~10x faster, noisier numbers). -parallel fixes the
+// worker-pool size used for run collection (0 = EDDIE_PARALLELISM env or
+// GOMAXPROCS). -dsp-bench skips the experiments and instead times the DSP
+// kernels, writing machine-readable results to the given JSON file.
 package main
 
 import (
@@ -16,12 +20,24 @@ import (
 	"time"
 
 	"eddie/internal/experiments"
+	"eddie/internal/par"
 )
 
 func main() {
 	short := flag.Bool("short", false, "scaled-down run counts")
 	runList := flag.String("run", "all", "comma-separated experiments: table1,table2,fig1..fig10,anova,ablations or all")
+	parallel := flag.Int("parallel", 0, "worker-pool size for run collection (0 = EDDIE_PARALLELISM env or GOMAXPROCS)")
+	dspBench := flag.String("dsp-bench", "", "run the DSP kernel micro-benchmarks and write JSON results to this file, then exit")
 	flag.Parse()
+	par.SetParallelism(*parallel)
+
+	if *dspBench != "" {
+		if err := runDSPBench(*dspBench); err != nil {
+			fmt.Fprintln(os.Stderr, "eddie-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	e := experiments.NewEnv(*short)
 	type exp struct {

@@ -33,7 +33,9 @@ func main() {
 	saveModel := flag.String("save-model", "", "write the trained model to this file")
 	loadModel := flag.String("load-model", "", "load a previously saved model instead of training")
 	verbose := flag.Bool("v", false, "print the model and every report")
+	parallel := flag.Int("parallel", 0, "worker-pool size for run collection (0 = EDDIE_PARALLELISM env or GOMAXPROCS)")
 	flag.Parse()
+	eddie.SetParallelism(*parallel)
 
 	if *list {
 		for _, w := range eddie.Workloads() {

@@ -43,9 +43,19 @@ import (
 	"eddie/internal/inject"
 	"eddie/internal/isa"
 	"eddie/internal/mibench"
+	"eddie/internal/par"
 	"eddie/internal/pipeline"
 	"eddie/internal/stream"
 )
+
+// SetParallelism fixes the worker-pool size used by CollectRuns and the
+// experiment harnesses. n <= 0 restores the default: the EDDIE_PARALLELISM
+// environment variable if set, otherwise GOMAXPROCS. Parallel collection
+// produces byte-identical results to serial execution at any setting.
+func SetParallelism(n int) { par.SetParallelism(n) }
+
+// Parallelism reports the worker-pool size currently in effect.
+func Parallelism() int { return par.Parallelism() }
 
 // Re-exported core types. The implementation lives in internal packages;
 // these aliases are the supported public surface.
@@ -127,6 +137,13 @@ func Train(w *Workload, c PipelineConfig, nRuns int, tc TrainConfig) (*Model, *M
 // noise realization; use indices disjoint from training for monitoring.
 func CollectRun(w *Workload, m *Machine, c PipelineConfig, runIdx int, attack Injector) (*Run, error) {
 	return pipeline.CollectRun(w, m, c, runIdx, attack)
+}
+
+// CollectRuns collects n runs (indices firstRun..firstRun+n-1) on the
+// worker pool (see SetParallelism) and returns each run's STS sequence.
+// The output is byte-identical to collecting the runs serially.
+func CollectRuns(w *Workload, m *Machine, c PipelineConfig, firstRun, n int, attack Injector) ([][]STS, error) {
+	return pipeline.CollectRuns(w, m, c, firstRun, n, attack)
 }
 
 // NewMonitor creates a monitor for a trained model.

@@ -3,7 +3,8 @@
 // transform (STFT), and spectral peak extraction.
 //
 // All routines are implemented from scratch on top of the standard library
-// so the module has no external dependencies.
+// so the module has no external dependencies. Transforms run through
+// per-size cached plans (see plan.go) and are safe for concurrent use.
 package dsp
 
 import (
@@ -17,19 +18,16 @@ import (
 // For power-of-two lengths it runs an iterative radix-2 Cooley–Tukey
 // transform in O(n log n). Other lengths are handled by Bluestein's
 // algorithm, which re-expresses the DFT as a convolution of power-of-two
-// size. The input slice is not modified.
+// size. Twiddle factors, permutations and convolution kernels come from
+// the process-wide plan cache. The input slice is not modified.
 func FFT(x []complex128) []complex128 {
 	n := len(x)
 	if n == 0 {
 		return nil
 	}
-	if n&(n-1) == 0 {
-		out := make([]complex128, n)
-		copy(out, x)
-		fftRadix2(out, false)
-		return out
-	}
-	return bluestein(x, false)
+	out := make([]complex128, n)
+	PlanFFT(n).Forward(out, x)
+	return out
 }
 
 // IFFT computes the inverse discrete Fourier transform of x, normalized by
@@ -39,108 +37,27 @@ func IFFT(x []complex128) []complex128 {
 	if n == 0 {
 		return nil
 	}
-	var out []complex128
-	if n&(n-1) == 0 {
-		out = make([]complex128, n)
-		copy(out, x)
-		fftRadix2(out, true)
-	} else {
-		out = bluestein(x, true)
-	}
-	inv := complex(1/float64(n), 0)
-	for i := range out {
-		out[i] *= inv
-	}
+	out := make([]complex128, n)
+	PlanFFT(n).Inverse(out, x)
 	return out
 }
 
-// FFTReal computes the DFT of a real-valued signal.
+// FFTReal computes the DFT of a real-valued signal. It runs the real-input
+// fast path (half-size complex transform) and mirrors the upper half of
+// the spectrum from conjugate symmetry.
 func FFTReal(x []float64) []complex128 {
-	cx := make([]complex128, len(x))
-	for i, v := range x {
-		cx[i] = complex(v, 0)
-	}
-	return FFT(cx)
-}
-
-// fftRadix2 runs an in-place iterative radix-2 FFT. inverse selects the
-// conjugate transform (without normalization). len(x) must be a power of two.
-func fftRadix2(x []complex128, inverse bool) {
 	n := len(x)
-	if n < 2 {
-		return
+	if n == 0 {
+		return nil
 	}
-	// Bit-reversal permutation.
-	for i, j := 1, 0; i < n; i++ {
-		bit := n >> 1
-		for ; j&bit != 0; bit >>= 1 {
-			j ^= bit
-		}
-		j ^= bit
-		if i < j {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for length := 2; length <= n; length <<= 1 {
-		ang := sign * 2 * math.Pi / float64(length)
-		wl := cmplx.Exp(complex(0, ang))
-		for start := 0; start < n; start += length {
-			w := complex(1, 0)
-			half := length / 2
-			for k := 0; k < half; k++ {
-				u := x[start+k]
-				v := x[start+k+half] * w
-				x[start+k] = u + v
-				x[start+k+half] = u - v
-				w *= wl
-			}
-		}
-	}
-}
-
-// bluestein computes a DFT of arbitrary length as a circular convolution of
-// power-of-two size (the chirp z-transform trick).
-func bluestein(x []complex128, inverse bool) []complex128 {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Chirp factors w[k] = exp(sign*i*pi*k^2/n). k^2 mod 2n avoids overflow
-	// and precision loss for large k.
-	w := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		ang := sign * math.Pi * float64(kk) / float64(n)
-		w[k] = cmplx.Exp(complex(0, ang))
-	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * w[k]
-		b[k] = cmplx.Conj(w[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(w[k])
-	}
-	fftRadix2(a, false)
-	fftRadix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	fftRadix2(a, true)
+	p := PlanRFFT(n)
+	spec := make([]complex128, p.SpectrumLen())
+	work := make([]complex128, p.WorkLen())
+	p.Transform(spec, x, work)
 	out := make([]complex128, n)
-	scale := complex(1/float64(m), 0)
-	for k := 0; k < n; k++ {
-		out[k] = a[k] * scale * w[k]
+	copy(out, spec)
+	for k := n/2 + 1; k < n; k++ {
+		out[k] = cmplx.Conj(spec[n-k])
 	}
 	return out
 }

@@ -1,0 +1,341 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// This file implements planned transforms: per-size precomputed twiddle
+// tables, bit-reversal permutations and Bluestein convolution kernels,
+// cached process-wide so repeated transforms of the same size (the STFT
+// hot loop, parallel run collection) pay the trigonometry exactly once.
+//
+// Plans are immutable after construction and therefore safe for
+// concurrent use from any number of goroutines. Mutable per-call scratch
+// is either caller-provided (RFFTPlan) or drawn from an internal
+// sync.Pool (Bluestein convolution buffers).
+
+// FFTPlan holds the precomputed tables for complex transforms of one size.
+// A plan is immutable and safe for concurrent use.
+type FFTPlan struct {
+	n int
+	// perm is the bit-reversal permutation (power-of-two sizes only).
+	perm []int32
+	// twiddle[k] = exp(-2*pi*i*k/n) for k in [0, n/2). Butterfly stages of
+	// length L read it with stride n/L; the inverse transform conjugates
+	// on the fly. Power-of-two sizes only.
+	twiddle []complex128
+	// bs holds the Bluestein kernel for non-power-of-two sizes.
+	bs *bluesteinPlan
+}
+
+// bluesteinPlan is the precomputed chirp-z kernel for one non-power-of-two
+// size: DFT_n(x) re-expressed as a circular convolution of power-of-two
+// size m >= 2n-1.
+type bluesteinPlan struct {
+	m int
+	// w[k] = exp(-i*pi*k^2/n) is the forward chirp.
+	w []complex128
+	// bhat is the forward FFT of the padded chirp-conjugate sequence,
+	// shared by every convolution of this size.
+	bhat []complex128
+	// mp is the power-of-two sub-plan of size m.
+	mp *FFTPlan
+	// scratch pools *[]complex128 convolution buffers of length m.
+	scratch sync.Pool
+}
+
+// planCache maps transform size -> *FFTPlan. Misses construct a candidate
+// and publish it with LoadOrStore, so concurrent first use of one size
+// settles on a single shared plan.
+var planCache sync.Map
+
+// PlanFFT returns the cached transform plan for size n (n >= 1), building
+// it on first use. The returned plan is shared and concurrency-safe.
+func PlanFFT(n int) *FFTPlan {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*FFTPlan)
+	}
+	v, _ := planCache.LoadOrStore(n, newFFTPlan(n))
+	return v.(*FFTPlan)
+}
+
+func newFFTPlan(n int) *FFTPlan {
+	p := &FFTPlan{n: n}
+	if n&(n-1) == 0 {
+		p.perm = bitReversal(n)
+		p.twiddle = forwardTwiddles(n)
+		return p
+	}
+	p.bs = newBluesteinPlan(n)
+	return p
+}
+
+// bitReversal returns the bit-reversal permutation for a power-of-two n.
+func bitReversal(n int) []int32 {
+	perm := make([]int32, n)
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		perm[i] = int32(j)
+	}
+	return perm
+}
+
+// forwardTwiddles returns w[k] = exp(-2*pi*i*k/n) for k in [0, n/2). Each
+// factor is computed directly from its angle (no running product), so the
+// table carries no accumulated rounding error.
+func forwardTwiddles(n int) []complex128 {
+	half := n / 2
+	tw := make([]complex128, half)
+	for k := 0; k < half; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		s, c := math.Sincos(ang)
+		tw[k] = complex(c, s)
+	}
+	return tw
+}
+
+func newBluesteinPlan(n int) *bluesteinPlan {
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	bp := &bluesteinPlan{m: m, mp: PlanFFT(m)}
+	bp.w = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k^2 mod 2n keeps the angle argument small for large k.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := -math.Pi * float64(kk) / float64(n)
+		s, c := math.Sincos(ang)
+		bp.w[k] = complex(c, s)
+	}
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		b[k] = cmplx.Conj(bp.w[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(bp.w[k])
+	}
+	bp.mp.forwardInPlace(b)
+	bp.bhat = b
+	bp.scratch.New = func() any {
+		s := make([]complex128, m)
+		return &s
+	}
+	return bp
+}
+
+// Size returns the transform length the plan was built for.
+func (p *FFTPlan) Size() int { return p.n }
+
+// Forward computes the DFT of src into dst (dst and src may alias; both
+// must have length Size()).
+func (p *FFTPlan) Forward(dst, src []complex128) {
+	p.transform(dst, src, false)
+}
+
+// Inverse computes the inverse DFT of src into dst, normalized by 1/n.
+func (p *FFTPlan) Inverse(dst, src []complex128) {
+	p.transform(dst, src, true)
+	inv := complex(1/float64(p.n), 0)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+func (p *FFTPlan) transform(dst, src []complex128, inverse bool) {
+	if p.bs != nil {
+		p.bs.transform(dst, src, inverse)
+		return
+	}
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	p.radix2InPlace(dst, inverse)
+}
+
+// forwardInPlace is the in-place forward transform used internally by the
+// Bluestein kernel (power-of-two plans only).
+func (p *FFTPlan) forwardInPlace(x []complex128) { p.radix2InPlace(x, false) }
+
+// radix2InPlace runs the iterative radix-2 butterflies using the
+// precomputed permutation and twiddle table. inverse conjugates the
+// twiddles on the fly (no normalization).
+func (p *FFTPlan) radix2InPlace(x []complex128, inverse bool) {
+	n := p.n
+	if n < 2 {
+		return
+	}
+	for i, j := range p.perm {
+		if int(j) > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	tw := p.twiddle
+	for length := 2; length <= n; length <<= 1 {
+		half := length >> 1
+		step := n / length
+		for start := 0; start < n; start += length {
+			ti := 0
+			for k := start; k < start+half; k++ {
+				w := tw[ti]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				ti += step
+				u := x[k]
+				v := x[k+half] * w
+				x[k] = u + v
+				x[k+half] = u - v
+			}
+		}
+	}
+}
+
+// transform runs the Bluestein convolution. The inverse transform uses the
+// conjugation identity IDFT(x) = conj(DFT(conj(x)))/n, so one precomputed
+// forward kernel serves both directions (the caller applies the 1/n).
+func (bp *bluesteinPlan) transform(dst, src []complex128, inverse bool) {
+	n := len(bp.w)
+	sp := bp.scratch.Get().(*[]complex128)
+	a := *sp
+	for k := 0; k < n; k++ {
+		v := src[k]
+		if inverse {
+			v = cmplx.Conj(v)
+		}
+		a[k] = v * bp.w[k]
+	}
+	for k := n; k < bp.m; k++ {
+		a[k] = 0
+	}
+	bp.mp.forwardInPlace(a)
+	for i, b := range bp.bhat {
+		a[i] *= b
+	}
+	bp.mp.radix2InPlace(a, true) // unnormalized inverse
+	scale := complex(1/float64(bp.m), 0)
+	for k := 0; k < n; k++ {
+		v := a[k] * scale * bp.w[k]
+		if inverse {
+			v = cmplx.Conj(v)
+		}
+		dst[k] = v
+	}
+	bp.scratch.Put(sp)
+}
+
+// RFFTPlan computes one-sided spectra of real-valued signals. For even
+// sizes it packs the signal into a half-size complex transform and
+// untwists the result (conjugate symmetry halves the butterfly work); odd
+// sizes fall back to a full complex transform. Plans are immutable and
+// safe for concurrent use; per-call scratch is caller-provided so the
+// caller can amortize it across frames.
+type RFFTPlan struct {
+	n int
+	// half is the size-n/2 complex sub-plan (even n >= 2).
+	half *FFTPlan
+	// untwist[k] = exp(-2*pi*i*k/n) for k in [0, n/2] (even n).
+	untwist []complex128
+	// full is the size-n fallback plan (odd n, and n == 1).
+	full *FFTPlan
+}
+
+// rfftCache maps size -> *RFFTPlan.
+var rfftCache sync.Map
+
+// PlanRFFT returns the cached real-input plan for size n (n >= 1).
+func PlanRFFT(n int) *RFFTPlan {
+	if v, ok := rfftCache.Load(n); ok {
+		return v.(*RFFTPlan)
+	}
+	v, _ := rfftCache.LoadOrStore(n, newRFFTPlan(n))
+	return v.(*RFFTPlan)
+}
+
+func newRFFTPlan(n int) *RFFTPlan {
+	p := &RFFTPlan{n: n}
+	if n >= 2 && n%2 == 0 {
+		p.half = PlanFFT(n / 2)
+		p.untwist = make([]complex128, n/2+1)
+		for k := range p.untwist {
+			ang := -2 * math.Pi * float64(k) / float64(n)
+			s, c := math.Sincos(ang)
+			p.untwist[k] = complex(c, s)
+		}
+		return p
+	}
+	p.full = PlanFFT(n)
+	return p
+}
+
+// Size returns the real input length the plan was built for.
+func (p *RFFTPlan) Size() int { return p.n }
+
+// SpectrumLen returns the one-sided output length, n/2 + 1.
+func (p *RFFTPlan) SpectrumLen() int { return p.n/2 + 1 }
+
+// WorkLen returns the scratch length Transform requires.
+func (p *RFFTPlan) WorkLen() int {
+	if p.full != nil {
+		return p.n
+	}
+	return p.n / 2
+}
+
+// Transform computes the one-sided spectrum X[0..n/2] of the length-n real
+// signal x into dst (length SpectrumLen()). work must have length
+// WorkLen(); pass the same buffer across calls to stay allocation-free.
+// The full two-sided spectrum follows from X[n-k] = conj(X[k]).
+func (p *RFFTPlan) Transform(dst []complex128, x []float64, work []complex128) {
+	if p.full != nil {
+		for i, v := range x {
+			work[i] = complex(v, 0)
+		}
+		p.full.forwardTo(work)
+		copy(dst, work[:p.n/2+1])
+		return
+	}
+	h := p.n / 2
+	for j := 0; j < h; j++ {
+		work[j] = complex(x[2*j], x[2*j+1])
+	}
+	p.half.forwardTo(work)
+	// Untwist: X[k] = E[k] + exp(-2*pi*i*k/n) * O[k], where E and O are the
+	// DFTs of the even- and odd-indexed samples, recovered from the packed
+	// transform Z via E[k] = (Z[k]+conj(Z[h-k]))/2, O[k] = -i*(Z[k]-conj(Z[h-k]))/2.
+	for k := 0; k <= h; k++ {
+		zk := work[k%h]
+		zr := cmplx.Conj(work[(h-k)%h])
+		e := (zk + zr) * 0.5
+		o := (zk - zr) * complex(0, -0.5)
+		dst[k] = e + p.untwist[k]*o
+	}
+}
+
+// forwardTo runs the forward transform in place (any size; Bluestein sizes
+// use pooled scratch).
+func (p *FFTPlan) forwardTo(x []complex128) {
+	if p.bs != nil {
+		p.bs.transform(x, x, false)
+		return
+	}
+	p.radix2InPlace(x, false)
+}
+
+// PowerInto writes the one-sided power spectrum of x into dst (length
+// SpectrumLen()): dst[k] = |X[k]|^2. spec and work are scratch of lengths
+// SpectrumLen() and WorkLen().
+func (p *RFFTPlan) PowerInto(dst []float64, x []float64, spec, work []complex128) {
+	p.Transform(spec, x, work)
+	for k := range dst {
+		re := real(spec[k])
+		im := imag(spec[k])
+		dst[k] = re*re + im*im
+	}
+}

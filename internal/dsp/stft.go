@@ -73,6 +73,11 @@ func (f *Frame) TotalEnergy() float64 {
 // STFT slices signal into overlapping frames and returns the one-sided power
 // spectrum of each. Trailing samples that do not fill a window are dropped,
 // matching the streaming behaviour of the monitoring pipeline.
+//
+// The hot loop runs the planned real-input FFT (conjugate symmetry halves
+// the butterfly work) and reuses one windowed-sample buffer, one transform
+// scratch buffer and one shared Power backing array across all frames, so
+// the per-frame allocation count is ~zero.
 func STFT(signal []float64, cfg STFTConfig) ([]Frame, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -82,21 +87,20 @@ func STFT(signal []float64, cfg STFTConfig) ([]Frame, error) {
 	}
 	win := Window(cfg.Window, cfg.WindowSize)
 	nFrames := (len(signal)-cfg.WindowSize)/cfg.HopSize + 1
+	half := cfg.WindowSize/2 + 1
 	frames := make([]Frame, 0, nFrames)
-	buf := make([]complex128, cfg.WindowSize)
+	plan := PlanRFFT(cfg.WindowSize)
+	windowed := make([]float64, cfg.WindowSize)
+	spec := make([]complex128, plan.SpectrumLen())
+	work := make([]complex128, plan.WorkLen())
+	powerAll := make([]float64, nFrames*half)
 	for i := 0; i < nFrames; i++ {
 		start := i * cfg.HopSize
 		for j := 0; j < cfg.WindowSize; j++ {
-			buf[j] = complex(signal[start+j]*win[j], 0)
+			windowed[j] = signal[start+j] * win[j]
 		}
-		spec := FFT(buf)
-		half := cfg.WindowSize/2 + 1
-		power := make([]float64, half)
-		for k := 0; k < half; k++ {
-			re := real(spec[k])
-			im := imag(spec[k])
-			power[k] = re*re + im*im
-		}
+		power := powerAll[i*half : (i+1)*half : (i+1)*half]
+		plan.PowerInto(power, windowed, spec, work)
 		frames = append(frames, Frame{Index: i, Start: start, Power: power})
 	}
 	return frames, nil
@@ -123,18 +127,17 @@ func Detrend(signal []float64) []float64 {
 }
 
 // PowerSpectrum returns the one-sided power spectrum of the entire signal
-// (a single FFT, no framing). Useful for Fig 1-style whole-region spectra.
+// (a single real-input FFT, no framing). Useful for Fig 1-style
+// whole-region spectra.
 func PowerSpectrum(signal []float64) []float64 {
-	spec := FFTReal(signal)
-	half := len(signal)/2 + 1
-	if half > len(spec) {
-		half = len(spec)
+	n := len(signal)
+	if n == 0 {
+		return nil
 	}
-	power := make([]float64, half)
-	for k := 0; k < half; k++ {
-		re := real(spec[k])
-		im := imag(spec[k])
-		power[k] = re*re + im*im
-	}
+	plan := PlanRFFT(n)
+	power := make([]float64, plan.SpectrumLen())
+	spec := make([]complex128, plan.SpectrumLen())
+	work := make([]complex128, plan.WorkLen())
+	plan.PowerInto(power, signal, spec, work)
 	return power
 }

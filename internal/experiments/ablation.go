@@ -5,7 +5,7 @@ import (
 
 	"eddie/internal/core"
 	"eddie/internal/inject"
-	"eddie/internal/mibench"
+	"eddie/internal/par"
 	"eddie/internal/pipeline"
 	"eddie/internal/stats"
 )
@@ -101,19 +101,32 @@ func AblationUTest(e *Env, w io.Writer) (*AblationUTestResult, error) {
 		return ksRej, uRej, adRej, nil
 	}
 
-	var cleanGroups, injGroups [][]float64
-	for i := 0; i < e.MonRunsSim; i++ {
+	// Collect clean and injected runs in parallel; flatten in run order so
+	// the group sequence (and the per-group A-D seeds) match the serial
+	// path exactly.
+	cleanPer := make([][][]float64, e.MonRunsSim)
+	injPer := make([][][]float64, e.MonRunsSim)
+	err = par.Do(e.MonRunsSim, 0, func(i int) error {
 		g, err := collect(monitorRunBase+i*3, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		cleanGroups = append(cleanGroups, g...)
+		cleanPer[i] = g
 		inj := &inject.InLoop{Header: t.nestHeader(0), Instrs: 8, MemOps: 4, Contamination: 1, Seed: int64(i)}
 		g, err = collect(injectionRunBase+i*3, inj)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		injGroups = append(injGroups, g...)
+		injPer[i] = g
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cleanGroups, injGroups [][]float64
+	for i := 0; i < e.MonRunsSim; i++ {
+		cleanGroups = append(cleanGroups, cleanPer[i]...)
+		injGroups = append(injGroups, injPer[i]...)
 	}
 	ksC, uC, adC, err := evalAll(cleanGroups)
 	if err != nil {
@@ -157,32 +170,46 @@ type AblationWindowRow struct {
 // STSs per region visit (shorter latency) but coarser frequency
 // resolution; long windows the opposite.
 func AblationWindow(e *Env, w io.Writer) ([]AblationWindowRow, error) {
-	var rows []AblationWindowRow
-	for _, ws := range []int{256, 512, 1024} {
+	sizes := []int{256, 512, 1024}
+	rows := make([]AblationWindowRow, len(sizes))
+	err := par.Do(len(sizes), 0, func(si int) error {
+		ws := sizes[si]
 		c := e.Sim
 		c.STFT.WindowSize = ws
 		c.STFT.HopSize = ws / 2
 		t, err := trainWith(e, "bitcount", c)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := AblationWindowRow{WindowSize: ws}
-		agg := &core.Metrics{}
-		for i := 0; i < e.MonRunsSim; i++ {
+		ms := make([]*core.Metrics, e.MonRunsSim)
+		err = par.Do(e.MonRunsSim, 0, func(i int) error {
 			m, err := e.score(t, c, monitorRunBase+i*3, nil, e.MonitorCfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
+			ms[i] = m
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		agg := &core.Metrics{}
+		for _, m := range ms {
 			agg.Merge(m)
 		}
 		row.FPPct = agg.FalsePositivePct()
 		inj := &inject.InLoop{Header: t.nestHeader(0), Instrs: 8, MemOps: 4, Contamination: 1, Seed: 3}
 		m, err := e.score(t, c, injectionRunBase, inj, e.MonitorCfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.TPRPct = m.TruePositivePct()
-		rows = append(rows, row)
+		rows[si] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fprintf(w, "Ablation: STFT window size\n")
 	for _, r := range rows {
@@ -202,31 +229,48 @@ type AblationPeakThresholdRow struct {
 // AblationPeakThreshold sweeps the minimum peak-energy fraction (the
 // paper's 1%-of-window-energy rule).
 func AblationPeakThreshold(e *Env, w io.Writer) ([]AblationPeakThresholdRow, error) {
-	var rows []AblationPeakThresholdRow
-	for _, frac := range []float64{0.01, 0.02, 0.04, 0.08} {
+	fracs := []float64{0.01, 0.02, 0.04, 0.08}
+	rows := make([]AblationPeakThresholdRow, len(fracs))
+	err := par.Do(len(fracs), 0, func(fi int) error {
+		frac := fracs[fi]
 		c := e.Sim
 		c.Peaks.MinEnergyFraction = frac
 		t, err := trainWith(e, "bitcount", c)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := AblationPeakThresholdRow{Fraction: frac}
-		var peaks, windows int
-		agg := &core.Metrics{}
-		for i := 0; i < e.MonRunsSim; i++ {
+		type runResult struct {
+			peaks, windows int
+			m              *core.Metrics
+		}
+		results := make([]runResult, e.MonRunsSim)
+		err = par.Do(e.MonRunsSim, 0, func(i int) error {
 			run, err := pipeline.CollectRun(t.w, t.machine, c, monitorRunBase+i*3, nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
+			rr := runResult{}
 			for j := range run.STS {
-				peaks += len(run.STS[j].PeakFreqs)
-				windows++
+				rr.peaks += len(run.STS[j].PeakFreqs)
+				rr.windows++
 			}
-			m, err := pipeline.MonitorAndScore(t.model, c, run.STS, e.MonitorCfg)
+			rr.m, err = pipeline.MonitorAndScore(t.model, c, run.STS, e.MonitorCfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			agg.Merge(m)
+			results[i] = rr
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		var peaks, windows int
+		agg := &core.Metrics{}
+		for _, rr := range results {
+			peaks += rr.peaks
+			windows += rr.windows
+			agg.Merge(rr.m)
 		}
 		row.FPPct = agg.FalsePositivePct()
 		if windows > 0 {
@@ -235,10 +279,14 @@ func AblationPeakThreshold(e *Env, w io.Writer) ([]AblationPeakThresholdRow, err
 		inj := &inject.InLoop{Header: t.nestHeader(0), Instrs: 8, MemOps: 4, Contamination: 1, Seed: 3}
 		m, err := e.score(t, c, injectionRunBase, inj, e.MonitorCfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.TPRPct = m.TruePositivePct()
-		rows = append(rows, row)
+		rows[fi] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fprintf(w, "Ablation: peak energy threshold\n")
 	for _, r := range rows {
@@ -248,20 +296,8 @@ func AblationPeakThreshold(e *Env, w io.Writer) ([]AblationPeakThresholdRow, err
 	return rows, nil
 }
 
-// trainWith trains a workload under an arbitrary pipeline config.
+// trainWith trains a workload under an arbitrary pipeline config, sharing
+// the environment's model cache.
 func trainWith(e *Env, name string, c pipeline.Config) (*trained, error) {
-	wl, err := mibench.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	model, machine, err := pipeline.Train(wl, c, e.TrainRunsSim, e.Train)
-	if err != nil {
-		return nil, err
-	}
-	t := &trained{w: wl, machine: machine, model: model}
-	t.hotHeaders, err = pipeline.HotLoopHeaders(wl, machine)
-	if err != nil {
-		return nil, err
-	}
-	return t, nil
+	return e.trainCached(name, c, e.TrainRunsSim, e.Train)
 }

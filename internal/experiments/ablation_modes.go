@@ -5,6 +5,7 @@ import (
 
 	"eddie/internal/core"
 	"eddie/internal/inject"
+	"eddie/internal/par"
 	"eddie/internal/pipeline"
 )
 
@@ -44,21 +45,30 @@ func AblationModes(e *Env, w io.Writer) (*AblationModesResult, error) {
 		return mm, pm, nil
 	}
 
-	aggModes, aggPooled := &core.Metrics{}, &core.Metrics{}
-	for i := 0; i < e.MonRunsSim; i++ {
-		mm, pm, err := scoreBoth(monitorRunBase+i*5, nil)
+	type pair struct{ cm, cp, im, ip *core.Metrics }
+	pairs := make([]pair, e.MonRunsSim)
+	err = par.Do(e.MonRunsSim, 0, func(i int) error {
+		cm, cp, err := scoreBoth(monitorRunBase+i*5, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		aggModes.Merge(mm)
-		aggPooled.Merge(pm)
 		inj := &inject.InLoop{Header: t.nestHeader(0), Instrs: 8, MemOps: 4, Contamination: 1, Seed: int64(i)}
-		mm, pm, err = scoreBoth(injectionRunBase+i*5, inj)
+		im, ip, err := scoreBoth(injectionRunBase+i*5, inj)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		aggModes.Merge(mm)
-		aggPooled.Merge(pm)
+		pairs[i] = pair{cm: cm, cp: cp, im: im, ip: ip}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	aggModes, aggPooled := &core.Metrics{}, &core.Metrics{}
+	for _, p := range pairs {
+		aggModes.Merge(p.cm)
+		aggPooled.Merge(p.cp)
+		aggModes.Merge(p.im)
+		aggPooled.Merge(p.ip)
 	}
 	res := &AblationModesResult{
 		ModesFPPct:   aggModes.FalsePositivePct(),

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 
+	"eddie/internal/cfg"
 	"eddie/internal/mibench"
+	"eddie/internal/par"
 	"eddie/internal/pipeline"
 	"eddie/internal/sim"
 	"eddie/internal/stats"
@@ -35,38 +37,69 @@ func Fig4(e *Env, w io.Writer) ([]Fig4Row, error) {
 	inorder.Channel = nil
 	ooo := e.Sim
 
-	var rows []Fig4Row
-	for _, name := range fig4Benchmarks {
-		if len(rows) >= 15 {
+	// The paper stops at 15 regions, and the serial loop stopped *training*
+	// once it had them; keep that work bound by counting loop nests from
+	// the (cheap, training-free) machines first and dropping benchmarks
+	// that cannot contribute a row.
+	need := len(fig4Benchmarks)
+	for i, total := 0, 0; i < len(fig4Benchmarks); i++ {
+		wl, err := mibench.ByName(fig4Benchmarks[i])
+		if err != nil {
+			return nil, err
+		}
+		machine, err := cfg.BuildMachine(wl.Program)
+		if err != nil {
+			return nil, err
+		}
+		total += len(machine.Nests)
+		if total >= 15 {
+			need = i + 1
 			break
 		}
-		wl, err := mibench.ByName(name)
+	}
+
+	// Benchmarks train in parallel (both core configs come from the model
+	// cache, shared with the other figures); per-benchmark rows are
+	// assembled by index and concatenated in the paper's order.
+	perBench := make([][]Fig4Row, need)
+	err := par.Do(need, 0, func(bi int) error {
+		name := fig4Benchmarks[bi]
+		tIn, err := e.train(name, inorder, e.TrainRunsSim)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		mIn, machine, err := pipeline.Train(wl, inorder, e.TrainRunsSim, e.Train)
+		tOoo, err := e.train(name, ooo, e.TrainRunsSim)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		mOoo, _, err := pipeline.Train(wl, ooo, e.TrainRunsSim, e.Train)
-		if err != nil {
-			return nil, err
-		}
+		machine := tIn.machine
+		var out []Fig4Row
 		for nest := range machine.Nests {
-			if len(rows) >= 15 {
-				break
-			}
 			id := machine.LoopRegionOf(nest)
-			ri := mIn.Regions[id]
-			ro := mOoo.Regions[id]
+			ri := tIn.model.Regions[id]
+			ro := tOoo.model.Regions[id]
 			if ri == nil || ro == nil {
 				continue
 			}
-			rows = append(rows, Fig4Row{
+			out = append(out, Fig4Row{
 				Region:    fmt.Sprintf("%s/%s", name, ri.Label),
 				InOrderMs: float64(ri.GroupSize) * inorder.HopSeconds() * 1e3,
 				OOOMs:     float64(ro.GroupSize) * ooo.HopSeconds() * 1e3,
 			})
+		}
+		perBench[bi] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig4Row
+	for _, out := range perBench {
+		for _, r := range out {
+			if len(rows) >= 15 {
+				break
+			}
+			rows = append(rows, r)
 		}
 	}
 	fprintf(w, "Fig 4: per-region detection latency, in-order vs out-of-order\n")
@@ -110,38 +143,21 @@ func ANOVA(e *Env, w io.Writer) (*ANOVAResult, error) {
 		rob     int
 		bench   int
 	}
-	var inOrderObs, oooObs []obs
 
-	collect := func(c pipeline.Config, width, depth, rob, bench int, name string) error {
-		wl, err := mibench.ByName(name)
-		if err != nil {
-			return err
-		}
-		model, machine, err := pipeline.Train(wl, c, trainRuns, e.Train)
-		if err != nil {
-			return err
-		}
-		// Response: mean loop-region latency (n x hop) of the benchmark.
-		var sum float64
-		var count int
-		for nest := range machine.Nests {
-			if rm := model.Regions[machine.LoopRegionOf(nest)]; rm != nil {
-				sum += float64(rm.GroupSize) * c.HopSeconds() * 1e3
-				count++
-			}
-		}
-		if count == 0 {
-			return nil
-		}
-		o := obs{latency: sum / float64(count), width: width, depth: depth, rob: rob, bench: bench}
-		if rob == 0 {
-			inOrderObs = append(inOrderObs, o)
-		} else {
-			oooObs = append(oooObs, o)
-		}
-		return nil
+	// Enumerate the full config x benchmark grid up front (in the exact
+	// order the serial loops visited it), train every cell on the worker
+	// pool, then partition the observations in grid order so the ANOVA
+	// sums accumulate exactly as they did serially.
+	type job struct {
+		c      pipeline.Config
+		width  int
+		depth  int
+		rob    int
+		bench  int
+		name   string
+		result *obs
 	}
-
+	var jobs []*job
 	configs := 0
 	for bi, name := range anovaBenchmarks {
 		// In-order: 3 widths x 2 depths.
@@ -154,9 +170,7 @@ func ANOVA(e *Env, w io.Writer) (*ANOVAResult, error) {
 				c.Sim = sc
 				c.STFT = pipeline.DefaultSTFT(sc)
 				c.Channel = nil
-				if err := collect(c, width, depth, 0, bi, name); err != nil {
-					return nil, err
-				}
+				jobs = append(jobs, &job{c: c, width: width, depth: depth, rob: 0, bench: bi, name: name})
 				if bi == 0 {
 					configs++
 				}
@@ -173,14 +187,47 @@ func ANOVA(e *Env, w io.Writer) (*ANOVAResult, error) {
 					sc.ROBSize = rob
 					c.Sim = sc
 					c.STFT = pipeline.DefaultSTFT(sc)
-					if err := collect(c, width, depth, rob, bi, name); err != nil {
-						return nil, err
-					}
+					jobs = append(jobs, &job{c: c, width: width, depth: depth, rob: rob, bench: bi, name: name})
 					if bi == 0 {
 						configs++
 					}
 				}
 			}
+		}
+	}
+	err := par.Do(len(jobs), 0, func(ji int) error {
+		j := jobs[ji]
+		t, err := e.trainCached(j.name, j.c, trainRuns, e.Train)
+		if err != nil {
+			return err
+		}
+		// Response: mean loop-region latency (n x hop) of the benchmark.
+		var sum float64
+		var count int
+		for nest := range t.machine.Nests {
+			if rm := t.model.Regions[t.machine.LoopRegionOf(nest)]; rm != nil {
+				sum += float64(rm.GroupSize) * j.c.HopSeconds() * 1e3
+				count++
+			}
+		}
+		if count == 0 {
+			return nil
+		}
+		j.result = &obs{latency: sum / float64(count), width: j.width, depth: j.depth, rob: j.rob, bench: j.bench}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var inOrderObs, oooObs []obs
+	for _, j := range jobs {
+		if j.result == nil {
+			continue
+		}
+		if j.rob == 0 {
+			inOrderObs = append(inOrderObs, *j.result)
+		} else {
+			oooObs = append(oooObs, *j.result)
 		}
 	}
 

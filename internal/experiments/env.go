@@ -8,6 +8,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"eddie/internal/cfg"
 	"eddie/internal/core"
@@ -33,6 +35,34 @@ type Env struct {
 	Train core.TrainConfig
 	// MonitorCfg is the monitoring configuration (reportThreshold=3).
 	MonitorCfg core.MonitorConfig
+
+	// modelMu guards models. Each entry is a per-key sync.Once, so
+	// concurrent experiments that need the same (workload, pipeline
+	// config, run count, train config) train it exactly once and share
+	// the result; trained models are read-only during monitoring.
+	modelMu sync.Mutex
+	models  map[string]*modelEntry
+	// trainings counts actual (non-cached) training executions; tests
+	// assert the cache coalesces duplicate work.
+	trainings atomic.Int64
+
+	// hotMu guards hot, the per-workload hot-loop-header cache. Profiling
+	// is functional (no timing model), so the headers depend only on the
+	// workload, not the pipeline config — one profile serves every config.
+	hotMu sync.Mutex
+	hot   map[string]*hotEntry
+}
+
+type modelEntry struct {
+	once sync.Once
+	t    *trained
+	err  error
+}
+
+type hotEntry struct {
+	once    sync.Once
+	headers []isa.BlockID
+	err     error
 }
 
 // NewEnv returns the full-scale environment; short scales run counts down
@@ -47,6 +77,8 @@ func NewEnv(short bool) *Env {
 		MonRunsSim:   10,
 		Train:        core.DefaultTrainConfig(),
 		MonitorCfg:   core.DefaultMonitorConfig(),
+		models:       map[string]*modelEntry{},
+		hot:          map[string]*hotEntry{},
 	}
 	if short {
 		e.TrainRunsIoT = 8
@@ -68,22 +100,81 @@ type trained struct {
 	hotHeaders []isa.BlockID
 }
 
-// train builds a model for a workload under a pipeline config.
-func (e *Env) train(name string, c pipeline.Config, runs int) (*trained, error) {
+// trainCacheKey derives the model-cache key. All pipeline/train config
+// fields are flat values (the EM channel pointer is dereferenced), so the
+// formatted representation is a faithful identity.
+func trainCacheKey(name string, c pipeline.Config, runs int, tc core.TrainConfig) string {
+	channel := "nil"
+	if c.Channel != nil {
+		channel = fmt.Sprintf("%+v", *c.Channel)
+	}
+	return fmt.Sprintf("%s|runs=%d|sim=%+v|stft=%+v|peaks=%+v|chan=%s|max=%d|tc=%+v",
+		name, runs, c.Sim, c.STFT, c.Peaks, channel, c.MaxInstrs, tc)
+}
+
+// trainCached trains a workload under a pipeline config, or returns the
+// cached model if an identical training (same workload, pipeline config,
+// run count and train config) already ran. Concurrent callers with the
+// same key block on one training.
+func (e *Env) trainCached(name string, c pipeline.Config, runs int, tc core.TrainConfig) (*trained, error) {
+	key := trainCacheKey(name, c, runs, tc)
+	e.modelMu.Lock()
+	entry := e.models[key]
+	if entry == nil {
+		entry = &modelEntry{}
+		e.models[key] = entry
+	}
+	e.modelMu.Unlock()
+	entry.once.Do(func() {
+		e.trainings.Add(1)
+		entry.t, entry.err = e.trainFresh(name, c, runs, tc)
+	})
+	return entry.t, entry.err
+}
+
+// trainFresh performs an actual training run (no model cache; hot-loop
+// headers still come from the per-workload profile cache).
+func (e *Env) trainFresh(name string, c pipeline.Config, runs int, tc core.TrainConfig) (*trained, error) {
 	w, err := mibench.ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	model, machine, err := pipeline.Train(w, c, runs, e.Train)
+	model, machine, err := pipeline.Train(w, c, runs, tc)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training %s: %w", name, err)
 	}
 	t := &trained{w: w, machine: machine, model: model}
-	t.hotHeaders, err = pipeline.HotLoopHeaders(w, machine)
+	t.hotHeaders, err = e.hotHeaders(w, machine)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: profiling %s: %w", name, err)
 	}
 	return t, nil
+}
+
+// hotHeaders profiles the workload's hot inner-loop headers, once per
+// workload: the profile is a functional execution, independent of the
+// pipeline config, so every config shares it.
+func (e *Env) hotHeaders(w *mibench.Workload, machine *cfg.Machine) ([]isa.BlockID, error) {
+	e.hotMu.Lock()
+	entry := e.hot[w.Name]
+	if entry == nil {
+		entry = &hotEntry{}
+		e.hot[w.Name] = entry
+	}
+	e.hotMu.Unlock()
+	entry.once.Do(func() {
+		entry.headers, entry.err = pipeline.HotLoopHeaders(w, machine)
+	})
+	return entry.headers, entry.err
+}
+
+// Trainings returns how many actual (cache-missing) trainings ran.
+func (e *Env) Trainings() int64 { return e.trainings.Load() }
+
+// train builds a model for a workload under a pipeline config, using the
+// environment's training configuration.
+func (e *Env) train(name string, c pipeline.Config, runs int) (*trained, error) {
+	return e.trainCached(name, c, runs, e.Train)
 }
 
 // score monitors one run (collected with the given injector and run index)

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestModelCacheSingleTrain asserts the Env model cache coalesces
+// identical trainings: repeated and concurrent requests for the same
+// (workload, config, runs, train config) key run exactly one training,
+// while a different key trains again.
+func TestModelCacheSingleTrain(t *testing.T) {
+	e := NewEnv(true)
+	e.TrainRunsSim = 3 // keep the two real trainings cheap
+
+	first, err := e.train("bitcount", e.Sim, e.TrainRunsSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Trainings(); got != 1 {
+		t.Fatalf("after first train: %d trainings, want 1", got)
+	}
+
+	// Concurrent same-key callers must all get the one cached result.
+	const callers = 8
+	results := make([]*trained, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := e.train("bitcount", e.Sim, e.TrainRunsSim)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			results[i] = tr
+		}(i)
+	}
+	wg.Wait()
+	if got := e.Trainings(); got != 1 {
+		t.Fatalf("after %d concurrent same-key trains: %d trainings, want 1", callers, got)
+	}
+	for i, tr := range results {
+		if tr != first {
+			t.Fatalf("caller %d got a different *trained than the cached one", i)
+		}
+	}
+
+	// A different run count is a different key: one more real training.
+	if _, err := e.train("bitcount", e.Sim, e.TrainRunsSim+1); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Trainings(); got != 2 {
+		t.Fatalf("after different-key train: %d trainings, want 2", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"eddie/internal/core"
 	"eddie/internal/inject"
+	"eddie/internal/par"
 	"eddie/internal/pipeline"
 )
 
@@ -31,14 +32,18 @@ var fig5Benchmarks = []string{"basicmath", "bitcount", "gsm", "patricia", "susan
 // subset of the target loop's iterations, contamination 10%..100%.
 func Fig5And7(e *Env, w io.Writer) ([]ContaminationSeries, error) {
 	rates := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
-	var series []ContaminationSeries
-	for _, name := range fig5Benchmarks {
+	// Both loops are parallel: benchmarks across the outer level, the ten
+	// contamination rates within each, all writing by index.
+	series := make([]ContaminationSeries, len(fig5Benchmarks))
+	err := par.Do(len(fig5Benchmarks), 0, func(bi int) error {
+		name := fig5Benchmarks[bi]
 		t, err := e.train(name, e.Sim, e.TrainRunsSim)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s := ContaminationSeries{Benchmark: name}
-		for _, rate := range rates {
+		points := make([]ContaminationPoint, len(rates))
+		err = par.Do(len(rates), 0, func(ri int) error {
+			rate := rates[ri]
 			inj := &inject.InLoop{
 				Header:        t.nestHeader(0),
 				Instrs:        16,
@@ -48,15 +53,15 @@ func Fig5And7(e *Env, w io.Writer) ([]ContaminationSeries, error) {
 			}
 			run, err := pipeline.CollectRun(t.w, t.machine, e.Sim, injectionRunBase+int(rate*100), inj)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			mon, err := pipeline.Monitor(t.model, run.STS, e.MonitorCfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			m, err := core.Evaluate(t.model, run.STS, mon.Outcomes, mon.Reports, e.Sim.HopSeconds())
 			if err != nil {
-				return nil, err
+				return err
 			}
 			firstInj := -1
 			for i := range run.STS {
@@ -74,14 +79,22 @@ func Fig5And7(e *Env, w io.Writer) ([]ContaminationSeries, error) {
 					}
 				}
 			}
-			s.Points = append(s.Points, ContaminationPoint{
+			points[ri] = ContaminationPoint{
 				RatePct:       rate * 100,
 				FNPct:         m.FalseNegativePct(),
 				FirstDetectMs: det,
 				Detected:      det >= 0,
-			})
+			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		series = append(series, s)
+		series[bi] = ContaminationSeries{Benchmark: name, Points: points}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fprintf(w, "Fig 5: false-negative rate vs contamination rate (16 instrs: 8 mem + 8 int)\n")
 	for _, s := range series {

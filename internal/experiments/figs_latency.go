@@ -6,7 +6,7 @@ import (
 	"eddie/internal/cfg"
 	"eddie/internal/core"
 	"eddie/internal/inject"
-	"eddie/internal/mibench"
+	"eddie/internal/par"
 	"eddie/internal/pipeline"
 )
 
@@ -50,14 +50,19 @@ func Fig3(e *Env, w io.Writer) ([]Fig3Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Collect clean monitoring runs once; score them per scale.
-	runs := make([][]core.STS, 0, e.MonRunsSim)
-	for i := 0; i < e.MonRunsSim; i++ {
+	// Collect clean monitoring runs once (in parallel, indexed by run);
+	// score them per scale.
+	runs := make([][]core.STS, e.MonRunsSim)
+	err = par.Do(e.MonRunsSim, 0, func(i int) error {
 		run, err := pipeline.CollectRun(t.w, t.machine, e.Sim, monitorRunBase+i*3, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		runs = append(runs, run.STS)
+		runs[i] = run.STS
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var series []Fig3Series
 	for _, arch := range bitcountArchetypes {
@@ -181,22 +186,27 @@ func Fig6(e *Env, w io.Writer) ([]Fig6Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	var series []Fig6Series
-	for _, arch := range bitcountArchetypes {
-		for _, instrs := range []int{2, 4, 6, 8} {
-			inj := &inject.InLoop{
-				Header:        t.nestHeader(arch.nest),
-				Instrs:        instrs,
-				MemOps:        instrs / 2,
-				Contamination: 1,
-				Seed:          int64(instrs),
-			}
-			pts, err := e.tprSweep(t, e.Sim, injectionRunBase+instrs, inj, t.machine.LoopRegionOf(arch.nest))
-			if err != nil {
-				return nil, err
-			}
-			series = append(series, Fig6Series{Loop: arch.name, Instrs: instrs, Points: pts})
+	instrGrid := []int{2, 4, 6, 8}
+	series := make([]Fig6Series, len(bitcountArchetypes)*len(instrGrid))
+	err = par.Do(len(series), 0, func(si int) error {
+		arch := bitcountArchetypes[si/len(instrGrid)]
+		instrs := instrGrid[si%len(instrGrid)]
+		inj := &inject.InLoop{
+			Header:        t.nestHeader(arch.nest),
+			Instrs:        instrs,
+			MemOps:        instrs / 2,
+			Contamination: 1,
+			Seed:          int64(instrs),
 		}
+		pts, err := e.tprSweep(t, e.Sim, injectionRunBase+instrs, inj, t.machine.LoopRegionOf(arch.nest))
+		if err != nil {
+			return err
+		}
+		series[si] = Fig6Series{Loop: arch.name, Instrs: instrs, Points: pts}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fprintf(w, "Fig 6: TPR vs detection latency for 2/4/6/8 injected instructions per iteration\n")
 	printTPRSeries(w, series)
@@ -233,8 +243,9 @@ func Fig8(e *Env, w io.Writer) ([]Fig8Series, error) {
 		return nil, err
 	}
 	sizes := []int{100_000, 187_000, 218_000, 315_000, 400_000, 500_000}
-	var series []Fig8Series
-	for _, size := range sizes {
+	series := make([]Fig8Series, len(sizes))
+	err = par.Do(len(sizes), 0, func(si int) error {
+		size := sizes[si]
 		inj := &inject.Burst{
 			BlockNest: t.machine.BlockNest,
 			FromNest:  1, // between bitcount's second and third loop
@@ -242,9 +253,13 @@ func Fig8(e *Env, w io.Writer) ([]Fig8Series, error) {
 		}
 		pts, err := e.tprSweep(t, e.Sim, injectionRunBase+size/1000, inj, t.machine.LoopRegionOf(1))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		series = append(series, Fig8Series{Instrs: size, Points: pts})
+		series[si] = Fig8Series{Instrs: size, Points: pts}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fprintf(w, "Fig 8: TPR vs detection latency for bursts outside loops (empty loop between loops 2 and 3)\n")
 	for _, s := range series {
@@ -277,8 +292,9 @@ func Fig10(e *Env, w io.Writer) ([]Fig10Series, error) {
 		{"on-chip (8 add)", 0},
 		{"off-chip and on-chip (4 add + 4 store)", 4},
 	}
-	var series []Fig10Series
-	for _, mix := range mixes {
+	series := make([]Fig10Series, len(mixes))
+	err = par.Do(len(mixes), 0, func(mi int) error {
+		mix := mixes[mi]
 		inj := &inject.InLoop{
 			Header:        t.nestHeader(0),
 			Instrs:        8,
@@ -288,9 +304,13 @@ func Fig10(e *Env, w io.Writer) ([]Fig10Series, error) {
 		}
 		pts, err := e.tprSweep(t, e.Sim, injectionRunBase+900+mix.memOps, inj, t.machine.LoopRegionOf(0))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		series = append(series, Fig10Series{Mix: mix.name, Points: pts})
+		series[mi] = Fig10Series{Mix: mix.name, Points: pts}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fprintf(w, "Fig 10: TPR vs latency by injected-instruction type\n")
 	for _, s := range series {
@@ -320,19 +340,30 @@ type Fig9Series struct {
 // test confidence levels" — 99% keeps false positives near zero at
 // reasonable latency; lower confidence levels reject too eagerly.
 func Fig9(e *Env, w io.Writer) ([]Fig9Series, error) {
-	var series []Fig9Series
-	for _, conf := range []float64{99, 97, 95} {
+	confs := []float64{99, 97, 95}
+	series := make([]Fig9Series, len(confs))
+	err := par.Do(len(confs), 0, func(ci int) error {
+		conf := confs[ci]
 		tc := e.Train
 		tc.Alpha = 1 - conf/100
-		wl, err := mibench.ByName("bitcount")
+		t, err := e.trainCached("bitcount", e.Sim, e.TrainRunsSim, tc)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		model, machine, err := pipeline.Train(wl, e.Sim, e.TrainRunsSim, tc)
+		// Clean monitoring runs are shared across the scale sweep:
+		// collect them once, in parallel, indexed by run.
+		runs := make([][]core.STS, e.MonRunsSim)
+		err = par.Do(e.MonRunsSim, 0, func(i int) error {
+			run, err := pipeline.CollectRun(t.w, t.machine, e.Sim, monitorRunBase+i*3, nil)
+			if err != nil {
+				return err
+			}
+			runs[i] = run.STS
+			return nil
+		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t := &trained{w: wl, machine: machine, model: model}
 		s := Fig9Series{ConfidencePct: conf}
 		for _, scale := range latencyScales {
 			mc := e.MonitorCfg
@@ -341,14 +372,10 @@ func Fig9(e *Env, w io.Writer) ([]Fig9Series, error) {
 			// clean runs (before the reportThreshold filtering), which is
 			// what the confidence level directly controls.
 			rejected, total := 0, 0
-			for i := 0; i < e.MonRunsSim; i++ {
-				run, err := pipeline.CollectRun(t.w, t.machine, e.Sim, monitorRunBase+i*3, nil)
+			for _, sts := range runs {
+				mon, err := pipeline.Monitor(t.model, sts, mc)
 				if err != nil {
-					return nil, err
-				}
-				mon, err := pipeline.Monitor(t.model, run.STS, mc)
-				if err != nil {
-					return nil, err
+					return err
 				}
 				for j := range mon.Outcomes {
 					total++
@@ -363,11 +390,15 @@ func Fig9(e *Env, w io.Writer) ([]Fig9Series, error) {
 			}
 			s.Points = append(s.Points, Fig9Point{
 				Scale:     scale,
-				LatencyMs: scale * float64(model.MaxGroupSize) * e.Sim.HopSeconds() * 1e3,
+				LatencyMs: scale * float64(t.model.MaxGroupSize) * e.Sim.HopSeconds() * 1e3,
 				FPPct:     fp,
 			})
 		}
-		series = append(series, s)
+		series[ci] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fprintf(w, "Fig 9: false positives vs latency for K-S confidence levels\n")
 	for _, s := range series {

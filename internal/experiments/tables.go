@@ -5,6 +5,7 @@ import (
 
 	"eddie/internal/core"
 	"eddie/internal/inject"
+	"eddie/internal/par"
 	"eddie/internal/pipeline"
 )
 
@@ -40,22 +41,36 @@ func runTable(e *Env, w io.Writer, title string, c pipeline.Config, trainRuns, m
 	fprintf(w, "%s\n", title)
 	fprintf(w, "%-14s %12s %10s %10s %10s %10s\n",
 		"Benchmark", "Latency(ms)", "FP(%)", "Acc(%)", "Cov(%)", "Det(%)")
-	var rows []TableRow
-	for _, name := range benchmarkOrder {
+	// Benchmarks run in parallel; rows are written by index and printed
+	// afterwards in the paper's order, so the output matches the serial
+	// path byte for byte.
+	rows := make([]TableRow, len(benchmarkOrder))
+	err := par.Do(len(benchmarkOrder), 0, func(bi int) error {
+		name := benchmarkOrder[bi]
 		t, err := e.train(name, c, trainRuns)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		agg := &core.Metrics{}
-		for i := 0; i < monRuns; i++ {
+		// Monitoring runs are also parallel; Metrics are merged in run
+		// order afterwards because float accumulation is order-sensitive.
+		ms := make([]*core.Metrics, monRuns)
+		err = par.Do(monRuns, 0, func(i int) error {
 			inj := tableInjector(t, i)
 			m, err := e.score(t, c, monitorRunBase+i*7, inj, e.MonitorCfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
+			ms[i] = m
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		agg := &core.Metrics{}
+		for _, m := range ms {
 			agg.Merge(m)
 		}
-		row := TableRow{
+		rows[bi] = TableRow{
 			Benchmark:     name,
 			LatencyMs:     agg.DetectionLatencySec() * 1e3,
 			FalsePosPct:   agg.FalsePositivePct(),
@@ -65,7 +80,12 @@ func runTable(e *Env, w io.Writer, title string, c pipeline.Config, trainRuns, m
 			TrainedRgns:   len(t.model.Regions),
 			MonitoredRuns: monRuns,
 		}
-		rows = append(rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		fprintf(w, "%-14s %12.2f %10.2f %10.1f %10.1f %10.0f\n",
 			row.Benchmark, row.LatencyMs, row.FalsePosPct, row.AccuracyPct,
 			row.CoveragePct, row.DetectionPct)

@@ -1,0 +1,114 @@
+// Package par provides the bounded worker pool that parallelizes run
+// collection and the experiment harnesses, plus the process-wide
+// parallelism knob behind the -parallel CLI flags and the
+// EDDIE_PARALLELISM environment variable.
+//
+// Determinism contract: Do dispatches work by index and callers write
+// results into index-addressed slots, so the assembled output of a
+// successful parallel loop is byte-identical to running the same indices
+// serially. Scheduling order is the only thing that varies.
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism is the configured worker count; 0 means "resolve a default"
+// (EDDIE_PARALLELISM, else GOMAXPROCS).
+var parallelism atomic.Int64
+
+// envOnce caches the EDDIE_PARALLELISM lookup.
+var envOnce = sync.OnceValue(func() int {
+	if s := os.Getenv("EDDIE_PARALLELISM"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0
+})
+
+// SetParallelism fixes the worker count used by Do when callers pass
+// workers <= 0. n <= 0 restores the default resolution (environment, then
+// GOMAXPROCS). Safe for concurrent use.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism resolves the effective default worker count: the value set
+// via SetParallelism, else EDDIE_PARALLELISM, else GOMAXPROCS.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	if n := envOnce(); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs fn(i) for every i in [0, n) on a bounded pool of workers
+// (workers <= 0 selects Parallelism()). It returns the error of the
+// lowest index that failed, or nil. After the first observed failure no
+// new indices are dispatched (indices already running finish), so on
+// error some higher indices may not have run — callers treat any error as
+// fatal for the whole loop, matching the serial early-return they
+// replace.
+func Do(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = Parallelism()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Inline fast path: identical to the historical serial loop,
+		// including its stop-at-first-error behaviour.
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = n
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx = i
+						firstErr = err
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,90 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 33} {
+		const n = 100
+		var hits [n]atomic.Int32
+		if err := Do(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoIndexedResultsMatchSerial(t *testing.T) {
+	const n = 64
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 3, 16} {
+		got := make([]int, n)
+		if err := Do(n, workers, func(i int) error {
+			got[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d]=%d want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDoReturnsLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := Do(50, workers, func(i int) error {
+			switch i {
+			case 7:
+				return errLow
+			case 31:
+				return errHigh
+			}
+			return nil
+		})
+		// With workers=1 index 31 never runs; with more workers it may,
+		// but index 7 always runs before dispatch stops and must win.
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: got %v, want %v", workers, err, errLow)
+		}
+	}
+}
+
+func TestDoZeroAndNegativeN(t *testing.T) {
+	calls := 0
+	if err := Do(0, 4, func(int) error { calls++; return nil }); err != nil || calls != 0 {
+		t.Fatalf("n=0: err=%v calls=%d", err, calls)
+	}
+	if err := Do(-3, 4, func(int) error { calls++; return nil }); err != nil || calls != 0 {
+		t.Fatalf("n<0: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestParallelismResolution(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(3)", got)
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("default Parallelism() = %d, want >= 1", got)
+	}
+}

@@ -1,0 +1,58 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"eddie/internal/cfg"
+	"eddie/internal/core"
+	"eddie/internal/inject"
+	"eddie/internal/mibench"
+	"eddie/internal/par"
+)
+
+// TestCollectRunsParallelDeterminism is the scheduler's contract test:
+// CollectRuns must produce byte-identical STS sequences at any worker
+// count, because every run's seeds derive from its run index and results
+// are written by index. Covers two workloads, clean and injected.
+func TestCollectRunsParallelDeterminism(t *testing.T) {
+	for _, name := range []string{"bitcount", "sha"} {
+		w, err := mibench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		machine, err := cfg.BuildMachine(w.Program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := SimulatorConfig()
+		injectors := map[string]inject.Injector{
+			"clean": nil,
+			"inloop": &inject.InLoop{
+				Header: machine.Nests[0].Header, Instrs: 8, MemOps: 4,
+				Contamination: 1, Seed: 3,
+			},
+		}
+		for mode, inj := range injectors {
+			collect := func(workers int) [][]core.STS {
+				par.SetParallelism(workers)
+				defer par.SetParallelism(0)
+				out, err := CollectRuns(w, machine, c, 500, 6, inj)
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", name, mode, workers, err)
+				}
+				return out
+			}
+			serial := collect(1)
+			if len(serial) != 6 {
+				t.Fatalf("%s/%s: got %d runs, want 6", name, mode, len(serial))
+			}
+			for _, workers := range []int{4, 8} {
+				got := collect(workers)
+				if !reflect.DeepEqual(got, serial) {
+					t.Errorf("%s/%s: workers=%d output differs from serial", name, mode, workers)
+				}
+			}
+		}
+	}
+}

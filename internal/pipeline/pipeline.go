@@ -14,6 +14,7 @@ import (
 	"eddie/internal/inject"
 	"eddie/internal/isa"
 	"eddie/internal/mibench"
+	"eddie/internal/par"
 	"eddie/internal/sim"
 	"eddie/internal/trace"
 )
@@ -138,15 +139,24 @@ func CollectRun(w *mibench.Workload, machine *cfg.Machine, c Config, runIdx int,
 	return &Run{STS: sts, Sim: res, Signal: signal}, nil
 }
 
-// CollectRuns executes several runs (run indices firstRun..firstRun+n-1).
+// CollectRuns executes several runs (run indices firstRun..firstRun+n-1)
+// on the process-wide worker pool (par.Parallelism() workers; see the
+// -parallel flags and EDDIE_PARALLELISM). Each run is seeded by its run
+// index and results are written by index, so the output is byte-identical
+// to collecting the same indices serially. On error, the lowest failing
+// run index's error is returned.
 func CollectRuns(w *mibench.Workload, machine *cfg.Machine, c Config, firstRun, n int, injector inject.Injector) ([][]core.STS, error) {
-	out := make([][]core.STS, 0, n)
-	for i := 0; i < n; i++ {
+	out := make([][]core.STS, n)
+	err := par.Do(n, 0, func(i int) error {
 		r, err := CollectRun(w, machine, c, firstRun+i, injector)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, r.STS)
+		out[i] = r.STS
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
