@@ -1,4 +1,4 @@
-.PHONY: all build test race bench dsp-bench
+.PHONY: all build test race bench dsp-bench cover
 
 all: build test
 
@@ -22,3 +22,13 @@ bench:
 # DSP kernel micro-benchmarks, machine-readable output.
 dsp-bench:
 	go run ./cmd/eddie-bench -dsp-bench BENCH_dsp.json
+
+# Per-package coverage over the short suite; fails if the hardened
+# packages (internal/stream, internal/impair) drop below 80%.
+cover:
+	go test -short -cover ./... | tee /tmp/eddie-cover.txt
+	@awk '/eddie\/internal\/(stream|impair)\t/ { \
+	    for (i = 1; i <= NF; i++) if ($$i ~ /%/) { pct = $$i; sub(/%.*/, "", pct); \
+	        if (pct + 0 < 80) { printf "FAIL: %s coverage %s%% < 80%%\n", $$2, pct; bad = 1 } \
+	        else printf "ok:   %s coverage %s%%\n", $$2, pct } } \
+	    END { exit bad }' /tmp/eddie-cover.txt

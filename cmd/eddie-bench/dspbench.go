@@ -14,7 +14,7 @@ import (
 // dspBenchResult is one kernel's measurement in BENCH_dsp.json.
 type dspBenchResult struct {
 	Name        string  `json:"name"`
-	N           int     `json:"n"`    // transform or signal size
+	N           int     `json:"n"` // transform or signal size
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`

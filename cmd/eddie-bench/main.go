@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	short := flag.Bool("short", false, "scaled-down run counts")
-	runList := flag.String("run", "all", "comma-separated experiments: table1,table2,fig1..fig10,anova,ablations or all")
+	runList := flag.String("run", "all", "comma-separated experiments: table1,table2,fig1..fig10,anova,robustness,ablations or all")
 	parallel := flag.Int("parallel", 0, "worker-pool size for run collection (0 = EDDIE_PARALLELISM env or GOMAXPROCS)")
 	dspBench := flag.String("dsp-bench", "", "run the DSP kernel micro-benchmarks and write JSON results to this file, then exit")
 	flag.Parse()
@@ -58,6 +59,17 @@ func main() {
 		{"fig8", func() error { _, err := experiments.Fig8(e, os.Stdout); return err }},
 		{"fig9", func() error { _, err := experiments.Fig9(e, os.Stdout); return err }},
 		{"fig10", func() error { _, err := experiments.Fig10(e, os.Stdout); return err }},
+		{"robustness", func() error {
+			res, err := experiments.Robustness(e, os.Stdout)
+			if err != nil {
+				return err
+			}
+			b, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			return os.WriteFile("BENCH_robustness.json", append(b, '\n'), 0o644)
+		}},
 		{"ablations", func() error {
 			if _, err := experiments.AblationUTest(e, os.Stdout); err != nil {
 				return err

@@ -8,14 +8,19 @@
 //
 //	eddie -workload susan -mode sim -attack inloop -instrs 8 \
 //	      -memops 4 -contamination 0.5
+//
+//	eddie -metrics ...            # also print detector metrics as JSON
+//	eddie -experiment robustness  # impairment sweep -> BENCH_robustness.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"eddie"
+	"eddie/internal/experiments"
 )
 
 func main() {
@@ -34,6 +39,10 @@ func main() {
 	loadModel := flag.String("load-model", "", "load a previously saved model instead of training")
 	verbose := flag.Bool("v", false, "print the model and every report")
 	parallel := flag.Int("parallel", 0, "worker-pool size for run collection (0 = EDDIE_PARALLELISM env or GOMAXPROCS)")
+	showMetrics := flag.Bool("metrics", false, "attach the metrics layer to monitoring and print its JSON snapshot")
+	experiment := flag.String("experiment", "", `run a named experiment instead of train/monitor: "robustness"`)
+	outFile := flag.String("out", "BENCH_robustness.json", "experiment result JSON output path")
+	short := flag.Bool("short", false, "experiment mode: scaled-down run counts")
 	flag.Parse()
 	eddie.SetParallelism(*parallel)
 
@@ -43,17 +52,47 @@ func main() {
 		}
 		return
 	}
+	if *experiment != "" {
+		if err := runExperiment(*experiment, *outFile, *short); err != nil {
+			fmt.Fprintln(os.Stderr, "eddie:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*workload, *mode, *trainRuns, *monitorRuns, *attack,
 		*burstSize, *nest, *instrs, *memOps, *contamination,
-		*saveModel, *loadModel, *verbose); err != nil {
+		*saveModel, *loadModel, *verbose, *showMetrics); err != nil {
 		fmt.Fprintln(os.Stderr, "eddie:", err)
 		os.Exit(1)
 	}
 }
 
+// runExperiment dispatches -experiment and writes the machine-readable
+// result JSON.
+func runExperiment(name, outFile string, short bool) error {
+	switch name {
+	case "robustness":
+		res, err := experiments.Robustness(experiments.NewEnv(short), os.Stdout)
+		if err != nil {
+			return err
+		}
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outFile, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", outFile)
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q (want robustness)", name)
+	}
+}
+
 func run(workload, mode string, trainRuns, monitorRuns int, attack string,
 	burstSize, nest, instrs, memOps int, contamination float64,
-	saveModel, loadModel string, verbose bool) error {
+	saveModel, loadModel string, verbose, showMetrics bool) error {
 	w, err := eddie.WorkloadByName(workload)
 	if err != nil {
 		return err
@@ -119,6 +158,13 @@ func run(workload, mode string, trainRuns, monitorRuns int, attack string,
 		fmt.Println("attack:", injector.Description())
 	}
 
+	mc := eddie.DefaultMonitorConfig()
+	var dm *eddie.DetectorMetrics
+	if showMetrics {
+		// One bundle across all monitored runs: the counters aggregate.
+		dm = eddie.NewDetectorMetrics()
+		mc.Stats = dm
+	}
 	agg := &eddie.Metrics{}
 	for i := 0; i < monitorRuns; i++ {
 		runIdx := 1000 + i*7
@@ -126,7 +172,7 @@ func run(workload, mode string, trainRuns, monitorRuns int, attack string,
 		if err != nil {
 			return err
 		}
-		mon, err := eddie.MonitorRun(model, collected, eddie.DefaultMonitorConfig())
+		mon, err := eddie.MonitorRun(model, collected, mc)
 		if err != nil {
 			return err
 		}
@@ -145,5 +191,9 @@ func run(workload, mode string, trainRuns, monitorRuns int, attack string,
 		}
 	}
 	fmt.Printf("aggregate over %d runs: %s\n", monitorRuns, agg)
+	if dm != nil {
+		fmt.Println("metrics:")
+		fmt.Println(dm.Reg)
+	}
 	return nil
 }

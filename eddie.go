@@ -40,8 +40,10 @@ import (
 	"eddie/internal/cfg"
 	"eddie/internal/core"
 	"eddie/internal/dsp"
+	"eddie/internal/impair"
 	"eddie/internal/inject"
 	"eddie/internal/isa"
+	"eddie/internal/metrics"
 	"eddie/internal/mibench"
 	"eddie/internal/par"
 	"eddie/internal/pipeline"
@@ -96,6 +98,31 @@ type (
 	Detector = stream.Detector
 	// Spectrogram is a time-frequency power matrix with an ASCII renderer.
 	Spectrogram = dsp.Spectrogram
+	// StreamConfig configures the streaming detector (STFT, monitor,
+	// optional impairment injection, metrics and ground-truth wiring).
+	StreamConfig = stream.Config
+	// Impairment is one streaming signal impairment (see the impair
+	// transforms re-exported below).
+	Impairment = impair.Transform
+	// AWGN adds white Gaussian noise at a target SNR.
+	AWGN = impair.AWGN
+	// GainDrift multiplies by a slowly drifting gain.
+	GainDrift = impair.GainDrift
+	// DCWander adds a slowly drifting DC offset.
+	DCWander = impair.DCWander
+	// Dropout zeroes stretches of samples.
+	Dropout = impair.Dropout
+	// ClockSkew resamples by 1 + PPM·1e-6.
+	ClockSkew = impair.ClockSkew
+	// Tone adds a narrow-band interferer.
+	Tone = impair.Tone
+	// DetectorMetrics bundles a detector's runtime counters and
+	// histograms; it plugs into StreamConfig.Metrics or
+	// MonitorConfig.Stats.
+	DetectorMetrics = metrics.Detector
+	// MetricsRegistry is a named collection of counters and histograms
+	// with deterministic JSON output.
+	MetricsRegistry = metrics.Registry
 )
 
 // DefaultTrainConfig returns the paper-equivalent training configuration
@@ -176,6 +203,34 @@ func NewDetector(model *Model, c PipelineConfig, mc MonitorConfig) (*Detector, e
 		Peaks:   c.Peaks,
 		Monitor: mc,
 	})
+}
+
+// NewStreamDetector creates a streaming detector from a full
+// StreamConfig, exposing the impairment, metrics and ground-truth wiring
+// NewDetector hides.
+func NewStreamDetector(model *Model, c StreamConfig) (*Detector, error) {
+	return stream.NewDetector(model, c)
+}
+
+// NewImpairChain composes impairments, applied in order; nils are
+// skipped.
+func NewImpairChain(ts ...Impairment) Impairment { return impair.NewChain(ts...) }
+
+// ApplyImpairment resets the impairment and runs a whole capture through
+// it, returning a fresh slice (the input is unmodified). A nil
+// impairment copies.
+func ApplyImpairment(t Impairment, signal []float64) []float64 { return impair.Apply(t, signal) }
+
+// NewDetectorMetrics creates a metrics bundle on a fresh registry. Hand
+// it to StreamConfig.Metrics (streaming) or MonitorConfig.Stats
+// (offline monitoring); read results from its typed fields or the Reg
+// registry's JSON.
+func NewDetectorMetrics() *DetectorMetrics { return metrics.NewDetector() }
+
+// ReduceSignal converts a captured (possibly impaired) signal back into
+// the run's labeled STS sequence — the signal-to-STS tail of CollectRun.
+func ReduceSignal(signal []float64, run *Run, c PipelineConfig) ([]STS, error) {
+	return pipeline.Reduce(signal, run.Sim, c)
 }
 
 // HotLoopHeaders profiles the workload and returns, per loop nest, the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"eddie/internal/cfg"
 )
@@ -62,14 +63,21 @@ func (m *Metrics) TruePositivePct() float64 {
 // AccuracyPct returns the average of per-region accuracies, the paper's
 // Table 1/2 accuracy definition: groups with a correct reporting outcome
 // (injected and flagged, or clean and unflagged) as a percentage of the
-// region's groups, averaged over regions.
+// region's groups, averaged over regions. Regions are summed in ID order
+// so the result is bit-identical across calls (map order would perturb
+// the last ULP of the float accumulation).
 func (m *Metrics) AccuracyPct() float64 {
 	if len(m.regionTotal) == 0 {
 		return 0
 	}
+	regions := make([]cfg.RegionID, 0, len(m.regionTotal))
+	for r := range m.regionTotal {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
 	var sum float64
-	for r, total := range m.regionTotal {
-		if total > 0 {
+	for _, r := range regions {
+		if total := m.regionTotal[r]; total > 0 {
 			sum += float64(m.regionCorrect[r]) / float64(total)
 		}
 	}

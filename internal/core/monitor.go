@@ -41,6 +41,29 @@ type MonitorConfig struct {
 	// burst detection responsive; its occasional false rejections are
 	// absorbed by ReportThreshold. Zero means 12; negative disables it.
 	BurstWindows int
+	// Stats, when non-nil, receives monitoring-internals events (K-S
+	// tests, per-window outcomes, region switches, reports). It is never
+	// consulted for decisions; internal/metrics provides the standard
+	// implementation.
+	Stats MonitorStats
+}
+
+// MonitorStats receives the monitor's internal events for observability.
+// Implementations must be cheap: the hooks run on the monitoring hot
+// path, once per window or per region evaluation.
+type MonitorStats interface {
+	// KSTest reports one region-level K-S decision: the tested region,
+	// the best-mode rejection fraction (the test statistic, in [0,1])
+	// and whether the region test rejected.
+	KSTest(region cfg.RegionID, rejFrac float64, rejected bool)
+	// WindowObserved reports one processed STS with the monitor's final
+	// view of it.
+	WindowObserved(region cfg.RegionID, rejected, flagged bool)
+	// ReportFired reports an anomaly report raised after a rejection
+	// streak of the given length.
+	ReportFired(streak int)
+	// RegionSwitch reports a region transition.
+	RegionSwitch(from, to cfg.RegionID)
 }
 
 // DefaultMonitorConfig mirrors the paper's operating point.
@@ -252,6 +275,9 @@ func (m *Monitor) Observe(sts *STS) bool {
 	out.Flagged = m.alarm
 	out.Region = m.cur
 	m.Outcomes = append(m.Outcomes, out)
+	if m.mcfg.Stats != nil {
+		m.mcfg.Stats.WindowObserved(out.Region, out.Rejected, out.Flagged)
+	}
 	return reported
 }
 
@@ -271,6 +297,9 @@ func (m *Monitor) handleRejection(sts *STS, out *WindowOutcome) bool {
 				TimeSec: sts.TimeSec,
 				Region:  m.cur,
 			})
+			if m.mcfg.Stats != nil {
+				m.mcfg.Stats.ReportFired(m.streak)
+			}
 			return true
 		}
 		// Alarm already raised and the stream still doesn't match: try a
@@ -377,6 +406,9 @@ func (m *Monitor) switchTo(id cfg.RegionID) {
 		m.alarm = false
 		return
 	}
+	if m.mcfg.Stats != nil {
+		m.mcfg.Stats.RegionSwitch(m.cur, id)
+	}
 	m.cur = id
 	m.streak = 0
 	m.alarm = false
@@ -416,6 +448,9 @@ func (m *Monitor) evalRegion(rm *RegionModel, n int) evalResult {
 	res := evalGroups(rm, rm.Modes, m.groups, m.counts, m.energies, m.mcfg.RejectFraction, m.cAlpha, m.scratchA, start)
 	if !res.rejected && res.bestMode >= 0 {
 		m.lastMode[rm.Region] = res.bestMode
+	}
+	if m.mcfg.Stats != nil {
+		m.mcfg.Stats.KSTest(rm.Region, res.bestRejFrac, res.rejected)
 	}
 	return res
 }

@@ -3,18 +3,19 @@ package experiments
 import (
 	"io"
 	"os"
+	"sync"
 	"testing"
 )
 
 func TestQuickTable2(t *testing.T) {
-	e := NewEnv(true)
+	e := sharedQuickEnv()
 	if _, err := Table2(e, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestQuickFigs(t *testing.T) {
-	e := NewEnv(true)
+	e := sharedQuickEnv()
 	type exp struct {
 		name string
 		fn   func() error
@@ -38,28 +39,28 @@ func TestQuickFigs(t *testing.T) {
 }
 
 func TestQuickFig9(t *testing.T) {
-	e := NewEnv(true)
+	e := sharedQuickEnv()
 	if _, err := Fig9(e, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestQuickFig4(t *testing.T) {
-	e := NewEnv(true)
+	e := sharedQuickEnv()
 	if _, err := Fig4(e, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestQuickFig5(t *testing.T) {
-	e := NewEnv(true)
+	e := sharedQuickEnv()
 	if _, err := Fig5And7(e, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestQuickAblations(t *testing.T) {
-	e := NewEnv(true)
+	e := sharedQuickEnv()
 	if _, err := AblationUTest(e, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
@@ -75,14 +76,14 @@ func TestQuickTable1(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slower quick table")
 	}
-	e := NewEnv(true)
+	e := sharedQuickEnv()
 	if _, err := Table1(e, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestQuickAblationModes(t *testing.T) {
-	e := NewEnv(true)
+	e := sharedQuickEnv()
 	res, err := AblationModes(e, os.Stdout)
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +100,7 @@ func TestExperimentInvariants(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs several experiments")
 	}
-	e := NewEnv(true)
+	e := sharedQuickEnv()
 
 	rows, err := Table2(e, io.Discard)
 	if err != nil {
@@ -178,3 +179,19 @@ func TestExperimentInvariants(t *testing.T) {
 		t.Errorf("Fig 8: 500k burst TPR %.1f%% below 100k burst %.1f%%", large, small)
 	}
 }
+
+// sharedQuickEnv returns the Env shared by the quick tests. The trained-
+// model cache on Env is the whole point: Table 2, the figures and the
+// robustness sweep monitor against largely the same (workload, config,
+// runs) models, so sharing one Env trains each model once per test
+// process instead of once per test. Models are read-only after training
+// and the cache is concurrency-safe, so tests stay independent.
+func sharedQuickEnv() *Env {
+	quickEnvOnce.Do(func() { quickEnv = NewEnv(true) })
+	return quickEnv
+}
+
+var (
+	quickEnvOnce sync.Once
+	quickEnv     *Env
+)

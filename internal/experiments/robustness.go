@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"eddie/internal/core"
+	"eddie/internal/impair"
+	"eddie/internal/inject"
+	"eddie/internal/metrics"
+	"eddie/internal/par"
+	"eddie/internal/pipeline"
+	"eddie/internal/stream"
+)
+
+// RobustnessPoint is one impairment-severity measurement, aggregated over
+// the clean and injected monitoring runs.
+type RobustnessPoint struct {
+	// Impairment names the transform and severity ("awgn(10dB)", …).
+	Impairment string `json:"impairment"`
+	// SNRdB is set on the AWGN sweep points (the x axis of the
+	// accuracy-vs-SNR curve); 0 otherwise.
+	SNRdB float64 `json:"snr_db,omitempty"`
+
+	AccuracyPct  float64 `json:"accuracy_pct"`
+	FalsePosPct  float64 `json:"false_pos_pct"`
+	FalseNegPct  float64 `json:"false_neg_pct"`
+	DetectionPct float64 `json:"detection_pct"`
+	LatencyMs    float64 `json:"latency_ms"`
+}
+
+// StreamRobustness is the online-detector leg: an impaired injected run
+// fed sample by sample through stream.Detector with the metrics layer
+// attached.
+type StreamRobustness struct {
+	Impairment     string         `json:"impairment"`
+	Windows        int            `json:"windows"`
+	Reports        int            `json:"reports"`
+	TruePositives  int64          `json:"true_positives"`
+	FalsePositives int64          `json:"false_positives"`
+	FalseNegatives int64          `json:"false_negatives"`
+	TrueNegatives  int64          `json:"true_negatives"`
+	Metrics        map[string]any `json:"metrics"`
+}
+
+// RobustnessResult is the full robustness experiment output
+// (BENCH_robustness.json).
+type RobustnessResult struct {
+	Benchmark string `json:"benchmark"`
+	TrainRuns int    `json:"train_runs"`
+	MonRuns   int    `json:"mon_runs"`
+	// Baseline is the unimpaired reference point.
+	Baseline RobustnessPoint `json:"baseline"`
+	// SNR is the accuracy-vs-SNR sweep (descending SNR), the simulator
+	// analogue of the paper's Fig 9 accuracy-vs-distance curve: distance
+	// degrades SNR, so accuracy should fall off the same way as severity
+	// rises.
+	SNR []RobustnessPoint `json:"snr"`
+	// Impairments sweeps the non-noise faults (dropouts, clock skew, gain
+	// drift, DC wander, interferer tones) at increasing severity.
+	Impairments []RobustnessPoint `json:"impairments"`
+	// Stream is the online-detector leg.
+	Stream StreamRobustness `json:"stream"`
+}
+
+// robustnessSNRGrid is the AWGN sweep, in dB, descending. 120 dB is
+// effectively clean; 0 dB means noise as strong as the signal.
+var robustnessSNRGrid = []float64{120, 30, 20, 15, 10, 5, 0}
+
+// robustnessAttack is the injected fault every monitored run carries:
+// the Fig 5 style in-loop injection at 50% contamination.
+func robustnessAttack(t *trained) inject.Injector {
+	return &inject.InLoop{
+		Header: t.nestHeader(0), Instrs: 16, MemOps: 8,
+		Contamination: 0.5, Seed: 42,
+	}
+}
+
+// Robustness sweeps signal impairments over one benchmark's monitored
+// runs and measures how detection degrades. Runs are simulated once;
+// each severity point re-impairs and re-reduces the captured signals
+// (impair.Apply + pipeline.Reduce), so the sweep isolates the channel
+// effect from run-to-run workload variation.
+func Robustness(e *Env, w io.Writer) (*RobustnessResult, error) {
+	const benchmark = "bitcount"
+	t, err := e.train(benchmark, e.Sim, e.TrainRunsSim)
+	if err != nil {
+		return nil, err
+	}
+	nRuns := e.MonRunsSim
+
+	// Collect the monitored runs once, keeping signals for re-reduction:
+	// nRuns clean and nRuns injected.
+	runs := make([]*pipeline.Run, 2*nRuns)
+	err = par.Do(2*nRuns, 0, func(i int) error {
+		var inj inject.Injector
+		runIdx := monitorRunBase + i
+		if i >= nRuns {
+			inj = robustnessAttack(t)
+			runIdx = injectionRunBase + (i - nRuns)
+		}
+		r, err := pipeline.CollectRun(t.w, t.machine, e.Sim, runIdx, inj)
+		if err != nil {
+			return err
+		}
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RobustnessResult{
+		Benchmark: benchmark,
+		TrainRuns: e.TrainRunsSim,
+		MonRuns:   nRuns,
+	}
+
+	// Baseline: no impairment.
+	base, err := robustnessPoint(e, t, runs, "clean", func(runIdx int) impair.Transform { return nil })
+	if err != nil {
+		return nil, err
+	}
+	res.Baseline = *base
+
+	// AWGN sweep. Each run gets its own noise realization, seeded by the
+	// run index so the whole sweep is reproducible.
+	res.SNR = make([]RobustnessPoint, len(robustnessSNRGrid))
+	err = par.Do(len(robustnessSNRGrid), 0, func(si int) error {
+		snr := robustnessSNRGrid[si]
+		p, err := robustnessPoint(e, t, runs, fmt.Sprintf("awgn(%gdB)", snr), func(runIdx int) impair.Transform {
+			return &impair.AWGN{SNRdB: snr, Seed: 7000 + int64(runIdx)}
+		})
+		if err != nil {
+			return err
+		}
+		p.SNRdB = snr
+		res.SNR[si] = *p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Non-noise impairments at increasing severity.
+	sampleRate := e.Sim.STFT.SampleRate
+	impairments := []struct {
+		label string
+		mk    func(runIdx int) impair.Transform
+	}{
+		{"dropout(1e-4)", func(i int) impair.Transform { return &impair.Dropout{Rate: 1e-4, MeanLen: 64, Seed: 7100 + int64(i)} }},
+		{"dropout(1e-3)", func(i int) impair.Transform { return &impair.Dropout{Rate: 1e-3, MeanLen: 64, Seed: 7200 + int64(i)} }},
+		{"skew(200ppm)", func(i int) impair.Transform { return &impair.ClockSkew{PPM: 200} }},
+		{"skew(5000ppm)", func(i int) impair.Transform { return &impair.ClockSkew{PPM: 5000} }},
+		{"gaindrift(1e-5)", func(i int) impair.Transform { return &impair.GainDrift{Std: 1e-5, Seed: 7300 + int64(i)} }},
+		{"gaindrift(1e-3)", func(i int) impair.Transform { return &impair.GainDrift{Std: 1e-3, Seed: 7400 + int64(i)} }},
+		{"dcwander(0.1)", func(i int) impair.Transform { return &impair.DCWander{Std: 0.1, Max: 50, Seed: 7500 + int64(i)} }},
+		{"tone(1MHz)", func(i int) impair.Transform {
+			return &impair.Tone{FreqHz: 1e6, SampleRate: sampleRate, Amp: 10}
+		}},
+		{"awgn+dropout+tone", func(i int) impair.Transform {
+			return impair.NewChain(
+				&impair.AWGN{SNRdB: 20, Seed: 7600 + int64(i)},
+				&impair.Dropout{Rate: 1e-4, MeanLen: 64, Seed: 7700 + int64(i)},
+				&impair.Tone{FreqHz: 2e6, SampleRate: sampleRate, Amp: 5},
+			)
+		}},
+	}
+	res.Impairments = make([]RobustnessPoint, len(impairments))
+	err = par.Do(len(impairments), 0, func(ii int) error {
+		p, err := robustnessPoint(e, t, runs, impairments[ii].label, impairments[ii].mk)
+		if err != nil {
+			return err
+		}
+		res.Impairments[ii] = *p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Online leg: one injected run through stream.Detector with a 20 dB
+	// AWGN impairment and the metrics layer attached.
+	str, err := robustnessStream(e, t, runs[nRuns])
+	if err != nil {
+		return nil, err
+	}
+	res.Stream = *str
+
+	printRobustness(w, res)
+	return res, nil
+}
+
+// robustnessPoint impairs every collected run with mk(runIdx), re-reduces
+// and re-monitors it, and aggregates the evaluation metrics.
+func robustnessPoint(e *Env, t *trained, runs []*pipeline.Run, label string, mk func(runIdx int) impair.Transform) (*RobustnessPoint, error) {
+	agg := &core.Metrics{}
+	for i, run := range runs {
+		signal := impair.Apply(mk(i), run.Signal)
+		sts, err := pipeline.Reduce(signal, run.Sim, e.Sim)
+		if err != nil {
+			return nil, fmt.Errorf("robustness %s: %w", label, err)
+		}
+		mon, err := pipeline.Monitor(t.model, sts, e.MonitorCfg)
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.Evaluate(t.model, sts, mon.Outcomes, mon.Reports, e.Sim.HopSeconds())
+		if err != nil {
+			return nil, err
+		}
+		agg.Merge(m)
+	}
+	return &RobustnessPoint{
+		Impairment:   label,
+		AccuracyPct:  agg.AccuracyPct(),
+		FalsePosPct:  agg.FalsePositivePct(),
+		FalseNegPct:  agg.FalseNegativePct(),
+		DetectionPct: agg.DetectionRatePct(),
+		LatencyMs:    agg.DetectionLatencySec() * 1e3,
+	}, nil
+}
+
+// robustnessStream runs the online detector over one injected capture
+// with a mild AWGN impairment and the metrics layer wired in.
+func robustnessStream(e *Env, t *trained, run *pipeline.Run) (*StreamRobustness, error) {
+	m := metrics.NewDetector()
+	cfg := stream.Config{
+		STFT:    e.Sim.STFT,
+		Peaks:   e.Sim.Peaks,
+		Monitor: e.MonitorCfg,
+		Impair:  &impair.AWGN{SNRdB: 20, Seed: 99},
+		Metrics: m,
+		GroundTruth: func(w int) bool {
+			return w < len(run.STS) && run.STS[w].Injected
+		},
+	}
+	d, err := stream.NewDetector(t.model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Feed in receiver-buffer sized chunks, as a deployment would.
+	sig := run.Signal
+	for len(sig) > 0 {
+		n := 4096
+		if n > len(sig) {
+			n = len(sig)
+		}
+		d.Feed(sig[:n])
+		sig = sig[n:]
+	}
+	return &StreamRobustness{
+		Impairment:     cfg.Impair.Name(),
+		Windows:        d.Windows(),
+		Reports:        len(d.Monitor().Reports),
+		TruePositives:  m.TruePos.Value(),
+		FalsePositives: m.FalsePos.Value(),
+		FalseNegatives: m.FalseNeg.Value(),
+		TrueNegatives:  m.TrueNeg.Value(),
+		Metrics:        m.Reg.Snapshot(),
+	}, nil
+}
+
+func printRobustness(w io.Writer, res *RobustnessResult) {
+	fprintf(w, "Robustness: %s, %d clean + %d injected monitored runs\n",
+		res.Benchmark, res.MonRuns, res.MonRuns)
+	row := func(p *RobustnessPoint) {
+		fprintf(w, "  %-20s acc %5.1f%%  fp %5.2f%%  fn %5.1f%%  det %3.0f%%  lat %6.2fms\n",
+			p.Impairment, p.AccuracyPct, p.FalsePosPct, p.FalseNegPct, p.DetectionPct, p.LatencyMs)
+	}
+	row(&res.Baseline)
+	fprintf(w, "accuracy vs SNR (cf. Fig 9's accuracy-vs-distance):\n")
+	for i := range res.SNR {
+		row(&res.SNR[i])
+	}
+	fprintf(w, "impairment severities:\n")
+	for i := range res.Impairments {
+		row(&res.Impairments[i])
+	}
+	s := &res.Stream
+	fprintf(w, "online detector (%s): %d windows, %d reports, TP %d FP %d FN %d TN %d\n",
+		s.Impairment, s.Windows, s.Reports, s.TruePositives, s.FalsePositives, s.FalseNegatives, s.TrueNegatives)
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// TestQuickRobustness runs the robustness sweep at quick scale and
+// checks the qualitative shape the experiment exists to demonstrate:
+// accuracy degrades as SNR falls, and the clean baseline detects.
+func TestQuickRobustness(t *testing.T) {
+	e := sharedQuickEnv()
+	res, err := Robustness(e, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline.DetectionPct == 0 {
+		t.Error("baseline detects nothing")
+	}
+	if res.Baseline.AccuracyPct < 50 {
+		t.Errorf("baseline accuracy %.1f%% below 50%%", res.Baseline.AccuracyPct)
+	}
+
+	// Monotone trend: highest SNR must beat lowest, and no step may rise
+	// by more than a small tolerance (run-to-run noise at quick scale).
+	snr := res.SNR
+	if len(snr) < 3 {
+		t.Fatalf("SNR sweep has %d points", len(snr))
+	}
+	first, last := snr[0], snr[len(snr)-1]
+	if first.AccuracyPct <= last.AccuracyPct {
+		t.Errorf("accuracy did not degrade with SNR: %.1f%% at %g dB vs %.1f%% at %g dB",
+			first.AccuracyPct, first.SNRdB, last.AccuracyPct, last.SNRdB)
+	}
+	const tol = 5.0 // percentage points
+	for i := 1; i < len(snr); i++ {
+		if snr[i].SNRdB >= snr[i-1].SNRdB {
+			t.Fatalf("SNR grid not descending at %d", i)
+		}
+		if snr[i].AccuracyPct > snr[i-1].AccuracyPct+tol {
+			t.Errorf("accuracy rose from %.1f%% (%g dB) to %.1f%% (%g dB)",
+				snr[i-1].AccuracyPct, snr[i-1].SNRdB, snr[i].AccuracyPct, snr[i].SNRdB)
+		}
+	}
+	// Effectively-clean AWGN should track the baseline closely.
+	if d := snr[0].AccuracyPct - res.Baseline.AccuracyPct; d > 1 || d < -1 {
+		t.Errorf("120 dB AWGN shifted accuracy by %.1f points from baseline", d)
+	}
+
+	if len(res.Impairments) == 0 {
+		t.Fatal("no impairment severity points")
+	}
+	if res.Stream.Windows == 0 {
+		t.Error("stream leg processed no windows")
+	}
+	if res.Stream.TruePositives == 0 {
+		t.Error("stream leg found no true positives on an injected run")
+	}
+	if len(res.Stream.Metrics) == 0 {
+		t.Error("stream leg metrics snapshot empty")
+	}
+}
+
+// TestRobustnessDeterministic re-runs the experiment and expects
+// identical results: everything is seeded, so any drift is a
+// reproducibility bug in the impairment or reduction path.
+func TestRobustnessDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sweep twice")
+	}
+	e := sharedQuickEnv()
+	a, err := Robustness(e, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Robustness(e, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.SNR) != len(b.SNR) {
+		t.Fatalf("sweep sizes differ: %d vs %d", len(a.SNR), len(b.SNR))
+	}
+	for i := range a.SNR {
+		if a.SNR[i] != b.SNR[i] {
+			t.Errorf("SNR point %d differs between runs:\n%+v\n%+v", i, a.SNR[i], b.SNR[i])
+		}
+	}
+	for i := range a.Impairments {
+		if a.Impairments[i] != b.Impairments[i] {
+			t.Errorf("impairment point %d differs between runs:\n%+v\n%+v", i, a.Impairments[i], b.Impairments[i])
+		}
+	}
+}

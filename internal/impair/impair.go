@@ -1,0 +1,390 @@
+// Package impair models imperfect signal reception: deterministic,
+// seedable transforms over raw receiver samples that reproduce the
+// channel faults a deployed EDDIE receiver sees — additive white noise
+// at a target SNR, slow gain drift, DC wander, sample dropouts, clock
+// skew between transmitter and receiver, and narrow-band interferer
+// tones. Transforms are streaming (they can be fed chunk by chunk, in
+// front of stream.Detector) and composable (Chain); applied to a whole
+// capture they impair offline pipeline signals the same way.
+//
+// Determinism contract: every transform is a pure function of its
+// parameters, its seed and the input sample sequence. After Reset, the
+// output depends only on the samples seen, never on how they were split
+// into chunks — processing one big chunk and many small chunks yields
+// bit-identical output. This is what makes impairment sweeps and the
+// robustness experiment reproducible. See DESIGN.md §9.
+package impair
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Transform is one streaming signal impairment.
+//
+// Process consumes the next chunk of the sample stream and returns the
+// impaired output. Most transforms modify the chunk in place and return
+// it; rate-changing transforms (ClockSkew) return an internal buffer
+// whose length differs from the input. In either case the returned
+// slice is only valid until the next Process call — callers that need
+// to retain it must copy.
+type Transform interface {
+	// Name identifies the transform and its parameters (for metrics
+	// labels and experiment output).
+	Name() string
+	// Process impairs the next chunk of the stream.
+	Process(chunk []float64) []float64
+	// Reset returns the transform to its initial state (including
+	// re-seeding its random source), so one instance can impair several
+	// independent runs deterministically.
+	Reset()
+}
+
+// Apply resets the transform and runs one whole capture through it,
+// returning a fresh output slice (the input is not modified).
+func Apply(t Transform, signal []float64) []float64 {
+	if t == nil {
+		out := make([]float64, len(signal))
+		copy(out, signal)
+		return out
+	}
+	t.Reset()
+	in := make([]float64, len(signal))
+	copy(in, signal)
+	out := t.Process(in)
+	// Rate-changing transforms return internal buffers; detach.
+	if len(out) != len(in) || (len(out) > 0 && &out[0] != &in[0]) {
+		detached := make([]float64, len(out))
+		copy(detached, out)
+		return detached
+	}
+	return out
+}
+
+// Chain applies transforms in order (index 0 first).
+type Chain struct {
+	Transforms []Transform
+}
+
+// NewChain builds a chain; nil transforms are skipped.
+func NewChain(ts ...Transform) *Chain {
+	c := &Chain{}
+	for _, t := range ts {
+		if t != nil {
+			c.Transforms = append(c.Transforms, t)
+		}
+	}
+	return c
+}
+
+// Name lists the chained transforms.
+func (c *Chain) Name() string {
+	if len(c.Transforms) == 0 {
+		return "identity"
+	}
+	names := make([]string, len(c.Transforms))
+	for i, t := range c.Transforms {
+		names[i] = t.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+// Process runs the chunk through every transform in order.
+func (c *Chain) Process(chunk []float64) []float64 {
+	for _, t := range c.Transforms {
+		chunk = t.Process(chunk)
+	}
+	return chunk
+}
+
+// Reset resets every chained transform.
+func (c *Chain) Reset() {
+	for _, t := range c.Transforms {
+		t.Reset()
+	}
+}
+
+// AWGN adds white Gaussian noise at a target signal-to-noise ratio. The
+// signal power that anchors the SNR is tracked online with exponential
+// moving averages of the mean and AC power (time constant Tau samples),
+// the same way a receiver's AGC estimates level — so the transform works
+// streaming, without a whole-capture power pass.
+type AWGN struct {
+	// SNRdB is the target ratio of AC signal power to noise power.
+	// +Inf disables the noise.
+	SNRdB float64
+	// Tau is the power-tracking time constant in samples; 0 means 2048.
+	Tau float64
+	// Seed drives the noise realization.
+	Seed int64
+
+	rng   *rand.Rand
+	mean  float64
+	power float64
+	init  bool
+}
+
+// Name implements Transform.
+func (a *AWGN) Name() string { return fmt.Sprintf("awgn(%gdB)", a.SNRdB) }
+
+// Reset implements Transform.
+func (a *AWGN) Reset() {
+	a.rng = nil
+	a.mean = 0
+	a.power = 0
+	a.init = false
+}
+
+// Process implements Transform.
+func (a *AWGN) Process(chunk []float64) []float64 {
+	if math.IsInf(a.SNRdB, 1) {
+		return chunk
+	}
+	if a.rng == nil {
+		a.rng = rand.New(rand.NewSource(a.Seed))
+	}
+	tau := a.Tau
+	if tau <= 0 {
+		tau = 2048
+	}
+	alpha := 1 / tau
+	snr := math.Pow(10, a.SNRdB/10)
+	for i, s := range chunk {
+		if !a.init {
+			a.mean = s
+			a.init = true
+		}
+		dev := s - a.mean
+		a.mean += alpha * dev
+		a.power += alpha * (dev*dev - a.power)
+		sigma := math.Sqrt(a.power / snr)
+		chunk[i] = s + sigma*a.rng.NormFloat64()
+	}
+	return chunk
+}
+
+// GainDrift multiplies the signal by a slowly drifting gain: a clamped
+// random walk modeling antenna coupling and front-end gain variation.
+type GainDrift struct {
+	// Std is the per-sample standard deviation of the gain walk.
+	Std float64
+	// Min and Max clamp the gain; zero values mean 0.25 and 4.
+	Min, Max float64
+	// Seed drives the walk.
+	Seed int64
+
+	rng  *rand.Rand
+	gain float64
+}
+
+// Name implements Transform.
+func (g *GainDrift) Name() string { return fmt.Sprintf("gaindrift(%g)", g.Std) }
+
+// Reset implements Transform.
+func (g *GainDrift) Reset() { g.rng = nil }
+
+// Process implements Transform.
+func (g *GainDrift) Process(chunk []float64) []float64 {
+	if g.rng == nil {
+		g.rng = rand.New(rand.NewSource(g.Seed))
+		g.gain = 1
+	}
+	lo, hi := g.Min, g.Max
+	if lo <= 0 {
+		lo = 0.25
+	}
+	if hi <= 0 {
+		hi = 4
+	}
+	for i, s := range chunk {
+		chunk[i] = s * g.gain
+		g.gain += g.rng.NormFloat64() * g.Std
+		if g.gain < lo {
+			g.gain = lo
+		} else if g.gain > hi {
+			g.gain = hi
+		}
+	}
+	return chunk
+}
+
+// DCWander adds a slowly drifting offset: a clamped random walk modeling
+// baseline wander of an AC-coupled front end (temperature, bias drift).
+type DCWander struct {
+	// Std is the per-sample standard deviation of the offset walk.
+	Std float64
+	// Max clamps |offset|; zero means no clamp.
+	Max float64
+	// Seed drives the walk.
+	Seed int64
+
+	rng    *rand.Rand
+	offset float64
+}
+
+// Name implements Transform.
+func (d *DCWander) Name() string { return fmt.Sprintf("dcwander(%g)", d.Std) }
+
+// Reset implements Transform.
+func (d *DCWander) Reset() {
+	d.rng = nil
+	d.offset = 0
+}
+
+// Process implements Transform.
+func (d *DCWander) Process(chunk []float64) []float64 {
+	if d.rng == nil {
+		d.rng = rand.New(rand.NewSource(d.Seed))
+	}
+	for i, s := range chunk {
+		chunk[i] = s + d.offset
+		d.offset += d.rng.NormFloat64() * d.Std
+		if d.Max > 0 {
+			if d.offset > d.Max {
+				d.offset = d.Max
+			} else if d.offset < -d.Max {
+				d.offset = -d.Max
+			}
+		}
+	}
+	return chunk
+}
+
+// Dropout zeroes stretches of samples: the receiver loses the signal
+// (squelch, ADC overrange, USB frame loss) and delivers silence until it
+// recovers. Dropout starts are Bernoulli per sample; durations are
+// geometric with the configured mean.
+type Dropout struct {
+	// Rate is the per-sample probability of a dropout starting.
+	Rate float64
+	// MeanLen is the mean dropout length in samples; 0 means 64.
+	MeanLen float64
+	// Seed drives start times and durations.
+	Seed int64
+
+	rng       *rand.Rand
+	remaining int
+}
+
+// Name implements Transform.
+func (d *Dropout) Name() string { return fmt.Sprintf("dropout(%g)", d.Rate) }
+
+// Reset implements Transform.
+func (d *Dropout) Reset() {
+	d.rng = nil
+	d.remaining = 0
+}
+
+// Process implements Transform.
+func (d *Dropout) Process(chunk []float64) []float64 {
+	if d.rng == nil {
+		d.rng = rand.New(rand.NewSource(d.Seed))
+	}
+	mean := d.MeanLen
+	if mean <= 0 {
+		mean = 64
+	}
+	for i := range chunk {
+		if d.remaining > 0 {
+			chunk[i] = 0
+			d.remaining--
+			continue
+		}
+		if d.Rate > 0 && d.rng.Float64() < d.Rate {
+			// Geometric duration with the configured mean, at least 1.
+			n := int(d.rng.ExpFloat64()*mean) + 1
+			chunk[i] = 0
+			d.remaining = n - 1
+		}
+	}
+	return chunk
+}
+
+// ClockSkew resamples the stream by 1 + PPM·1e-6 with linear
+// interpolation: the receiver's sample clock runs fast (positive PPM,
+// more output samples) or slow (negative PPM) relative to the
+// transmitter, stretching every spectral feature by the same factor.
+type ClockSkew struct {
+	// PPM is the clock offset in parts per million.
+	PPM float64
+
+	// pos is the next output position in input-sample units, relative to
+	// the first sample ever seen.
+	pos float64
+	// consumed counts input samples fully consumed (dropped from prev).
+	consumed int64
+	prev     float64
+	havePrev bool
+	out      []float64
+}
+
+// Name implements Transform.
+func (c *ClockSkew) Name() string { return fmt.Sprintf("skew(%gppm)", c.PPM) }
+
+// Reset implements Transform.
+func (c *ClockSkew) Reset() {
+	c.pos = 0
+	c.consumed = 0
+	c.havePrev = false
+}
+
+// Process implements Transform.
+func (c *ClockSkew) Process(chunk []float64) []float64 {
+	if c.PPM == 0 {
+		return chunk
+	}
+	// A fast receiver clock (positive PPM) takes more samples per input
+	// sample, i.e. the output position advances by less than 1.
+	step := 1 / (1 + c.PPM*1e-6)
+	c.out = c.out[:0]
+	for _, s := range chunk {
+		if !c.havePrev {
+			c.prev = s
+			c.havePrev = true
+			c.consumed = 0
+			continue
+		}
+		// prev is input sample c.consumed, s is sample c.consumed+1.
+		hi := float64(c.consumed + 1)
+		for c.pos <= hi {
+			frac := c.pos - float64(c.consumed)
+			c.out = append(c.out, c.prev+(s-c.prev)*frac)
+			c.pos += step
+		}
+		c.prev = s
+		c.consumed++
+	}
+	return c.out
+}
+
+// Tone adds a narrow-band interferer: a constant sinusoid at FreqHz,
+// like a broadcast station or switching regulator inside the receiver
+// band.
+type Tone struct {
+	// FreqHz is the tone frequency; SampleRate the stream's sample rate.
+	FreqHz, SampleRate float64
+	// Amp is the tone amplitude (same units as the signal).
+	Amp float64
+	// Phase is the starting phase in radians.
+	Phase float64
+
+	n int64
+}
+
+// Name implements Transform.
+func (t *Tone) Name() string { return fmt.Sprintf("tone(%gHz,%g)", t.FreqHz, t.Amp) }
+
+// Reset implements Transform.
+func (t *Tone) Reset() { t.n = 0 }
+
+// Process implements Transform.
+func (t *Tone) Process(chunk []float64) []float64 {
+	w := 2 * math.Pi * t.FreqHz / t.SampleRate
+	for i := range chunk {
+		chunk[i] += t.Amp * math.Sin(w*float64(t.n)+t.Phase)
+		t.n++
+	}
+	return chunk
+}

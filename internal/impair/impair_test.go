@@ -1,0 +1,249 @@
+package impair
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testSignal is a deterministic mixed-tone signal with some amplitude.
+func testSignal(n int) []float64 {
+	rng := rand.New(rand.NewSource(7))
+	out := make([]float64, n)
+	for i := range out {
+		t := float64(i)
+		out[i] = 3*math.Sin(2*math.Pi*t/37) + math.Sin(2*math.Pi*t/11) + 0.1*rng.NormFloat64() + 5
+	}
+	return out
+}
+
+// allTransforms returns one configured instance of every transform.
+func allTransforms() []Transform {
+	return []Transform{
+		&AWGN{SNRdB: 10, Seed: 1},
+		&GainDrift{Std: 1e-4, Seed: 2},
+		&DCWander{Std: 1e-3, Max: 2, Seed: 3},
+		&Dropout{Rate: 1e-3, MeanLen: 16, Seed: 4},
+		&ClockSkew{PPM: 500},
+		&Tone{FreqHz: 1e6, SampleRate: 12.5e6, Amp: 0.5},
+		NewChain(&AWGN{SNRdB: 20, Seed: 5}, &Dropout{Rate: 1e-3, Seed: 6}, &Tone{FreqHz: 2e6, SampleRate: 12.5e6, Amp: 0.2}),
+	}
+}
+
+// TestDeterminism is the acceptance criterion: a transform applied twice
+// to the same input under the same seed yields bit-identical output.
+func TestDeterminism(t *testing.T) {
+	sig := testSignal(10_000)
+	for _, tr := range allTransforms() {
+		a := Apply(tr, sig)
+		b := Apply(tr, sig)
+		if len(a) != len(b) {
+			t.Errorf("%s: lengths differ between runs: %d vs %d", tr.Name(), len(a), len(b))
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: output differs at sample %d: %v vs %v", tr.Name(), i, a[i], b[i])
+				break
+			}
+		}
+	}
+}
+
+// TestChunkingInvariance: processing the stream as one chunk and as many
+// small odd-sized chunks yields bit-identical output.
+func TestChunkingInvariance(t *testing.T) {
+	sig := testSignal(10_000)
+	for _, tr := range allTransforms() {
+		whole := Apply(tr, sig)
+
+		tr.Reset()
+		var chunked []float64
+		rest := append([]float64(nil), sig...)
+		sizes := []int{1, 7, 137, 512, 3}
+		for i := 0; len(rest) > 0; i++ {
+			n := sizes[i%len(sizes)]
+			if n > len(rest) {
+				n = len(rest)
+			}
+			chunked = append(chunked, tr.Process(rest[:n])...)
+			rest = rest[n:]
+		}
+
+		if len(whole) != len(chunked) {
+			t.Errorf("%s: whole=%d samples, chunked=%d", tr.Name(), len(whole), len(chunked))
+			continue
+		}
+		for i := range whole {
+			if whole[i] != chunked[i] {
+				t.Errorf("%s: chunked output differs at sample %d: %v vs %v", tr.Name(), i, whole[i], chunked[i])
+				break
+			}
+		}
+	}
+}
+
+// TestApplyDoesNotModifyInput guards the offline-use contract.
+func TestApplyDoesNotModifyInput(t *testing.T) {
+	sig := testSignal(4096)
+	orig := append([]float64(nil), sig...)
+	for _, tr := range allTransforms() {
+		Apply(tr, sig)
+		for i := range sig {
+			if sig[i] != orig[i] {
+				t.Fatalf("%s: Apply modified the input at sample %d", tr.Name(), i)
+			}
+		}
+	}
+}
+
+// TestAWGNSNR: the realized SNR should be close to the target.
+func TestAWGNSNR(t *testing.T) {
+	sig := testSignal(200_000)
+	for _, target := range []float64{0, 10, 20} {
+		out := Apply(&AWGN{SNRdB: target, Seed: 11}, sig)
+		var sigPow, noisePow float64
+		mean := 0.0
+		for _, s := range sig {
+			mean += s
+		}
+		mean /= float64(len(sig))
+		for i := range sig {
+			d := sig[i] - mean
+			sigPow += d * d
+			n := out[i] - sig[i]
+			noisePow += n * n
+		}
+		got := 10 * math.Log10(sigPow/noisePow)
+		if math.Abs(got-target) > 1.5 {
+			t.Errorf("AWGN target %g dB: realized %.2f dB", target, got)
+		}
+	}
+}
+
+func TestAWGNInfiniteSNRIsIdentity(t *testing.T) {
+	sig := testSignal(1000)
+	out := Apply(&AWGN{SNRdB: math.Inf(1), Seed: 1}, sig)
+	for i := range sig {
+		if out[i] != sig[i] {
+			t.Fatalf("+Inf SNR modified sample %d", i)
+		}
+	}
+}
+
+// TestDropoutFraction: the zeroed fraction should be roughly
+// rate × meanLen.
+func TestDropoutFraction(t *testing.T) {
+	sig := testSignal(500_000)
+	for i := range sig {
+		sig[i] += 100 // keep every sample nonzero so zeros are dropouts
+	}
+	rate, mean := 1e-3, 32.0
+	out := Apply(&Dropout{Rate: rate, MeanLen: mean, Seed: 21}, sig)
+	zeros := 0
+	for _, s := range out {
+		if s == 0 {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / float64(len(out))
+	want := rate * mean
+	if frac < want/3 || frac > want*3 {
+		t.Errorf("dropout fraction %.4f, want ~%.4f", frac, want)
+	}
+}
+
+// TestClockSkewLength: positive PPM (fast receiver clock) produces more
+// output samples, negative fewer, by about |PPM|·1e-6.
+func TestClockSkewLength(t *testing.T) {
+	sig := testSignal(1_000_000)
+	for _, ppm := range []float64{1000, -1000} {
+		out := Apply(&ClockSkew{PPM: ppm}, sig)
+		wantDelta := ppm * 1e-6 * float64(len(sig))
+		gotDelta := float64(len(out) - len(sig))
+		if math.Abs(gotDelta-wantDelta) > math.Abs(wantDelta)/10+2 {
+			t.Errorf("skew %+g ppm: length delta %g, want ~%g", ppm, gotDelta, wantDelta)
+		}
+	}
+}
+
+func TestClockSkewZeroIsIdentity(t *testing.T) {
+	sig := testSignal(1000)
+	out := Apply(&ClockSkew{}, sig)
+	if len(out) != len(sig) {
+		t.Fatalf("0 ppm changed length: %d -> %d", len(sig), len(out))
+	}
+	for i := range sig {
+		if out[i] != sig[i] {
+			t.Fatalf("0 ppm modified sample %d", i)
+		}
+	}
+}
+
+// TestToneAddsCarrier: the tone transform adds exactly the configured
+// sinusoid, phase-continuous across chunks.
+func TestToneAddsCarrier(t *testing.T) {
+	n := 4096
+	sig := make([]float64, n)
+	tr := &Tone{FreqHz: 1e6, SampleRate: 12.5e6, Amp: 2, Phase: 0.3}
+	out := Apply(tr, sig)
+	w := 2 * math.Pi * tr.FreqHz / tr.SampleRate
+	for i := range out {
+		want := tr.Amp * math.Sin(w*float64(i)+tr.Phase)
+		if math.Abs(out[i]-want) > 1e-12 {
+			t.Fatalf("tone sample %d: got %v want %v", i, out[i], want)
+		}
+	}
+}
+
+// TestGainDriftStaysClamped: the gain never escapes [Min, Max].
+func TestGainDriftStaysClamped(t *testing.T) {
+	sig := make([]float64, 200_000)
+	for i := range sig {
+		sig[i] = 1
+	}
+	out := Apply(&GainDrift{Std: 0.05, Min: 0.5, Max: 2, Seed: 3}, sig)
+	for i, s := range out {
+		if s < 0.5-1e-12 || s > 2+1e-12 {
+			t.Fatalf("gain escaped clamp at sample %d: %v", i, s)
+		}
+	}
+}
+
+// TestDCWanderStaysClamped: |offset| never exceeds Max.
+func TestDCWanderStaysClamped(t *testing.T) {
+	sig := make([]float64, 200_000)
+	out := Apply(&DCWander{Std: 0.05, Max: 1.5, Seed: 4}, sig)
+	for i, s := range out {
+		if math.Abs(s) > 1.5+1e-12 {
+			t.Fatalf("offset escaped clamp at sample %d: %v", i, s)
+		}
+	}
+}
+
+func TestChainNameAndEmpty(t *testing.T) {
+	if got := NewChain().Name(); got != "identity" {
+		t.Errorf("empty chain name %q", got)
+	}
+	c := NewChain(nil, &Tone{FreqHz: 1, SampleRate: 10, Amp: 1}, nil)
+	if len(c.Transforms) != 1 {
+		t.Errorf("nil transforms not skipped: %d", len(c.Transforms))
+	}
+	got := NewChain(&AWGN{SNRdB: 10}, &ClockSkew{PPM: 5}).Name()
+	if got != "awgn(10dB)+skew(5ppm)" {
+		t.Errorf("chain name %q", got)
+	}
+}
+
+func TestApplyNilIsCopy(t *testing.T) {
+	sig := testSignal(100)
+	out := Apply(nil, sig)
+	if &out[0] == &sig[0] {
+		t.Fatal("Apply(nil) returned the input slice")
+	}
+	for i := range sig {
+		if out[i] != sig[i] {
+			t.Fatalf("Apply(nil) altered sample %d", i)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"fmt"
+
+	"eddie/internal/cfg"
+)
+
+// latencyBucketsSTS are histogram bounds for detection latency measured
+// in STS windows.
+var latencyBucketsSTS = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// peakBuckets are histogram bounds for per-window peak counts.
+var peakBuckets = []float64{0, 1, 2, 4, 6, 8, 12, 16, 24, 32}
+
+// statBuckets are histogram bounds for the per-region K-S rejection
+// fraction (the share of peak-rank tests that rejected, in [0,1]).
+var statBuckets = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+
+// Detector bundles the instruments of one detector instance. It
+// implements core.MonitorStats, so handing it to a monitor (or a
+// stream.Detector, which forwards it) captures the monitoring internals:
+// K-S tests run, per-region statistic distributions, region switches and
+// report streaks. The stream layer adds sample/window counters and,
+// when ground truth is available, false-positive/negative counts and
+// detection latency.
+type Detector struct {
+	// Reg is the backing registry; Snapshot/MarshalJSON/Publish live
+	// there.
+	Reg *Registry
+
+	// SamplesIn counts raw samples fed; Sanitized the non-finite samples
+	// replaced by zero; Windows the STSs produced; ReportsFired the
+	// anomaly reports raised.
+	SamplesIn, Sanitized, Windows, ReportsFired *Counter
+	// KSTests counts region-level K-S decisions; KSRejects the rejecting
+	// ones.
+	KSTests, KSRejects *Counter
+	// RegionSwitches counts monitor region transitions.
+	RegionSwitches *Counter
+	// TruePos/FalsePos/TrueNeg/FalseNeg classify windows against
+	// injected ground truth (only populated when ground truth is wired).
+	TruePos, FalsePos, TrueNeg, FalseNeg *Counter
+	// PeakCount is the distribution of per-window peak counts.
+	PeakCount *Histogram
+	// LatencySTS and LatencySamples are detection latency distributions,
+	// from the first injected window of an episode to its report.
+	LatencySTS, LatencySamples *Histogram
+}
+
+// NewDetector creates a detector instrument bundle on a fresh registry.
+func NewDetector() *Detector {
+	reg := NewRegistry()
+	return &Detector{
+		Reg:            reg,
+		SamplesIn:      reg.Counter("samples_in"),
+		Sanitized:      reg.Counter("samples_sanitized"),
+		Windows:        reg.Counter("sts_produced"),
+		ReportsFired:   reg.Counter("reports_fired"),
+		KSTests:        reg.Counter("ks_tests"),
+		KSRejects:      reg.Counter("ks_rejects"),
+		RegionSwitches: reg.Counter("region_switches"),
+		TruePos:        reg.Counter("truth_true_positive"),
+		FalsePos:       reg.Counter("truth_false_positive"),
+		TrueNeg:        reg.Counter("truth_true_negative"),
+		FalseNeg:       reg.Counter("truth_false_negative"),
+		PeakCount:      reg.Histogram("peak_count", peakBuckets),
+		LatencySTS:     reg.Histogram("detection_latency_sts", latencyBucketsSTS),
+		LatencySamples: reg.Histogram("detection_latency_samples", nil),
+	}
+}
+
+// KSTest implements core.MonitorStats: one region-level K-S decision,
+// with the best-mode rejection fraction as the test statistic.
+func (d *Detector) KSTest(region cfg.RegionID, rejFrac float64, rejected bool) {
+	d.KSTests.Inc()
+	if rejected {
+		d.KSRejects.Inc()
+	}
+	d.Reg.Histogram(fmt.Sprintf("region_stat/R%d", region), statBuckets).Observe(rejFrac)
+}
+
+// WindowObserved implements core.MonitorStats: one STS processed by the
+// monitor.
+func (d *Detector) WindowObserved(region cfg.RegionID, rejected, flagged bool) {
+	d.Reg.Counter(fmt.Sprintf("region_windows/R%d", region)).Inc()
+	if rejected {
+		d.Reg.Counter(fmt.Sprintf("region_rejects/R%d", region)).Inc()
+	}
+}
+
+// ReportFired implements core.MonitorStats: an anomaly report was
+// raised after a rejection streak of the given length.
+func (d *Detector) ReportFired(streak int) {
+	d.ReportsFired.Inc()
+}
+
+// RegionSwitch implements core.MonitorStats: the monitor moved between
+// regions.
+func (d *Detector) RegionSwitch(from, to cfg.RegionID) {
+	d.RegionSwitches.Inc()
+}

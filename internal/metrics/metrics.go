@@ -1,0 +1,177 @@
+// Package metrics is EDDIE's observability layer: cheap, concurrency-
+// safe counters and histograms that the streaming detector and the
+// monitor publish while running, exported as deterministic JSON and
+// (optionally) through expvar for scraping. A production deployment of
+// the ROADMAP's "heavy traffic" detector fleet needs exactly these
+// signals: how many samples and windows flowed, how often the K-S tests
+// rejected per region, how the per-region test statistic is distributed,
+// and how detection latency and false-positive/negative counts behave
+// against injected ground truth. See DESIGN.md §9 for the schema.
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram accumulates a distribution of observations into fixed
+// buckets. Bounds are upper bounds of each bucket; one overflow bucket
+// catches everything above the last bound.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram creates a histogram with the given ascending bucket upper
+// bounds (they are copied).
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Mean    float64   `json:"mean"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+}
+
+// Snapshot returns a copy of the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+		Bounds:  append([]float64(nil), h.bounds...),
+		Buckets: append([]int64(nil), h.counts...),
+	}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+	}
+	return s
+}
+
+// Registry is a named collection of counters and histograms.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every instrument's current value, keyed by name.
+// Counter values are int64, histograms HistogramSnapshot.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// MarshalJSON renders the registry as a JSON object with sorted keys
+// (encoding/json sorts map keys, so the output is deterministic).
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// String renders the registry as indented JSON (for -metrics output).
+func (r *Registry) String() string {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Sprintf("metrics: %v", err)
+	}
+	return string(b)
+}
+
+// Publish exposes the registry through expvar under the given name, so
+// an embedding server's /debug/vars endpoint serves it. Publishing the
+// same name twice panics (expvar semantics), so call once per process
+// per name.
+func (r *Registry) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

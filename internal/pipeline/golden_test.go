@@ -1,0 +1,225 @@
+package pipeline_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eddie/internal/core"
+	"eddie/internal/inject"
+	"eddie/internal/pipeline"
+	"eddie/internal/pipeline/pipetest"
+)
+
+// -update-golden regenerates the golden vectors instead of comparing.
+// Run `go test ./internal/pipeline -update-golden` after an intentional
+// numerics change and review the fixture diff.
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden vector fixtures")
+
+// goldenTol is the relative tolerance for float comparisons. Everything
+// in the pipeline is seeded and deterministic, so the only drift this
+// admits is differing FMA contraction across architectures.
+const goldenTol = 1e-9
+
+// goldenVector captures one run at every stage of the pipeline: raw
+// signal → window spectra → peak ranks → K-S decisions. A change
+// anywhere in the numerics shows up as a diff at the first stage it
+// touches, which localizes regressions.
+type goldenVector struct {
+	Workload   string    `json:"workload"`
+	Injected   bool      `json:"injected"`
+	RunIdx     int       `json:"run_idx"`
+	SignalLen  int       `json:"signal_len"`
+	SignalHead []float64 `json:"signal_head"` // first samples of the capture
+	SignalSum  float64   `json:"signal_sum"`
+
+	Windows        int         `json:"windows"`
+	WindowEnergies []float64   `json:"window_energies"` // first windows
+	PeakFreqs      [][]float64 `json:"peak_freqs"`      // first windows
+
+	RejectedWindows int            `json:"rejected_windows"`
+	FlaggedWindows  int            `json:"flagged_windows"`
+	Reports         []goldenReport `json:"reports"`
+}
+
+type goldenReport struct {
+	Window  int     `json:"window"`
+	TimeSec float64 `json:"time_sec"`
+	Region  int     `json:"region"`
+}
+
+const (
+	goldenHeadSamples = 16
+	goldenHeadWindows = 8
+)
+
+// goldenCases are the recorded scenarios: two workloads, clean and
+// injected, all under the tiny fixture configuration and fixed seeds.
+var goldenCases = []struct {
+	workload string
+	injected bool
+	runIdx   int
+}{
+	{"bitcount", false, 900},
+	{"bitcount", true, 901},
+	{"sha", false, 900},
+	{"sha", true, 901},
+}
+
+func TestGoldenVectors(t *testing.T) {
+	for _, gc := range goldenCases {
+		gc := gc
+		name := fmt.Sprintf("%s_clean", gc.workload)
+		if gc.injected {
+			name = fmt.Sprintf("%s_injected", gc.workload)
+		}
+		t.Run(name, func(t *testing.T) {
+			f := pipetest.Train(t, gc.workload, pipetest.TinyConfig(), 5)
+			var injector inject.Injector
+			if gc.injected {
+				injector = &inject.InLoop{
+					Header: f.Machine.Nests[0].Header, Instrs: 8, MemOps: 4,
+					Contamination: 0.5, Seed: 3,
+				}
+			}
+			got := captureGolden(t, f, gc.workload, gc.injected, gc.runIdx, injector)
+
+			path := filepath.Join("testdata", "golden_"+name+".json")
+			if *updateGolden {
+				b, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden vector %s (generate with -update-golden): %v", path, err)
+			}
+			var want goldenVector
+			if err := json.Unmarshal(b, &want); err != nil {
+				t.Fatalf("corrupt golden vector %s: %v", path, err)
+			}
+			compareGolden(t, &want, got)
+		})
+	}
+}
+
+func captureGolden(t *testing.T, f *pipetest.F, workload string, injected bool, runIdx int, injector inject.Injector) *goldenVector {
+	t.Helper()
+	run, err := pipeline.CollectRun(f.W, f.Machine, f.Config, runIdx, injector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := pipeline.Monitor(f.Model, run.STS, core.DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := &goldenVector{
+		Workload:  workload,
+		Injected:  injected,
+		RunIdx:    runIdx,
+		SignalLen: len(run.Signal),
+		Windows:   len(run.STS),
+	}
+	for i := 0; i < goldenHeadSamples && i < len(run.Signal); i++ {
+		g.SignalHead = append(g.SignalHead, run.Signal[i])
+	}
+	for _, s := range run.Signal {
+		g.SignalSum += s
+	}
+	for w := 0; w < goldenHeadWindows && w < len(run.STS); w++ {
+		g.WindowEnergies = append(g.WindowEnergies, run.STS[w].Energy)
+		g.PeakFreqs = append(g.PeakFreqs, append([]float64(nil), run.STS[w].PeakFreqs...))
+	}
+	for _, o := range mon.Outcomes {
+		if o.Rejected {
+			g.RejectedWindows++
+		}
+		if o.Flagged {
+			g.FlaggedWindows++
+		}
+	}
+	for _, r := range mon.Reports {
+		g.Reports = append(g.Reports, goldenReport{Window: r.Window, TimeSec: r.TimeSec, Region: int(r.Region)})
+	}
+	return g
+}
+
+func compareGolden(t *testing.T, want, got *goldenVector) {
+	t.Helper()
+	if got.SignalLen != want.SignalLen {
+		t.Errorf("signal length drifted: got %d, golden %d", got.SignalLen, want.SignalLen)
+	}
+	cmpF := func(stage string, got, want float64) {
+		if !closeRel(got, want) {
+			t.Errorf("%s drifted: got %v, golden %v", stage, got, want)
+		}
+	}
+	cmpFs := func(stage string, got, want []float64) {
+		if len(got) != len(want) {
+			t.Errorf("%s length drifted: got %d, golden %d", stage, len(got), len(want))
+			return
+		}
+		for i := range got {
+			if !closeRel(got[i], want[i]) {
+				t.Errorf("%s[%d] drifted: got %v, golden %v", stage, i, got[i], want[i])
+				return
+			}
+		}
+	}
+	cmpFs("signal head", got.SignalHead, want.SignalHead)
+	cmpF("signal sum", got.SignalSum, want.SignalSum)
+	if got.Windows != want.Windows {
+		t.Errorf("window count drifted: got %d, golden %d", got.Windows, want.Windows)
+	}
+	cmpFs("window energies", got.WindowEnergies, want.WindowEnergies)
+	if len(got.PeakFreqs) != len(want.PeakFreqs) {
+		t.Errorf("peak list count drifted: got %d, golden %d", len(got.PeakFreqs), len(want.PeakFreqs))
+	} else {
+		for w := range got.PeakFreqs {
+			cmpFs(fmt.Sprintf("peak freqs window %d", w), got.PeakFreqs[w], want.PeakFreqs[w])
+		}
+	}
+	if got.RejectedWindows != want.RejectedWindows {
+		t.Errorf("K-S rejected windows drifted: got %d, golden %d", got.RejectedWindows, want.RejectedWindows)
+	}
+	if got.FlaggedWindows != want.FlaggedWindows {
+		t.Errorf("flagged windows drifted: got %d, golden %d", got.FlaggedWindows, want.FlaggedWindows)
+	}
+	if len(got.Reports) != len(want.Reports) {
+		t.Errorf("report count drifted: got %d, golden %d", len(got.Reports), len(want.Reports))
+	} else {
+		for i := range got.Reports {
+			if got.Reports[i].Window != want.Reports[i].Window || got.Reports[i].Region != want.Reports[i].Region ||
+				!closeRel(got.Reports[i].TimeSec, want.Reports[i].TimeSec) {
+				t.Errorf("report %d drifted: got %+v, golden %+v", i, got.Reports[i], want.Reports[i])
+			}
+		}
+	}
+	if t.Failed() {
+		t.Log("intentional numerics change? regenerate with: go test ./internal/pipeline -update-golden")
+	}
+}
+
+// closeRel compares with relative tolerance (absolute near zero).
+func closeRel(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return d <= goldenTol
+	}
+	return d <= goldenTol*scale
+}

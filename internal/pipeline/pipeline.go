@@ -130,13 +130,25 @@ func CollectRun(w *mibench.Workload, machine *cfg.Machine, c Config, runIdx int,
 			return nil, fmt.Errorf("pipeline: EM channel: %w", err)
 		}
 	}
+	sts, err := Reduce(signal, res, c)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{STS: sts, Sim: res, Signal: signal}, nil
+}
+
+// Reduce converts a captured signal into the labeled STS sequence of its
+// run: AC coupling, STFT, ground-truth labeling, peak extraction. It is
+// the signal-to-STS tail of CollectRun, split out so a capture can be
+// re-reduced after signal-level processing — the robustness experiments
+// impair one collected signal at many severities without re-simulating.
+func Reduce(signal []float64, res *sim.RunResult, c Config) ([]core.STS, error) {
 	frames, err := dsp.STFT(dsp.Detrend(signal), c.STFT)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: STFT: %w", err)
 	}
 	labeled := trace.LabelFrames(frames, c.STFT, res)
-	sts := core.ExtractSTS(labeled, c.STFT, c.Peaks)
-	return &Run{STS: sts, Sim: res, Signal: signal}, nil
+	return core.ExtractSTS(labeled, c.STFT, c.Peaks), nil
 }
 
 // CollectRuns executes several runs (run indices firstRun..firstRun+n-1)

@@ -1,0 +1,91 @@
+// Package pipetest provides the shared trained-model fixture used by the
+// stream, impair, pipeline and experiments test suites. Training even a
+// small workload costs seconds, so each (workload, config, runs) flavor
+// is trained once per process and shared; the tiny flavor cuts the
+// instruction budget so `go test -short` exercises the full
+// train-and-monitor path in a couple of seconds.
+package pipetest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"eddie/internal/cfg"
+	"eddie/internal/core"
+	"eddie/internal/mibench"
+	"eddie/internal/pipeline"
+)
+
+// F is one trained fixture: a workload with its machine, model and the
+// pipeline configuration it was trained under.
+type F struct {
+	W         *mibench.Workload
+	Machine   *cfg.Machine
+	Model     *core.Model
+	Config    pipeline.Config
+	TrainRuns int
+}
+
+// TinyConfig returns a scaled-down simulator pipeline (reduced
+// instruction budget, no EM channel) that trains in a fraction of the
+// full configuration's time while keeping the paper-equivalent STFT.
+func TinyConfig() pipeline.Config {
+	c := pipeline.SimulatorConfig()
+	c.MaxInstrs = 2_000_000
+	return c
+}
+
+// entry caches one fixture flavor.
+type entry struct {
+	once sync.Once
+	f    *F
+	err  error
+}
+
+var fixtures sync.Map // string -> *entry
+
+// Train returns the cached fixture for (name, c, runs), training it on
+// first use. Safe for concurrent use.
+func Train(tb testing.TB, name string, c pipeline.Config, runs int) *F {
+	tb.Helper()
+	key := fmt.Sprintf("%s|%d|%+v", name, runs, c)
+	v, _ := fixtures.LoadOrStore(key, &entry{})
+	e := v.(*entry)
+	e.once.Do(func() {
+		w, err := mibench.ByName(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		model, machine, err := pipeline.Train(w, c, runs, core.DefaultTrainConfig())
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.f = &F{W: w, Machine: machine, Model: model, Config: c, TrainRuns: runs}
+	})
+	if e.err != nil {
+		tb.Fatalf("pipetest: training %s: %v", name, e.err)
+	}
+	return e.f
+}
+
+// Fixture returns the standard bitcount fixture: trained on the tiny
+// configuration in short mode (a few seconds), on the full simulator
+// configuration otherwise. The integration tests that used to skip
+// under -short run against the tiny flavor instead.
+func Fixture(tb testing.TB) *F {
+	tb.Helper()
+	if testing.Short() {
+		return Tiny(tb)
+	}
+	return Train(tb, "bitcount", pipeline.SimulatorConfig(), 8)
+}
+
+// Tiny returns the tiny-configuration bitcount fixture regardless of
+// -short (golden-vector tests need a mode-independent flavor).
+func Tiny(tb testing.TB) *F {
+	tb.Helper()
+	return Train(tb, "bitcount", TinyConfig(), 5)
+}

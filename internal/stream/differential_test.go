@@ -1,0 +1,139 @@
+package stream
+
+import (
+	"testing"
+
+	"eddie/internal/core"
+	"eddie/internal/dsp"
+	"eddie/internal/inject"
+	"eddie/internal/pipeline"
+	"eddie/internal/pipeline/pipetest"
+)
+
+// TestDifferentialOfflineVsStream feeds the same collected run through
+// the offline pipeline reduction and sample by sample through the
+// streaming detector, and asserts the two paths agree bit for bit: same
+// STS sequence (peak frequencies, energy, timestamps) and same monitor
+// verdicts (per-window outcomes and reports).
+//
+// To make the comparison exact the stream runs with its DC blocker
+// disabled on the pre-detrended signal — the detector's EWMA DC blocker
+// is the one intentional difference from the offline global-mean
+// detrend. Everything downstream (windowing, planned real-input FFT,
+// peak extraction, K-S monitoring) is shared arithmetic, so any drift
+// here is a real regression in one of the paths.
+func TestDifferentialOfflineVsStream(t *testing.T) {
+	f := pipetest.Fixture(t)
+	injector := &inject.InLoop{
+		Header: f.Machine.Nests[0].Header, Instrs: 8, MemOps: 4,
+		Contamination: 0.5, Seed: 3,
+	}
+	for _, tc := range []struct {
+		name string
+		inj  inject.Injector
+	}{
+		{"clean", nil},
+		{"injected", injector},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run, err := pipeline.CollectRun(f.W, f.Machine, f.Config, 800, tc.inj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			detrended := dsp.Detrend(run.Signal)
+
+			// Offline path: the exact reduction CollectRun used.
+			offSTS := run.STS
+			offMon, err := pipeline.Monitor(f.Model, offSTS, core.DefaultMonitorConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Streaming path: same samples, awkward chunk sizes. The Tap
+			// captures the produced STS sequence (copying the reused
+			// PeakFreqs slice).
+			var strSTS []core.STS
+			cfg := streamCfg(f.Config)
+			cfg.DisableDCBlock = true
+			cfg.Tap = func(sts *core.STS) {
+				c := *sts
+				c.PeakFreqs = append([]float64(nil), sts.PeakFreqs...)
+				strSTS = append(strSTS, c)
+			}
+			d, err := NewDetector(f.Model, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < len(detrended); {
+				n := 251 + i%509 // varying odd chunk sizes
+				if i+n > len(detrended) {
+					n = len(detrended) - i
+				}
+				d.Feed(detrended[i : i+n])
+				i += n
+			}
+
+			// The offline STFT also emits a final partial-tail window when
+			// (len-window) isn't hop-aligned; the stream only emits full
+			// windows. Compare the common prefix and bound the difference.
+			if d.Windows() > len(offSTS) || len(offSTS)-d.Windows() > 1 {
+				t.Fatalf("window counts: stream %d, offline %d", d.Windows(), len(offSTS))
+			}
+			n := d.Windows()
+			strMon := d.Monitor()
+			if len(strSTS) != n {
+				t.Fatalf("tap captured %d STSs, windows %d", len(strSTS), n)
+			}
+			for w := 0; w < n; w++ {
+				off, str := &offSTS[w], &strSTS[w]
+				if off.TimeSec != str.TimeSec {
+					t.Fatalf("window %d: TimeSec offline %v stream %v", w, off.TimeSec, str.TimeSec)
+				}
+				if off.Energy != str.Energy {
+					t.Fatalf("window %d: Energy offline %v stream %v", w, off.Energy, str.Energy)
+				}
+				if !equalFloats(off.PeakFreqs, str.PeakFreqs) {
+					t.Fatalf("window %d: PeakFreqs offline %v stream %v", w, off.PeakFreqs, str.PeakFreqs)
+				}
+				offOut, strOut := offMon.Outcomes[w], strMon.Outcomes[w]
+				if offOut.Region != strOut.Region || offOut.Rejected != strOut.Rejected || offOut.Flagged != strOut.Flagged {
+					t.Fatalf("window %d: outcome offline %+v stream %+v", w, offOut, strOut)
+				}
+			}
+			offReports := reportsBefore(offMon.Reports, n)
+			strReports := strMon.Reports
+			if len(offReports) != len(strReports) {
+				t.Fatalf("report counts: offline %d, stream %d", len(offReports), len(strReports))
+			}
+			for i := range offReports {
+				if offReports[i].TimeSec != strReports[i].TimeSec || offReports[i].Region != strReports[i].Region {
+					t.Fatalf("report %d: offline %+v stream %+v", i, offReports[i], strReports[i])
+				}
+			}
+		})
+	}
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// reportsBefore drops reports raised on windows the stream never saw
+// (the offline tail window).
+func reportsBefore(reports []core.Report, n int) []core.Report {
+	out := reports[:0:0]
+	for _, r := range reports {
+		if r.Window < n {
+			out = append(out, r)
+		}
+	}
+	return out
+}

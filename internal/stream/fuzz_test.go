@@ -1,0 +1,152 @@
+package stream
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"eddie/internal/core"
+	"eddie/internal/pipeline/pipetest"
+)
+
+// maxFuzzSamples bounds one fuzz iteration's stream length (a handful of
+// analysis windows is enough to exercise the window/hop machinery).
+const maxFuzzSamples = 4096
+
+// decodeFuzzInput turns raw fuzz bytes into a chunk-size selector and a
+// float64 sample stream. Arbitrary 8-byte groups become arbitrary
+// float64 bit patterns, so NaNs, ±Inf, denormals and huge magnitudes all
+// occur naturally.
+func decodeFuzzInput(data []byte) (sel byte, samples []float64) {
+	if len(data) == 0 {
+		return 0, nil
+	}
+	sel, data = data[0], data[1:]
+	n := len(data) / 8
+	if n > maxFuzzSamples {
+		n = maxFuzzSamples
+	}
+	samples = make([]float64, n)
+	for i := 0; i < n; i++ {
+		samples[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return sel, samples
+}
+
+// FuzzDetectorFeed feeds arbitrary sample streams in arbitrary chunkings
+// and asserts the detector's safety contract: no panics, the internal
+// buffer never exceeds one analysis window, non-finite samples are
+// sanitized, and the results depend only on the concatenated stream —
+// one big Feed and many small Feeds are bit-identical.
+func FuzzDetectorFeed(f *testing.F) {
+	fx := pipetest.Tiny(f)
+
+	f.Add([]byte{}) // empty input
+	// One window of a ramp, fed in 7-sample chunks.
+	ramp := make([]byte, 1+8*600)
+	ramp[0] = 7
+	for i := 0; i < 600; i++ {
+		binary.LittleEndian.PutUint64(ramp[1+8*i:], math.Float64bits(float64(i%50)))
+	}
+	f.Add(ramp)
+	// Hostile values: NaN, ±Inf, huge, denormal, signed zero.
+	hostile := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e308, -1e308, 5e-324, math.Copysign(0, -1), 1}
+	hb := make([]byte, 1+8*len(hostile))
+	hb[0] = 1
+	for i, v := range hostile {
+		binary.LittleEndian.PutUint64(hb[1+8*i:], math.Float64bits(v))
+	}
+	f.Add(hb)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sel, samples := decodeFuzzInput(data)
+
+		newDet := func(tap func(*core.STS)) *Detector {
+			cfg := streamCfg(fx.Config)
+			cfg.Tap = tap
+			d, err := NewDetector(fx.Model, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}
+
+		var wholeSTS []core.STS
+		whole := newDet(func(s *core.STS) {
+			c := *s
+			c.PeakFreqs = append([]float64(nil), s.PeakFreqs...)
+			wholeSTS = append(wholeSTS, c)
+		})
+		whole.Feed(samples)
+
+		var chunkedSTS []core.STS
+		chunked := newDet(func(s *core.STS) {
+			c := *s
+			c.PeakFreqs = append([]float64(nil), s.PeakFreqs...)
+			chunkedSTS = append(chunkedSTS, c)
+		})
+		// Chunk sizes derived from the selector byte, including empty
+		// chunks every few iterations.
+		rest := samples
+		for i := 0; len(rest) > 0; i++ {
+			n := (int(sel)+i*i)%257 + 1
+			if i%5 == 4 {
+				chunked.Feed(nil) // empty chunks must be no-ops
+			}
+			if n > len(rest) {
+				n = len(rest)
+			}
+			chunked.Feed(rest[:n])
+			rest = rest[n:]
+		}
+
+		ws := fx.Config.STFT.WindowSize
+		for _, d := range []*Detector{whole, chunked} {
+			if d.Buffered() >= ws {
+				t.Fatalf("buffer grew to %d samples (window %d)", d.Buffered(), ws)
+			}
+		}
+		if whole.Windows() != chunked.Windows() {
+			t.Fatalf("windows: whole %d, chunked %d", whole.Windows(), chunked.Windows())
+		}
+		if whole.Sanitized() != chunked.Sanitized() {
+			t.Fatalf("sanitized: whole %d, chunked %d", whole.Sanitized(), chunked.Sanitized())
+		}
+		if len(wholeSTS) != len(chunkedSTS) {
+			t.Fatalf("tap: whole %d STSs, chunked %d", len(wholeSTS), len(chunkedSTS))
+		}
+		for w := range wholeSTS {
+			a, b := &wholeSTS[w], &chunkedSTS[w]
+			// Bit-level comparison: extreme inputs can push Inf/NaN through
+			// the FFT, and both paths must produce the same bit pattern.
+			if a.TimeSec != b.TimeSec || math.Float64bits(a.Energy) != math.Float64bits(b.Energy) {
+				t.Fatalf("window %d: whole %+v chunked %+v", w, a, b)
+			}
+			if !sameBits(a.PeakFreqs, b.PeakFreqs) {
+				t.Fatalf("window %d peaks: whole %v chunked %v", w, a.PeakFreqs, b.PeakFreqs)
+			}
+		}
+		wm, cm := whole.Monitor(), chunked.Monitor()
+		if len(wm.Reports) != len(cm.Reports) {
+			t.Fatalf("reports: whole %d, chunked %d", len(wm.Reports), len(cm.Reports))
+		}
+		for w := range wm.Outcomes {
+			if wm.Outcomes[w] != cm.Outcomes[w] {
+				t.Fatalf("outcome %d: whole %+v chunked %+v", w, wm.Outcomes[w], cm.Outcomes[w])
+			}
+		}
+	})
+}
+
+// sameBits compares float slices bit for bit (NaN equals NaN).
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

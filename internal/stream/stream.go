@@ -8,9 +8,12 @@ package stream
 
 import (
 	"fmt"
+	"math"
 
 	"eddie/internal/core"
 	"eddie/internal/dsp"
+	"eddie/internal/impair"
+	"eddie/internal/metrics"
 )
 
 // Config describes the detector's signal front end.
@@ -26,6 +29,29 @@ type Config struct {
 	// blocker (an exponential moving average subtracted from the input).
 	// Zero means 2048.
 	DCTau float64
+	// DisableDCBlock feeds samples through unmodified. Use it when the
+	// input is already AC-coupled (e.g. a pre-detrended capture); with
+	// it the detector reproduces the offline pipeline's STS sequence
+	// bit for bit (see the differential test).
+	DisableDCBlock bool
+	// Impair, when non-nil, is applied to the incoming samples before
+	// any processing — fault injection for robustness testing. The
+	// detector copies each chunk before impairing, so caller buffers are
+	// never modified.
+	Impair impair.Transform
+	// Metrics, when non-nil, receives the detector's runtime counters
+	// and histograms (and is forwarded to the monitor as its Stats hook
+	// unless Monitor.Stats is already set).
+	Metrics *metrics.Detector
+	// GroundTruth, when non-nil, labels window indices as injected
+	// ground truth; the detector then maintains false-positive/negative
+	// counts and detection-latency histograms in Metrics.
+	GroundTruth func(window int) bool
+	// Tap, when non-nil, receives every completed STS just before it
+	// reaches the monitor — for golden capture and differential testing.
+	// The STS's PeakFreqs slice is reused across windows; taps that
+	// retain it must copy.
+	Tap func(sts *core.STS)
 }
 
 // Detector consumes raw samples and raises anomaly reports online.
@@ -34,16 +60,29 @@ type Detector struct {
 	model   *core.Model
 	monitor *core.Monitor
 
-	win     []float64 // analysis window coefficients
-	buf     []float64 // pending samples (DC-blocked)
-	fftBuf  []complex128
-	dcMean  float64
-	dcInit  bool
-	dcAlpha float64
+	win      []float64 // analysis window coefficients
+	buf      []float64 // pending samples (DC-blocked), len < WindowSize + HopSize
+	plan     *dsp.RFFTPlan
+	windowed []float64
+	spec     []complex128
+	work     []complex128
+	power    []float64
+	freqs    []float64
+	chunkBuf []float64 // impairment scratch
+	dcMean   float64
+	dcInit   bool
+	dcAlpha  float64
 
 	samplesIn int64
+	sanitized int64
 	windows   int
 	binW      float64
+
+	// episode tracks ground-truth injection episodes for latency
+	// accounting.
+	episodeStart int
+	episodeDone  bool
+	prevInjected bool
 }
 
 // NewDetector creates a streaming detector for a trained model.
@@ -60,45 +99,88 @@ func NewDetector(model *core.Model, cfg Config) (*Detector, error) {
 	if cfg.DCTau < 1 {
 		return nil, fmt.Errorf("stream: DC blocker time constant %g < 1 sample", cfg.DCTau)
 	}
+	if cfg.Metrics != nil && cfg.Monitor.Stats == nil {
+		cfg.Monitor.Stats = cfg.Metrics
+	}
 	mon, err := core.NewMonitor(model, cfg.Monitor)
 	if err != nil {
 		return nil, err
 	}
+	ws := cfg.STFT.WindowSize
+	plan := dsp.PlanRFFT(ws)
 	return &Detector{
-		cfg:     cfg,
-		model:   model,
-		monitor: mon,
-		win:     dsp.Window(cfg.STFT.Window, cfg.STFT.WindowSize),
-		fftBuf:  make([]complex128, cfg.STFT.WindowSize),
-		dcAlpha: 1 / cfg.DCTau,
-		binW:    cfg.STFT.SampleRate / float64(cfg.STFT.WindowSize),
+		cfg:          cfg,
+		model:        model,
+		monitor:      mon,
+		win:          dsp.Window(cfg.STFT.Window, ws),
+		buf:          make([]float64, 0, ws),
+		plan:         plan,
+		windowed:     make([]float64, ws),
+		spec:         make([]complex128, plan.SpectrumLen()),
+		work:         make([]complex128, plan.WorkLen()),
+		power:        make([]float64, plan.SpectrumLen()),
+		dcAlpha:      1 / cfg.DCTau,
+		binW:         cfg.STFT.SampleRate / float64(ws),
+		episodeStart: -1,
 	}, nil
 }
 
-// Write feeds a batch of raw samples to the detector and returns the
+// Feed pushes a batch of raw samples into the detector and returns the
 // anomaly reports that fired while processing it (nil if none). Batches
-// may be of any size, including single samples.
-func (d *Detector) Write(samples []float64) []core.Report {
+// may be of any size, including single samples and empty chunks; the
+// STS sequence depends only on the concatenated sample stream, never on
+// how it was chunked. Non-finite samples (NaN, ±Inf — ADC glitches,
+// corrupt transport frames) are replaced by zero and counted. The
+// internal buffer never holds more than one analysis window.
+func (d *Detector) Feed(samples []float64) []core.Report {
 	if len(samples) == 0 {
 		return nil
 	}
-	if !d.dcInit {
-		d.dcMean = samples[0]
-		d.dcInit = true
+	if m := d.cfg.Metrics; m != nil {
+		m.SamplesIn.Add(int64(len(samples)))
+	}
+	sanBefore := d.sanitized
+	chunk := samples
+	if d.cfg.Impair != nil {
+		// Copy before impairing: transforms work in place and must not
+		// modify the caller's buffer. Sanitize first so a corrupt sample
+		// cannot poison the transform's internal state.
+		d.chunkBuf = append(d.chunkBuf[:0], samples...)
+		for i, s := range d.chunkBuf {
+			if !isFinite(s) {
+				d.chunkBuf[i] = 0
+				d.sanitized++
+			}
+		}
+		chunk = d.cfg.Impair.Process(d.chunkBuf)
 	}
 	before := len(d.monitor.Reports)
-	for _, s := range samples {
-		// Streaming DC blocker: subtract a slow EWMA of the input (the
-		// offline pipeline subtracts the global mean instead).
-		d.dcMean += d.dcAlpha * (s - d.dcMean)
-		d.buf = append(d.buf, s-d.dcMean)
+	for _, s := range chunk {
+		if !isFinite(s) {
+			s = 0
+			d.sanitized++
+		}
+		if !d.cfg.DisableDCBlock {
+			if !d.dcInit {
+				d.dcMean = s
+				d.dcInit = true
+			}
+			// Streaming DC blocker: subtract a slow EWMA of the input
+			// (the offline pipeline subtracts the global mean instead).
+			d.dcMean += d.dcAlpha * (s - d.dcMean)
+			s -= d.dcMean
+		}
+		d.buf = append(d.buf, s)
 		d.samplesIn++
+		if len(d.buf) == d.cfg.STFT.WindowSize {
+			d.processWindow()
+			// Slide by one hop, reusing the backing array.
+			n := copy(d.buf, d.buf[d.cfg.STFT.HopSize:])
+			d.buf = d.buf[:n]
+		}
 	}
-	for len(d.buf) >= d.cfg.STFT.WindowSize {
-		d.processWindow()
-		// Slide by one hop, reusing the backing array.
-		n := copy(d.buf, d.buf[d.cfg.STFT.HopSize:])
-		d.buf = d.buf[:n]
+	if m := d.cfg.Metrics; m != nil && d.sanitized > sanBefore {
+		m.Sanitized.Add(d.sanitized - sanBefore)
 	}
 	if len(d.monitor.Reports) == before {
 		return nil
@@ -108,50 +190,105 @@ func (d *Detector) Write(samples []float64) []core.Report {
 	return out
 }
 
-// processWindow turns the first WindowSize buffered samples into an STS
-// and feeds the monitor.
+// Write is an alias for Feed, kept for io.Writer-style call sites.
+func (d *Detector) Write(samples []float64) []core.Report { return d.Feed(samples) }
+
+// processWindow turns the buffered WindowSize samples into an STS and
+// feeds the monitor. It runs the same planned real-input FFT and peak
+// extraction as the offline pipeline, so given identical input samples
+// the produced STS is bit-identical to the batch path's.
 func (d *Detector) processWindow() {
 	ws := d.cfg.STFT.WindowSize
-	for i := 0; i < ws; i++ {
-		d.fftBuf[i] = complex(d.buf[i]*d.win[i], 0)
+	for j := 0; j < ws; j++ {
+		d.windowed[j] = d.buf[j] * d.win[j]
 	}
-	spec := dsp.FFT(d.fftBuf)
-	half := ws/2 + 1
-	power := make([]float64, half)
-	for k := 0; k < half; k++ {
-		re, im := real(spec[k]), imag(spec[k])
-		power[k] = re*re + im*im
-	}
-	frame := dsp.Frame{Index: d.windows, Power: power}
+	d.plan.PowerInto(d.power, d.windowed, d.spec, d.work)
+	frame := dsp.Frame{Index: d.windows, Power: d.power}
 	peaks := dsp.FindPeaks(&frame, d.cfg.Peaks, d.cfg.STFT.BinFrequency)
-	freqs := make([]float64, len(peaks))
-	for i, p := range peaks {
-		freqs[i] = dsp.InterpolatePeakFrequency(&frame, p.Bin, d.binW)
+	d.freqs = d.freqs[:0]
+	for _, p := range peaks {
+		d.freqs = append(d.freqs, dsp.InterpolatePeakFrequency(&frame, p.Bin, d.binW))
 	}
-	sortFloats(freqs)
+	sortFloats(d.freqs)
 	minBin := d.cfg.Peaks.MinBin
 	if minBin < 1 {
 		minBin = 1
 	}
 	var energy float64
-	for b := minBin; b < len(power); b++ {
-		energy += power[b]
+	for b := minBin; b < len(d.power); b++ {
+		energy += d.power[b]
 	}
 	sts := core.STS{
-		PeakFreqs: freqs,
+		PeakFreqs: d.freqs,
 		Energy:    energy,
 		TimeSec:   float64(d.samplesIn-int64(len(d.buf))) / d.cfg.STFT.SampleRate,
 	}
-	d.monitor.Observe(&sts)
+	if d.cfg.Tap != nil {
+		d.cfg.Tap(&sts)
+	}
+	reported := d.monitor.Observe(&sts)
+	if m := d.cfg.Metrics; m != nil {
+		m.Windows.Inc()
+		m.PeakCount.Observe(float64(len(d.freqs)))
+	}
+	d.scoreGroundTruth(reported)
 	d.windows++
+}
+
+// scoreGroundTruth updates the truth-conditioned counters and latency
+// histograms for the window that just completed.
+func (d *Detector) scoreGroundTruth(reported bool) {
+	if d.cfg.GroundTruth == nil {
+		return
+	}
+	w := d.windows
+	inj := d.cfg.GroundTruth(w)
+	flagged := d.monitor.Outcomes[w].Flagged
+	if m := d.cfg.Metrics; m != nil {
+		switch {
+		case inj && flagged:
+			m.TruePos.Inc()
+		case inj && !flagged:
+			m.FalseNeg.Inc()
+		case !inj && flagged:
+			m.FalsePos.Inc()
+		default:
+			m.TrueNeg.Inc()
+		}
+	}
+	if inj && !d.prevInjected {
+		d.episodeStart = w
+		d.episodeDone = false
+	}
+	d.prevInjected = inj
+	if reported && d.episodeStart >= 0 && !d.episodeDone {
+		lat := w - d.episodeStart
+		if m := d.cfg.Metrics; m != nil {
+			m.LatencySTS.Observe(float64(lat))
+			m.LatencySamples.Observe(float64(lat * d.cfg.STFT.HopSize))
+		}
+		d.episodeDone = true
+	}
 }
 
 // Windows returns the number of STSs processed so far.
 func (d *Detector) Windows() int { return d.windows }
 
+// Sanitized returns how many non-finite input samples were replaced.
+func (d *Detector) Sanitized() int64 { return d.sanitized }
+
+// Buffered returns the number of samples currently pending (always less
+// than one analysis window).
+func (d *Detector) Buffered() int { return len(d.buf) }
+
 // Monitor exposes the underlying monitor (reports, outcomes, current
 // region estimate).
 func (d *Detector) Monitor() *core.Monitor { return d.monitor }
+
+// isFinite reports whether s is neither NaN nor ±Inf.
+func isFinite(s float64) bool {
+	return !math.IsNaN(s) && !math.IsInf(s, 0)
+}
 
 // sortFloats is insertion sort: peak lists are short and this avoids an
 // allocation-heavy sort.Float64s call per window on the hot path.

@@ -1,43 +1,28 @@
 package stream
 
 import (
+	"math"
 	"testing"
 
-	"eddie/internal/cfg"
 	"eddie/internal/core"
+	"eddie/internal/impair"
 	"eddie/internal/inject"
-	"eddie/internal/mibench"
+	"eddie/internal/metrics"
 	"eddie/internal/pipeline"
+	"eddie/internal/pipeline/pipetest"
 )
 
 func streamCfg(p pipeline.Config) Config {
 	return Config{STFT: p.STFT, Peaks: p.Peaks, Monitor: core.DefaultMonitorConfig()}
 }
 
-func trainFixture(t *testing.T) (*core.Model, *cfg.Machine, *mibench.Workload, pipeline.Config) {
-	t.Helper()
-	w, err := mibench.ByName("bitcount")
-	if err != nil {
-		t.Fatal(err)
-	}
-	p := pipeline.SimulatorConfig()
-	model, machine, err := pipeline.Train(w, p, 8, core.DefaultTrainConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	return model, machine, w, p
-}
-
 func TestDetectorQuietOnCleanStream(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
-	model, machine, w, p := trainFixture(t)
-	run, err := pipeline.CollectRun(w, machine, p, 500, nil)
+	f := pipetest.Fixture(t)
+	run, err := pipeline.CollectRun(f.W, f.Machine, f.Config, 500, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := NewDetector(model, streamCfg(p))
+	d, err := NewDetector(f.Model, streamCfg(f.Config))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +34,7 @@ func TestDetectorQuietOnCleanStream(t *testing.T) {
 		if n > len(sig) {
 			n = len(sig)
 		}
-		reports = append(reports, d.Write(sig[:n])...)
+		reports = append(reports, d.Feed(sig[:n])...)
 		sig = sig[n:]
 	}
 	if len(reports) != 0 {
@@ -66,23 +51,20 @@ func TestDetectorQuietOnCleanStream(t *testing.T) {
 }
 
 func TestDetectorReportsInjectedStream(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
-	model, machine, w, p := trainFixture(t)
+	f := pipetest.Fixture(t)
 	injector := &inject.InLoop{
-		Header: machine.Nests[0].Header, Instrs: 8, MemOps: 4,
+		Header: f.Machine.Nests[0].Header, Instrs: 8, MemOps: 4,
 		Contamination: 1, Seed: 9,
 	}
-	run, err := pipeline.CollectRun(w, machine, p, 600, injector)
+	run, err := pipeline.CollectRun(f.W, f.Machine, f.Config, 600, injector)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := NewDetector(model, streamCfg(p))
+	d, err := NewDetector(f.Model, streamCfg(f.Config))
 	if err != nil {
 		t.Fatal(err)
 	}
-	reports := d.Write(run.Signal)
+	reports := d.Feed(run.Signal)
 	if len(reports) == 0 {
 		t.Fatal("injected stream produced no reports")
 	}
@@ -96,16 +78,13 @@ func TestDetectorReportsInjectedStream(t *testing.T) {
 }
 
 func TestDetectorBatchSizeInvariance(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
-	model, machine, w, p := trainFixture(t)
-	run, err := pipeline.CollectRun(w, machine, p, 700, nil)
+	f := pipetest.Fixture(t)
+	run, err := pipeline.CollectRun(f.W, f.Machine, f.Config, 700, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	countWindows := func(batch int) int {
-		d, err := NewDetector(model, streamCfg(p))
+		d, err := NewDetector(f.Model, streamCfg(f.Config))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,7 +94,7 @@ func TestDetectorBatchSizeInvariance(t *testing.T) {
 			if n > len(sig) {
 				n = len(sig)
 			}
-			d.Write(sig[:n])
+			d.Feed(sig[:n])
 			sig = sig[n:]
 		}
 		return d.Windows()
@@ -125,6 +104,104 @@ func TestDetectorBatchSizeInvariance(t *testing.T) {
 	odd := countWindows(997)
 	if all != one || all != odd {
 		t.Errorf("window counts differ by batch size: whole=%d single=%d odd=%d", all, one, odd)
+	}
+}
+
+func TestDetectorSanitizesNonFinite(t *testing.T) {
+	f := pipetest.Fixture(t)
+	d, err := NewDetector(f.Model, streamCfg(f.Config))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := []float64{1, math.NaN(), 2, math.Inf(1), 3, math.Inf(-1)}
+	d.Feed(chunk)
+	if d.Sanitized() != 3 {
+		t.Errorf("sanitized %d samples, want 3", d.Sanitized())
+	}
+	if d.Buffered() != len(chunk) {
+		t.Errorf("buffered %d samples, want %d", d.Buffered(), len(chunk))
+	}
+}
+
+func TestDetectorMetricsAndGroundTruth(t *testing.T) {
+	f := pipetest.Fixture(t)
+	injector := &inject.InLoop{
+		Header: f.Machine.Nests[0].Header, Instrs: 8, MemOps: 4,
+		Contamination: 1, Seed: 9,
+	}
+	run, err := pipeline.CollectRun(f.W, f.Machine, f.Config, 600, injector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := metrics.NewDetector()
+	cfg := streamCfg(f.Config)
+	cfg.Metrics = m
+	cfg.GroundTruth = func(w int) bool {
+		return w < len(run.STS) && run.STS[w].Injected
+	}
+	d, err := NewDetector(f.Model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Feed(run.Signal)
+	if got := m.SamplesIn.Value(); got != int64(len(run.Signal)) {
+		t.Errorf("samples_in %d, want %d", got, len(run.Signal))
+	}
+	if got := m.Windows.Value(); got != int64(d.Windows()) {
+		t.Errorf("sts_produced %d, want %d", got, d.Windows())
+	}
+	if m.KSTests.Value() == 0 {
+		t.Error("no K-S tests counted")
+	}
+	if m.ReportsFired.Value() == 0 {
+		t.Error("no reports counted on an injected stream")
+	}
+	if m.TruePos.Value() == 0 {
+		t.Error("no true positives against ground truth")
+	}
+	if lat := m.LatencySTS.Snapshot(); lat.Count == 0 {
+		t.Error("no detection latency observed")
+	} else if latS := m.LatencySamples.Snapshot(); latS.Count != lat.Count {
+		t.Errorf("latency histograms disagree: %d STS obs vs %d sample obs", lat.Count, latS.Count)
+	}
+	snap := m.Reg.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("empty metrics snapshot")
+	}
+	total := m.TruePos.Value() + m.TrueNeg.Value() + m.FalsePos.Value() + m.FalseNeg.Value()
+	if total != int64(d.Windows()) {
+		t.Errorf("truth-conditioned counts sum to %d, want %d windows", total, d.Windows())
+	}
+}
+
+func TestDetectorImpairedStreamStillDetects(t *testing.T) {
+	f := pipetest.Fixture(t)
+	injector := &inject.InLoop{
+		Header: f.Machine.Nests[0].Header, Instrs: 8, MemOps: 4,
+		Contamination: 1, Seed: 9,
+	}
+	run, err := pipeline.CollectRun(f.W, f.Machine, f.Config, 600, injector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := streamCfg(f.Config)
+	cfg.Impair = impair.NewChain(
+		&impair.AWGN{SNRdB: 30, Seed: 4},
+		&impair.GainDrift{Std: 1e-6, Seed: 5},
+	)
+	d, err := NewDetector(f.Model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), run.Signal[:8]...)
+	reports := d.Feed(run.Signal)
+	for i := range before {
+		if run.Signal[i] != before[i] {
+			t.Fatal("Feed with Impair modified the caller's buffer")
+		}
+	}
+	if len(reports) == 0 {
+		t.Error("mildly impaired injected stream produced no reports")
 	}
 }
 
