@@ -1,12 +1,16 @@
-.PHONY: all build test race bench dsp-bench cover
+.PHONY: all build vet test race bench dsp-bench obs-bench cover
 
 all: build test
 
-# Tier 1: everything compiles and the full test suite passes.
+# Tier 1: everything compiles, vet is clean and the full test suite
+# passes.
 build:
 	go build ./...
 
-test: build
+vet:
+	go vet ./...
+
+test: build vet
 	go test ./...
 
 # Race tier: vet plus the short suite under the race detector. Exercises
@@ -23,11 +27,19 @@ bench:
 dsp-bench:
 	go run ./cmd/eddie-bench -dsp-bench BENCH_dsp.json
 
+# Observability overhead check: asserts the monitor's decision loop does
+# 0 allocs/op with tracing/flight recording disabled (the default), and
+# benchmarks the enabled paths for comparison.
+obs-bench:
+	go test -run TestObserveDisabledObsZeroAlloc -count=1 ./internal/core
+	go test -run '^$$' -bench 'BenchmarkObserve' -benchmem -benchtime 3000x ./internal/core
+
 # Per-package coverage over the short suite; fails if the hardened
-# packages (internal/stream, internal/impair) drop below 80%.
+# packages (internal/stream, internal/impair, internal/obs) drop below
+# 80%.
 cover:
 	go test -short -cover ./... | tee /tmp/eddie-cover.txt
-	@awk '/eddie\/internal\/(stream|impair)\t/ { \
+	@awk '/eddie\/internal\/(stream|impair|obs)\t/ { \
 	    for (i = 1; i <= NF; i++) if ($$i ~ /%/) { pct = $$i; sub(/%.*/, "", pct); \
 	        if (pct + 0 < 80) { printf "FAIL: %s coverage %s%% < 80%%\n", $$2, pct; bad = 1 } \
 	        else printf "ok:   %s coverage %s%%\n", $$2, pct } } \

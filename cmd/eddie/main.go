@@ -11,12 +11,16 @@
 //
 //	eddie -metrics ...            # also print detector metrics as JSON
 //	eddie -experiment robustness  # impairment sweep -> BENCH_robustness.json
+//	eddie -trace-out trace.json ...         # Chrome/Perfetto trace of every stage
+//	eddie -serve :8080 ...        # expvar, pprof, Prometheus metrics, last alarm
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
 	"eddie"
@@ -43,6 +47,8 @@ func main() {
 	experiment := flag.String("experiment", "", `run a named experiment instead of train/monitor: "robustness"`)
 	outFile := flag.String("out", "BENCH_robustness.json", "experiment result JSON output path")
 	short := flag.Bool("short", false, "experiment mode: scaled-down run counts")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file of every pipeline stage (load in Perfetto)")
+	serveAddr := flag.String("serve", "", `serve debug endpoints on this address (e.g. ":8080"): /debug/vars, /debug/pprof/*, /metrics, /eddie/last-alarm`)
 	flag.Parse()
 	eddie.SetParallelism(*parallel)
 
@@ -53,7 +59,7 @@ func main() {
 		return
 	}
 	if *experiment != "" {
-		if err := runExperiment(*experiment, *outFile, *short); err != nil {
+		if err := runExperiment(*experiment, *outFile, *short, *showMetrics); err != nil {
 			fmt.Fprintln(os.Stderr, "eddie:", err)
 			os.Exit(1)
 		}
@@ -61,7 +67,8 @@ func main() {
 	}
 	if err := run(*workload, *mode, *trainRuns, *monitorRuns, *attack,
 		*burstSize, *nest, *instrs, *memOps, *contamination,
-		*saveModel, *loadModel, *verbose, *showMetrics); err != nil {
+		*saveModel, *loadModel, *verbose, *showMetrics,
+		*traceOut, *serveAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "eddie:", err)
 		os.Exit(1)
 	}
@@ -69,12 +76,24 @@ func main() {
 
 // runExperiment dispatches -experiment and writes the machine-readable
 // result JSON.
-func runExperiment(name, outFile string, short bool) error {
+func runExperiment(name, outFile string, short, showMetrics bool) error {
 	switch name {
 	case "robustness":
-		res, err := experiments.Robustness(experiments.NewEnv(short), os.Stdout)
+		env := experiments.NewEnv(short)
+		var dm *eddie.DetectorMetrics
+		if showMetrics {
+			// One concurrency-safe bundle shared by every monitor the
+			// experiment builds: the counters aggregate across the sweep.
+			dm = eddie.NewDetectorMetrics()
+			env.MonitorCfg.Stats = dm
+		}
+		res, err := experiments.Robustness(env, os.Stdout)
 		if err != nil {
 			return err
+		}
+		if dm != nil {
+			fmt.Println("metrics:")
+			fmt.Println(dm.Reg)
 		}
 		b, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
@@ -92,7 +111,8 @@ func runExperiment(name, outFile string, short bool) error {
 
 func run(workload, mode string, trainRuns, monitorRuns int, attack string,
 	burstSize, nest, instrs, memOps int, contamination float64,
-	saveModel, loadModel string, verbose, showMetrics bool) error {
+	saveModel, loadModel string, verbose, showMetrics bool,
+	traceOut, serveAddr string) error {
 	w, err := eddie.WorkloadByName(workload)
 	if err != nil {
 		return err
@@ -105,6 +125,37 @@ func run(workload, mode string, trainRuns, monitorRuns int, attack string,
 		cfg = eddie.SimulatorPipeline()
 	default:
 		return fmt.Errorf("unknown mode %q (want iot or sim)", mode)
+	}
+
+	// Observability: a span recorder when a trace sink exists, a flight
+	// recorder whenever we serve (so /eddie/last-alarm has evidence).
+	var rec *eddie.TraceRecorder
+	if traceOut != "" || serveAddr != "" {
+		rec = eddie.NewTraceRecorder()
+		cfg.Trace = rec
+	}
+	var flight *eddie.FlightRecorder
+	if serveAddr != "" || verbose {
+		flight = eddie.NewFlightRecorder(0)
+	}
+	var dm *eddie.DetectorMetrics
+	if showMetrics || serveAddr != "" {
+		// One bundle across all monitored runs: the counters aggregate.
+		dm = eddie.NewDetectorMetrics()
+	}
+	if serveAddr != "" {
+		dm.Reg.Publish("eddie") // /debug/vars; idempotent
+		ln, err := net.Listen("tcp", serveAddr)
+		if err != nil {
+			return err
+		}
+		mux := eddie.NewDebugMux(dm.Reg, flight, rec)
+		fmt.Printf("serving debug endpoints on http://%s (/debug/vars /debug/pprof/ /metrics /eddie/last-alarm)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "eddie: serve:", err)
+			}
+		}()
 	}
 
 	var model *eddie.Model
@@ -159,12 +210,11 @@ func run(workload, mode string, trainRuns, monitorRuns int, attack string,
 	}
 
 	mc := eddie.DefaultMonitorConfig()
-	var dm *eddie.DetectorMetrics
-	if showMetrics {
-		// One bundle across all monitored runs: the counters aggregate.
-		dm = eddie.NewDetectorMetrics()
+	if dm != nil {
 		mc.Stats = dm
 	}
+	mc.Trace = rec
+	mc.Flight = flight
 	agg := &eddie.Metrics{}
 	for i := 0; i < monitorRuns; i++ {
 		runIdx := 1000 + i*7
@@ -191,9 +241,27 @@ func run(workload, mode string, trainRuns, monitorRuns int, attack string,
 		}
 	}
 	fmt.Printf("aggregate over %d runs: %s\n", monitorRuns, agg)
-	if dm != nil {
+	if showMetrics && dm != nil {
 		fmt.Println("metrics:")
 		fmt.Println(dm.Reg)
+	}
+	if flight != nil {
+		if a := flight.LastAlarm(); a != nil {
+			fmt.Printf("last alarm: window %d (t=%.3f ms, region %d, streak %d), rejected ranks %v\n",
+				a.Window, a.TimeSec*1e3, a.Region, a.Streak, a.RejectedRanks)
+		} else {
+			fmt.Println("last alarm: none")
+		}
+	}
+	if traceOut != "" && rec != nil {
+		if err := rec.WriteChromeTraceFile(traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace events to %s (open in Perfetto / chrome://tracing)\n", rec.Len(), traceOut)
+	}
+	if serveAddr != "" {
+		fmt.Println("monitoring done; still serving (Ctrl-C to exit)")
+		select {}
 	}
 	return nil
 }

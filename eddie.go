@@ -37,6 +37,8 @@
 package eddie
 
 import (
+	"net/http"
+
 	"eddie/internal/cfg"
 	"eddie/internal/core"
 	"eddie/internal/dsp"
@@ -45,6 +47,7 @@ import (
 	"eddie/internal/isa"
 	"eddie/internal/metrics"
 	"eddie/internal/mibench"
+	"eddie/internal/obs"
 	"eddie/internal/par"
 	"eddie/internal/pipeline"
 	"eddie/internal/stream"
@@ -123,6 +126,24 @@ type (
 	// MetricsRegistry is a named collection of counters and histograms
 	// with deterministic JSON output.
 	MetricsRegistry = metrics.Registry
+	// TraceRecorder collects timing spans from every pipeline and detector
+	// stage; export them as Chrome trace-event JSON (Perfetto-loadable)
+	// with WriteChromeTrace. A nil recorder costs nothing.
+	TraceRecorder = obs.Recorder
+	// FlightRecorder keeps a bounded ring of per-window decision
+	// provenance records and snapshots the ring when an alarm fires. Plug
+	// it into MonitorConfig.Flight or StreamConfig.Flight; nil costs
+	// nothing.
+	FlightRecorder = obs.FlightRecorder
+	// WindowRecord is one monitored window's decision provenance: region,
+	// group size, per-rank K-S statistics against the threshold, and the
+	// state-machine transition taken.
+	WindowRecord = obs.WindowRecord
+	// RankKS is one peak rank's K-S test evidence (statistic, critical
+	// value, verdict).
+	RankKS = obs.RankKS
+	// AlarmDump is the flight-recorder snapshot taken when a report fires.
+	AlarmDump = obs.AlarmDump
 )
 
 // DefaultTrainConfig returns the paper-equivalent training configuration
@@ -226,6 +247,27 @@ func ApplyImpairment(t Impairment, signal []float64) []float64 { return impair.A
 // (offline monitoring); read results from its typed fields or the Reg
 // registry's JSON.
 func NewDetectorMetrics() *DetectorMetrics { return metrics.NewDetector() }
+
+// NewTraceRecorder creates a span recorder for PipelineConfig.Trace,
+// StreamConfig.Trace or MonitorConfig.Trace.
+func NewTraceRecorder() *TraceRecorder { return obs.NewRecorder() }
+
+// NewFlightRecorder creates a decision-provenance flight recorder
+// keeping the last depth windows (depth <= 0 uses the default of 64).
+func NewFlightRecorder(depth int) *FlightRecorder { return obs.NewFlightRecorder(depth) }
+
+// NewDebugMux builds the eddie -serve HTTP handler: /debug/vars
+// (expvar), /debug/pprof/*, /metrics (Prometheus text exposition of the
+// registry), /eddie/last-alarm, /eddie/flight and /eddie/trace. Any
+// argument may be nil; the corresponding endpoint then reports not
+// found or serves empty data.
+func NewDebugMux(reg *MetricsRegistry, flight *FlightRecorder, trace *TraceRecorder) *http.ServeMux {
+	s := obs.ServeState{Flight: flight, Trace: trace}
+	if reg != nil {
+		s.Metrics = reg
+	}
+	return obs.NewMux(s)
+}
 
 // ReduceSignal converts a captured (possibly impaired) signal back into
 // the run's labeled STS sequence — the signal-to-STS tail of CollectRun.

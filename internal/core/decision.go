@@ -1,6 +1,9 @@
 package core
 
-import "eddie/internal/stats"
+import (
+	"eddie/internal/obs"
+	"eddie/internal/stats"
+)
 
 // evalResult is the outcome of testing a monitored group against a region
 // model.
@@ -17,6 +20,15 @@ type evalResult struct {
 	countOut bool
 }
 
+// provCapture collects per-rank K-S evidence while evalGroups scans the
+// training modes: tmp holds the mode currently being tested, best the
+// best mode seen so far. nil disables capture — the hot path then runs
+// the original statistic-free tests and allocates nothing.
+type provCapture struct {
+	tmp  []obs.RankKS
+	best []obs.RankKS
+}
+
 // evalGroups applies the region decision to monitored rank groups:
 // the group is accepted if its median peak count and median AC energy
 // fall inside the reference bounds and at least one training mode's
@@ -26,18 +38,24 @@ type evalResult struct {
 // energy check). modes may be a subset of rm.Modes (leave-one-out during
 // training); startMode rotates the scan order so the monitor can re-test
 // its last good mode first. scratch must have capacity >= len(groups[0]).
-func evalGroups(rm *RegionModel, modes []RegionMode, groups [][]float64, counts, energies []float64, rejectFraction, cAlpha float64, scratch []float64, startMode int) evalResult {
+// prov, when non-nil, captures the best mode's per-rank statistics; the
+// rejection decisions are computed from the identical statistic/critical
+// pair, so capture never changes the verdict.
+func evalGroups(rm *RegionModel, modes []RegionMode, groups [][]float64, counts, energies []float64, rejectFraction, cAlpha float64, scratch []float64, startMode int, prov *provCapture) evalResult {
 	res := evalResult{rejected: true, bestMode: -1, bestRejFrac: 1}
+	if prov != nil {
+		prov.best = prov.best[:0]
+	}
 	if len(counts) > 0 && len(rm.CountRef) > 0 {
 		lo, hi := rm.CountBounds()
-		if med := stats.Median(counts); med < lo || med > hi {
+		if med := stats.MedianScratch(counts, scratch); med < lo || med > hi {
 			res.countOut = true
 			return res
 		}
 	}
 	if len(energies) > 0 && len(rm.EnergyRef) > 0 {
 		lo, hi := rm.EnergyBounds()
-		if med := stats.Median(energies); med < lo || med > hi {
+		if med := stats.MedianScratch(energies, scratch); med < lo || med > hi {
 			res.countOut = true
 			return res
 		}
@@ -57,8 +75,19 @@ func evalGroups(rm *RegionModel, modes []RegionMode, groups [][]float64, counts,
 		mi := (startMode + i) % len(modes)
 		mode := &modes[mi]
 		rej := 0
+		if prov != nil {
+			prov.tmp = prov.tmp[:0]
+		}
 		for k := 0; k < ranks && k < len(mode.Ref); k++ {
-			if stats.KSRejectSorted(mode.Ref[k], groups[k], scratch, cAlpha) {
+			var rejected bool
+			if prov != nil {
+				d, crit := stats.KSRejectStatSorted(mode.Ref[k], groups[k], scratch, cAlpha)
+				rejected = d > crit
+				prov.tmp = append(prov.tmp, obs.RankKS{Rank: k, Stat: d, Crit: crit, Rejected: rejected})
+			} else {
+				rejected = stats.KSRejectSorted(mode.Ref[k], groups[k], scratch, cAlpha)
+			}
+			if rejected {
 				rej++
 			}
 		}
@@ -66,8 +95,14 @@ func evalGroups(rm *RegionModel, modes []RegionMode, groups [][]float64, counts,
 		if frac < res.bestRejFrac {
 			res.bestRejFrac = frac
 			res.bestMode = mi
+			if prov != nil {
+				prov.best = append(prov.best[:0], prov.tmp...)
+			}
 		}
 		if float64(rej) <= limit {
+			// An accepting mode always has frac <= rejectFraction while
+			// every previously scanned mode had frac > rejectFraction, so
+			// the best-mode update above already ran for it.
 			res.rejected = false
 			return res
 		}

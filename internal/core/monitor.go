@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"eddie/internal/cfg"
+	"eddie/internal/obs"
 	"eddie/internal/stats"
 )
 
@@ -46,6 +47,16 @@ type MonitorConfig struct {
 	// consulted for decisions; internal/metrics provides the standard
 	// implementation.
 	Stats MonitorStats
+	// Trace, when non-nil, records a span per observed window plus
+	// instant events for region switches and fired reports on the
+	// recorder's "monitor" track. Nil (the default) costs nothing.
+	Trace *obs.Recorder
+	// Flight, when non-nil, receives one decision-provenance record per
+	// observed window (region under test, group size, per-rank K-S
+	// statistics vs. the cAlpha threshold, transition taken) and an
+	// alarm dump whenever a report fires. Nil (the default) keeps the
+	// decision loop allocation-free.
+	Flight *obs.FlightRecorder
 }
 
 // MonitorStats receives the monitor's internal events for observability.
@@ -127,6 +138,15 @@ type Monitor struct {
 	Reports []Report
 	// Outcomes collects one record per observed STS.
 	Outcomes []WindowOutcome
+
+	// Observability state: the trace track, the per-rank provenance
+	// capture scratch and the reusable window records (main decision and
+	// short-horizon burst test). All stay zero/nil when the hooks are
+	// disabled.
+	track    obs.Track
+	prov     provCapture
+	rec      obs.WindowRecord
+	recBurst obs.WindowRecord
 }
 
 // NewMonitor creates a monitor positioned at the program start. The model
@@ -187,6 +207,7 @@ func NewMonitor(model *Model, mcfg MonitorConfig) (*Monitor, error) {
 		energyRing: make([]float64, ringCap),
 		lastMode:   map[cfg.RegionID]int{},
 		cur:        startRegion(model),
+		track:      mcfg.Trace.Track("monitor"),
 	}
 	return m, nil
 }
@@ -225,9 +246,30 @@ func (m *Monitor) groupSize(rm *RegionModel) int {
 // Observe processes one STS and returns true if an anomaly report fired on
 // this window.
 func (m *Monitor) Observe(sts *STS) bool {
+	sp := m.track.Start("observe")
 	m.push(sts)
 	out := WindowOutcome{Region: m.cur}
 	reported := false
+
+	// rec, when enabled, accumulates this window's decision provenance.
+	// It reuses the monitor's scratch record; the flight recorder deep-
+	// copies on Record, and a nil flight recorder keeps this loop
+	// allocation-free.
+	var rec *obs.WindowRecord
+	if m.mcfg.Flight != nil {
+		m.rec = obs.WindowRecord{
+			Window:        m.seen - 1,
+			TimeSec:       sts.TimeSec,
+			Region:        int(m.cur),
+			BestMode:      -1,
+			SwitchTo:      -1,
+			Transition:    obs.TransStay,
+			CAlpha:        m.cAlpha,
+			Ranks:         m.rec.Ranks[:0],
+			RejectedRanks: m.rec.RejectedRanks[:0],
+		}
+		rec = &m.rec
+	}
 
 	curModel := m.model.Regions[m.cur]
 	switch {
@@ -235,13 +277,20 @@ func (m *Monitor) Observe(sts *STS) bool {
 		// The monitor believes it is in a region training never modeled;
 		// treat as rejected and try to move on.
 		out.Rejected = true
-		reported = m.handleRejection(sts, &out)
+		reported = m.handleRejection(sts, &out, rec)
 	case !curModel.Testable():
 		// Blind region: no peaks to test. Try to leave as soon as a
 		// successor matches; never raise anomalies from here (this is
 		// the coverage cost the paper attributes to peakless loops).
+		if rec != nil {
+			rec.Transition = obs.TransBlind
+		}
 		if id, ok := m.bestSuccessor(); ok {
 			m.switchTo(id)
+			if rec != nil {
+				rec.Transition = obs.TransSwitch
+				rec.SwitchTo = int(id)
+			}
 		}
 		m.streak = 0
 		m.alarm = false
@@ -257,15 +306,29 @@ func (m *Monitor) Observe(sts *STS) bool {
 		if n < m.mcfg.MinTestWindows {
 			break // too few windows of this region yet
 		}
-		rejected := m.regionRejects(curModel, n)
+		rejected := m.regionRejects(curModel, n, rec)
 		if !rejected && m.mcfg.BurstWindows > 0 && n > m.mcfg.BurstWindows {
 			// Multi-scale: also test a short recent horizon so a brief
 			// burst cannot hide inside a large trained group size.
-			rejected = m.regionRejects(curModel, m.mcfg.BurstWindows)
+			if rec == nil {
+				rejected = m.regionRejects(curModel, m.mcfg.BurstWindows, nil)
+			} else {
+				// Capture the burst evidence separately: it only becomes
+				// the window's provenance when it is the decisive
+				// (rejecting) test; otherwise the accepted full-group
+				// evidence stands.
+				m.recBurst.Ranks = m.recBurst.Ranks[:0]
+				m.recBurst.RejectedRanks = m.recBurst.RejectedRanks[:0]
+				if m.regionRejects(curModel, m.mcfg.BurstWindows, &m.recBurst) {
+					rejected = true
+					m.recBurst.Burst = true
+					rec.CopyEvidence(&m.recBurst)
+				}
+			}
 		}
 		if rejected {
 			out.Rejected = true
-			reported = m.handleRejection(sts, &out)
+			reported = m.handleRejection(sts, &out, rec)
 		} else {
 			m.streak = 0
 			m.alarm = false
@@ -278,14 +341,35 @@ func (m *Monitor) Observe(sts *STS) bool {
 	if m.mcfg.Stats != nil {
 		m.mcfg.Stats.WindowObserved(out.Region, out.Rejected, out.Flagged)
 	}
+	if rec != nil {
+		rec.Rejected = out.Rejected
+		rec.Flagged = out.Flagged
+		rec.Streak = m.streak
+		rec.Reported = reported
+		m.mcfg.Flight.Record(rec)
+		if reported {
+			// Snapshot the ring after recording, so the dump's final
+			// record is the alarm window itself with its evidence.
+			m.mcfg.Flight.Alarm(rec.Window, rec.TimeSec, rec.Region, rec.Streak, rec.RejectedRanks)
+		}
+	}
+	if reported {
+		m.track.Instant("report")
+	}
+	sp.End()
 	return reported
 }
 
 // handleRejection implements the rejected branch of Algorithm 1: consider
-// successor regions; failing that, count toward an anomaly report.
-func (m *Monitor) handleRejection(sts *STS, out *WindowOutcome) bool {
+// successor regions; failing that, count toward an anomaly report. rec,
+// when non-nil, receives the transition provenance.
+func (m *Monitor) handleRejection(sts *STS, out *WindowOutcome, rec *obs.WindowRecord) bool {
 	if id, ok := m.bestSuccessor(); ok {
 		m.switchTo(id)
+		if rec != nil {
+			rec.Transition = obs.TransSwitch
+			rec.SwitchTo = int(id)
+		}
 		return false
 	}
 	m.streak++
@@ -313,6 +397,10 @@ func (m *Monitor) handleRejection(sts *STS, out *WindowOutcome) bool {
 		if m.streak > 2*m.mcfg.ReportThreshold {
 			if id, ok := m.bestRegionGlobal(); ok {
 				m.switchTo(id)
+				if rec != nil {
+					rec.Transition = obs.TransRelock
+					rec.SwitchTo = int(id)
+				}
 			}
 		}
 	}
@@ -339,7 +427,7 @@ func (m *Monitor) bestRegionGlobal() (cfg.RegionID, bool) {
 		if m.seen < n {
 			continue
 		}
-		res := m.evalRegion(rm, n)
+		res := m.evalRegion(rm, n, nil)
 		if res.rejected {
 			continue
 		}
@@ -376,7 +464,7 @@ func (m *Monitor) bestSuccessor() (cfg.RegionID, bool) {
 		if m.seen < n {
 			continue
 		}
-		res := m.evalRegion(rm, n)
+		res := m.evalRegion(rm, n, nil)
 		if res.rejected {
 			continue
 		}
@@ -409,6 +497,7 @@ func (m *Monitor) switchTo(id cfg.RegionID) {
 	if m.mcfg.Stats != nil {
 		m.mcfg.Stats.RegionSwitch(m.cur, id)
 	}
+	m.track.Instant("region_switch")
 	m.cur = id
 	m.streak = 0
 	m.alarm = false
@@ -438,26 +527,46 @@ func (m *Monitor) fillGroups(n int) {
 }
 
 // evalRegion tests the last n windows against a region model, starting the
-// mode scan at the region's last good mode.
-func (m *Monitor) evalRegion(rm *RegionModel, n int) evalResult {
+// mode scan at the region's last good mode. rec, when non-nil, receives
+// the evaluation's provenance (group size, best mode, per-rank K-S
+// statistics); the decision itself is unchanged by capture.
+func (m *Monitor) evalRegion(rm *RegionModel, n int, rec *obs.WindowRecord) evalResult {
 	m.fillGroups(n)
 	start := 0
 	if len(rm.Modes) > 0 {
 		start = m.lastMode[rm.Region] % len(rm.Modes)
 	}
-	res := evalGroups(rm, rm.Modes, m.groups, m.counts, m.energies, m.mcfg.RejectFraction, m.cAlpha, m.scratchA, start)
+	var pc *provCapture
+	if rec != nil {
+		pc = &m.prov
+	}
+	res := evalGroups(rm, rm.Modes, m.groups, m.counts, m.energies, m.mcfg.RejectFraction, m.cAlpha, m.scratchA, start, pc)
 	if !res.rejected && res.bestMode >= 0 {
 		m.lastMode[rm.Region] = res.bestMode
 	}
 	if m.mcfg.Stats != nil {
 		m.mcfg.Stats.KSTest(rm.Region, res.bestRejFrac, res.rejected)
 	}
+	if rec != nil {
+		rec.Tested = true
+		rec.GroupSize = n
+		rec.BestMode = res.bestMode
+		rec.RejFrac = res.bestRejFrac
+		rec.CountOut = res.countOut
+		rec.Ranks = append(rec.Ranks[:0], m.prov.best...)
+		rec.RejectedRanks = rec.RejectedRanks[:0]
+		for _, rk := range rec.Ranks {
+			if rk.Rejected {
+				rec.RejectedRanks = append(rec.RejectedRanks, rk.Rank)
+			}
+		}
+	}
 	return res
 }
 
 // regionRejects runs the region decision over the last n observed windows.
-func (m *Monitor) regionRejects(rm *RegionModel, n int) bool {
-	return m.evalRegion(rm, n).rejected
+func (m *Monitor) regionRejects(rm *RegionModel, n int, rec *obs.WindowRecord) bool {
+	return m.evalRegion(rm, n, rec).rejected
 }
 
 // push appends an STS's peak-frequency vector and energy to the history

@@ -402,7 +402,7 @@ func selectGroupSize(rm *RegionModel, seqs []taggedSeq, tc TrainConfig, cAlpha f
 				// Same decision rule as the monitor, against the modes of
 				// the *other* runs (leave-one-out), so the sweep measures
 				// generalization rather than self-match.
-				res := evalGroups(rm, modes, groups, counts, energies, tc.RejectFraction, cAlpha, scratch, 0)
+				res := evalGroups(rm, modes, groups, counts, energies, tc.RejectFraction, cAlpha, scratch, 0, nil)
 				if res.rejected {
 					rejected++
 				}

@@ -168,10 +168,20 @@ func (r *Registry) String() string {
 	return string(b)
 }
 
+// publishMu serializes the check-then-publish against expvar, whose
+// Publish panics on duplicate names.
+var publishMu sync.Mutex
+
 // Publish exposes the registry through expvar under the given name, so
-// an embedding server's /debug/vars endpoint serves it. Publishing the
-// same name twice panics (expvar semantics), so call once per process
-// per name.
+// an embedding server's /debug/vars endpoint serves it. Publish is
+// idempotent: if the name is already published (by this registry or any
+// other expvar), the existing publication is kept and the call is a
+// no-op — the raw expvar.Publish would panic instead.
 func (r *Registry) Publish(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
 }

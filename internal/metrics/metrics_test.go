@@ -2,7 +2,9 @@ package metrics
 
 import (
 	"encoding/json"
+	"expvar"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -146,4 +148,83 @@ func TestRegistryPublish(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("x").Inc()
 	r.Publish("eddie_metrics_test")
+}
+
+func TestRegistryPublishIdempotent(t *testing.T) {
+	// Regression: Publish used to forward straight to expvar.Publish,
+	// which panics on a duplicate name — so any process that published
+	// per monitoring run (cmd/eddie -serve) died on the second run.
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	r.Publish("eddie_metrics_idempotent_test")
+	r.Publish("eddie_metrics_idempotent_test") // same registry again
+
+	// A different registry colliding on the name must not panic either;
+	// the first publication wins.
+	r2 := NewRegistry()
+	r2.Publish("eddie_metrics_idempotent_test")
+
+	// And concurrent publication must be safe.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Publish("eddie_metrics_idempotent_concurrent")
+		}()
+	}
+	wg.Wait()
+	if expvar.Get("eddie_metrics_idempotent_test") == nil {
+		t.Fatal("name not published")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sts_produced").Add(7)
+	r.Counter("region_rejects/R3").Add(2)
+	r.Histogram("peak_count", []float64{1, 4}).Observe(0.5)
+	r.Histogram("peak_count", nil).Observe(3)
+	r.Histogram("peak_count", nil).Observe(100)
+
+	var b strings.Builder
+	r.WritePrometheus(&b, "eddie")
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE eddie_sts_produced counter\n",
+		"eddie_sts_produced 7\n",
+		"# TYPE eddie_region_rejects counter\n",
+		"eddie_region_rejects{key=\"R3\"} 2\n",
+		"# TYPE eddie_peak_count histogram\n",
+		"eddie_peak_count_bucket{le=\"1\"} 1\n",
+		"eddie_peak_count_bucket{le=\"4\"} 2\n", // cumulative
+		"eddie_peak_count_bucket{le=\"+Inf\"} 3\n",
+		"eddie_peak_count_sum 103.5\n",
+		"eddie_peak_count_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q; got:\n%s", want, out)
+		}
+	}
+
+	// Deterministic output: two renders are byte-identical.
+	var b2 strings.Builder
+	r.WritePrometheus(&b2, "eddie")
+	if out != b2.String() {
+		t.Error("WritePrometheus output is not deterministic")
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"ks_tests":    "ks_tests",
+		"weird-name":  "weird_name",
+		"1starts":     "_1starts",
+		"dots.inside": "dots_inside",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
 }

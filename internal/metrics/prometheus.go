@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), the lingua franca of scrape-based monitoring.
+// Instrument names of the form "family/label" (the per-region keys like
+// "region_rejects/R3") become a labeled series
+// `<ns>_family{key="label"} v`; histograms expose the standard
+// cumulative `_bucket{le=...}`, `_sum` and `_count` series. Output is
+// deterministic: families and labels are emitted in sorted order.
+func (r *Registry) WritePrometheus(w io.Writer, namespace string) {
+	if namespace == "" {
+		namespace = "eddie"
+	}
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	typed := map[string]bool{} // families with an emitted # TYPE line
+	emitType := func(family, kind string) {
+		if !typed[family] {
+			typed[family] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+		}
+	}
+	for _, name := range names {
+		family, labels := promName(namespace, name)
+		switch v := snap[name].(type) {
+		case int64:
+			emitType(family, "counter")
+			fmt.Fprintf(w, "%s%s %d\n", family, labels, v)
+		case HistogramSnapshot:
+			emitType(family, "histogram")
+			cum := int64(0)
+			for i, bound := range v.Bounds {
+				cum += v.Buckets[i]
+				fmt.Fprintf(w, "%s_bucket%s %d\n", family, promLE(labels, fmt.Sprintf("%g", bound)), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", family, promLE(labels, "+Inf"), v.Count)
+			fmt.Fprintf(w, "%s_sum%s %g\n", family, labels, v.Sum)
+			fmt.Fprintf(w, "%s_count%s %d\n", family, labels, v.Count)
+		}
+	}
+}
+
+// promName splits an instrument name into a sanitized metric family and
+// a label clause: "region_stat/R3" → ("ns_region_stat", `{key="R3"}`).
+func promName(namespace, name string) (family, labels string) {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return namespace + "_" + sanitizeMetricName(name[:i]),
+			fmt.Sprintf(`{key=%q}`, name[i+1:])
+	}
+	return namespace + "_" + sanitizeMetricName(name), ""
+}
+
+// promLE splices an le label into an existing label clause.
+func promLE(labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf(`{le=%q}`, le)
+	}
+	return fmt.Sprintf(`%s,le=%q}`, labels[:len(labels)-1], le)
+}
+
+// sanitizeMetricName maps arbitrary instrument names onto the Prometheus
+// metric-name alphabet [a-zA-Z0-9_:].
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

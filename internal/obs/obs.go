@@ -1,0 +1,162 @@
+// Package obs is EDDIE's flight-recorder and tracing layer: low-overhead
+// execution spans for every pipeline stage (simulation → EM channel →
+// impairments → STFT/peaks → K-S decision), per-window decision
+// provenance with a bounded flight recorder that dumps its evidence when
+// an alarm fires, and a debug HTTP mux exposing all of it live.
+//
+// The whole layer is disabled by default and must cost nothing when off:
+// every entry point is safe on a nil receiver and the disabled fast path
+// performs no allocation and no time lookup (verified by the zero-alloc
+// test and `make obs-bench`). Spans follow the always-on-tracing span
+// model (Dapper-style named tracks with nested timed sections) and export
+// as Chrome trace-event JSON, loadable in Perfetto or chrome://tracing.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultMaxEvents bounds a Recorder's event buffer; events past the cap
+// are counted in Dropped() instead of growing memory without bound.
+const DefaultMaxEvents = 1 << 20
+
+// phase constants for recorded events (Chrome trace-event phases).
+const (
+	phaseComplete = 'X' // timed span with duration
+	phaseInstant  = 'i' // zero-duration marker
+	phaseMeta     = 'M' // metadata (track names)
+)
+
+// event is one recorded trace event. Timestamps are nanoseconds since
+// the recorder's start (the monotonic clock, so spans never go
+// backwards).
+type event struct {
+	name string
+	cat  string
+	ph   byte
+	tid  int64
+	ts   int64 // start, ns since t0
+	dur  int64 // duration, ns (phaseComplete only)
+	arg  string
+}
+
+// Recorder collects spans and instant events from concurrent pipeline
+// stages. A nil *Recorder is the disabled state: Track, Start, End and
+// Instant all become no-ops with zero allocation.
+type Recorder struct {
+	mu      sync.Mutex
+	t0      time.Time
+	events  []event
+	max     int
+	dropped int64
+	nextTID int64
+}
+
+// NewRecorder creates an enabled recorder with the default event cap.
+func NewRecorder() *Recorder { return NewRecorderCap(DefaultMaxEvents) }
+
+// NewRecorderCap creates a recorder holding at most max events; further
+// events are dropped (and counted) rather than buffered.
+func NewRecorderCap(max int) *Recorder {
+	if max <= 0 {
+		max = DefaultMaxEvents
+	}
+	return &Recorder{t0: time.Now(), max: max}
+}
+
+// Track names one horizontal lane of the trace (a pipeline stage, a run,
+// the monitor). The zero Track is the disabled state.
+type Track struct {
+	r     *Recorder
+	id    int64
+	label string
+}
+
+// Track allocates a new trace lane with the given label. Safe on a nil
+// recorder (returns the disabled zero Track).
+func (r *Recorder) Track(label string) Track {
+	if r == nil {
+		return Track{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextTID++
+	id := r.nextTID
+	r.addLocked(event{name: "thread_name", ph: phaseMeta, tid: id, arg: label})
+	return Track{r: r, id: id, label: label}
+}
+
+// Enabled reports whether spans started on this track are recorded.
+func (t Track) Enabled() bool { return t.r != nil }
+
+// Span is one in-flight timed section on a track. It is a plain value:
+// the disabled path never allocates.
+type Span struct {
+	t     Track
+	name  string
+	start int64
+}
+
+// Start opens a span. On a disabled track this is a few instructions and
+// zero allocations.
+func (t Track) Start(name string) Span {
+	if t.r == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: int64(time.Since(t.r.t0))}
+}
+
+// End closes the span and records it. No-op for spans from a disabled
+// track.
+func (s Span) End() {
+	r := s.t.r
+	if r == nil {
+		return
+	}
+	end := int64(time.Since(r.t0))
+	r.mu.Lock()
+	r.addLocked(event{name: s.name, cat: s.t.label, ph: phaseComplete, tid: s.t.id, ts: s.start, dur: end - s.start})
+	r.mu.Unlock()
+}
+
+// Instant records a zero-duration marker (a region switch, a fired
+// report) on the track.
+func (t Track) Instant(name string) {
+	if t.r == nil {
+		return
+	}
+	ts := int64(time.Since(t.r.t0))
+	t.r.mu.Lock()
+	t.r.addLocked(event{name: name, cat: t.label, ph: phaseInstant, tid: t.id, ts: ts})
+	t.r.mu.Unlock()
+}
+
+// addLocked appends an event under r.mu, honoring the cap.
+func (r *Recorder) addLocked(e event) {
+	if len(r.events) >= r.max {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Len returns the number of recorded events. Zero on a nil recorder.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Dropped returns how many events were discarded past the cap.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+)
+
+// PromWriter renders itself in Prometheus text exposition format;
+// metrics.Registry implements it (obs stays stdlib-only by depending on
+// the interface rather than the package).
+type PromWriter interface {
+	WritePrometheus(w io.Writer, namespace string)
+}
+
+// ServeState bundles everything the debug mux exposes. Any field may be
+// nil; the corresponding endpoint then reports 404/empty.
+type ServeState struct {
+	// Metrics serves /metrics in Prometheus text format.
+	Metrics PromWriter
+	// Namespace prefixes every exposed metric name ("eddie" if empty).
+	Namespace string
+	// Flight serves /eddie/last-alarm and /eddie/flight.
+	Flight *FlightRecorder
+	// Trace serves /eddie/trace (a live Chrome trace snapshot).
+	Trace *Recorder
+}
+
+// NewMux builds the detector's debug HTTP mux:
+//
+//	/debug/vars        expvar JSON (includes registries Publish-ed there)
+//	/debug/pprof/*     runtime profiling
+//	/metrics           Prometheus text exposition of the registry
+//	/eddie/last-alarm  latest flight-recorder alarm dump (JSON)
+//	/eddie/flight      current flight-recorder ring contents (JSON)
+//	/eddie/trace       Chrome trace-event JSON of the spans so far
+//	/                  plain-text index of the above
+func NewMux(s ServeState) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ns := s.Namespace
+	if ns == "" {
+		ns = "eddie"
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if s.Metrics == nil {
+			http.Error(w, "no metrics registry attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.Metrics.WritePrometheus(w, ns)
+	})
+
+	mux.HandleFunc("/eddie/last-alarm", func(w http.ResponseWriter, r *http.Request) {
+		if s.Flight == nil {
+			http.Error(w, "no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		b, err := s.Flight.LastAlarmJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if s.Flight.LastAlarm() == nil {
+			w.WriteHeader(http.StatusNotFound)
+		}
+		w.Write(append(b, '\n'))
+	})
+
+	mux.HandleFunc("/eddie/flight", func(w http.ResponseWriter, r *http.Request) {
+		if s.Flight == nil {
+			http.Error(w, "no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"seen":    s.Flight.Seen(),
+			"alarms":  s.Flight.Alarms(),
+			"records": s.Flight.Recent(),
+		})
+	})
+
+	mux.HandleFunc("/eddie/trace", func(w http.ResponseWriter, r *http.Request) {
+		if s.Trace == nil {
+			http.Error(w, "no trace recorder attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		s.Trace.WriteChromeTrace(w)
+	})
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "eddie debug server\n\n"+
+			"/debug/vars        expvar JSON\n"+
+			"/debug/pprof/      profiling\n"+
+			"/metrics           Prometheus text exposition\n"+
+			"/eddie/last-alarm  latest alarm dump with decision provenance\n"+
+			"/eddie/flight      flight-recorder ring contents\n"+
+			"/eddie/trace       Chrome trace-event JSON (load in Perfetto)\n")
+	})
+	return mux
+}
+
+// writeJSON writes v as indented JSON with the right content type.
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}

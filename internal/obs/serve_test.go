@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// stubProm is a minimal PromWriter for mux tests (the real implementation
+// lives in internal/metrics, which obs must not import).
+type stubProm struct{}
+
+func (stubProm) WritePrometheus(w io.Writer, namespace string) {
+	fmt.Fprintf(w, "# TYPE %s_up counter\n%s_up 1\n", namespace, namespace)
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s read: %v", path, err)
+	}
+	return resp.StatusCode, string(b), resp.Header.Get("Content-Type")
+}
+
+func TestMuxEmptyState(t *testing.T) {
+	srv := httptest.NewServer(NewMux(ServeState{}))
+	defer srv.Close()
+
+	if code, body, _ := get(t, srv, "/"); code != 200 || !strings.Contains(body, "eddie debug server") {
+		t.Errorf("index: code %d body %q", code, body)
+	}
+	if code, _, _ := get(t, srv, "/nope"); code != 404 {
+		t.Errorf("unknown path code %d, want 404", code)
+	}
+	for _, path := range []string{"/metrics", "/eddie/last-alarm", "/eddie/flight", "/eddie/trace"} {
+		if code, _, _ := get(t, srv, path); code != 404 {
+			t.Errorf("%s with nil state: code %d, want 404", path, code)
+		}
+	}
+	if code, body, _ := get(t, srv, "/debug/vars"); code != 200 || !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Errorf("/debug/vars: code %d body %q", code, body)
+	}
+	if code, _, _ := get(t, srv, "/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/: code %d, want 200", code)
+	}
+}
+
+func TestMuxFullState(t *testing.T) {
+	rec := NewRecorder()
+	rec.Track("stage").Start("span").End()
+	fl := NewFlightRecorder(8)
+	fl.Record(&WindowRecord{Window: 0, Region: 2})
+	srv := httptest.NewServer(NewMux(ServeState{
+		Metrics: stubProm{},
+		Flight:  fl,
+		Trace:   rec,
+	}))
+	defer srv.Close()
+
+	code, body, ct := get(t, srv, "/metrics")
+	if code != 200 || !strings.Contains(body, "eddie_up 1") {
+		t.Errorf("/metrics: code %d body %q", code, body)
+	}
+	if !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+
+	// No alarm yet: JSON null with 404.
+	code, body, ct = get(t, srv, "/eddie/last-alarm")
+	if code != 404 || strings.TrimSpace(body) != "null" || !strings.Contains(ct, "json") {
+		t.Errorf("pre-alarm last-alarm: code %d body %q ct %q", code, body, ct)
+	}
+
+	fl.Record(&WindowRecord{Window: 1, Region: 2, Reported: true, RejectedRanks: []int{0, 3}})
+	fl.Alarm(1, 0.5, 2, 3, []int{0, 3})
+	code, body, _ = get(t, srv, "/eddie/last-alarm")
+	if code != 200 {
+		t.Fatalf("last-alarm code %d, want 200", code)
+	}
+	var dump AlarmDump
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("last-alarm not JSON: %v", err)
+	}
+	if dump.Window != 1 || len(dump.RejectedRanks) != 2 || len(dump.Records) != 2 {
+		t.Errorf("alarm dump %+v", dump)
+	}
+
+	code, body, _ = get(t, srv, "/eddie/flight")
+	if code != 200 {
+		t.Fatalf("flight code %d", code)
+	}
+	var flight struct {
+		Seen    int            `json:"seen"`
+		Alarms  int            `json:"alarms"`
+		Records []WindowRecord `json:"records"`
+	}
+	if err := json.Unmarshal([]byte(body), &flight); err != nil {
+		t.Fatalf("flight not JSON: %v", err)
+	}
+	if flight.Seen != 2 || flight.Alarms != 1 || len(flight.Records) != 2 {
+		t.Errorf("flight state %+v", flight)
+	}
+
+	code, body, _ = get(t, srv, "/eddie/trace")
+	if code != 200 {
+		t.Fatalf("trace code %d", code)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if len(tr.TraceEvents) != 2 { // meta + span
+		t.Errorf("trace has %d events, want 2", len(tr.TraceEvents))
+	}
+}
+
+func TestMuxNamespace(t *testing.T) {
+	srv := httptest.NewServer(NewMux(ServeState{Metrics: stubProm{}, Namespace: "custom"}))
+	defer srv.Close()
+	if _, body, _ := get(t, srv, "/metrics"); !strings.Contains(body, "custom_up 1") {
+		t.Errorf("namespace not forwarded: %q", body)
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// chromeEvent is the JSON shape of one Chrome trace-event. Timestamps
+// and durations are microseconds (the trace-event convention); Perfetto
+// and chrome://tracing load the {"traceEvents": [...]} container format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace-event JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace renders every recorded event as Chrome trace-event
+// JSON. The output loads directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Safe on a nil recorder (writes an empty trace).
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	trace := chromeTrace{
+		TraceEvents:     []chromeEvent{},
+		DisplayTimeUnit: "ms",
+	}
+	if r != nil {
+		r.mu.Lock()
+		events := append([]event(nil), r.events...)
+		dropped := r.dropped
+		r.mu.Unlock()
+		trace.TraceEvents = make([]chromeEvent, 0, len(events))
+		for _, e := range events {
+			ce := chromeEvent{
+				Name: e.name,
+				Cat:  e.cat,
+				Ph:   string(rune(e.ph)),
+				TS:   float64(e.ts) / 1e3,
+				PID:  1,
+				TID:  e.tid,
+			}
+			switch e.ph {
+			case phaseComplete:
+				ce.Dur = float64(e.dur) / 1e3
+			case phaseInstant:
+				ce.S = "t" // thread-scoped instant
+			case phaseMeta:
+				ce.TS = 0
+				ce.Args = map[string]any{"name": e.arg}
+			}
+			trace.TraceEvents = append(trace.TraceEvents, ce)
+		}
+		if dropped > 0 {
+			trace.OtherData = map[string]any{"dropped_events": dropped}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&trace)
+}
+
+// WriteChromeTraceFile writes the trace to a file (0644).
+func (r *Recorder) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: trace out: %w", err)
+	}
+	if err := r.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: trace out: %w", err)
+	}
+	return f.Close()
+}

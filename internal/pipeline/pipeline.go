@@ -14,6 +14,7 @@ import (
 	"eddie/internal/inject"
 	"eddie/internal/isa"
 	"eddie/internal/mibench"
+	"eddie/internal/obs"
 	"eddie/internal/par"
 	"eddie/internal/sim"
 	"eddie/internal/trace"
@@ -35,6 +36,10 @@ type Config struct {
 	Channel *emsim.ChannelConfig
 	// MaxInstrs bounds each run.
 	MaxInstrs int64
+	// Trace, when non-nil, records a span per pipeline stage (simulate →
+	// EM channel → detrend → STFT → peak extraction) on a per-run track,
+	// exportable as Chrome trace-event JSON. Nil costs nothing.
+	Trace *obs.Recorder
 }
 
 // DefaultSTFT returns the paper-equivalent STFT configuration for a
@@ -109,14 +114,20 @@ func CollectRun(w *mibench.Workload, machine *cfg.Machine, c Config, runIdx int,
 		return nil, fmt.Errorf("pipeline: STFT sample rate %g != simulator sample rate %g",
 			c.STFT.SampleRate, c.Sim.SampleRate())
 	}
+	var tk obs.Track
+	if c.Trace != nil {
+		tk = c.Trace.Track(fmt.Sprintf("run %d (%s)", runIdx, w.Name))
+	}
 	execCfg := isa.ExecConfig{MaxInstrs: c.MaxInstrs, InitMem: w.GenInput(runIdx)}
 	var res *sim.RunResult
 	var err error
+	sp := tk.Start("simulate")
 	if injector == nil {
 		res, err = sim.Run(w.Program, machine, c.Sim, execCfg, nil)
 	} else {
 		res, err = sim.Run(w.Program, machine, c.Sim, execCfg, injector.Wrap)
 	}
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: %s run %d: %w", w.Name, runIdx, err)
 	}
@@ -125,12 +136,14 @@ func CollectRun(w *mibench.Workload, machine *cfg.Machine, c Config, runIdx int,
 	if c.Channel != nil {
 		ch := *c.Channel
 		ch.Seed = ch.Seed*1_000_003 + int64(runIdx)
+		sp = tk.Start("em_channel")
 		signal, err = emsim.Transmit(res.Power, ch)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: EM channel: %w", err)
 		}
 	}
-	sts, err := Reduce(signal, res, c)
+	sts, err := reduce(signal, res, c, tk)
 	if err != nil {
 		return nil, err
 	}
@@ -143,12 +156,30 @@ func CollectRun(w *mibench.Workload, machine *cfg.Machine, c Config, runIdx int,
 // re-reduced after signal-level processing — the robustness experiments
 // impair one collected signal at many severities without re-simulating.
 func Reduce(signal []float64, res *sim.RunResult, c Config) ([]core.STS, error) {
-	frames, err := dsp.STFT(dsp.Detrend(signal), c.STFT)
+	var tk obs.Track
+	if c.Trace != nil {
+		tk = c.Trace.Track("reduce")
+	}
+	return reduce(signal, res, c, tk)
+}
+
+// reduce is Reduce on an explicit trace track (CollectRun reuses its
+// per-run track).
+func reduce(signal []float64, res *sim.RunResult, c Config, tk obs.Track) ([]core.STS, error) {
+	sp := tk.Start("detrend")
+	detrended := dsp.Detrend(signal)
+	sp.End()
+	sp = tk.Start("stft")
+	frames, err := dsp.STFT(detrended, c.STFT)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: STFT: %w", err)
 	}
+	sp = tk.Start("extract_sts")
 	labeled := trace.LabelFrames(frames, c.STFT, res)
-	return core.ExtractSTS(labeled, c.STFT, c.Peaks), nil
+	sts := core.ExtractSTS(labeled, c.STFT, c.Peaks)
+	sp.End()
+	return sts, nil
 }
 
 // CollectRuns executes several runs (run indices firstRun..firstRun+n-1)

@@ -1,0 +1,265 @@
+package pipeline_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eddie/internal/core"
+	"eddie/internal/inject"
+	"eddie/internal/obs"
+	"eddie/internal/pipeline"
+	"eddie/internal/pipeline/pipetest"
+)
+
+// goldenProvenance records the decision-provenance view of one monitored
+// run: how many windows were tested/rejected, which transitions the
+// state machine took, the full evidence of the first tested window, and
+// the last alarm's header. The per-rank K-S statistics pin the decision
+// arithmetic itself — a change to the K-S path shows up here even when
+// the verdicts happen to stay the same.
+type goldenProvenance struct {
+	Workload string `json:"workload"`
+	Injected bool   `json:"injected"`
+	RunIdx   int    `json:"run_idx"`
+
+	Windows         int            `json:"windows"`
+	TestedWindows   int            `json:"tested_windows"`
+	RejectedWindows int            `json:"rejected_windows"`
+	ReportedWindows int            `json:"reported_windows"`
+	Transitions     map[string]int `json:"transitions"`
+
+	FirstTested *obs.WindowRecord `json:"first_tested"`
+	LastAlarm   *goldenAlarmHead  `json:"last_alarm"`
+}
+
+// goldenAlarmHead is the alarm dump header (the ring contents are
+// already covered by the per-window counts above).
+type goldenAlarmHead struct {
+	Window        int     `json:"window"`
+	TimeSec       float64 `json:"time_sec"`
+	Region        int     `json:"region"`
+	Streak        int     `json:"streak"`
+	RejectedRanks []int   `json:"rejected_ranks"`
+}
+
+func TestGoldenProvenance(t *testing.T) {
+	for _, gc := range []struct {
+		injected bool
+		runIdx   int
+	}{
+		{false, 900},
+		{true, 901},
+	} {
+		gc := gc
+		name := "bitcount_clean"
+		if gc.injected {
+			name = "bitcount_injected"
+		}
+		t.Run(name, func(t *testing.T) {
+			f := pipetest.Tiny(t)
+			var injector inject.Injector
+			if gc.injected {
+				injector = &inject.InLoop{
+					Header: f.Machine.Nests[0].Header, Instrs: 8, MemOps: 4,
+					Contamination: 0.5, Seed: 3,
+				}
+			}
+			got := captureProvenance(t, f, gc.injected, gc.runIdx, injector)
+
+			path := filepath.Join("testdata", "golden_provenance_"+name+".json")
+			if *updateGolden {
+				b, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden provenance %s (generate with -update-golden): %v", path, err)
+			}
+			var want goldenProvenance
+			if err := json.Unmarshal(b, &want); err != nil {
+				t.Fatalf("corrupt golden provenance %s: %v", path, err)
+			}
+			compareProvenance(t, &want, got)
+		})
+	}
+}
+
+func captureProvenance(t *testing.T, f *pipetest.F, injected bool, runIdx int, injector inject.Injector) *goldenProvenance {
+	t.Helper()
+	run, err := pipeline.CollectRun(f.W, f.Machine, f.Config, runIdx, injector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := core.DefaultMonitorConfig()
+	// A ring deeper than the run keeps every window's record.
+	flight := obs.NewFlightRecorder(len(run.STS) + 1)
+	mc.Flight = flight
+	mon, err := pipeline.Monitor(f.Model, run.STS, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := flight.Recent()
+	if len(records) != len(run.STS) {
+		t.Fatalf("flight recorded %d windows, run has %d", len(records), len(run.STS))
+	}
+
+	g := &goldenProvenance{
+		Workload:    "bitcount",
+		Injected:    injected,
+		RunIdx:      runIdx,
+		Windows:     len(records),
+		Transitions: map[string]int{},
+	}
+	for i := range records {
+		r := &records[i]
+		if r.Tested {
+			g.TestedWindows++
+			if g.FirstTested == nil {
+				g.FirstTested = r
+			}
+		}
+		if r.Rejected {
+			g.RejectedWindows++
+		}
+		if r.Reported {
+			g.ReportedWindows++
+		}
+		g.Transitions[r.Transition]++
+	}
+	// The provenance verdicts must mirror the monitor's own outcomes
+	// exactly — capture can never change a decision. Record.Region is the
+	// region when the window arrived; the outcome holds the post-
+	// transition region, i.e. SwitchTo when a switch/relock happened.
+	for w, o := range mon.Outcomes {
+		r := &records[w]
+		finalRegion := r.Region
+		if r.SwitchTo >= 0 {
+			finalRegion = r.SwitchTo
+		}
+		if r.Rejected != o.Rejected || r.Flagged != o.Flagged || finalRegion != int(o.Region) {
+			t.Fatalf("window %d: provenance %+v disagrees with outcome %+v", w, r, o)
+		}
+	}
+	if a := flight.LastAlarm(); a != nil {
+		g.LastAlarm = &goldenAlarmHead{
+			Window: a.Window, TimeSec: a.TimeSec, Region: a.Region,
+			Streak: a.Streak, RejectedRanks: a.RejectedRanks,
+		}
+		if len(mon.Reports) == 0 {
+			t.Fatal("alarm dump exists but monitor has no reports")
+		}
+		last := mon.Reports[len(mon.Reports)-1]
+		if a.Window != last.Window || a.Region != int(last.Region) {
+			t.Fatalf("alarm dump %+v disagrees with last report %+v", a, last)
+		}
+	} else if len(mon.Reports) != 0 {
+		t.Fatal("monitor reported but flight recorder has no alarm dump")
+	}
+	return g
+}
+
+func compareProvenance(t *testing.T, want, got *goldenProvenance) {
+	t.Helper()
+	if got.Windows != want.Windows {
+		t.Errorf("windows drifted: got %d, golden %d", got.Windows, want.Windows)
+	}
+	if got.TestedWindows != want.TestedWindows {
+		t.Errorf("tested windows drifted: got %d, golden %d", got.TestedWindows, want.TestedWindows)
+	}
+	if got.RejectedWindows != want.RejectedWindows {
+		t.Errorf("rejected windows drifted: got %d, golden %d", got.RejectedWindows, want.RejectedWindows)
+	}
+	if got.ReportedWindows != want.ReportedWindows {
+		t.Errorf("reported windows drifted: got %d, golden %d", got.ReportedWindows, want.ReportedWindows)
+	}
+	for k, v := range want.Transitions {
+		if got.Transitions[k] != v {
+			t.Errorf("transition %q count drifted: got %d, golden %d", k, got.Transitions[k], v)
+		}
+	}
+	for k := range got.Transitions {
+		if _, ok := want.Transitions[k]; !ok {
+			t.Errorf("unexpected transition %q (count %d)", k, got.Transitions[k])
+		}
+	}
+	compareRecord(t, "first tested window", want.FirstTested, got.FirstTested)
+	switch {
+	case want.LastAlarm == nil && got.LastAlarm != nil:
+		t.Errorf("unexpected alarm: %+v", got.LastAlarm)
+	case want.LastAlarm != nil && got.LastAlarm == nil:
+		t.Errorf("missing alarm (golden %+v)", want.LastAlarm)
+	case want.LastAlarm != nil:
+		w, g := want.LastAlarm, got.LastAlarm
+		if g.Window != w.Window || g.Region != w.Region || g.Streak != w.Streak ||
+			!closeRel(g.TimeSec, w.TimeSec) || !equalInts(g.RejectedRanks, w.RejectedRanks) {
+			t.Errorf("alarm head drifted: got %+v, golden %+v", g, w)
+		}
+	}
+	if t.Failed() {
+		t.Log("intentional decision change? regenerate with: go test ./internal/pipeline -update-golden")
+	}
+}
+
+func compareRecord(t *testing.T, what string, want, got *obs.WindowRecord) {
+	t.Helper()
+	if (want == nil) != (got == nil) {
+		t.Errorf("%s: got %+v, golden %+v", what, got, want)
+		return
+	}
+	if want == nil {
+		return
+	}
+	if got.Window != want.Window || got.Region != want.Region || got.Tested != want.Tested ||
+		got.GroupSize != want.GroupSize || got.Burst != want.Burst || got.BestMode != want.BestMode ||
+		got.CountOut != want.CountOut || got.Rejected != want.Rejected || got.Flagged != want.Flagged ||
+		got.Streak != want.Streak || got.Transition != want.Transition || got.SwitchTo != want.SwitchTo ||
+		got.Reported != want.Reported {
+		t.Errorf("%s fields drifted:\n got    %+v\n golden %+v", what, got, want)
+	}
+	for _, c := range []struct {
+		stage      string
+		got, wantV float64
+	}{
+		{"time_sec", got.TimeSec, want.TimeSec},
+		{"c_alpha", got.CAlpha, want.CAlpha},
+		{"rej_frac", got.RejFrac, want.RejFrac},
+	} {
+		if !closeRel(c.got, c.wantV) {
+			t.Errorf("%s %s drifted: got %v, golden %v", what, c.stage, c.got, c.wantV)
+		}
+	}
+	if !equalInts(got.RejectedRanks, want.RejectedRanks) {
+		t.Errorf("%s rejected ranks drifted: got %v, golden %v", what, got.RejectedRanks, want.RejectedRanks)
+	}
+	if len(got.Ranks) != len(want.Ranks) {
+		t.Errorf("%s rank count drifted: got %d, golden %d", what, len(got.Ranks), len(want.Ranks))
+		return
+	}
+	for i := range got.Ranks {
+		g, w := got.Ranks[i], want.Ranks[i]
+		if g.Rank != w.Rank || g.Rejected != w.Rejected || !closeRel(g.Stat, w.Stat) || !closeRel(g.Crit, w.Crit) {
+			t.Errorf("%s rank %d drifted: got %+v, golden %+v", what, i, g, w)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

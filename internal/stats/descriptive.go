@@ -37,11 +37,18 @@ func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
 // Median returns the sample median, or 0 for an empty slice.
 func Median(xs []float64) float64 {
+	return MedianScratch(xs, make([]float64, len(xs)))
+}
+
+// MedianScratch is Median on caller-provided scratch space (len >=
+// len(xs)); the hot decision loop uses it to stay allocation-free. xs is
+// unmodified; scratch contents are overwritten.
+func MedianScratch(xs, scratch []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	s := make([]float64, len(xs))
-	copy(s, xs)
+	n := copy(scratch, xs)
+	s := scratch[:n]
 	sort.Float64s(s)
 	mid := len(s) / 2
 	if len(s)%2 == 1 {

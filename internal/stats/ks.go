@@ -61,14 +61,23 @@ func KSTest(ref, mon []float64, alpha float64) (KSResult, error) {
 // KolmogorovInverse(1-alpha), computed once by the caller. It reports
 // whether H0 (same population) is rejected.
 func KSRejectSorted(refSorted, mon, scratch []float64, cAlpha float64) bool {
+	d, crit := KSRejectStatSorted(refSorted, mon, scratch, cAlpha)
+	return d > crit
+}
+
+// KSRejectStatSorted is KSRejectSorted's evidence-preserving form: it
+// returns the K-S statistic D and the critical value it is compared to
+// (rejection is d > crit). The arithmetic is shared with KSRejectSorted,
+// so recording provenance can never change a decision.
+func KSRejectStatSorted(refSorted, mon, scratch []float64, cAlpha float64) (d, crit float64) {
 	n := copy(scratch, mon)
 	s := scratch[:n]
 	sort.Float64s(s)
-	d := ksStatSorted(refSorted, s)
+	d = ksStatSorted(refSorted, s)
 	m := float64(len(refSorted))
 	nf := float64(n)
-	crit := cAlpha * math.Sqrt((m+nf)/(m*nf))
-	return d > crit
+	crit = cAlpha * math.Sqrt((m+nf)/(m*nf))
+	return d, crit
 }
 
 // ksStatSorted computes the two-sample K-S statistic over two already

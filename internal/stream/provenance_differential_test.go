@@ -1,0 +1,142 @@
+package stream
+
+import (
+	"testing"
+
+	"eddie/internal/core"
+	"eddie/internal/dsp"
+	"eddie/internal/inject"
+	"eddie/internal/obs"
+	"eddie/internal/pipeline"
+	"eddie/internal/pipeline/pipetest"
+)
+
+// TestDifferentialProvenance extends the offline-vs-stream differential
+// contract to the decision provenance: with the DC blocker disabled on a
+// pre-detrended capture, the flight-recorder records produced by the
+// offline monitor and by the streaming detector must be identical field
+// for field — same regions, group sizes, per-rank K-S statistics,
+// transitions and alarm dumps. The provenance is derived from the same
+// decision arithmetic on both paths, so any divergence means capture
+// has drifted from (or worse, influenced) the decisions themselves.
+func TestDifferentialProvenance(t *testing.T) {
+	f := pipetest.Fixture(t)
+	injector := &inject.InLoop{
+		Header: f.Machine.Nests[0].Header, Instrs: 8, MemOps: 4,
+		Contamination: 0.5, Seed: 3,
+	}
+	for _, tc := range []struct {
+		name string
+		inj  inject.Injector
+	}{
+		{"clean", nil},
+		{"injected", injector},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run, err := pipeline.CollectRun(f.W, f.Machine, f.Config, 800, tc.inj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			detrended := dsp.Detrend(run.Signal)
+			depth := len(run.STS) + 1 // keep every record
+
+			// Offline path.
+			offFlight := obs.NewFlightRecorder(depth)
+			mc := core.DefaultMonitorConfig()
+			mc.Flight = offFlight
+			if _, err := pipeline.Monitor(f.Model, run.STS, mc); err != nil {
+				t.Fatal(err)
+			}
+
+			// Streaming path: same samples in awkward chunk sizes.
+			strFlight := obs.NewFlightRecorder(depth)
+			cfg := streamCfg(f.Config)
+			cfg.DisableDCBlock = true
+			cfg.Flight = strFlight
+			d, err := NewDetector(f.Model, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < len(detrended); {
+				n := 251 + i%509
+				if i+n > len(detrended) {
+					n = len(detrended) - i
+				}
+				d.Feed(detrended[i : i+n])
+				i += n
+			}
+
+			// The offline reduction may see one extra hop-unaligned tail
+			// window; compare the common prefix.
+			n := d.Windows()
+			offRecs, strRecs := offFlight.Recent(), strFlight.Recent()
+			if len(strRecs) != n {
+				t.Fatalf("stream flight has %d records, windows %d", len(strRecs), n)
+			}
+			if len(offRecs) < n {
+				t.Fatalf("offline flight has %d records, want >= %d", len(offRecs), n)
+			}
+			for w := 0; w < n; w++ {
+				if !recordsEqual(&offRecs[w], &strRecs[w]) {
+					t.Fatalf("window %d provenance diverged:\n offline %+v\n stream  %+v",
+						w, offRecs[w], strRecs[w])
+				}
+			}
+
+			offAlarm, strAlarm := offFlight.LastAlarm(), strFlight.LastAlarm()
+			// Ignore an offline alarm fired on the tail window the stream
+			// never saw.
+			if offAlarm != nil && offAlarm.Window >= n {
+				offAlarm = nil
+			}
+			switch {
+			case (offAlarm == nil) != (strAlarm == nil):
+				t.Fatalf("alarm presence diverged: offline %v, stream %v", offAlarm, strAlarm)
+			case offAlarm != nil:
+				if offAlarm.Window != strAlarm.Window || offAlarm.Region != strAlarm.Region ||
+					offAlarm.Streak != strAlarm.Streak || offAlarm.TimeSec != strAlarm.TimeSec ||
+					!intsEqual(offAlarm.RejectedRanks, strAlarm.RejectedRanks) {
+					t.Fatalf("alarm diverged:\n offline %+v\n stream  %+v", offAlarm, strAlarm)
+				}
+				if offFlight.Alarms() != strFlight.Alarms() {
+					t.Fatalf("alarm counts diverged: offline %d, stream %d",
+						offFlight.Alarms(), strFlight.Alarms())
+				}
+			}
+		})
+	}
+}
+
+// recordsEqual compares two window records bit for bit (floats compared
+// exactly: both paths run identical arithmetic).
+func recordsEqual(a, b *obs.WindowRecord) bool {
+	if a.Window != b.Window || a.TimeSec != b.TimeSec || a.Region != b.Region ||
+		a.Tested != b.Tested || a.GroupSize != b.GroupSize || a.Burst != b.Burst ||
+		a.CAlpha != b.CAlpha || a.BestMode != b.BestMode || a.RejFrac != b.RejFrac ||
+		a.CountOut != b.CountOut || a.Rejected != b.Rejected || a.Flagged != b.Flagged ||
+		a.Streak != b.Streak || a.Transition != b.Transition || a.SwitchTo != b.SwitchTo ||
+		a.Reported != b.Reported {
+		return false
+	}
+	if len(a.Ranks) != len(b.Ranks) || !intsEqual(a.RejectedRanks, b.RejectedRanks) {
+		return false
+	}
+	for i := range a.Ranks {
+		if a.Ranks[i] != b.Ranks[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

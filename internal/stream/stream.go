@@ -14,6 +14,7 @@ import (
 	"eddie/internal/dsp"
 	"eddie/internal/impair"
 	"eddie/internal/metrics"
+	"eddie/internal/obs"
 )
 
 // Config describes the detector's signal front end.
@@ -52,6 +53,15 @@ type Config struct {
 	// The STS's PeakFreqs slice is reused across windows; taps that
 	// retain it must copy.
 	Tap func(sts *core.STS)
+	// Trace, when non-nil, records spans for the detector's stages
+	// (impair, STFT, peak extraction) on a "stream" track and is
+	// forwarded to the monitor (unless Monitor.Trace is already set) for
+	// its per-window decision spans. Nil costs nothing.
+	Trace *obs.Recorder
+	// Flight, when non-nil, is forwarded to the monitor (unless
+	// Monitor.Flight is already set): every window's decision provenance
+	// lands in its ring and each fired report snapshots an alarm dump.
+	Flight *obs.FlightRecorder
 }
 
 // Detector consumes raw samples and raises anomaly reports online.
@@ -77,6 +87,7 @@ type Detector struct {
 	sanitized int64
 	windows   int
 	binW      float64
+	track     obs.Track
 
 	// episode tracks ground-truth injection episodes for latency
 	// accounting.
@@ -102,6 +113,12 @@ func NewDetector(model *core.Model, cfg Config) (*Detector, error) {
 	if cfg.Metrics != nil && cfg.Monitor.Stats == nil {
 		cfg.Monitor.Stats = cfg.Metrics
 	}
+	if cfg.Trace != nil && cfg.Monitor.Trace == nil {
+		cfg.Monitor.Trace = cfg.Trace
+	}
+	if cfg.Flight != nil && cfg.Monitor.Flight == nil {
+		cfg.Monitor.Flight = cfg.Flight
+	}
 	mon, err := core.NewMonitor(model, cfg.Monitor)
 	if err != nil {
 		return nil, err
@@ -122,6 +139,7 @@ func NewDetector(model *core.Model, cfg Config) (*Detector, error) {
 		dcAlpha:      1 / cfg.DCTau,
 		binW:         cfg.STFT.SampleRate / float64(ws),
 		episodeStart: -1,
+		track:        cfg.Trace.Track("stream"),
 	}, nil
 }
 
@@ -152,7 +170,9 @@ func (d *Detector) Feed(samples []float64) []core.Report {
 				d.sanitized++
 			}
 		}
+		sp := d.track.Start("impair")
 		chunk = d.cfg.Impair.Process(d.chunkBuf)
+		sp.End()
 	}
 	before := len(d.monitor.Reports)
 	for _, s := range chunk {
@@ -199,10 +219,13 @@ func (d *Detector) Write(samples []float64) []core.Report { return d.Feed(sample
 // the produced STS is bit-identical to the batch path's.
 func (d *Detector) processWindow() {
 	ws := d.cfg.STFT.WindowSize
+	sp := d.track.Start("stft")
 	for j := 0; j < ws; j++ {
 		d.windowed[j] = d.buf[j] * d.win[j]
 	}
 	d.plan.PowerInto(d.power, d.windowed, d.spec, d.work)
+	sp.End()
+	sp = d.track.Start("peaks")
 	frame := dsp.Frame{Index: d.windows, Power: d.power}
 	peaks := dsp.FindPeaks(&frame, d.cfg.Peaks, d.cfg.STFT.BinFrequency)
 	d.freqs = d.freqs[:0]
@@ -210,6 +233,7 @@ func (d *Detector) processWindow() {
 		d.freqs = append(d.freqs, dsp.InterpolatePeakFrequency(&frame, p.Bin, d.binW))
 	}
 	sortFloats(d.freqs)
+	sp.End()
 	minBin := d.cfg.Peaks.MinBin
 	if minBin < 1 {
 		minBin = 1
