@@ -1,4 +1,4 @@
-.PHONY: all build vet test race bench dsp-bench obs-bench cover
+.PHONY: all build vet test race bench dsp-bench obs-bench cover fleet-smoke
 
 all: build test
 
@@ -14,10 +14,18 @@ test: build vet
 	go test ./...
 
 # Race tier: vet plus the short suite under the race detector. Exercises
-# the FFT plan cache, the parallel run scheduler and the model cache.
+# the FFT plan cache, the parallel run scheduler, the model cache, the
+# shared metrics registry, and the fleet server's concurrent-session
+# stress test (>= 8 device streams against one server).
 race:
 	go vet ./...
 	go test -race -short ./...
+	go test -race -short -count=1 -run 'TestFleetStressConcurrentSessions' ./internal/fleet
+
+# Fleet smoke run: boot a real fleet server over TCP, stream devices
+# through it concurrently, drain it gracefully mid-stream.
+fleet-smoke:
+	go test -short -count=1 -run 'TestFleetSmoke|TestFleetDifferentialVsDirect' -v ./internal/fleet
 
 # Wall-clock benchmarks of the experiment harnesses.
 bench:
@@ -35,11 +43,11 @@ obs-bench:
 	go test -run '^$$' -bench 'BenchmarkObserve' -benchmem -benchtime 3000x ./internal/core
 
 # Per-package coverage over the short suite; fails if the hardened
-# packages (internal/stream, internal/impair, internal/obs) drop below
-# 80%.
+# packages (internal/stream, internal/impair, internal/obs,
+# internal/fleet) drop below 80%.
 cover:
 	go test -short -cover ./... | tee /tmp/eddie-cover.txt
-	@awk '/eddie\/internal\/(stream|impair|obs)\t/ { \
+	@awk '/eddie\/internal\/(stream|impair|obs|fleet)\t/ { \
 	    for (i = 1; i <= NF; i++) if ($$i ~ /%/) { pct = $$i; sub(/%.*/, "", pct); \
 	        if (pct + 0 < 80) { printf "FAIL: %s coverage %s%% < 80%%\n", $$2, pct; bad = 1 } \
 	        else printf "ok:   %s coverage %s%%\n", $$2, pct } } \

@@ -13,144 +13,336 @@
 //	eddie -experiment robustness  # impairment sweep -> BENCH_robustness.json
 //	eddie -trace-out trace.json ...         # Chrome/Perfetto trace of every stage
 //	eddie -serve :8080 ...        # expvar, pprof, Prometheus metrics, last alarm
+//	eddie -fleet :9000 -model-dir models/   # multi-device monitoring server
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"eddie"
 	"eddie/internal/experiments"
 )
 
-func main() {
-	workload := flag.String("workload", "bitcount", "workload name (see -list)")
-	list := flag.Bool("list", false, "list workloads and exit")
-	mode := flag.String("mode", "iot", `pipeline: "iot" (EM channel) or "sim" (raw power)`)
-	trainRuns := flag.Int("train", 10, "training runs")
-	monitorRuns := flag.Int("monitor", 3, "monitoring runs")
-	attack := flag.String("attack", "none", `attack: "none", "burst" or "inloop"`)
-	burstSize := flag.Int("burst-size", 476_000, "burst attack: dynamic instruction count")
-	nest := flag.Int("nest", 0, "attack target loop nest")
-	instrs := flag.Int("instrs", 8, "in-loop attack: instructions per iteration")
-	memOps := flag.Int("memops", 4, "in-loop attack: memory ops among the injected instructions")
-	contamination := flag.Float64("contamination", 1.0, "in-loop attack: fraction of iterations injected")
-	saveModel := flag.String("save-model", "", "write the trained model to this file")
-	loadModel := flag.String("load-model", "", "load a previously saved model instead of training")
-	verbose := flag.Bool("v", false, "print the model and every report")
-	parallel := flag.Int("parallel", 0, "worker-pool size for run collection (0 = EDDIE_PARALLELISM env or GOMAXPROCS)")
-	showMetrics := flag.Bool("metrics", false, "attach the metrics layer to monitoring and print its JSON snapshot")
-	experiment := flag.String("experiment", "", `run a named experiment instead of train/monitor: "robustness"`)
-	outFile := flag.String("out", "BENCH_robustness.json", "experiment result JSON output path")
-	short := flag.Bool("short", false, "experiment mode: scaled-down run counts")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file of every pipeline stage (load in Perfetto)")
-	serveAddr := flag.String("serve", "", `serve debug endpoints on this address (e.g. ":8080"): /debug/vars, /debug/pprof/*, /metrics, /eddie/last-alarm`)
-	flag.Parse()
-	eddie.SetParallelism(*parallel)
+// options are the parsed command-line flags.
+type options struct {
+	workload      string
+	list          bool
+	mode          string
+	trainRuns     int
+	monitorRuns   int
+	attack        string
+	burstSize     int
+	nest          int
+	instrs        int
+	memOps        int
+	contamination float64
+	saveModel     string
+	loadModel     string
+	verbose       bool
+	parallel      int
+	showMetrics   bool
+	experiment    string
+	outFile       string
+	short         bool
+	traceOut      string
+	serveAddr     string
+	fleetAddr     string
+	modelDir      string
+	maxSessions   int
+	drainTimeout  time.Duration
+}
 
-	if *list {
+// parseArgs parses flags from args with a dedicated FlagSet so tests can
+// drive the CLI without touching the process-global flag state.
+func parseArgs(args []string, stderr io.Writer) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("eddie", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&o.workload, "workload", "bitcount", "workload name (see -list)")
+	fs.BoolVar(&o.list, "list", false, "list workloads and exit")
+	fs.StringVar(&o.mode, "mode", "iot", `pipeline: "iot" (EM channel) or "sim" (raw power)`)
+	fs.IntVar(&o.trainRuns, "train", 10, "training runs")
+	fs.IntVar(&o.monitorRuns, "monitor", 3, "monitoring runs")
+	fs.StringVar(&o.attack, "attack", "none", `attack: "none", "burst" or "inloop"`)
+	fs.IntVar(&o.burstSize, "burst-size", 476_000, "burst attack: dynamic instruction count")
+	fs.IntVar(&o.nest, "nest", 0, "attack target loop nest")
+	fs.IntVar(&o.instrs, "instrs", 8, "in-loop attack: instructions per iteration")
+	fs.IntVar(&o.memOps, "memops", 4, "in-loop attack: memory ops among the injected instructions")
+	fs.Float64Var(&o.contamination, "contamination", 1.0, "in-loop attack: fraction of iterations injected")
+	fs.StringVar(&o.saveModel, "save-model", "", "write the trained model to this file")
+	fs.StringVar(&o.loadModel, "load-model", "", "load a previously saved model instead of training")
+	fs.BoolVar(&o.verbose, "v", false, "print the model and every report")
+	fs.IntVar(&o.parallel, "parallel", 0, "worker-pool size for run collection (0 = EDDIE_PARALLELISM env or GOMAXPROCS)")
+	fs.BoolVar(&o.showMetrics, "metrics", false, "attach the metrics layer to monitoring and print its JSON snapshot")
+	fs.StringVar(&o.experiment, "experiment", "", `run a named experiment instead of train/monitor: "robustness"`)
+	fs.StringVar(&o.outFile, "out", "BENCH_robustness.json", "experiment result JSON output path")
+	fs.BoolVar(&o.short, "short", false, "experiment mode: scaled-down run counts")
+	fs.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event JSON file of every pipeline stage (load in Perfetto)")
+	fs.StringVar(&o.serveAddr, "serve", "", `serve debug endpoints on this address (e.g. ":8080"): /debug/vars, /debug/pprof/*, /metrics, /eddie/last-alarm, /eddie/fleet`)
+	fs.StringVar(&o.fleetAddr, "fleet", "", `run the fleet monitoring server on this address (e.g. ":9000"); requires -model-dir`)
+	fs.StringVar(&o.modelDir, "model-dir", "", "fleet mode: directory of models saved with -save-model, one <workload>.json per workload")
+	fs.IntVar(&o.maxSessions, "fleet-max-sessions", 0, "fleet mode: concurrent device session bound (0 = scale with the worker pool)")
+	fs.DurationVar(&o.drainTimeout, "fleet-drain-timeout", 30*time.Second, "fleet mode: how long a SIGTERM drain may take before sessions are force-closed")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		err := fmt.Errorf("unexpected arguments: %v", fs.Args())
+		fmt.Fprintln(stderr, "eddie:", err)
+		return nil, err
+	}
+	return o, nil
+}
+
+// validate rejects nonsensical flag combinations up front, before any
+// training or serving starts.
+func (o *options) validate() error {
+	if o.list {
+		return nil
+	}
+	switch o.mode {
+	case "iot", "sim":
+	default:
+		return fmt.Errorf("unknown mode %q (want iot or sim)", o.mode)
+	}
+	if o.experiment != "" {
+		if o.experiment != "robustness" {
+			return fmt.Errorf("unknown experiment %q (want robustness)", o.experiment)
+		}
+		return nil
+	}
+	switch o.attack {
+	case "none", "burst", "inloop":
+	default:
+		return fmt.Errorf("unknown attack %q (want none, burst or inloop)", o.attack)
+	}
+	if o.burstSize < 1 {
+		return fmt.Errorf("-burst-size %d: need at least one injected instruction", o.burstSize)
+	}
+	if o.instrs < 1 {
+		return fmt.Errorf("-instrs %d: need at least one injected instruction per iteration", o.instrs)
+	}
+	if o.memOps < 0 || o.memOps > o.instrs {
+		return fmt.Errorf("-memops %d outside [0, %d] (-instrs)", o.memOps, o.instrs)
+	}
+	if !(o.contamination >= 0 && o.contamination <= 1) { // also rejects NaN
+		return fmt.Errorf("-contamination %v outside [0, 1]", o.contamination)
+	}
+	if o.nest < 0 {
+		return fmt.Errorf("-nest %d: negative loop nest", o.nest)
+	}
+	if o.fleetAddr != "" {
+		if o.modelDir == "" {
+			return errors.New("-fleet requires -model-dir (train with -save-model first)")
+		}
+		if o.maxSessions < 0 {
+			return fmt.Errorf("-fleet-max-sessions %d: negative session bound", o.maxSessions)
+		}
+		if o.drainTimeout <= 0 {
+			return fmt.Errorf("-fleet-drain-timeout %v: need a positive drain budget", o.drainTimeout)
+		}
+		return nil
+	}
+	if o.loadModel == "" && o.trainRuns < 1 {
+		return fmt.Errorf("-train %d: need at least one training run (or -load-model)", o.trainRuns)
+	}
+	if o.monitorRuns < 1 {
+		return fmt.Errorf("-monitor %d: need at least one monitoring run", o.monitorRuns)
+	}
+	return nil
+}
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is the testable entry point: parse, validate, dispatch.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	o, err := parseArgs(args, stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		// parseArgs and the FlagSet have already written the diagnostics.
+		return 2
+	}
+	if err := o.validate(); err != nil {
+		fmt.Fprintln(stderr, "eddie:", err)
+		return 2
+	}
+	eddie.SetParallelism(o.parallel)
+
+	switch {
+	case o.list:
 		for _, w := range eddie.Workloads() {
-			fmt.Println(w.Name)
+			fmt.Fprintln(stdout, w.Name)
 		}
-		return
-	}
-	if *experiment != "" {
-		if err := runExperiment(*experiment, *outFile, *short, *showMetrics); err != nil {
-			fmt.Fprintln(os.Stderr, "eddie:", err)
-			os.Exit(1)
+		return 0
+	case o.experiment != "":
+		if err := runExperiment(o, stdout); err != nil {
+			fmt.Fprintln(stderr, "eddie:", err)
+			return 1
 		}
-		return
+		return 0
+	case o.fleetAddr != "":
+		if err := runFleet(o, stdout, stderr); err != nil {
+			fmt.Fprintln(stderr, "eddie:", err)
+			return 1
+		}
+		return 0
+	default:
+		if err := run(o, stdout); err != nil {
+			fmt.Fprintln(stderr, "eddie:", err)
+			return 1
+		}
+		return 0
 	}
-	if err := run(*workload, *mode, *trainRuns, *monitorRuns, *attack,
-		*burstSize, *nest, *instrs, *memOps, *contamination,
-		*saveModel, *loadModel, *verbose, *showMetrics,
-		*traceOut, *serveAddr); err != nil {
-		fmt.Fprintln(os.Stderr, "eddie:", err)
-		os.Exit(1)
+}
+
+// pipelineConfig resolves -mode (validate already vetted it).
+func pipelineConfig(mode string) eddie.PipelineConfig {
+	if mode == "sim" {
+		return eddie.SimulatorPipeline()
+	}
+	return eddie.IoTPipeline()
+}
+
+// runFleet runs the long-lived fleet monitoring server until SIGINT or
+// SIGTERM, then drains gracefully.
+func runFleet(o *options, stdout, stderr io.Writer) error {
+	cfg := pipelineConfig(o.mode)
+	reg := eddie.NewDetectorMetrics().Reg
+	srv, err := eddie.NewFleetServer(eddie.FleetConfig{
+		Models: eddie.NewFleetDirModels(o.modelDir),
+		Stream: eddie.StreamConfig{
+			STFT:    cfg.STFT,
+			Peaks:   cfg.Peaks,
+			Monitor: eddie.DefaultMonitorConfig(),
+		},
+		MaxSessions: o.maxSessions,
+		Registry:    reg,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stdout, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	if o.serveAddr != "" {
+		reg.Publish("eddie") // /debug/vars; idempotent
+		ln, err := net.Listen("tcp", o.serveAddr)
+		if err != nil {
+			return err
+		}
+		mux := eddie.NewDebugMux(reg, nil, nil, srv)
+		fmt.Fprintf(stdout, "serving debug endpoints on http://%s (/metrics /eddie/fleet)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				fmt.Fprintln(stderr, "eddie: serve:", err)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", o.fleetAddr)
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "fleet server on %s, models from %s (%s pipeline); SIGTERM drains\n",
+		ln.Addr(), o.modelDir, o.mode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(stdout, "received %v, draining (budget %v)...\n", s, o.drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(stderr, "eddie: drain incomplete: %v\n", err)
+		}
+		<-serveDone
+		fmt.Fprintln(stdout, "fleet server stopped")
+		return nil
+	case err := <-serveDone:
+		return err
 	}
 }
 
 // runExperiment dispatches -experiment and writes the machine-readable
 // result JSON.
-func runExperiment(name, outFile string, short, showMetrics bool) error {
-	switch name {
-	case "robustness":
-		env := experiments.NewEnv(short)
-		var dm *eddie.DetectorMetrics
-		if showMetrics {
-			// One concurrency-safe bundle shared by every monitor the
-			// experiment builds: the counters aggregate across the sweep.
-			dm = eddie.NewDetectorMetrics()
-			env.MonitorCfg.Stats = dm
-		}
-		res, err := experiments.Robustness(env, os.Stdout)
-		if err != nil {
-			return err
-		}
-		if dm != nil {
-			fmt.Println("metrics:")
-			fmt.Println(dm.Reg)
-		}
-		b, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(outFile, append(b, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Println("wrote", outFile)
-		return nil
-	default:
-		return fmt.Errorf("unknown experiment %q (want robustness)", name)
+func runExperiment(o *options, stdout io.Writer) error {
+	env := experiments.NewEnv(o.short)
+	var dm *eddie.DetectorMetrics
+	if o.showMetrics {
+		// One concurrency-safe bundle shared by every monitor the
+		// experiment builds: the counters aggregate across the sweep.
+		dm = eddie.NewDetectorMetrics()
+		env.MonitorCfg.Stats = dm
 	}
-}
-
-func run(workload, mode string, trainRuns, monitorRuns int, attack string,
-	burstSize, nest, instrs, memOps int, contamination float64,
-	saveModel, loadModel string, verbose, showMetrics bool,
-	traceOut, serveAddr string) error {
-	w, err := eddie.WorkloadByName(workload)
+	res, err := experiments.Robustness(env, stdout)
 	if err != nil {
 		return err
 	}
-	var cfg eddie.PipelineConfig
-	switch mode {
-	case "iot":
-		cfg = eddie.IoTPipeline()
-	case "sim":
-		cfg = eddie.SimulatorPipeline()
-	default:
-		return fmt.Errorf("unknown mode %q (want iot or sim)", mode)
+	if dm != nil {
+		fmt.Fprintln(stdout, "metrics:")
+		fmt.Fprintln(stdout, dm.Reg)
 	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(o.outFile, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "wrote", o.outFile)
+	return nil
+}
+
+func run(o *options, stdout io.Writer) error {
+	w, err := eddie.WorkloadByName(o.workload)
+	if err != nil {
+		return err
+	}
+	cfg := pipelineConfig(o.mode)
 
 	// Observability: a span recorder when a trace sink exists, a flight
 	// recorder whenever we serve (so /eddie/last-alarm has evidence).
 	var rec *eddie.TraceRecorder
-	if traceOut != "" || serveAddr != "" {
+	if o.traceOut != "" || o.serveAddr != "" {
 		rec = eddie.NewTraceRecorder()
 		cfg.Trace = rec
 	}
 	var flight *eddie.FlightRecorder
-	if serveAddr != "" || verbose {
+	if o.serveAddr != "" || o.verbose {
 		flight = eddie.NewFlightRecorder(0)
 	}
 	var dm *eddie.DetectorMetrics
-	if showMetrics || serveAddr != "" {
+	if o.showMetrics || o.serveAddr != "" {
 		// One bundle across all monitored runs: the counters aggregate.
 		dm = eddie.NewDetectorMetrics()
 	}
-	if serveAddr != "" {
+	if o.serveAddr != "" {
 		dm.Reg.Publish("eddie") // /debug/vars; idempotent
-		ln, err := net.Listen("tcp", serveAddr)
+		ln, err := net.Listen("tcp", o.serveAddr)
 		if err != nil {
 			return err
 		}
-		mux := eddie.NewDebugMux(dm.Reg, flight, rec)
-		fmt.Printf("serving debug endpoints on http://%s (/debug/vars /debug/pprof/ /metrics /eddie/last-alarm)\n", ln.Addr())
+		mux := eddie.NewDebugMux(dm.Reg, flight, rec, nil)
+		fmt.Fprintf(stdout, "serving debug endpoints on http://%s (/debug/vars /debug/pprof/ /metrics /eddie/last-alarm)\n", ln.Addr())
 		go func() {
 			if err := http.Serve(ln, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "eddie: serve:", err)
@@ -160,40 +352,40 @@ func run(workload, mode string, trainRuns, monitorRuns int, attack string,
 
 	var model *eddie.Model
 	var machine *eddie.Machine
-	if loadModel != "" {
+	if o.loadModel != "" {
 		machine, err = eddie.BuildMachine(w)
 		if err != nil {
 			return err
 		}
-		model, err = eddie.LoadModel(loadModel, machine)
+		model, err = eddie.LoadModel(o.loadModel, machine)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("loaded model for %s from %s\n", model.ProgramName, loadModel)
+		fmt.Fprintf(stdout, "loaded model for %s from %s\n", model.ProgramName, o.loadModel)
 	} else {
-		fmt.Printf("training %s on %d runs (%s pipeline)...\n", workload, trainRuns, mode)
-		model, machine, err = eddie.Train(w, cfg, trainRuns, eddie.DefaultTrainConfig())
+		fmt.Fprintf(stdout, "training %s on %d runs (%s pipeline)...\n", o.workload, o.trainRuns, o.mode)
+		model, machine, err = eddie.Train(w, cfg, o.trainRuns, eddie.DefaultTrainConfig())
 		if err != nil {
 			return err
 		}
 	}
-	if saveModel != "" {
-		if err := eddie.SaveModel(model, saveModel); err != nil {
+	if o.saveModel != "" {
+		if err := eddie.SaveModel(model, o.saveModel); err != nil {
 			return err
 		}
-		fmt.Println("model saved to", saveModel)
+		fmt.Fprintln(stdout, "model saved to", o.saveModel)
 	}
-	if verbose {
-		fmt.Println(model)
+	if o.verbose {
+		fmt.Fprintln(stdout, model)
 	}
-	if nest < 0 || nest >= len(machine.Nests) {
-		return fmt.Errorf("workload %s has %d loop nests; -nest %d out of range", workload, len(machine.Nests), nest)
+	if o.nest >= len(machine.Nests) {
+		return fmt.Errorf("workload %s has %d loop nests; -nest %d out of range", o.workload, len(machine.Nests), o.nest)
 	}
 	var injector eddie.Injector
-	switch attack {
+	switch o.attack {
 	case "none":
 	case "burst":
-		injector = eddie.NewBurstInjector(machine, nest, burstSize)
+		injector = eddie.NewBurstInjector(machine, o.nest, o.burstSize)
 	case "inloop":
 		// Target the nest's hottest inner loop (profiled), like a real
 		// attacker maximizing executed work per unit time.
@@ -201,12 +393,10 @@ func run(workload, mode string, trainRuns, monitorRuns int, attack string,
 		if err != nil {
 			return err
 		}
-		injector = eddie.NewInLoopInjectorAt(headers[nest], instrs, memOps, contamination, 1)
-	default:
-		return fmt.Errorf("unknown attack %q (want none, burst or inloop)", attack)
+		injector = eddie.NewInLoopInjectorAt(headers[o.nest], o.instrs, o.memOps, o.contamination, 1)
 	}
 	if injector != nil {
-		fmt.Println("attack:", injector.Description())
+		fmt.Fprintln(stdout, "attack:", injector.Description())
 	}
 
 	mc := eddie.DefaultMonitorConfig()
@@ -216,7 +406,7 @@ func run(workload, mode string, trainRuns, monitorRuns int, attack string,
 	mc.Trace = rec
 	mc.Flight = flight
 	agg := &eddie.Metrics{}
-	for i := 0; i < monitorRuns; i++ {
+	for i := 0; i < o.monitorRuns; i++ {
 		runIdx := 1000 + i*7
 		collected, err := eddie.CollectRun(w, machine, cfg, runIdx, injector)
 		if err != nil {
@@ -231,36 +421,36 @@ func run(workload, mode string, trainRuns, monitorRuns int, attack string,
 			return err
 		}
 		agg.Merge(m)
-		fmt.Printf("run %d: %d windows, %d reports, %s\n",
+		fmt.Fprintf(stdout, "run %d: %d windows, %d reports, %s\n",
 			runIdx, len(collected.STS), len(mon.Reports), m)
-		if verbose {
+		if o.verbose {
 			for _, r := range mon.Reports {
-				fmt.Printf("  report at window %d (t=%.3f ms, region %v)\n",
+				fmt.Fprintf(stdout, "  report at window %d (t=%.3f ms, region %v)\n",
 					r.Window, r.TimeSec*1e3, r.Region)
 			}
 		}
 	}
-	fmt.Printf("aggregate over %d runs: %s\n", monitorRuns, agg)
-	if showMetrics && dm != nil {
-		fmt.Println("metrics:")
-		fmt.Println(dm.Reg)
+	fmt.Fprintf(stdout, "aggregate over %d runs: %s\n", o.monitorRuns, agg)
+	if o.showMetrics && dm != nil {
+		fmt.Fprintln(stdout, "metrics:")
+		fmt.Fprintln(stdout, dm.Reg)
 	}
 	if flight != nil {
 		if a := flight.LastAlarm(); a != nil {
-			fmt.Printf("last alarm: window %d (t=%.3f ms, region %d, streak %d), rejected ranks %v\n",
+			fmt.Fprintf(stdout, "last alarm: window %d (t=%.3f ms, region %d, streak %d), rejected ranks %v\n",
 				a.Window, a.TimeSec*1e3, a.Region, a.Streak, a.RejectedRanks)
 		} else {
-			fmt.Println("last alarm: none")
+			fmt.Fprintln(stdout, "last alarm: none")
 		}
 	}
-	if traceOut != "" && rec != nil {
-		if err := rec.WriteChromeTraceFile(traceOut); err != nil {
+	if o.traceOut != "" && rec != nil {
+		if err := rec.WriteChromeTraceFile(o.traceOut); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d trace events to %s (open in Perfetto / chrome://tracing)\n", rec.Len(), traceOut)
+		fmt.Fprintf(stdout, "wrote %d trace events to %s (open in Perfetto / chrome://tracing)\n", rec.Len(), o.traceOut)
 	}
-	if serveAddr != "" {
-		fmt.Println("monitoring done; still serving (Ctrl-C to exit)")
+	if o.serveAddr != "" {
+		fmt.Fprintln(stdout, "monitoring done; still serving (Ctrl-C to exit)")
 		select {}
 	}
 	return nil

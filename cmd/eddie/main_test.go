@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"eddie"
+	"eddie/internal/pipeline/pipetest"
+)
+
+// syncWriter is a goroutine-safe output sink: the fleet-mode test reads
+// it while the server goroutine writes log lines.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestFlagValidation drives the CLI's front door: every nonsensical
+// flag combination must be rejected up front with exit code 2 and a
+// diagnostic, before any training or serving starts.
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string // substring of the stderr diagnostic
+	}{
+		{"bad mode", []string{"-mode", "quantum"}, "unknown mode"},
+		{"bad attack", []string{"-attack", "meltdown"}, "unknown attack"},
+		{"bad experiment", []string{"-experiment", "nope"}, "unknown experiment"},
+		{"zero train", []string{"-train", "0"}, "-train 0"},
+		{"negative train", []string{"-train", "-3"}, "-train -3"},
+		{"zero monitor", []string{"-monitor", "0"}, "-monitor 0"},
+		{"zero burst", []string{"-burst-size", "0"}, "-burst-size 0"},
+		{"negative burst", []string{"-attack", "burst", "-burst-size", "-5"}, "-burst-size -5"},
+		{"zero instrs", []string{"-attack", "inloop", "-instrs", "0"}, "-instrs 0"},
+		{"memops above instrs", []string{"-instrs", "4", "-memops", "9"}, "-memops 9"},
+		{"negative memops", []string{"-memops", "-1"}, "-memops -1"},
+		{"contamination above one", []string{"-contamination", "1.5"}, "-contamination 1.5"},
+		{"contamination negative", []string{"-contamination", "-0.1"}, "-contamination -0.1"},
+		{"contamination NaN", []string{"-contamination", "NaN"}, "-contamination NaN"},
+		{"negative nest", []string{"-nest", "-1"}, "-nest -1"},
+		{"fleet without model dir", []string{"-fleet", ":0"}, "-model-dir"},
+		{"fleet negative sessions", []string{"-fleet", ":0", "-model-dir", "x", "-fleet-max-sessions", "-2"}, "-fleet-max-sessions"},
+		{"fleet zero drain", []string{"-fleet", ":0", "-model-dir", "x", "-fleet-drain-timeout", "0s"}, "-fleet-drain-timeout"},
+		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
+		{"positional junk", []string{"bitcount"}, "unexpected arguments"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := realMain(tc.args, &stdout, &stderr)
+			if code != 2 {
+				t.Fatalf("exit code %d, want 2 (stderr %q)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("stderr %q, want substring %q", stderr.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestHelpAndList checks the zero-exit informational paths.
+func TestHelpAndList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-h exit code %d, want 0", code)
+	}
+	if !strings.Contains(stderr.String(), "-workload") {
+		t.Fatalf("-h did not print usage: %q", stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := realMain([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit code %d, stderr %q", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "bitcount") {
+		t.Fatalf("-list output %q misses bitcount", stdout.String())
+	}
+}
+
+// TestRunErrorsExitNonZero checks runtime failures (past validation)
+// exit 1 with a diagnostic.
+func TestRunErrorsExitNonZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"-workload", "nosuch"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "eddie:") {
+		t.Fatalf("stderr %q", stderr.String())
+	}
+
+	stderr.Reset()
+	code = realMain([]string{"-load-model", "/nonexistent/model.json"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("missing model: exit code %d, want 1", code)
+	}
+}
+
+// TestFleetModeEndToEnd boots `eddie -fleet` against a saved model
+// directory, streams a session through the public client, then delivers
+// SIGTERM and expects a graceful drain.
+func TestFleetModeEndToEnd(t *testing.T) {
+	f := pipetest.Fixture(t)
+	dir := t.TempDir()
+	if err := eddie.SaveModel(f.Model, filepath.Join(dir, "bitcount.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fleet template must match what the model was trained under;
+	// the tiny fixture uses the sim pipeline.
+	stdout, stderr := &syncWriter{}, &syncWriter{}
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- realMain([]string{
+			"-fleet", "127.0.0.1:0", "-model-dir", dir, "-mode", "sim",
+			"-fleet-drain-timeout", "10s",
+		}, stdout, stderr)
+	}()
+
+	// The server prints its resolved address; poll for it.
+	var addr string
+	deadline := time.Now().Add(15 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet server never announced its address; stdout %q stderr %q",
+				stdout.String(), stderr.String())
+		}
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if strings.HasPrefix(line, "fleet server on ") {
+				addr = strings.TrimSuffix(strings.Fields(line)[3], ",")
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	c, err := eddie.DialFleet(addr, eddie.FleetHello{Device: "cli-dev", Workload: "bitcount"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	samples := make([]float64, 4096)
+	if err := c.Send(samples); err != nil {
+		t.Fatal(err)
+	}
+	sum, _, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Samples != int64(len(samples)) {
+		t.Fatalf("summary samples %d, want %d", sum.Samples, len(samples))
+	}
+
+	// SIGTERM to our own process: only the CLI's handler is listening.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-codeCh:
+		if code != 0 {
+			t.Fatalf("fleet mode exit code %d; stderr %q", code, stderr.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("fleet server did not drain after SIGTERM; stdout %q", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "draining") {
+		t.Errorf("drain was not announced; stdout %q", stdout.String())
+	}
+}

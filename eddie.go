@@ -42,6 +42,7 @@ import (
 	"eddie/internal/cfg"
 	"eddie/internal/core"
 	"eddie/internal/dsp"
+	"eddie/internal/fleet"
 	"eddie/internal/impair"
 	"eddie/internal/inject"
 	"eddie/internal/isa"
@@ -144,6 +145,34 @@ type (
 	RankKS = obs.RankKS
 	// AlarmDump is the flight-recorder snapshot taken when a report fires.
 	AlarmDump = obs.AlarmDump
+	// FleetServer hosts one streaming detector session per connected
+	// device over a small length-prefixed TCP protocol (eddie -fleet).
+	FleetServer = fleet.Server
+	// FleetConfig configures a FleetServer: model source, per-session
+	// stream template, session/backpressure/timeout bounds, registry.
+	FleetConfig = fleet.Config
+	// FleetSessionInfo describes one device session in Sessions listings
+	// and the /eddie/fleet debug endpoint.
+	FleetSessionInfo = fleet.SessionInfo
+	// FleetModelSource resolves untrusted workload names to trained
+	// models for fleet sessions.
+	FleetModelSource = fleet.ModelSource
+	// FleetStaticModels serves fleet models from an in-memory map.
+	FleetStaticModels = fleet.StaticModels
+	// FleetDirModels serves fleet models from a directory of files saved
+	// by SaveModel, cached and shared across sessions.
+	FleetDirModels = fleet.DirModels
+	// FleetClient is the reference device client: dial, stream samples,
+	// collect reports.
+	FleetClient = fleet.Client
+	// FleetHello opens a fleet session (device name, workload name).
+	FleetHello = fleet.Hello
+	// FleetWelcome acknowledges a fleet hello.
+	FleetWelcome = fleet.Welcome
+	// FleetReport is one anomaly report streamed back to a device.
+	FleetReport = fleet.Report
+	// FleetSummary is a fleet session's final counters.
+	FleetSummary = fleet.Summary
 )
 
 // DefaultTrainConfig returns the paper-equivalent training configuration
@@ -258,15 +287,34 @@ func NewFlightRecorder(depth int) *FlightRecorder { return obs.NewFlightRecorder
 
 // NewDebugMux builds the eddie -serve HTTP handler: /debug/vars
 // (expvar), /debug/pprof/*, /metrics (Prometheus text exposition of the
-// registry), /eddie/last-alarm, /eddie/flight and /eddie/trace. Any
-// argument may be nil; the corresponding endpoint then reports not
-// found or serves empty data.
-func NewDebugMux(reg *MetricsRegistry, flight *FlightRecorder, trace *TraceRecorder) *http.ServeMux {
+// registry), /eddie/last-alarm, /eddie/flight, /eddie/fleet and
+// /eddie/trace. Any argument may be nil; the corresponding endpoint
+// then reports not found or serves empty data.
+func NewDebugMux(reg *MetricsRegistry, flight *FlightRecorder, trace *TraceRecorder, fleetSrv *FleetServer) *http.ServeMux {
 	s := obs.ServeState{Flight: flight, Trace: trace}
 	if reg != nil {
 		s.Metrics = reg
 	}
+	if fleetSrv != nil {
+		s.Fleet = fleetSrv
+	}
 	return obs.NewMux(s)
+}
+
+// NewFleetServer creates a fleet monitoring server; start it with
+// ListenAndServe (or Serve on an existing listener) and stop it with
+// Shutdown for a graceful drain.
+func NewFleetServer(c FleetConfig) (*FleetServer, error) { return fleet.NewServer(c) }
+
+// NewFleetDirModels creates a fleet model source backed by a directory
+// of model files saved by SaveModel, one per workload
+// (<dir>/<workload>.json).
+func NewFleetDirModels(dir string) *FleetDirModels { return fleet.NewDirModels(dir) }
+
+// DialFleet connects a device client to a fleet server: stream samples
+// with Send, then Finish to collect the summary and reports.
+func DialFleet(addr string, hello FleetHello) (*FleetClient, error) {
+	return fleet.Dial(addr, hello)
 }
 
 // ReduceSignal converts a captured (possibly impaired) signal back into

@@ -136,8 +136,12 @@ type Monitor struct {
 
 	// Reports collects the anomalies reported so far.
 	Reports []Report
-	// Outcomes collects one record per observed STS.
+	// Outcomes collects one record per observed STS (since the last
+	// TrimHistory call; see OutcomeAt for absolute-index access).
 	Outcomes []WindowOutcome
+	// trimmed is the number of outcomes discarded by TrimHistory:
+	// Outcomes[0] describes absolute window index trimmed.
+	trimmed int
 
 	// Observability state: the trace track, the per-rank provenance
 	// capture scratch and the reusable window records (main decision and
@@ -227,6 +231,41 @@ func startRegion(model *Model) cfg.RegionID {
 
 // CurrentRegion returns the monitor's current region estimate.
 func (m *Monitor) CurrentRegion() cfg.RegionID { return m.cur }
+
+// TrimHistory drops the oldest Outcomes and Reports so that at most keep
+// of each remain, releasing the memory a long-running monitoring session
+// would otherwise accumulate without bound (a day-long device stream
+// produces millions of windows). Decision state — the sliding STS ring,
+// the region estimate, streaks — is untouched: trimming never changes
+// verdicts. Absolute window indexing survives via OutcomeAt.
+func (m *Monitor) TrimHistory(keep int) {
+	if keep < 0 {
+		keep = 0
+	}
+	if drop := len(m.Outcomes) - keep; drop > 0 {
+		m.trimmed += drop
+		m.Outcomes = append(m.Outcomes[:0], m.Outcomes[drop:]...)
+	}
+	if drop := len(m.Reports) - keep; drop > 0 {
+		m.Reports = append(m.Reports[:0], m.Reports[drop:]...)
+	}
+}
+
+// Trimmed returns how many outcomes TrimHistory has discarded; the
+// outcome of absolute window w lives at Outcomes[w-Trimmed()].
+func (m *Monitor) Trimmed() int { return m.trimmed }
+
+// OutcomeAt returns the outcome of the window with absolute index w
+// (counting every window ever observed, regardless of trimming). The
+// second result is false when the window was trimmed away or not yet
+// observed.
+func (m *Monitor) OutcomeAt(w int) (WindowOutcome, bool) {
+	i := w - m.trimmed
+	if i < 0 || i >= len(m.Outcomes) {
+		return WindowOutcome{}, false
+	}
+	return m.Outcomes[i], true
+}
 
 // groupSize returns the effective K-S group size for a region.
 func (m *Monitor) groupSize(rm *RegionModel) int {

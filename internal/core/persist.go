@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"eddie/internal/cfg"
@@ -100,8 +101,83 @@ func (m *Model) SaveFile(path string) error {
 	return f.Close()
 }
 
+// Hard sanity caps on loaded models. In fleet mode the model file is
+// named by a remote client, so a hostile or corrupt file must not be
+// able to provoke a panic, a silent mis-detection, or an oversized
+// allocation (the monitor allocates ring buffers of MaxGroupSize+1
+// windows up front).
+const (
+	maxLoadGroupSize = 1 << 20
+	maxLoadNumPeaks  = 1 << 12
+)
+
+// checkSortedFinite verifies one reference sample: every value finite
+// (NaN/Inf poison the K-S comparisons into silently accepting or
+// rejecting everything) and sorted ascending (the two-sample K-S walk
+// assumes sorted references; unsorted data yields garbage statistics,
+// not an error).
+func checkSortedFinite(region cfg.RegionID, what string, xs []float64) error {
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("core: model region %d: %s[%d] is not finite", region, what, i)
+		}
+		if i > 0 && x < xs[i-1] {
+			return fmt.Errorf("core: model region %d: %s not sorted ascending at index %d", region, what, i)
+		}
+	}
+	return nil
+}
+
+// validateRegionFile checks one region's reference data against the
+// invariants Save guarantees and the monitor assumes.
+func validateRegionFile(rf *regionModelFile) error {
+	id := rf.Region
+	if rf.NumPeaks < 0 || rf.NumPeaks > maxLoadNumPeaks {
+		return fmt.Errorf("core: model region %d has invalid peak count %d", id, rf.NumPeaks)
+	}
+	if rf.GroupSize < 1 || rf.GroupSize > maxLoadGroupSize {
+		return fmt.Errorf("core: model region %d has invalid group size %d", id, rf.GroupSize)
+	}
+	if rf.TrainWindows < 0 {
+		return fmt.Errorf("core: model region %d has negative train windows %d", id, rf.TrainWindows)
+	}
+	if len(rf.Ref) != rf.NumPeaks {
+		return fmt.Errorf("core: model region %d: %d reference ranks for %d peaks", id, len(rf.Ref), rf.NumPeaks)
+	}
+	for k, ref := range rf.Ref {
+		if err := checkSortedFinite(id, fmt.Sprintf("ref[%d]", k), ref); err != nil {
+			return err
+		}
+	}
+	for j := range rf.Modes {
+		mo := &rf.Modes[j]
+		if len(mo.Ref) != rf.NumPeaks {
+			return fmt.Errorf("core: model region %d mode %d: %d reference ranks for %d peaks (ragged)", id, j, len(mo.Ref), rf.NumPeaks)
+		}
+		for k, ref := range mo.Ref {
+			if err := checkSortedFinite(id, fmt.Sprintf("mode[%d].ref[%d]", j, k), ref); err != nil {
+				return err
+			}
+		}
+	}
+	if err := checkSortedFinite(id, "countRef", rf.CountRef); err != nil {
+		return err
+	}
+	if err := checkSortedFinite(id, "energyRef", rf.EnergyRef); err != nil {
+		return err
+	}
+	return nil
+}
+
 // LoadModel reads a model saved by Save and attaches it to the given
 // region machine, which must have been rebuilt from the same program.
+//
+// The file is treated as untrusted input (in fleet mode its name arrives
+// from a remote client): besides the format/fingerprint checks, every
+// reference sample is validated to be finite and sorted, region shapes
+// must be consistent (no ragged rank tables), and the group sizes are
+// bounds-checked so a corrupt file fails with a descriptive error rather
+// than a panic, an absurd allocation, or silent mis-detection.
 func LoadModel(r io.Reader, machine *cfg.Machine) (*Model, error) {
 	var mf modelFile
 	dec := json.NewDecoder(bufio.NewReader(r))
@@ -111,8 +187,13 @@ func LoadModel(r io.Reader, machine *cfg.Machine) (*Model, error) {
 	if mf.Format != modelFormatVersion {
 		return nil, fmt.Errorf("core: model format %d not supported (want %d)", mf.Format, modelFormatVersion)
 	}
-	if mf.Alpha <= 0 || mf.Alpha >= 1 {
+	// NaN fails every comparison, so test for the valid range instead of
+	// the invalid one.
+	if !(mf.Alpha > 0 && mf.Alpha < 1) {
 		return nil, fmt.Errorf("core: model has invalid alpha %g", mf.Alpha)
+	}
+	if mf.MaxGroupSize < 1 || mf.MaxGroupSize > maxLoadGroupSize {
+		return nil, fmt.Errorf("core: model has invalid max group size %d", mf.MaxGroupSize)
 	}
 	got := machineSummary{
 		Nests:   len(machine.Nests),
@@ -129,12 +210,19 @@ func LoadModel(r io.Reader, machine *cfg.Machine) (*Model, error) {
 		Alpha:        mf.Alpha,
 		MaxGroupSize: mf.MaxGroupSize,
 	}
-	for _, rf := range mf.Regions {
+	for i := range mf.Regions {
+		rf := &mf.Regions[i]
 		if machine.Region(rf.Region) == nil {
 			return nil, fmt.Errorf("core: model region %d not present in machine", rf.Region)
 		}
-		if rf.NumPeaks < 0 || rf.GroupSize < 0 {
-			return nil, fmt.Errorf("core: model region %d has negative sizes", rf.Region)
+		if m.Regions[rf.Region] != nil {
+			return nil, fmt.Errorf("core: model region %d appears twice", rf.Region)
+		}
+		if err := validateRegionFile(rf); err != nil {
+			return nil, err
+		}
+		if rf.GroupSize > mf.MaxGroupSize {
+			return nil, fmt.Errorf("core: model region %d group size %d exceeds max group size %d", rf.Region, rf.GroupSize, mf.MaxGroupSize)
 		}
 		rm := &RegionModel{
 			Region:       rf.Region,

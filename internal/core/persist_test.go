@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
+	"math"
 	"math/rand"
 	"path/filepath"
 	"strings"
@@ -127,6 +129,179 @@ func otherMachine(t *testing.T) *cfgMachine {
 		t.Fatal(err)
 	}
 	return m
+}
+
+// corruptModelJSON decodes a saved model into generic JSON, applies a
+// mutation, and re-encodes it — the corrupt-fixture factory for the
+// hostile-file tests below.
+func corruptModelJSON(t *testing.T, saved []byte, mutate func(m map[string]any)) *bytes.Buffer {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(saved, &m); err != nil {
+		t.Fatal(err)
+	}
+	mutate(m)
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewBuffer(b)
+}
+
+// testableRegion returns the first saved region with peaks and modes
+// (the interesting one to corrupt) as a generic JSON object.
+func testableRegion(t *testing.T, m map[string]any) map[string]any {
+	t.Helper()
+	for _, r := range m["regions"].([]any) {
+		reg := r.(map[string]any)
+		if reg["numPeaks"].(float64) > 0 && reg["modes"] != nil {
+			return reg
+		}
+	}
+	t.Fatal("no testable region in saved model")
+	return nil
+}
+
+// TestLoadModelRejectsCorruptFiles feeds LoadModel a battery of corrupt
+// model files — the kind a hostile fleet client could point the server
+// at — and asserts every one is rejected with a descriptive error
+// instead of a panic, an oversized allocation, or silent acceptance.
+func TestLoadModelRejectsCorruptFiles(t *testing.T) {
+	m := testMachine(t)
+	model, err := Train("synthetic", m, synthTrainingRuns(m, 4, 100e3, 250e3), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]byte(nil), buf.Bytes()...)
+
+	// The pristine bytes must still load (guards against the fixture
+	// factory itself breaking the file).
+	if _, err := LoadModel(bytes.NewReader(saved), m); err != nil {
+		t.Fatalf("pristine model rejected: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(mj map[string]any)
+		wantErr string
+	}{
+		{"alpha zero", func(mj map[string]any) { mj["alpha"] = 0.0 }, "invalid alpha"},
+		{"alpha one", func(mj map[string]any) { mj["alpha"] = 1.0 }, "invalid alpha"},
+		{"alpha negative", func(mj map[string]any) { mj["alpha"] = -0.5 }, "invalid alpha"},
+		{"alpha null", func(mj map[string]any) { mj["alpha"] = nil }, "invalid alpha"},
+		{"max group size zero", func(mj map[string]any) { mj["maxGroupSize"] = 0 }, "invalid max group size"},
+		{"max group size huge", func(mj map[string]any) { mj["maxGroupSize"] = 1 << 24 }, "invalid max group size"},
+		{"group size zero", func(mj map[string]any) {
+			testableRegion(t, mj)["groupSize"] = 0
+		}, "invalid group size"},
+		{"group size negative", func(mj map[string]any) {
+			testableRegion(t, mj)["groupSize"] = -3
+		}, "invalid group size"},
+		{"group size above max", func(mj map[string]any) {
+			testableRegion(t, mj)["groupSize"] = mj["maxGroupSize"].(float64) + 1
+		}, "exceeds max group size"},
+		{"negative peak count", func(mj map[string]any) {
+			testableRegion(t, mj)["numPeaks"] = -1
+		}, "invalid peak count"},
+		{"huge peak count", func(mj map[string]any) {
+			testableRegion(t, mj)["numPeaks"] = 1 << 20
+		}, ""},
+		{"negative train windows", func(mj map[string]any) {
+			testableRegion(t, mj)["trainWindows"] = -7
+		}, "negative train windows"},
+		{"ragged ref rows", func(mj map[string]any) {
+			reg := testableRegion(t, mj)
+			ref := reg["ref"].([]any)
+			reg["ref"] = ref[:len(ref)-1]
+		}, "reference ranks"},
+		{"ragged mode rows", func(mj map[string]any) {
+			reg := testableRegion(t, mj)
+			mode := reg["modes"].([]any)[0].(map[string]any)
+			ref := mode["ref"].([]any)
+			mode["ref"] = ref[:len(ref)-1]
+		}, "ragged"},
+		{"unsorted ref row", func(mj map[string]any) {
+			reg := testableRegion(t, mj)
+			row := reg["ref"].([]any)[0].([]any)
+			if len(row) < 2 {
+				t.Skip("ref row too short to unsort")
+			}
+			row[0], row[len(row)-1] = row[len(row)-1], row[0]
+		}, "not sorted"},
+		{"unsorted count ref", func(mj map[string]any) {
+			reg := testableRegion(t, mj)
+			row := reg["countRef"].([]any)
+			row[0] = row[len(row)-1].(float64) + 1
+		}, "not sorted"},
+		{"unknown region id", func(mj map[string]any) {
+			testableRegion(t, mj)["region"] = 9999
+		}, "not present in machine"},
+		{"duplicate region", func(mj map[string]any) {
+			regions := mj["regions"].([]any)
+			mj["regions"] = append(regions, regions[0])
+		}, "appears twice"},
+		{"no regions", func(mj map[string]any) {
+			mj["regions"] = []any{}
+		}, "no regions"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadModel(corruptModelJSON(t, saved, tc.mutate), m)
+			if err == nil {
+				t.Fatal("corrupt model accepted")
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestValidateRegionRejectsNonFinite exercises the NaN/Inf checks
+// directly: JSON itself cannot encode non-finite numbers, but the
+// validator is the last line of defense for any future binary format or
+// hand-built region model.
+func TestValidateRegionRejectsNonFinite(t *testing.T) {
+	base := func() regionModelFile {
+		return regionModelFile{
+			Region:   1,
+			NumPeaks: 1,
+			Ref:      [][]float64{{1, 2, 3}},
+			Modes: []regionModeFile{
+				{Run: 0, Ref: [][]float64{{1, 2, 3}}},
+			},
+			CountRef:  []float64{1, 2},
+			EnergyRef: []float64{1, 2},
+			GroupSize: 4,
+		}
+	}
+	if err := validateRegionFile(&regionModelFile{Region: 1, NumPeaks: 1, Ref: [][]float64{{1, 2}}, GroupSize: 4}); err != nil {
+		t.Fatalf("valid region rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(rf *regionModelFile)
+	}{
+		{"NaN in ref", func(rf *regionModelFile) { rf.Ref[0][1] = math.NaN() }},
+		{"+Inf in ref", func(rf *regionModelFile) { rf.Ref[0][2] = math.Inf(1) }},
+		{"-Inf in mode ref", func(rf *regionModelFile) { rf.Modes[0].Ref[0][0] = math.Inf(-1) }},
+		{"NaN in countRef", func(rf *regionModelFile) { rf.CountRef[0] = math.NaN() }},
+		{"NaN in energyRef", func(rf *regionModelFile) { rf.EnergyRef[1] = math.NaN() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rf := base()
+			tc.mutate(&rf)
+			if err := validateRegionFile(&rf); err == nil {
+				t.Error("non-finite reference accepted")
+			} else if !strings.Contains(err.Error(), "not finite") {
+				t.Errorf("error %q does not mention finiteness", err)
+			}
+		})
+	}
 }
 
 func TestLoadModelRejectsGarbage(t *testing.T) {

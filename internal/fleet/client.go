@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a minimal fleet-protocol device client: it opens a session,
+// streams sample frames, and collects the reports the server sends
+// back. It doubles as the reference implementation of the protocol for
+// third-party device firmware.
+type Client struct {
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	maxFrame int
+	timeout  time.Duration
+	welcome  Welcome
+	reports  []Report
+	closed   bool
+}
+
+// DialTimeout is the default per-operation client deadline.
+const DialTimeout = 30 * time.Second
+
+// Dial connects to a fleet server, performs the hello/welcome
+// handshake, and returns a ready client.
+func Dial(addr string, hello Hello) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:     conn,
+		br:       bufio.NewReaderSize(conn, 1<<16),
+		bw:       bufio.NewWriterSize(conn, 1<<16),
+		maxFrame: DefaultMaxFrameBytes,
+		timeout:  DialTimeout,
+	}
+	conn.SetDeadline(time.Now().Add(c.timeout))
+	if err := writeFrame(c.bw, FrameHello, mustJSON(hello)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	typ, payload, err := readFrame(c.br, c.maxFrame)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("fleet: reading welcome: %w", err)
+	}
+	switch typ {
+	case FrameWelcome:
+		if err := json.Unmarshal(payload, &c.welcome); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("fleet: bad welcome: %w", err)
+		}
+		conn.SetDeadline(time.Time{})
+		return c, nil
+	case FrameError:
+		conn.Close()
+		return nil, errors.New(decodeError(payload))
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("fleet: unexpected frame 0x%02x in handshake", typ)
+	}
+}
+
+// Welcome returns the server's session acknowledgment.
+func (c *Client) Welcome() Welcome { return c.welcome }
+
+// Send streams samples to the server, splitting them into frames under
+// the protocol's size cap.
+func (c *Client) Send(samples []float64) error {
+	if c.closed {
+		return errors.New("fleet: client closed")
+	}
+	maxPer := c.maxFrame / 8
+	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	for len(samples) > 0 {
+		n := len(samples)
+		if n > maxPer {
+			n = maxPer
+		}
+		if err := writeFrame(c.bw, FrameSamples, EncodeSamples(samples[:n])); err != nil {
+			return err
+		}
+		samples = samples[n:]
+	}
+	return c.bw.Flush()
+}
+
+// Finish says bye, then reads the remaining report events until the
+// server's summary arrives. It returns the summary and every report
+// received over the session's lifetime.
+func (c *Client) Finish() (Summary, []Report, error) {
+	var sum Summary
+	if c.closed {
+		return sum, c.reports, errors.New("fleet: client closed")
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	if err := writeFrame(c.bw, FrameBye, nil); err != nil {
+		return sum, c.reports, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return sum, c.reports, err
+	}
+	for {
+		c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+		typ, payload, err := readFrame(c.br, c.maxFrame)
+		if err != nil {
+			return sum, c.reports, fmt.Errorf("fleet: awaiting summary: %w", err)
+		}
+		switch typ {
+		case FrameReport:
+			var r Report
+			if err := json.Unmarshal(payload, &r); err != nil {
+				return sum, c.reports, fmt.Errorf("fleet: bad report: %w", err)
+			}
+			c.reports = append(c.reports, r)
+		case FrameSummary:
+			if err := json.Unmarshal(payload, &sum); err != nil {
+				return sum, c.reports, fmt.Errorf("fleet: bad summary: %w", err)
+			}
+			return sum, c.reports, nil
+		case FrameError:
+			return sum, c.reports, errors.New(decodeError(payload))
+		default:
+			return sum, c.reports, fmt.Errorf("fleet: unexpected frame 0x%02x", typ)
+		}
+	}
+}
+
+// Reports returns the report events collected so far.
+func (c *Client) Reports() []Report { return c.reports }
+
+// Close tears the connection down.
+func (c *Client) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// decodeError extracts the message of a FrameError payload.
+func decodeError(payload []byte) string {
+	var ei ErrorInfo
+	if err := json.Unmarshal(payload, &ei); err != nil || ei.Error == "" {
+		return "fleet: server error"
+	}
+	return ei.Error
+}

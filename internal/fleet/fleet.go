@@ -1,0 +1,388 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"eddie/internal/metrics"
+	"eddie/internal/par"
+	"eddie/internal/stream"
+)
+
+// Config configures a fleet server.
+type Config struct {
+	// Models resolves workload names from session hellos to trained
+	// models. Required.
+	Models ModelSource
+	// Stream is the per-session detector template: STFT, peak and
+	// monitor configuration. Each session gets its own copy (and its own
+	// flight recorder); per-session hooks in the template (Tap,
+	// GroundTruth) are dropped. STFT.SampleRate etc. must match what the
+	// models were trained under.
+	Stream stream.Config
+	// MaxSessions bounds concurrent device sessions; further connections
+	// are refused with a FrameError. Zero means 4×par.Parallelism(), but
+	// at least 8 (the detector work is CPU-bound, so the bound follows
+	// the machine's worker budget, same as the collection pool).
+	MaxSessions int
+	// IdleTimeout is the per-frame read deadline: a session that sends
+	// nothing for this long is torn down. Zero means 30s.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each outbound frame write. Zero means 10s.
+	WriteTimeout time.Duration
+	// MaxFrameBytes caps one frame's payload. Zero means
+	// DefaultMaxFrameBytes.
+	MaxFrameBytes int
+	// MaxPendingSamples is the per-session backpressure cap: when a
+	// session has this many decoded samples waiting for the detector,
+	// its reader stops draining the socket until the detector catches
+	// up, which pushes back on the device through TCP flow control.
+	// Zero means 1<<20 (one million samples ≈ 8 MB per slow session).
+	MaxPendingSamples int
+	// MaxHistoryWindows bounds each session monitor's retained outcome
+	// history (stream.Config.MaxHistoryWindows). Zero means 4096;
+	// negative keeps unbounded history (offline semantics).
+	MaxHistoryWindows int
+	// FlightDepth is each session's flight-recorder depth. Zero means
+	// the obs default; negative disables per-session flight recorders.
+	FlightDepth int
+	// Registry receives fleet-wide and per-device counters. Nil creates
+	// a private registry (exposed via Server.Registry).
+	Registry *metrics.Registry
+	// Logf, when non-nil, receives one line per session lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4 * par.Parallelism()
+		if c.MaxSessions < 8 {
+			c.MaxSessions = 8
+		}
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if c.MaxPendingSamples <= 0 {
+		c.MaxPendingSamples = 1 << 20
+	}
+	switch {
+	case c.MaxHistoryWindows == 0:
+		c.MaxHistoryWindows = 4096
+	case c.MaxHistoryWindows < 0:
+		c.MaxHistoryWindows = 0
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	return c
+}
+
+// Server hosts one streaming detector session per connected device.
+type Server struct {
+	cfg Config
+	reg *metrics.Registry
+
+	// Fleet-wide counters.
+	cAccepted   *metrics.Counter // connections accepted
+	cOpened     *metrics.Counter // sessions past a valid hello
+	cClosed     *metrics.Counter // sessions ended (any reason)
+	cRefused    *metrics.Counter // connections refused at capacity
+	cErrors     *metrics.Counter // sessions ended by a protocol error
+	cReports    *metrics.Counter // anomaly reports streamed out
+	cBackpress  *metrics.Counter // reader stalls on the pending cap
+	hSessionWin *metrics.Histogram
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[int64]*session
+	recent   []SessionInfo // ring of recently closed sessions
+	nextID   int64
+	draining bool
+	closed   bool
+
+	wg sync.WaitGroup // live session handlers
+}
+
+// recentClosedCap bounds the recently-closed session ring in Sessions
+// listings.
+const recentClosedCap = 32
+
+// NewServer creates a fleet server. Call Serve (or ListenAndServe) to
+// start accepting devices.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Models == nil {
+		return nil, fmt.Errorf("fleet: config needs a model source")
+	}
+	if err := cfg.Stream.STFT.Validate(); err != nil {
+		return nil, fmt.Errorf("fleet: stream template: %w", err)
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		sessions: map[int64]*session{},
+	}
+	s.cAccepted = s.reg.Counter("fleet_conns_accepted")
+	s.cOpened = s.reg.Counter("fleet_sessions_opened")
+	s.cClosed = s.reg.Counter("fleet_sessions_closed")
+	s.cRefused = s.reg.Counter("fleet_conns_refused")
+	s.cErrors = s.reg.Counter("fleet_session_errors")
+	s.cReports = s.reg.Counter("fleet_reports")
+	s.cBackpress = s.reg.Counter("fleet_backpressure_stalls")
+	s.hSessionWin = s.reg.Histogram("fleet_session_windows",
+		[]float64{16, 64, 256, 1024, 4096, 16384, 65536})
+	return s, nil
+}
+
+// Registry returns the server's metrics registry (for /metrics wiring).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// logf logs one line if a logger is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown or Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts device connections on ln until the listener is closed
+// by Shutdown or Close. It returns nil after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("fleet: server already shut down")
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("fleet: server already serving")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.logf("fleet: serving on %s (max %d sessions)", ln.Addr(), s.cfg.MaxSessions)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			stopping := s.draining || s.closed
+			s.mu.Unlock()
+			if stopping {
+				return nil
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.cAccepted.Inc()
+		if !s.admit(conn) {
+			continue
+		}
+	}
+}
+
+// admit registers a new connection under the session bound; refused
+// connections get an error frame and are closed. Returns false when the
+// connection was refused.
+func (s *Server) admit(conn net.Conn) bool {
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		s.refuse(conn, "server draining")
+		return false
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.cRefused.Inc()
+		s.refuse(conn, fmt.Sprintf("at capacity (%d sessions)", s.cfg.MaxSessions))
+		return false
+	}
+	s.nextID++
+	sess := newSession(s, s.nextID, conn)
+	s.sessions[sess.id] = sess
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		sess.run()
+		s.finish(sess)
+	}()
+	return true
+}
+
+// refuse sends a best-effort error frame and closes the connection.
+func (s *Server) refuse(conn net.Conn, why string) {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	writeFrame(conn, FrameError, mustJSON(ErrorInfo{Error: "fleet: " + why}))
+	conn.Close()
+}
+
+// finish unregisters an ended session and records its summary.
+func (s *Server) finish(sess *session) {
+	info := sess.info()
+	info.Active = false
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.recent = append(s.recent, info)
+	if len(s.recent) > recentClosedCap {
+		s.recent = append(s.recent[:0], s.recent[len(s.recent)-recentClosedCap:]...)
+	}
+	s.mu.Unlock()
+	s.cClosed.Inc()
+	if info.Error != "" {
+		s.cErrors.Inc()
+	}
+	s.hSessionWin.Observe(float64(info.Windows))
+	s.logf("fleet: session %d (%s/%s) closed: %d windows, %d reports%s",
+		sess.id, info.Device, info.Workload, info.Windows, info.Reports,
+		errSuffix(info.Error))
+}
+
+func errSuffix(e string) string {
+	if e == "" {
+		return ""
+	}
+	return ", error: " + e
+}
+
+// Shutdown gracefully drains the server: stop accepting, tell every
+// session to finish processing what it has already received, and wait
+// for them (or for ctx). Sessions still open when ctx expires are
+// force-closed. Safe to call multiple times.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining || s.closed
+	s.draining = true
+	ln := s.ln
+	var sessions []*session
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	if ln != nil && !already {
+		ln.Close()
+	}
+	for _, sess := range sessions {
+		sess.drain()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.Close()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close force-closes the listener and every session without draining.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	var sessions []*session
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+		if errors.Is(err, net.ErrClosed) {
+			err = nil
+		}
+	}
+	for _, sess := range sessions {
+		sess.close()
+	}
+	return err
+}
+
+// SessionInfo describes one device session for the /eddie/fleet listing.
+type SessionInfo struct {
+	Session    int64   `json:"session"`
+	Device     string  `json:"device"`
+	Workload   string  `json:"workload"`
+	Remote     string  `json:"remote"`
+	StartedAt  string  `json:"startedAt"`
+	Active     bool    `json:"active"`
+	Samples    int64   `json:"samples"`
+	Sanitized  int64   `json:"sanitized"`
+	Windows    int     `json:"windows"`
+	Reports    int     `json:"reports"`
+	LastWindow int     `json:"lastReportWindow"`
+	LastTime   float64 `json:"lastReportTimeSec"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// Sessions returns the active sessions (sorted by id) followed by the
+// most recently closed ones.
+func (s *Server) Sessions() []SessionInfo {
+	s.mu.Lock()
+	active := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		active = append(active, sess)
+	}
+	recent := append([]SessionInfo(nil), s.recent...)
+	s.mu.Unlock()
+	sort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })
+	out := make([]SessionInfo, 0, len(active)+len(recent))
+	for _, sess := range active {
+		out = append(out, sess.info())
+	}
+	return append(out, recent...)
+}
+
+// FleetSessions implements obs.SessionLister for the /eddie/fleet debug
+// endpoint.
+func (s *Server) FleetSessions() any {
+	s.mu.Lock()
+	activeN := len(s.sessions)
+	draining := s.draining
+	s.mu.Unlock()
+	return map[string]any{
+		"active":   activeN,
+		"max":      s.cfg.MaxSessions,
+		"draining": draining,
+		"sessions": s.Sessions(),
+	}
+}

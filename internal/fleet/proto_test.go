@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xab}, 1000)}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := writeFrame(&buf, FrameSamples, p); err != nil {
+			t.Fatalf("writeFrame: %v", err)
+		}
+	}
+	for i, want := range payloads {
+		typ, got, err := readFrame(&buf, DefaultMaxFrameBytes)
+		if err != nil {
+			t.Fatalf("frame %d: readFrame: %v", i, err)
+		}
+		if typ != FrameSamples {
+			t.Fatalf("frame %d: type 0x%02x", i, typ)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, FrameSamples, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readFrame(&buf, 50); err == nil {
+		t.Fatal("oversized frame accepted")
+	} else if !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	err := writeFrame(&buf, FrameSamples, make([]byte, DefaultMaxFrameBytes+1))
+	if err == nil {
+		t.Fatal("oversized payload written")
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, FrameReport, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := bytes.NewReader(full[:cut])
+		if _, _, err := readFrame(r, DefaultMaxFrameBytes); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestSamplesRoundTrip(t *testing.T) {
+	in := []float64{0, 1, -1, math.Pi, math.MaxFloat64, math.SmallestNonzeroFloat64, math.Inf(1), math.NaN()}
+	out, err := DecodeSamples(EncodeSamples(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if math.Float64bits(out[i]) != math.Float64bits(in[i]) {
+			t.Fatalf("sample %d: %x != %x", i, math.Float64bits(out[i]), math.Float64bits(in[i]))
+		}
+	}
+}
+
+func TestDecodeSamplesRejectsRaggedPayload(t *testing.T) {
+	if _, err := DecodeSamples(make([]byte, 12), nil); err == nil {
+		t.Fatal("ragged payload accepted")
+	}
+}
+
+func TestValidName(t *testing.T) {
+	good := []string{"a", "dev-01", "sensor.rack2_slot3", strings.Repeat("x", 64)}
+	for _, s := range good {
+		if !validName(s) {
+			t.Errorf("validName(%q) = false", s)
+		}
+	}
+	bad := []string{"", " ", "a b", "a/b", "../etc", "dev\x00", strings.Repeat("x", 65), "héllo"}
+	for _, s := range bad {
+		if validName(s) {
+			t.Errorf("validName(%q) = true", s)
+		}
+	}
+}

@@ -1,0 +1,447 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eddie/internal/metrics"
+	"eddie/internal/obs"
+	"eddie/internal/stream"
+)
+
+// item is one unit of session work, kept in arrival order: a decoded
+// sample chunk, or the end-of-stream marker from a FrameBye.
+type item struct {
+	samples []float64
+	bye     bool
+}
+
+// session is one connected device: a reader goroutine that decodes
+// frames into a bounded FIFO, and a processor goroutine that feeds the
+// detector and streams reports back. The bound is the backpressure
+// mechanism: when pending samples exceed the cap the reader stops
+// draining the socket, and TCP flow control pushes back on the device.
+type session struct {
+	s    *Server
+	id   int64
+	conn net.Conn
+
+	// Set during the handshake, read-only afterwards.
+	device   string
+	workload string
+	det      *stream.Detector
+	flight   *obs.FlightRecorder
+	started  time.Time
+
+	// Per-device counters in the server registry.
+	dSamples, dWindows, dReports, dSanitized *metrics.Counter
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []item
+	pending  int    // samples sitting in queue
+	stopRead bool   // reader finished; processor drains then finishes
+	closed   bool   // hard stop: processor exits without draining
+	finalMsg string // error sent to the client at session end ("" = clean)
+
+	// Progress counters, atomically readable by Sessions listings while
+	// the processor runs.
+	aSamples   atomic.Int64
+	aSanitized atomic.Int64
+	aWindows   atomic.Int64
+	aReports   atomic.Int64
+	lastWindow atomic.Int64
+	lastTime   atomic.Uint64 // float64 bits
+	errMsg     atomic.Pointer[string]
+}
+
+func newSession(s *Server, id int64, conn net.Conn) *session {
+	ss := &session{s: s, id: id, conn: conn, started: time.Now()}
+	ss.cond = sync.NewCond(&ss.mu)
+	ss.lastWindow.Store(-1)
+	return ss
+}
+
+// fail records the session's terminal error (first one wins).
+func (ss *session) fail(msg string) {
+	ss.errMsg.CompareAndSwap(nil, &msg)
+}
+
+// info snapshots the session for listings.
+func (ss *session) info() SessionInfo {
+	ss.mu.Lock()
+	active := !ss.closed
+	ss.mu.Unlock()
+	info := SessionInfo{
+		Session:    ss.id,
+		Device:     ss.device,
+		Workload:   ss.workload,
+		Remote:     ss.conn.RemoteAddr().String(),
+		StartedAt:  ss.started.UTC().Format(time.RFC3339),
+		Active:     active,
+		Samples:    ss.aSamples.Load(),
+		Sanitized:  ss.aSanitized.Load(),
+		Windows:    int(ss.aWindows.Load()),
+		Reports:    int(ss.aReports.Load()),
+		LastWindow: int(ss.lastWindow.Load()),
+	}
+	if bits := ss.lastTime.Load(); bits != 0 {
+		info.LastTime = math.Float64frombits(bits)
+	}
+	if e := ss.errMsg.Load(); e != nil {
+		info.Error = *e
+	}
+	return info
+}
+
+// run is the session lifecycle: handshake, then reader + processor
+// until the stream ends. It returns once the connection is closed.
+func (ss *session) run() {
+	defer ss.conn.Close()
+	if !ss.handshake() {
+		return
+	}
+	ss.s.cOpened.Inc()
+	ss.s.logf("fleet: session %d: device %s monitoring %s from %s",
+		ss.id, ss.device, ss.workload, ss.conn.RemoteAddr())
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ss.process()
+	}()
+	ss.read()
+	<-done
+}
+
+// handshake reads and validates the hello and builds the detector.
+// Failures answer with a FrameError and close the session.
+func (ss *session) handshake() bool {
+	ss.conn.SetReadDeadline(time.Now().Add(ss.s.cfg.IdleTimeout))
+	typ, payload, err := readFrame(ss.conn, ss.s.cfg.MaxFrameBytes)
+	if err != nil {
+		ss.abort(fmt.Sprintf("reading hello: %v", err))
+		return false
+	}
+	if typ != FrameHello {
+		ss.abort(fmt.Sprintf("expected hello frame, got 0x%02x", typ))
+		return false
+	}
+	var hello Hello
+	if err := json.Unmarshal(payload, &hello); err != nil {
+		ss.abort(fmt.Sprintf("bad hello: %v", err))
+		return false
+	}
+	if !validName(hello.Device) {
+		ss.abort("invalid device name (want 1-64 chars of [A-Za-z0-9._-])")
+		return false
+	}
+	if !validName(hello.Workload) {
+		ss.abort("invalid workload name (want 1-64 chars of [A-Za-z0-9._-])")
+		return false
+	}
+	model, err := ss.s.cfg.Models.Load(hello.Workload)
+	if err != nil {
+		ss.abort(fmt.Sprintf("loading model: %v", err))
+		return false
+	}
+
+	cfg := ss.s.cfg.Stream
+	// Per-session hooks from the template would be shared mutable state
+	// across devices; drop them. Each session gets its own flight
+	// recorder, and the shared registry aggregates fleet-wide detector
+	// metrics (its instruments are concurrency-safe).
+	cfg.Tap = nil
+	cfg.GroundTruth = nil
+	cfg.Impair = nil
+	cfg.Metrics = metrics.NewDetectorWith(ss.s.reg)
+	cfg.Monitor.Stats = nil
+	cfg.Monitor.Flight = nil
+	cfg.MaxHistoryWindows = ss.s.cfg.MaxHistoryWindows
+	if hello.DisableDCBlock {
+		cfg.DisableDCBlock = true
+	}
+	if ss.s.cfg.FlightDepth >= 0 {
+		ss.flight = obs.NewFlightRecorder(ss.s.cfg.FlightDepth)
+		cfg.Flight = ss.flight
+	} else {
+		cfg.Flight = nil
+	}
+	det, err := stream.NewDetector(model, cfg)
+	if err != nil {
+		ss.abort(fmt.Sprintf("creating detector: %v", err))
+		return false
+	}
+	ss.det = det
+	ss.device = hello.Device
+	ss.workload = hello.Workload
+	ss.dSamples = ss.s.reg.Counter("fleet_device_samples/" + ss.device)
+	ss.dWindows = ss.s.reg.Counter("fleet_device_windows/" + ss.device)
+	ss.dReports = ss.s.reg.Counter("fleet_device_reports/" + ss.device)
+	ss.dSanitized = ss.s.reg.Counter("fleet_device_sanitized/" + ss.device)
+
+	welcome := Welcome{
+		Session:    ss.id,
+		Device:     ss.device,
+		Workload:   ss.workload,
+		WindowSize: cfg.STFT.WindowSize,
+		HopSize:    cfg.STFT.HopSize,
+		SampleRate: cfg.STFT.SampleRate,
+		Regions:    len(model.Regions),
+	}
+	if err := ss.writeFrame(FrameWelcome, mustJSON(welcome)); err != nil {
+		ss.fail(fmt.Sprintf("writing welcome: %v", err))
+		return false
+	}
+	return true
+}
+
+// abort answers a handshake failure with a FrameError.
+func (ss *session) abort(msg string) {
+	ss.fail(msg)
+	ss.writeFrame(FrameError, mustJSON(ErrorInfo{Error: "fleet: " + msg}))
+}
+
+// armReadDeadline sets the idle read deadline for the next frame, or
+// reports false when the session stopped. Sharing ss.mu with drain()
+// means a drain can never be overwritten by a stale long deadline.
+func (ss *session) armReadDeadline() bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.stopRead || ss.closed {
+		return false
+	}
+	ss.conn.SetReadDeadline(time.Now().Add(ss.s.cfg.IdleTimeout))
+	return true
+}
+
+// read is the session's socket reader: it decodes frames and enqueues
+// sample chunks under the backpressure cap until the device says bye,
+// errs, goes idle, or the server drains.
+func (ss *session) read() {
+	for {
+		if !ss.armReadDeadline() {
+			ss.finishRead("", false)
+			return
+		}
+		typ, payload, err := readFrame(ss.conn, ss.s.cfg.MaxFrameBytes)
+		if err != nil {
+			if ss.drainRequested() {
+				ss.finishRead("server draining", false)
+				return
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				ss.finishRead(fmt.Sprintf("idle for %v", ss.s.cfg.IdleTimeout), false)
+				return
+			}
+			ss.finishRead(fmt.Sprintf("read: %v", err), false)
+			return
+		}
+		switch typ {
+		case FrameSamples:
+			samples, err := DecodeSamples(payload, nil)
+			if err != nil {
+				ss.finishRead(err.Error(), false)
+				return
+			}
+			if !ss.enqueue(item{samples: samples}) {
+				ss.finishRead("", false) // closed or draining underneath us
+				return
+			}
+		case FrameBye:
+			ss.finishRead("", true)
+			return
+		default:
+			ss.finishRead(fmt.Sprintf("unexpected frame 0x%02x", typ), false)
+			return
+		}
+	}
+}
+
+// finishRead ends the reader: optionally queues the bye marker, records
+// the terminal error, and wakes the processor.
+func (ss *session) finishRead(errMsg string, bye bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if bye {
+		ss.queue = append(ss.queue, item{bye: true})
+	}
+	if errMsg != "" && ss.finalMsg == "" {
+		ss.finalMsg = errMsg
+	}
+	ss.stopRead = true
+	ss.cond.Broadcast()
+}
+
+// drainRequested reports whether the server asked this session to
+// drain.
+func (ss *session) drainRequested() bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.stopRead
+}
+
+// enqueue adds a decoded chunk, blocking while the pending-sample cap
+// is exceeded (the backpressure stall). Returns false when the session
+// stopped while waiting.
+func (ss *session) enqueue(it item) bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	stalled := false
+	for ss.pending > 0 && ss.pending+len(it.samples) > ss.s.cfg.MaxPendingSamples &&
+		!ss.closed && !ss.stopRead {
+		if !stalled {
+			stalled = true
+			ss.s.cBackpress.Inc()
+		}
+		ss.cond.Wait()
+	}
+	if ss.closed || ss.stopRead {
+		return false
+	}
+	ss.queue = append(ss.queue, it)
+	ss.pending += len(it.samples)
+	ss.cond.Broadcast()
+	return true
+}
+
+// dequeue pops the next item in arrival order. ok is false once the
+// stream ended and the queue is empty (or the session was force-
+// closed).
+func (ss *session) dequeue() (item, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	for len(ss.queue) == 0 && !ss.stopRead && !ss.closed {
+		ss.cond.Wait()
+	}
+	if ss.closed || len(ss.queue) == 0 {
+		return item{}, false
+	}
+	it := ss.queue[0]
+	ss.queue = ss.queue[1:]
+	ss.pending -= len(it.samples)
+	ss.cond.Broadcast()
+	return it, true
+}
+
+// process feeds dequeued chunks to the detector in arrival order and
+// streams back every report, then sends the session's final frame
+// (summary after a bye, error otherwise).
+func (ss *session) process() {
+	sawBye := false
+	// Device counters may be shared by several sessions of the same
+	// device name, so deltas come from session-local progress, never
+	// from reading the shared counter back.
+	prevWindows, prevSanitized := 0, int64(0)
+	for {
+		it, ok := ss.dequeue()
+		if !ok {
+			break
+		}
+		if it.bye {
+			sawBye = true
+			break
+		}
+		reports := ss.det.Feed(it.samples)
+		ss.aSamples.Add(int64(len(it.samples)))
+		ss.aSanitized.Store(ss.det.Sanitized())
+		ss.aWindows.Store(int64(ss.det.Windows()))
+		ss.dSamples.Add(int64(len(it.samples)))
+		ss.dWindows.Add(int64(ss.det.Windows() - prevWindows))
+		ss.dSanitized.Add(ss.det.Sanitized() - prevSanitized)
+		prevWindows, prevSanitized = ss.det.Windows(), ss.det.Sanitized()
+		for i := range reports {
+			r := &reports[i]
+			ss.aReports.Add(1)
+			ss.dReports.Inc()
+			ss.s.cReports.Inc()
+			ss.lastWindow.Store(int64(r.Window))
+			ss.lastTime.Store(math.Float64bits(r.TimeSec))
+			ev := Report{
+				Device:  ss.device,
+				Session: ss.id,
+				Window:  r.Window,
+				TimeSec: r.TimeSec,
+				Region:  int(r.Region),
+			}
+			if err := ss.writeFrame(FrameReport, mustJSON(ev)); err != nil {
+				ss.fail(fmt.Sprintf("writing report: %v", err))
+				ss.close()
+				return
+			}
+		}
+	}
+
+	ss.mu.Lock()
+	finalMsg := ss.finalMsg
+	closed := ss.closed
+	ss.mu.Unlock()
+	if closed {
+		return
+	}
+	switch {
+	case sawBye:
+		sum := Summary{
+			Session:   ss.id,
+			Samples:   ss.aSamples.Load(),
+			Sanitized: ss.det.Sanitized(),
+			Windows:   ss.det.Windows(),
+			Reports:   int(ss.aReports.Load()),
+		}
+		if err := ss.writeFrame(FrameSummary, mustJSON(sum)); err != nil {
+			ss.fail(fmt.Sprintf("writing summary: %v", err))
+		}
+	default:
+		if finalMsg == "" {
+			finalMsg = "session closed"
+		}
+		ss.fail(finalMsg)
+		ss.writeFrame(FrameError, mustJSON(ErrorInfo{Error: "fleet: " + finalMsg}))
+	}
+}
+
+// writeFrame writes one outbound frame under the write deadline.
+func (ss *session) writeFrame(typ byte, payload []byte) error {
+	ss.conn.SetWriteDeadline(time.Now().Add(ss.s.cfg.WriteTimeout))
+	return writeFrame(ss.conn, typ, payload)
+}
+
+// drain asks the session to stop reading new frames, finish the queued
+// work, and close. Called by Server.Shutdown.
+func (ss *session) drain() {
+	ss.mu.Lock()
+	if ss.finalMsg == "" {
+		ss.finalMsg = "server draining"
+	}
+	ss.stopRead = true
+	ss.cond.Broadcast()
+	ss.mu.Unlock()
+	// Wake a reader blocked in a frame read.
+	ss.conn.SetReadDeadline(time.Now())
+}
+
+// close force-stops the session: the processor exits without draining
+// and the connection is torn down. Called by Server.Close.
+func (ss *session) close() {
+	ss.mu.Lock()
+	ss.closed = true
+	ss.stopRead = true
+	ss.cond.Broadcast()
+	ss.mu.Unlock()
+	ss.conn.Close()
+}
+
+// mustJSON marshals a protocol payload; the payload types marshal
+// without error by construction.
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("fleet: encoding %T: %v", v, err))
+	}
+	return b
+}

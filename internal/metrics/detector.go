@@ -49,8 +49,14 @@ type Detector struct {
 }
 
 // NewDetector creates a detector instrument bundle on a fresh registry.
-func NewDetector() *Detector {
-	reg := NewRegistry()
+func NewDetector() *Detector { return NewDetectorWith(NewRegistry()) }
+
+// NewDetectorWith creates a detector instrument bundle on an existing
+// registry. Instruments are resolved by name, so several bundles built
+// on the same registry share the same counters — this is how a fleet of
+// concurrent detector sessions aggregates into one scrape target. All
+// instruments are safe for concurrent use across sessions.
+func NewDetectorWith(reg *Registry) *Detector {
 	return &Detector{
 		Reg:            reg,
 		SamplesIn:      reg.Counter("samples_in"),

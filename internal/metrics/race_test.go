@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent is the metrics layer's concurrency proof: many
+// goroutines create and bump instruments (including dynamically named
+// ones, the fleet's per-device pattern) while others snapshot, marshal
+// and scrape the same registry. Run under -race, and the final counts
+// must still be exact — no increments lost to races.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const (
+		writers = 8
+		perG    = 5000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: snapshot, JSON and Prometheus scrapes throughout.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				reg.Snapshot()
+				if _, err := json.Marshal(reg); err != nil {
+					t.Error(err)
+					return
+				}
+				reg.WritePrometheus(io.Discard, "eddie")
+			}
+		}()
+	}
+
+	var writerWG sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		writerWG.Add(1)
+		go func(g int) {
+			defer writerWG.Done()
+			// A detector bundle per goroutine on the shared registry: the
+			// fleet's per-session wiring. Same names resolve to the same
+			// instruments.
+			d := NewDetectorWith(reg)
+			for i := 0; i < perG; i++ {
+				d.SamplesIn.Add(2)
+				d.Windows.Inc()
+				d.PeakCount.Observe(float64(i % 16))
+				// Dynamic per-key instruments, like per-device counters.
+				reg.Counter(fmt.Sprintf("device/%d", g%4)).Inc()
+				reg.Histogram("shared_hist", []float64{1, 10, 100}).Observe(float64(i))
+			}
+		}(g)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := reg.Counter("samples_in").Value(); got != writers*perG*2 {
+		t.Errorf("samples_in = %d, want %d", got, writers*perG*2)
+	}
+	if got := reg.Counter("sts_produced").Value(); got != writers*perG {
+		t.Errorf("sts_produced = %d, want %d", got, writers*perG)
+	}
+	var devTotal int64
+	for k := 0; k < 4; k++ {
+		devTotal += reg.Counter(fmt.Sprintf("device/%d", k)).Value()
+	}
+	if devTotal != writers*perG {
+		t.Errorf("device counters total %d, want %d", devTotal, writers*perG)
+	}
+	if got := reg.Histogram("shared_hist", nil).Snapshot().Count; got != writers*perG {
+		t.Errorf("shared_hist count %d, want %d", got, writers*perG)
+	}
+	if got := reg.Histogram("peak_count", nil).Snapshot().Count; got != writers*perG {
+		t.Errorf("peak_count count %d, want %d", got, writers*perG)
+	}
+}

@@ -16,6 +16,13 @@ type PromWriter interface {
 	WritePrometheus(w io.Writer, namespace string)
 }
 
+// SessionLister exposes a live listing of detector sessions; the fleet
+// server implements it (obs stays stdlib-only by depending on the
+// interface rather than the fleet package).
+type SessionLister interface {
+	FleetSessions() any
+}
+
 // ServeState bundles everything the debug mux exposes. Any field may be
 // nil; the corresponding endpoint then reports 404/empty.
 type ServeState struct {
@@ -27,6 +34,8 @@ type ServeState struct {
 	Flight *FlightRecorder
 	// Trace serves /eddie/trace (a live Chrome trace snapshot).
 	Trace *Recorder
+	// Fleet serves /eddie/fleet (the live device-session listing).
+	Fleet SessionLister
 }
 
 // NewMux builds the detector's debug HTTP mux:
@@ -36,6 +45,7 @@ type ServeState struct {
 //	/metrics           Prometheus text exposition of the registry
 //	/eddie/last-alarm  latest flight-recorder alarm dump (JSON)
 //	/eddie/flight      current flight-recorder ring contents (JSON)
+//	/eddie/fleet       live device-session listing (JSON)
 //	/eddie/trace       Chrome trace-event JSON of the spans so far
 //	/                  plain-text index of the above
 func NewMux(s ServeState) *http.ServeMux {
@@ -89,6 +99,14 @@ func NewMux(s ServeState) *http.ServeMux {
 		})
 	})
 
+	mux.HandleFunc("/eddie/fleet", func(w http.ResponseWriter, r *http.Request) {
+		if s.Fleet == nil {
+			http.Error(w, "no fleet server attached", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, s.Fleet.FleetSessions())
+	})
+
 	mux.HandleFunc("/eddie/trace", func(w http.ResponseWriter, r *http.Request) {
 		if s.Trace == nil {
 			http.Error(w, "no trace recorder attached", http.StatusNotFound)
@@ -109,6 +127,7 @@ func NewMux(s ServeState) *http.ServeMux {
 			"/metrics           Prometheus text exposition\n"+
 			"/eddie/last-alarm  latest alarm dump with decision provenance\n"+
 			"/eddie/flight      flight-recorder ring contents\n"+
+			"/eddie/fleet       live device-session listing\n"+
 			"/eddie/trace       Chrome trace-event JSON (load in Perfetto)\n")
 	})
 	return mux

@@ -41,7 +41,7 @@ func TestMuxEmptyState(t *testing.T) {
 	if code, _, _ := get(t, srv, "/nope"); code != 404 {
 		t.Errorf("unknown path code %d, want 404", code)
 	}
-	for _, path := range []string{"/metrics", "/eddie/last-alarm", "/eddie/flight", "/eddie/trace"} {
+	for _, path := range []string{"/metrics", "/eddie/last-alarm", "/eddie/flight", "/eddie/trace", "/eddie/fleet"} {
 		if code, _, _ := get(t, srv, path); code != 404 {
 			t.Errorf("%s with nil state: code %d, want 404", path, code)
 		}
@@ -122,6 +122,35 @@ func TestMuxFullState(t *testing.T) {
 	}
 	if len(tr.TraceEvents) != 2 { // meta + span
 		t.Errorf("trace has %d events, want 2", len(tr.TraceEvents))
+	}
+}
+
+// stubFleet is a minimal SessionLister (the real one is the fleet
+// server, which obs must not import).
+type stubFleet struct{}
+
+func (stubFleet) FleetSessions() any {
+	return map[string]any{"active": 3, "max": 16, "draining": false}
+}
+
+func TestMuxFleetListing(t *testing.T) {
+	srv := httptest.NewServer(NewMux(ServeState{Fleet: stubFleet{}}))
+	defer srv.Close()
+
+	code, body, ct := get(t, srv, "/eddie/fleet")
+	if code != 200 || !strings.Contains(ct, "json") {
+		t.Fatalf("/eddie/fleet: code %d ct %q", code, ct)
+	}
+	var got struct {
+		Active   int  `json:"active"`
+		Max      int  `json:"max"`
+		Draining bool `json:"draining"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("fleet listing not JSON: %v", err)
+	}
+	if got.Active != 3 || got.Max != 16 || got.Draining {
+		t.Errorf("fleet listing %+v", got)
 	}
 }
 

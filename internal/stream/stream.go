@@ -62,6 +62,12 @@ type Config struct {
 	// Monitor.Flight is already set): every window's decision provenance
 	// lands in its ring and each fired report snapshots an alarm dump.
 	Flight *obs.FlightRecorder
+	// MaxHistoryWindows bounds the monitor's retained per-window outcome
+	// and report history. Zero keeps everything (the offline/evaluation
+	// behaviour); a long-running deployment (e.g. a fleet session that
+	// streams for days) should set it so memory stays flat. Trimming
+	// never changes verdicts — only how much history stays readable.
+	MaxHistoryWindows int
 }
 
 // Detector consumes raw samples and raises anomaly reports online.
@@ -110,6 +116,9 @@ func NewDetector(model *core.Model, cfg Config) (*Detector, error) {
 	if cfg.DCTau < 1 {
 		return nil, fmt.Errorf("stream: DC blocker time constant %g < 1 sample", cfg.DCTau)
 	}
+	if cfg.MaxHistoryWindows < 0 {
+		return nil, fmt.Errorf("stream: negative history bound %d", cfg.MaxHistoryWindows)
+	}
 	if cfg.Metrics != nil && cfg.Monitor.Stats == nil {
 		cfg.Monitor.Stats = cfg.Metrics
 	}
@@ -153,6 +162,11 @@ func NewDetector(model *core.Model, cfg Config) (*Detector, error) {
 func (d *Detector) Feed(samples []float64) []core.Report {
 	if len(samples) == 0 {
 		return nil
+	}
+	if cap := d.cfg.MaxHistoryWindows; cap > 0 && len(d.monitor.Outcomes) > cap {
+		// Trim between batches only, so the report bookkeeping below (a
+		// length taken before feeding) stays consistent within one call.
+		d.monitor.TrimHistory(cap / 2)
 	}
 	if m := d.cfg.Metrics; m != nil {
 		m.SamplesIn.Add(int64(len(samples)))
@@ -267,7 +281,8 @@ func (d *Detector) scoreGroundTruth(reported bool) {
 	}
 	w := d.windows
 	inj := d.cfg.GroundTruth(w)
-	flagged := d.monitor.Outcomes[w].Flagged
+	out, _ := d.monitor.OutcomeAt(w)
+	flagged := out.Flagged
 	if m := d.cfg.Metrics; m != nil {
 		switch {
 		case inj && flagged:
