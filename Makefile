@@ -1,4 +1,4 @@
-.PHONY: all build vet test race bench dsp-bench obs-bench cover fleet-smoke
+.PHONY: all build vet test race bench dsp-bench obs-bench bench-decision bench-decision-smoke cover fleet-smoke
 
 all: build test
 
@@ -12,6 +12,7 @@ vet:
 
 test: build vet
 	go test ./...
+	$(MAKE) bench-decision-smoke
 
 # Race tier: vet plus the short suite under the race detector. Exercises
 # the FFT plan cache, the parallel run scheduler, the model cache, the
@@ -34,6 +35,20 @@ bench:
 # DSP kernel micro-benchmarks, machine-readable output.
 dsp-bench:
 	go run ./cmd/eddie-bench -dsp-bench BENCH_dsp.json
+
+# Decision-path + training benchmarks, machine-readable output. Rewrites
+# BENCH_decision.json; fails (keeping the checked-in baseline) when the
+# steady-state Observe benchmark regresses >20% against it.
+bench-decision:
+	go run ./cmd/eddie-bench -decision-bench BENCH_decision.json
+
+# Cheap decision-bench gate for `make test`: the driver must build, and
+# the go-test decision benchmarks must run (one iteration each) without
+# failing — catches bit-rot in the benchmark harness without paying for
+# a full timing run.
+bench-decision-smoke:
+	go build -o /dev/null ./cmd/eddie-bench
+	go test -short -run '^$$' -bench 'BenchmarkEvalGroups|BenchmarkObserveMultiMode|BenchmarkKSStatistic|BenchmarkKSRejectPresorted' -benchtime 1x ./internal/core ./internal/stats
 
 # Observability overhead check: asserts the monitor's decision loop does
 # 0 allocs/op with tracing/flight recording disabled (the default), and

@@ -51,6 +51,27 @@ func BenchmarkCollectRuns(b *testing.B) {
 	}
 }
 
+// BenchmarkTrain measures the full training pipeline (parallel run
+// collection + parallel per-region model build) end to end. The model
+// is byte-identical at any worker count; only wall clock changes.
+func BenchmarkTrain(b *testing.B) {
+	w, err := WorkloadByName("bitcount")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := SimulatorPipeline()
+	if testing.Short() {
+		c.MaxInstrs = 2_000_000
+	}
+	tc := DefaultTrainConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Train(w, c, 5, tc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTable1(b *testing.B) {
 	e := benchEnv()
 	for i := 0; i < b.N; i++ {

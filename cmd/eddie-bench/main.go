@@ -4,12 +4,16 @@
 //
 //	eddie-bench [-short] [-run table1,fig5,...] [-parallel N]
 //	eddie-bench -dsp-bench BENCH_dsp.json
+//	eddie-bench -decision-bench BENCH_decision.json
 //
 // With no -run flag every experiment runs, in paper order. -short scales
 // the run counts down (~10x faster, noisier numbers). -parallel fixes the
 // worker-pool size used for run collection (0 = EDDIE_PARALLELISM env or
 // GOMAXPROCS). -dsp-bench skips the experiments and instead times the DSP
 // kernels, writing machine-readable results to the given JSON file.
+// -decision-bench does the same for the monitor decision path and the
+// training fan-out, and fails without overwriting the file when the
+// steady-state Observe benchmark regresses >20% against it.
 package main
 
 import (
@@ -29,11 +33,19 @@ func main() {
 	runList := flag.String("run", "all", "comma-separated experiments: table1,table2,fig1..fig10,anova,robustness,ablations or all")
 	parallel := flag.Int("parallel", 0, "worker-pool size for run collection (0 = EDDIE_PARALLELISM env or GOMAXPROCS)")
 	dspBench := flag.String("dsp-bench", "", "run the DSP kernel micro-benchmarks and write JSON results to this file, then exit")
+	decisionBench := flag.String("decision-bench", "", "run the decision/training benchmarks and write JSON results to this file (regression-gated on Observe), then exit")
 	flag.Parse()
 	par.SetParallelism(*parallel)
 
 	if *dspBench != "" {
 		if err := runDSPBench(*dspBench); err != nil {
+			fmt.Fprintln(os.Stderr, "eddie-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *decisionBench != "" {
+		if err := runDecisionBench(*decisionBench); err != nil {
 			fmt.Fprintln(os.Stderr, "eddie-bench:", err)
 			os.Exit(1)
 		}

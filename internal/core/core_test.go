@@ -9,7 +9,7 @@ import (
 )
 
 // testMachine builds a two-nest machine for synthetic-data tests.
-func testMachine(t *testing.T) *cfg.Machine {
+func testMachine(t testing.TB) *cfg.Machine {
 	t.Helper()
 	b := isa.NewBuilder("synthetic", 4)
 	entry := b.NewBlock("entry")

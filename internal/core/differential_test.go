@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"eddie/internal/obs"
+)
+
+// diffStreams builds the monitored streams for the legacy-vs-presorted
+// differential: a clean run (region switching, steady accepts, the
+// fill-slot cache sliding every window) and an anomalous run whose
+// middle third has all peak frequencies shifted by 8% (rejection
+// streaks, burst tests, successor probes, alarms and global re-locks).
+func diffStreams(m *cfgMachine) map[string][]STS {
+	r := rand.New(rand.NewSource(99))
+	clean := synthRun(r, m, 100e3, 250e3)
+	anomalous := make([]STS, len(clean))
+	for i, s := range clean {
+		c := s
+		c.PeakFreqs = append([]float64(nil), s.PeakFreqs...)
+		if i > len(clean)/3 && i < 2*len(clean)/3 {
+			for k := range c.PeakFreqs {
+				c.PeakFreqs[k] *= 1.08
+			}
+		}
+		anomalous[i] = c
+	}
+	return map[string][]STS{"clean": clean, "anomalous": anomalous}
+}
+
+// TestMonitorLegacyVsPresortedDifferential feeds identical streams
+// through the legacy copy-and-sort decision path and the sort-once
+// presorted path and asserts every observable is bit-identical: the
+// per-window report verdicts, the WindowOutcome history, the report
+// list, and the full flight-recorder provenance including alarm dumps.
+// Config variants force the paths through the burst test (large scaled
+// group sizes), tiny probe groups and the default operating point.
+func TestMonitorLegacyVsPresortedDifferential(t *testing.T) {
+	m := testMachine(t)
+	model, err := Train("synthetic", m, synthTrainingRuns(m, 8, 100e3, 250e3), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := map[string]MonitorConfig{
+		"default": DefaultMonitorConfig(),
+		"scaled": func() MonitorConfig {
+			c := DefaultMonitorConfig()
+			c.GroupSizeScale = 4 // large n: exercises the burst test and the incremental slide
+			return c
+		}(),
+		"tight": func() MonitorConfig {
+			c := DefaultMonitorConfig()
+			c.ReportThreshold = 1
+			c.ProbeWindows = 4
+			c.BurstWindows = 6
+			return c
+		}(),
+	}
+	for cname, mcfg := range configs {
+		for sname, stream := range diffStreams(m) {
+			t.Run(cname+"/"+sname, func(t *testing.T) {
+				newCfg := mcfg
+				newCfg.Flight = obs.NewFlightRecorder(len(stream) + 1)
+				legacyCfg := mcfg
+				legacyCfg.LegacySort = true
+				legacyCfg.Flight = obs.NewFlightRecorder(len(stream) + 1)
+
+				monNew, err := NewMonitor(model, newCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				monLegacy, err := NewMonitor(model, legacyCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range stream {
+					rn := monNew.Observe(&stream[i])
+					rl := monLegacy.Observe(&stream[i])
+					if rn != rl {
+						t.Fatalf("window %d: presorted reported=%v, legacy reported=%v", i, rn, rl)
+					}
+				}
+				if !reflect.DeepEqual(monNew.Outcomes, monLegacy.Outcomes) {
+					t.Error("WindowOutcome histories differ")
+				}
+				if !reflect.DeepEqual(monNew.Reports, monLegacy.Reports) {
+					t.Errorf("report lists differ: presorted %+v, legacy %+v", monNew.Reports, monLegacy.Reports)
+				}
+				recNew := newCfg.Flight.Recent()
+				recLegacy := legacyCfg.Flight.Recent()
+				if len(recNew) != len(recLegacy) {
+					t.Fatalf("flight record counts differ: %d vs %d", len(recNew), len(recLegacy))
+				}
+				for i := range recNew {
+					if !reflect.DeepEqual(recNew[i], recLegacy[i]) {
+						t.Fatalf("flight record %d differs:\npresorted: %+v\nlegacy:    %+v", i, recNew[i], recLegacy[i])
+					}
+				}
+				if newCfg.Flight.Alarms() != legacyCfg.Flight.Alarms() {
+					t.Errorf("alarm counts differ: %d vs %d", newCfg.Flight.Alarms(), legacyCfg.Flight.Alarms())
+				}
+				if !reflect.DeepEqual(newCfg.Flight.LastAlarm(), legacyCfg.Flight.LastAlarm()) {
+					t.Error("alarm dumps differ")
+				}
+				if sname == "anomalous" && len(monNew.Reports) == 0 {
+					t.Error("anomalous stream raised no reports; differential exercised nothing")
+				}
+			})
+		}
+	}
+}

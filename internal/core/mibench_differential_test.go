@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"eddie/internal/core"
+	"eddie/internal/inject"
+	"eddie/internal/mibench"
+	"eddie/internal/obs"
+	"eddie/internal/pipeline"
+	"eddie/internal/pipeline/pipetest"
+)
+
+// TestMibenchDifferentialLegacyVsPresorted locks the sort-once decision
+// kernel and the parallel training path down against the pre-existing
+// behaviour on real workloads: every mibench program is trained through
+// both the legacy copy-and-sort serial path and the presorted parallel
+// path (the models must be byte-identical), and a clean plus an injected
+// monitoring run is replayed through both decision kernels asserting
+// bit-identical WindowOutcome history, reports and flight-recorder
+// provenance including alarm dumps. Short mode covers a three-workload
+// subset; the full run covers all of mibench.
+func TestMibenchDifferentialLegacyVsPresorted(t *testing.T) {
+	var names []string
+	for _, w := range mibench.All() {
+		names = append(names, w.Name)
+	}
+	if testing.Short() {
+		names = names[:3]
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			f := pipetest.Train(t, name, pipetest.TinyConfig(), 5)
+
+			// Training differential: the fixture model was built by the
+			// presorted parallel path (Workers=0); rebuild from the same
+			// runs with the legacy serial sweep and compare byte for byte.
+			runs, err := pipeline.CollectRuns(f.W, f.Machine, f.Config, 0, f.TrainRuns, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc := core.DefaultTrainConfig()
+			tc.LegacySort = true
+			tc.Workers = 1
+			legacyModel, err := core.Train(f.W.Name, f.Machine, runs, tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(f.Model, legacyModel) {
+				t.Error("legacy serial training differs from presorted parallel training")
+			}
+
+			var injector inject.Injector
+			if len(f.Machine.Nests) > 0 {
+				injector = &inject.InLoop{
+					Header: f.Machine.Nests[0].Header, Instrs: 8, MemOps: 4,
+					Contamination: 0.5, Seed: 3,
+				}
+			}
+			for _, cs := range []struct {
+				name string
+				inj  inject.Injector
+			}{{"clean", nil}, {"injected", injector}} {
+				t.Run(cs.name, func(t *testing.T) {
+					run, err := pipeline.CollectRun(f.W, f.Machine, f.Config, 800, cs.inj)
+					if err != nil {
+						t.Fatal(err)
+					}
+					mcfgNew := core.DefaultMonitorConfig()
+					mcfgNew.Flight = obs.NewFlightRecorder(len(run.STS) + 1)
+					mcfgLegacy := core.DefaultMonitorConfig()
+					mcfgLegacy.LegacySort = true
+					mcfgLegacy.Flight = obs.NewFlightRecorder(len(run.STS) + 1)
+
+					monNew, err := pipeline.Monitor(f.Model, run.STS, mcfgNew)
+					if err != nil {
+						t.Fatal(err)
+					}
+					monLegacy, err := pipeline.Monitor(f.Model, run.STS, mcfgLegacy)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(monNew.Outcomes, monLegacy.Outcomes) {
+						t.Error("WindowOutcome histories differ")
+					}
+					if !reflect.DeepEqual(monNew.Reports, monLegacy.Reports) {
+						t.Error("report lists differ")
+					}
+					recNew := mcfgNew.Flight.Recent()
+					recLegacy := mcfgLegacy.Flight.Recent()
+					if len(recNew) != len(recLegacy) {
+						t.Fatalf("flight record counts differ: %d vs %d", len(recNew), len(recLegacy))
+					}
+					for i := range recNew {
+						if !reflect.DeepEqual(recNew[i], recLegacy[i]) {
+							t.Fatalf("flight record %d differs:\npresorted: %+v\nlegacy:    %+v", i, recNew[i], recLegacy[i])
+						}
+					}
+					if mcfgNew.Flight.Alarms() != mcfgLegacy.Flight.Alarms() {
+						t.Errorf("alarm counts differ: %d vs %d", mcfgNew.Flight.Alarms(), mcfgLegacy.Flight.Alarms())
+					}
+					if !reflect.DeepEqual(mcfgNew.Flight.LastAlarm(), mcfgLegacy.Flight.LastAlarm()) {
+						t.Error("alarm dumps differ")
+					}
+				})
+			}
+		})
+	}
+}

@@ -42,6 +42,16 @@ type MonitorConfig struct {
 	// burst detection responsive; its occasional false rejections are
 	// absorbed by ReportThreshold. Zero means 12; negative disables it.
 	BurstWindows int
+	// LegacySort forces the pre-sort-once decision path: the monitored
+	// group is rebuilt in window-time order for every evaluation and
+	// every K-S test copies it into scratch and sorts it there. The
+	// default (false) path sorts each group once when it is built —
+	// incrementally when the window slides by one hop — and feeds the
+	// zero-copy presorted kernel. Both paths compute the identical
+	// statistics from the identical multisets, so verdicts, outcomes and
+	// provenance are bit-identical; the differential tests prove it.
+	// Production leaves this false.
+	LegacySort bool
 	// Stats, when non-nil, receives monitoring-internals events (K-S
 	// tests, per-window outcomes, region switches, reports). It is never
 	// consulted for decisions; internal/metrics provides the standard
@@ -127,9 +137,16 @@ type Monitor struct {
 	lastSwitch int // value of seen when the monitor entered cur
 
 	scratchA []float64
-	groups   [][]float64
-	counts   []float64
-	energies []float64
+	// slots cache sorted group sets keyed by group size: a probe of R
+	// candidate regions at the same effective n reuses one sorted fill,
+	// and consecutive windows at the same n slide the sorted groups
+	// incrementally instead of rebuilding and re-sorting them. Three
+	// slots cover the steady-state fill sizes (trained n, burst horizon,
+	// probe size).
+	slots [3]fillSlot
+	// legacy is the unsorted window-time-order group set used when
+	// MonitorConfig.LegacySort is set (differential testing only).
+	legacy groupSet
 	// energyRing buffers each window's AC energy alongside ring.
 	energyRing []float64
 	lastMode   map[cfg.RegionID]int
@@ -194,10 +211,6 @@ func NewMonitor(model *Model, mcfg MonitorConfig) (*Monitor, error) {
 			maxRanks = rm.NumPeaks
 		}
 	}
-	groups := make([][]float64, maxRanks)
-	for k := range groups {
-		groups[k] = make([]float64, 0, ringCap)
-	}
 	m := &Monitor{
 		model:      model,
 		mcfg:       mcfg,
@@ -205,15 +218,45 @@ func NewMonitor(model *Model, mcfg MonitorConfig) (*Monitor, error) {
 		ringCap:    ringCap,
 		ring:       make([][]float64, 0, ringCap),
 		scratchA:   make([]float64, ringCap),
-		groups:     groups,
-		counts:     make([]float64, 0, ringCap),
-		energies:   make([]float64, 0, ringCap),
 		energyRing: make([]float64, ringCap),
 		lastMode:   map[cfg.RegionID]int{},
 		cur:        startRegion(model),
 		track:      mcfg.Trace.Track("monitor"),
 	}
+	if mcfg.LegacySort {
+		m.legacy = newGroupSet(maxRanks, ringCap)
+	} else {
+		for i := range m.slots {
+			m.slots[i].g = newGroupSet(maxRanks, ringCap)
+			m.slots[i].g.sorted = true
+		}
+	}
 	return m, nil
+}
+
+// fillSlot caches one sorted group set together with the group size and
+// window position it was built for. A slot whose (n, seen) matches a
+// fill request is reused outright; one that is exactly one window behind
+// at the same n is slid forward incrementally.
+type fillSlot struct {
+	n    int
+	seen int
+	g    groupSet
+}
+
+// newGroupSet allocates a group set with capacity for cap windows across
+// ranks peak ranks; all later fills reuse these backing arrays, keeping
+// the decision loop allocation-free.
+func newGroupSet(ranks, cap int) groupSet {
+	g := groupSet{
+		ranks:    make([][]float64, ranks),
+		counts:   make([]float64, 0, cap),
+		energies: make([]float64, 0, cap),
+	}
+	for k := range g.ranks {
+		g.ranks[k] = make([]float64, 0, cap)
+	}
+	return g
 }
 
 // startRegion picks the monitor's initial region: the start-boundary
@@ -543,26 +586,101 @@ func (m *Monitor) switchTo(id cfg.RegionID) {
 	m.lastSwitch = m.seen
 }
 
-// fillGroups loads the last n windows' rank values and peak counts into
-// the monitor's scratch group buffers.
-func (m *Monitor) fillGroups(n int) {
-	m.counts = m.counts[:0]
-	m.energies = m.energies[:0]
-	for k := range m.groups {
-		m.groups[k] = m.groups[k][:0]
+// fillGroups returns the group set of the last n observed windows. On
+// the default path the returned set is sorted ascending per slice and
+// served from the slot cache: a request matching a slot's (n, seen)
+// costs nothing (every candidate region probed at the same n this window
+// shares one fill), a request one window ahead at the same n slides the
+// sorted groups incrementally (O(n) instead of O(n log n) re-sorts per
+// rank), and only a cache miss rebuilds and re-sorts from the ring.
+// The group's content depends only on (n, seen) — never on the region
+// under test — which is what makes the cache sound.
+func (m *Monitor) fillGroups(n int) *groupSet {
+	if m.mcfg.LegacySort {
+		m.fillInto(&m.legacy, n)
+		return &m.legacy
 	}
-	for i := m.seen - n; i < m.seen; i++ {
-		v := m.ring[i%m.ringCap]
-		m.counts = append(m.counts, float64(len(v)))
-		m.energies = append(m.energies, m.energyRing[i%m.ringCap])
-		for k := range m.groups {
-			if k < len(v) {
-				m.groups[k] = append(m.groups[k], v[k])
-			} else {
-				m.groups[k] = append(m.groups[k], 0)
+	var slot *fillSlot
+	for i := range m.slots {
+		if m.slots[i].n == n {
+			slot = &m.slots[i]
+			break
+		}
+	}
+	if slot != nil {
+		if slot.seen == m.seen {
+			return &slot.g
+		}
+		if slot.seen == m.seen-1 && n < m.seen && m.slideSlot(slot) {
+			return &slot.g
+		}
+	} else {
+		// Evict the stalest slot; break ties toward the smaller n (the
+		// cheaper rebuild).
+		slot = &m.slots[0]
+		for i := 1; i < len(m.slots); i++ {
+			s := &m.slots[i]
+			if s.seen < slot.seen || (s.seen == slot.seen && s.n < slot.n) {
+				slot = s
 			}
 		}
 	}
+	m.fillInto(&slot.g, n)
+	slot.g.sortAll()
+	slot.n, slot.seen = n, m.seen
+	return &slot.g
+}
+
+// fillInto loads the last n windows' rank values, peak counts and
+// energies into g in window-time order (unsorted).
+func (m *Monitor) fillInto(g *groupSet, n int) {
+	g.reset()
+	for i := m.seen - n; i < m.seen; i++ {
+		v := m.ring[i%m.ringCap]
+		g.counts = append(g.counts, float64(len(v)))
+		g.energies = append(g.energies, m.energyRing[i%m.ringCap])
+		for k := range g.ranks {
+			if k < len(v) {
+				g.ranks[k] = append(g.ranks[k], v[k])
+			} else {
+				g.ranks[k] = append(g.ranks[k], 0)
+			}
+		}
+	}
+}
+
+// slideSlot advances a sorted slot by one window: the slot holds windows
+// [seen-1-n, seen-1) and must come to hold [seen-n, seen), so window
+// seen-1-n leaves every slice and window seen-1 enters. The leaving
+// window is still live in the ring (the ring keeps ringCap > n windows).
+// On any failure (a non-finite value defeating the sorted search) the
+// slot is left inconsistent and the caller rebuilds it from scratch.
+func (m *Monitor) slideSlot(s *fillSlot) bool {
+	iOut := (m.seen - 1 - s.n) % m.ringCap
+	iIn := (m.seen - 1) % m.ringCap
+	out, in := m.ring[iOut], m.ring[iIn]
+	for k := range s.g.ranks {
+		if !stats.SlideSorted(s.g.ranks[k], rankOf(out, k), rankOf(in, k)) {
+			return false
+		}
+	}
+	if !stats.SlideSorted(s.g.counts, float64(len(out)), float64(len(in))) {
+		return false
+	}
+	if !stats.SlideSorted(s.g.energies, m.energyRing[iOut], m.energyRing[iIn]) {
+		return false
+	}
+	s.seen = m.seen
+	return true
+}
+
+// rankOf returns the rank-k value of one window's peak-frequency vector,
+// zero-padded past the available peaks (the same padding fillInto uses).
+func rankOf(v []float64, k int) float64 {
+	if k < len(v) {
+		return v[k]
+	}
+	return 0
 }
 
 // evalRegion tests the last n windows against a region model, starting the
@@ -570,7 +688,7 @@ func (m *Monitor) fillGroups(n int) {
 // the evaluation's provenance (group size, best mode, per-rank K-S
 // statistics); the decision itself is unchanged by capture.
 func (m *Monitor) evalRegion(rm *RegionModel, n int, rec *obs.WindowRecord) evalResult {
-	m.fillGroups(n)
+	g := m.fillGroups(n)
 	start := 0
 	if len(rm.Modes) > 0 {
 		start = m.lastMode[rm.Region] % len(rm.Modes)
@@ -579,7 +697,7 @@ func (m *Monitor) evalRegion(rm *RegionModel, n int, rec *obs.WindowRecord) eval
 	if rec != nil {
 		pc = &m.prov
 	}
-	res := evalGroups(rm, rm.Modes, m.groups, m.counts, m.energies, m.mcfg.RejectFraction, m.cAlpha, m.scratchA, start, pc)
+	res := evalGroups(rm, rm.Modes, g, m.mcfg.RejectFraction, m.cAlpha, m.scratchA, start, pc)
 	if !res.rejected && res.bestMode >= 0 {
 		m.lastMode[rm.Region] = res.bestMode
 	}

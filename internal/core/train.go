@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"eddie/internal/cfg"
+	"eddie/internal/par"
 	"eddie/internal/stats"
 )
 
@@ -47,6 +48,19 @@ type TrainConfig struct {
 	// distances (large n — long latency), reproducing the per-region
 	// latency spread of the paper's Figs 3/4/6.
 	ShiftFraction float64
+	// Workers bounds the worker pool that builds region models (reference
+	// sets, modes and the leave-one-out group-size sweep run per region,
+	// fanned out on internal/par). Zero selects the process-wide default
+	// (par.SetParallelism / EDDIE_PARALLELISM / GOMAXPROCS). Every worker
+	// count produces the byte-identical Model: regions are independent
+	// and results are assembled in region-id order.
+	Workers int
+	// LegacySort forces the pre-sort-once evaluation inside the
+	// group-size sweep (each candidate group rebuilt unsorted, each K-S
+	// test copying and sorting it). Differential tests use it to prove
+	// the presorted sweep picks the identical group sizes; production
+	// leaves it false.
+	LegacySort bool
 }
 
 // DefaultTrainConfig returns the paper-equivalent training configuration.
@@ -139,14 +153,31 @@ func Train(programName string, machine *cfg.Machine, runs [][]STS, tc TrainConfi
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
-	for _, id := range ids {
-		rd := perRegion[id]
+	// Build the per-region models concurrently: each region's reference
+	// sets, modes and leave-one-out group-size sweep depend only on that
+	// region's training windows, so the fan-out writes into index-
+	// addressed slots and the id-ordered assembly below yields the
+	// byte-identical Model at any worker count (the same determinism
+	// contract as pipeline.CollectRuns).
+	built := make([]*RegionModel, len(ids))
+	if err := par.Do(len(ids), tc.Workers, func(i int) error {
+		rd := perRegion[ids[i]]
 		if len(rd.all) < tc.MinWindows {
-			continue
+			return nil
 		}
-		rm := buildRegionModel(id, machine, rd.all, tc)
+		rm := buildRegionModel(ids[i], machine, rd.all, tc)
 		buildModes(rm, rd.seqs)
 		rm.GroupSize = selectGroupSize(rm, rd.seqs, tc, cAlpha)
+		built[i] = rm
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, id := range ids {
+		rm := built[i]
+		if rm == nil {
+			continue
+		}
 		if rm.GroupSize > model.MaxGroupSize {
 			model.MaxGroupSize = rm.GroupSize
 		}
@@ -280,6 +311,12 @@ func selectGroupSize(rm *RegionModel, seqs []taggedSeq, tc TrainConfig, cAlpha f
 	if rm.Blind() {
 		return minCandidate
 	}
+	if len(seqs) == 0 {
+		// A region can carry modes but no tagged sequences (e.g. a model
+		// assembled from pooled windows); there is nothing to sweep, and
+		// the visit-length median below would index an empty slice.
+		return minCandidate
+	}
 	sizes := append([]int(nil), tc.GroupSizes...)
 	sort.Ints(sizes)
 
@@ -347,12 +384,7 @@ func selectGroupSize(rm *RegionModel, seqs []taggedSeq, tc TrainConfig, cAlpha f
 	var cands []cand
 	maxN := maxInts(sizes) + capN
 	scratch := make([]float64, maxN)
-	groups := make([][]float64, rm.NumPeaks)
-	for k := range groups {
-		groups[k] = make([]float64, 0, maxN)
-	}
-	counts := make([]float64, 0, maxN)
-	energies := make([]float64, 0, maxN)
+	g := newGroupSet(rm.NumPeaks, maxN)
 	// Leave-one-out mode sets, cached per run.
 	looCache := map[int][]RegionMode{}
 	looModes := func(run int) []RegionMode {
@@ -387,22 +419,25 @@ func selectGroupSize(rm *RegionModel, seqs []taggedSeq, tc TrainConfig, cAlpha f
 			}
 			for start := 0; start+n <= len(seq.sts); start += stride {
 				tested++
-				counts = counts[:0]
-				energies = energies[:0]
-				for k := range groups {
-					groups[k] = groups[k][:0]
-				}
+				g.reset()
+				g.sorted = false
 				for i := start; i < start+n; i++ {
-					counts = append(counts, float64(len(seq.sts[i].PeakFreqs)))
-					energies = append(energies, seq.sts[i].Energy)
-					for k := range groups {
-						groups[k] = append(groups[k], seq.sts[i].PeakAt(k))
+					g.counts = append(g.counts, float64(len(seq.sts[i].PeakFreqs)))
+					g.energies = append(g.energies, seq.sts[i].Energy)
+					for k := range g.ranks {
+						g.ranks[k] = append(g.ranks[k], seq.sts[i].PeakAt(k))
 					}
+				}
+				if !tc.LegacySort {
+					// Sort each candidate group once here instead of once
+					// per training mode inside the K-S tests — the same
+					// sort-once kernel the monitor uses.
+					g.sortAll()
 				}
 				// Same decision rule as the monitor, against the modes of
 				// the *other* runs (leave-one-out), so the sweep measures
 				// generalization rather than self-match.
-				res := evalGroups(rm, modes, groups, counts, energies, tc.RejectFraction, cAlpha, scratch, 0, nil)
+				res := evalGroups(rm, modes, &g, tc.RejectFraction, cAlpha, scratch, 0, nil)
 				if res.rejected {
 					rejected++
 				}
@@ -453,7 +488,11 @@ func detectableShiftD(rm *RegionModel, gamma float64) float64 {
 		for i, v := range ref {
 			shifted[i] = v / (1 + gamma)
 		}
-		ds = append(ds, stats.KSStatistic(ref, shifted))
+		// ref is sorted and dividing by the positive 1+gamma preserves
+		// order, so both samples are already ascending: the presorted
+		// statistic skips KSStatistic's copy-and-sort and is bit-identical
+		// (sorting a sorted slice is the identity).
+		ds = append(ds, stats.KSStatisticPresorted(ref, shifted))
 	}
 	if len(ds) == 0 {
 		return 0

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"eddie/internal/stats"
+)
+
+// TestSelectGroupSizeEmptySeqs is the regression test for the empty-seqs
+// guard: a region can carry modes but no tagged sequences (e.g. a model
+// assembled by hand or from pooled windows), and the visit-length median
+// used to index an empty slice. The sweep has nothing to measure, so the
+// smallest candidate is the right answer.
+func TestSelectGroupSizeEmptySeqs(t *testing.T) {
+	tc := DefaultTrainConfig()
+	rm := &RegionModel{
+		Region:   1,
+		NumPeaks: 2,
+		Ref:      [][]float64{{1, 2, 3}, {4, 5, 6}},
+		Modes: []RegionMode{
+			{Run: 0, Ref: [][]float64{{1, 2, 3}, {4, 5, 6}}},
+		},
+		TrainWindows: 3,
+	}
+	cAlpha := stats.KolmogorovInverse(1 - tc.Alpha)
+	got := selectGroupSize(rm, nil, tc, cAlpha)
+	want := tc.GroupSizes[0]
+	for _, n := range tc.GroupSizes {
+		if n < want {
+			want = n
+		}
+	}
+	if got != want {
+		t.Errorf("selectGroupSize with empty seqs = %d, want minimum candidate %d", got, want)
+	}
+	if got2 := selectGroupSize(rm, []taggedSeq{}, tc, cAlpha); got2 != want {
+		t.Errorf("selectGroupSize with zero-length seqs = %d, want %d", got2, want)
+	}
+}
+
+// TestTrainWorkerCountDeterministic pins the parallel-training contract:
+// every worker count builds the byte-identical model. Regions are
+// independent, results land in index-addressed slots, and assembly is in
+// region-id order, so only scheduling varies.
+func TestTrainWorkerCountDeterministic(t *testing.T) {
+	m := testMachine(t)
+	runs := synthTrainingRuns(m, 8, 100e3, 250e3)
+	tc := DefaultTrainConfig()
+	tc.Workers = 1
+	base, err := Train("synthetic", m, runs, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 0} {
+		tc.Workers = workers
+		model, err := Train("synthetic", m, runs, tc)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(base, model) {
+			t.Errorf("workers=%d: model differs from serial build", workers)
+		}
+	}
+}
+
+// TestTrainLegacySortIdentical proves the presorted group-size sweep
+// picks the identical model as the copy-and-sort sweep it replaced.
+func TestTrainLegacySortIdentical(t *testing.T) {
+	m := testMachine(t)
+	runs := synthTrainingRuns(m, 8, 100e3, 250e3)
+	tc := DefaultTrainConfig()
+	tc.LegacySort = true
+	tc.Workers = 1
+	legacy, err := Train("synthetic", m, runs, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.LegacySort = false
+	tc.Workers = 0
+	presorted, err := Train("synthetic", m, runs, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, presorted) {
+		t.Error("presorted training differs from the legacy copy-and-sort path")
+	}
+}

@@ -1,7 +1,8 @@
 // Package par provides the bounded worker pool that parallelizes run
-// collection and the experiment harnesses, plus the process-wide
-// parallelism knob behind the -parallel CLI flags and the
-// EDDIE_PARALLELISM environment variable.
+// collection, the per-region training fan-out (core.TrainConfig.Workers)
+// and the experiment harnesses, plus the process-wide parallelism knob
+// behind the -parallel CLI flags and the EDDIE_PARALLELISM environment
+// variable.
 //
 // Determinism contract: Do dispatches work by index and callers write
 // results into index-addressed slots, so the assembled output of a

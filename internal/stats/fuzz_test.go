@@ -1,6 +1,50 @@
 package stats
 
-import "testing"
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzKSPresorted asserts the presorted decision kernel is bit-identical
+// to the copy-and-sort kernel on arbitrary inputs: same statistic, same
+// critical value, same verdict. This is the contract the monitor's
+// sort-once hot path rests on.
+func FuzzKSPresorted(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, []byte{4, 3, 2, 1}, 0.01)
+	f.Add([]byte{0, 0, 0}, []byte{0, 0}, 0.05)
+	f.Add([]byte{9}, []byte{9, 9, 9, 200}, 0.001)
+	f.Fuzz(func(t *testing.T, refB, monB []byte, alpha float64) {
+		if len(refB) == 0 || len(monB) == 0 || len(refB)+len(monB) > 1024 {
+			t.Skip()
+		}
+		if math.IsNaN(alpha) || alpha <= 0 || alpha >= 1 {
+			alpha = 0.01
+		}
+		cAlpha := KolmogorovInverse(1 - alpha)
+		ref := make([]float64, len(refB))
+		mon := make([]float64, len(monB))
+		for i, v := range refB {
+			ref[i] = float64(v) / 3 // non-integral values, frequent ties
+		}
+		for i, v := range monB {
+			mon[i] = float64(v) / 3
+		}
+		sort.Float64s(ref)
+		scratch := make([]float64, len(mon))
+		wantD, wantCrit := KSRejectStatSorted(ref, mon, scratch, cAlpha)
+		wantReject := KSRejectSorted(ref, mon, scratch, cAlpha)
+		monSorted := append([]float64(nil), mon...)
+		Sort(monSorted)
+		gotD, gotCrit := KSRejectStatPresorted(ref, monSorted, cAlpha)
+		if gotD != wantD || gotCrit != wantCrit {
+			t.Fatalf("presorted (d=%g, crit=%g) != copy-and-sort (d=%g, crit=%g)", gotD, gotCrit, wantD, wantCrit)
+		}
+		if got := KSRejectPresorted(ref, monSorted, cAlpha); got != wantReject {
+			t.Fatalf("presorted verdict %v != copy-and-sort verdict %v", got, wantReject)
+		}
+	})
+}
 
 // FuzzKSStatistic checks the two-sample K-S statistic invariants on
 // arbitrary samples: range [0,1], symmetry, identity.

@@ -80,6 +80,31 @@ func KSRejectStatSorted(refSorted, mon, scratch []float64, cAlpha float64) (d, c
 	return d, crit
 }
 
+// KSRejectPresorted is the zero-copy K-S decision kernel: both samples
+// must already be sorted ascending. The monitor's sort-once decision path
+// sorts each monitored rank group a single time per window (incrementally
+// where the window slides) and then re-tests it unchanged against every
+// training mode and candidate region, so the per-test cost collapses to
+// one merge pass. It reports whether H0 (same population) is rejected.
+func KSRejectPresorted(refSorted, monSorted []float64, cAlpha float64) bool {
+	d, crit := KSRejectStatPresorted(refSorted, monSorted, cAlpha)
+	return d > crit
+}
+
+// KSRejectStatPresorted is KSRejectPresorted's evidence-preserving form.
+// It shares ksStatSorted and the critical-value arithmetic with
+// KSRejectStatSorted, and sorting is a pure permutation, so for equal
+// multisets the (d, crit) pair — and therefore every verdict and every
+// recorded provenance statistic — is bit-identical to the copy-and-sort
+// path it replaces.
+func KSRejectStatPresorted(refSorted, monSorted []float64, cAlpha float64) (d, crit float64) {
+	d = ksStatSorted(refSorted, monSorted)
+	m := float64(len(refSorted))
+	n := float64(len(monSorted))
+	crit = cAlpha * math.Sqrt((m+n)/(m*n))
+	return d, crit
+}
+
 // ksStatSorted computes the two-sample K-S statistic over two already
 // sorted samples.
 func ksStatSorted(as, bs []float64) float64 {
@@ -105,15 +130,24 @@ func ksStatSorted(as, bs []float64) float64 {
 
 // KSStatistic computes the two-sample K-S statistic
 // D = max_x |F_ref(x) - F_mon(x)| with a single merge pass over the two
-// sorted samples. It copies its inputs.
+// sorted samples. It copies both inputs into one backing slice (a single
+// allocation) before sorting, leaving the arguments unmodified.
 func KSStatistic(a, b []float64) float64 {
-	as := make([]float64, len(a))
-	bs := make([]float64, len(b))
+	buf := make([]float64, len(a)+len(b))
+	as := buf[:len(a):len(a)]
+	bs := buf[len(a):]
 	copy(as, a)
 	copy(bs, b)
 	sort.Float64s(as)
 	sort.Float64s(bs)
 	return ksStatSorted(as, bs)
+}
+
+// KSStatisticPresorted is KSStatistic on samples already sorted
+// ascending: no copies, no allocations. Training's detectable-shift probe
+// uses it on the (sorted) reference distributions directly.
+func KSStatisticPresorted(aSorted, bSorted []float64) float64 {
+	return ksStatSorted(aSorted, bSorted)
 }
 
 // KolmogorovSurvival returns Q(x) = P(K > x) for the Kolmogorov

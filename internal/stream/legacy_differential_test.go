@@ -1,0 +1,90 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+
+	"eddie/internal/core"
+	"eddie/internal/dsp"
+	"eddie/internal/inject"
+	"eddie/internal/obs"
+	"eddie/internal/pipeline"
+	"eddie/internal/pipeline/pipetest"
+)
+
+// TestDetectorLegacyVsPresortedSort runs the full streaming detector —
+// sample chunking, DC blocking, sliding STFT, peak extraction — twice
+// over the same capture, once with the monitor's legacy copy-and-sort
+// decision path and once with the sort-once presorted kernel, and
+// asserts every detector-level observable is bit-identical: window
+// outcomes, reports, and the flight-recorder provenance with alarm
+// dumps. This is the end-to-end form of the core-level differential:
+// it proves the kernel swap is invisible from the deployable API down.
+func TestDetectorLegacyVsPresortedSort(t *testing.T) {
+	f := pipetest.Fixture(t)
+	injector := &inject.InLoop{
+		Header: f.Machine.Nests[0].Header, Instrs: 8, MemOps: 4,
+		Contamination: 0.5, Seed: 3,
+	}
+	for _, tc := range []struct {
+		name string
+		inj  inject.Injector
+	}{
+		{"clean", nil},
+		{"injected", injector},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run, err := pipeline.CollectRun(f.W, f.Machine, f.Config, 800, tc.inj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			detrended := dsp.Detrend(run.Signal)
+
+			feed := func(legacy bool) (*core.Monitor, *obs.FlightRecorder) {
+				cfg := streamCfg(f.Config)
+				cfg.Monitor.LegacySort = legacy
+				flight := obs.NewFlightRecorder(len(run.STS) + 1)
+				cfg.Monitor.Flight = flight
+				d, err := NewDetector(f.Model, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < len(detrended); {
+					n := 251 + i%509
+					if i+n > len(detrended) {
+						n = len(detrended) - i
+					}
+					d.Feed(detrended[i : i+n])
+					i += n
+				}
+				return d.Monitor(), flight
+			}
+
+			monNew, flightNew := feed(false)
+			monLegacy, flightLegacy := feed(true)
+
+			if !reflect.DeepEqual(monNew.Outcomes, monLegacy.Outcomes) {
+				t.Error("WindowOutcome histories differ")
+			}
+			if !reflect.DeepEqual(monNew.Reports, monLegacy.Reports) {
+				t.Errorf("report lists differ: presorted %+v, legacy %+v", monNew.Reports, monLegacy.Reports)
+			}
+			recNew := flightNew.Recent()
+			recLegacy := flightLegacy.Recent()
+			if len(recNew) != len(recLegacy) {
+				t.Fatalf("flight record counts differ: %d vs %d", len(recNew), len(recLegacy))
+			}
+			for i := range recNew {
+				if !reflect.DeepEqual(recNew[i], recLegacy[i]) {
+					t.Fatalf("flight record %d differs:\npresorted: %+v\nlegacy:    %+v", i, recNew[i], recLegacy[i])
+				}
+			}
+			if flightNew.Alarms() != flightLegacy.Alarms() {
+				t.Errorf("alarm counts differ: %d vs %d", flightNew.Alarms(), flightLegacy.Alarms())
+			}
+			if !reflect.DeepEqual(flightNew.LastAlarm(), flightLegacy.LastAlarm()) {
+				t.Error("alarm dumps differ")
+			}
+		})
+	}
+}

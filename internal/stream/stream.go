@@ -15,6 +15,7 @@ import (
 	"eddie/internal/impair"
 	"eddie/internal/metrics"
 	"eddie/internal/obs"
+	"eddie/internal/stats"
 )
 
 // Config describes the detector's signal front end.
@@ -246,7 +247,7 @@ func (d *Detector) processWindow() {
 	for _, p := range peaks {
 		d.freqs = append(d.freqs, dsp.InterpolatePeakFrequency(&frame, p.Bin, d.binW))
 	}
-	sortFloats(d.freqs)
+	stats.Sort(d.freqs)
 	sp.End()
 	minBin := d.cfg.Peaks.MinBin
 	if minBin < 1 {
@@ -327,14 +328,4 @@ func (d *Detector) Monitor() *core.Monitor { return d.monitor }
 // isFinite reports whether s is neither NaN nor ±Inf.
 func isFinite(s float64) bool {
 	return !math.IsNaN(s) && !math.IsInf(s, 0)
-}
-
-// sortFloats is insertion sort: peak lists are short and this avoids an
-// allocation-heavy sort.Float64s call per window on the hot path.
-func sortFloats(x []float64) {
-	for i := 1; i < len(x); i++ {
-		for j := i; j > 0 && x[j] < x[j-1]; j-- {
-			x[j], x[j-1] = x[j-1], x[j]
-		}
-	}
 }

@@ -1,0 +1,125 @@
+// Package synthbench builds synthetic multi-region machines, training
+// runs and monitored streams for the decision and training benchmarks
+// (BENCH_decision.json). The generators are deterministic: fixed seeds
+// per run index, so every benchmark process measures the identical
+// workload. Unlike the mibench fixtures these scale freely in region
+// count and mode count, which is what the multi-mode decision benchmark
+// and the parallel-training scaling benchmark need.
+package synthbench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"eddie/internal/cfg"
+	"eddie/internal/core"
+	"eddie/internal/isa"
+)
+
+// Machine builds a chain of `nests` counted loops: entry → loop 0 →
+// loop 1 → … → exit. Each loop becomes one region in the region machine
+// (plus the transitions between consecutive loops), so the region count —
+// and with it the width of the global rejection scan and the training
+// fan-out — scales linearly with nests.
+func Machine(nests int) (*cfg.Machine, error) {
+	if nests < 1 {
+		return nil, fmt.Errorf("synthbench: need at least one nest, got %d", nests)
+	}
+	b := isa.NewBuilder("synthbench", 4)
+	entry := b.NewBlock("entry")
+	entry.Li(1, 10).Li(0, 0)
+	headers := make([]*isa.BlockBuilder, nests)
+	bodies := make([]*isa.BlockBuilder, nests)
+	mids := make([]*isa.BlockBuilder, nests-1)
+	for i := 0; i < nests; i++ {
+		headers[i] = b.NewBlock(fmt.Sprintf("h%d", i))
+		bodies[i] = b.NewBlock(fmt.Sprintf("b%d", i))
+		if i < nests-1 {
+			mids[i] = b.NewBlock(fmt.Sprintf("mid%d", i))
+		}
+	}
+	exit := b.NewBlock("exit")
+	entry.Jump(headers[0])
+	for i := 0; i < nests; i++ {
+		next := exit
+		if i < nests-1 {
+			next = mids[i]
+			mids[i].Li(1, 10)
+			mids[i].Jump(headers[i+1])
+		}
+		headers[i].Branch(isa.GT, 1, 0, bodies[i], next)
+		bodies[i].SubI(1, 1, 1)
+		bodies[i].Jump(headers[i])
+	}
+	exit.Halt()
+	return cfg.BuildMachine(b.Build())
+}
+
+// baseHz is nest i's fundamental frequency: well-separated bases so the
+// regions are spectrally distinct, like distinct loop bodies are.
+func baseHz(nest int) float64 { return 100e3 * float64(nest+1) }
+
+// sts makes one window: peaks at the base frequency's harmonics,
+// jittered 1% by the rng and scaled by shift (1 = in-distribution;
+// a few percent off defeats every training mode).
+func sts(r *rand.Rand, region cfg.RegionID, base float64, peaks int, shift float64) core.STS {
+	freqs := make([]float64, peaks)
+	for k := range freqs {
+		freqs[k] = (base*float64(k+1) + r.NormFloat64()*base*0.01) * shift
+	}
+	return core.STS{PeakFreqs: freqs, Energy: 1000 + r.Float64()*100, Region: region}
+}
+
+// Run builds one run visiting every nest in order: windows STSs per loop
+// region with 4 transition windows between consecutive nests, timestamps
+// 1 ms apart. shift scales every peak frequency (use 1 for training).
+func Run(r *rand.Rand, m *cfg.Machine, nests, windows, peaks int, shift float64) []core.STS {
+	var run []core.STS
+	tick := 0.0
+	add := func(s core.STS) {
+		s.TimeSec = tick
+		tick += 0.001
+		run = append(run, s)
+	}
+	for nest := 0; nest < nests; nest++ {
+		for i := 0; i < windows; i++ {
+			add(sts(r, m.LoopRegionOf(nest), baseHz(nest), peaks, shift))
+		}
+		if nest < nests-1 {
+			if tr, ok := m.TransRegionOf(nest, nest+1); ok {
+				for i := 0; i < 4; i++ {
+					add(sts(r, tr, (baseHz(nest)+baseHz(nest+1))/2, 2, shift))
+				}
+			}
+		}
+	}
+	return run
+}
+
+// TrainingRuns builds n deterministic training runs. Each run has its
+// own seed, so each region collects n distinct spectral modes — the
+// multi-mode structure the decision benchmark scans.
+func TrainingRuns(m *cfg.Machine, nests, n, windows, peaks int) [][]core.STS {
+	runs := make([][]core.STS, n)
+	for i := range runs {
+		runs[i] = Run(rand.New(rand.NewSource(int64(i+1))), m, nests, windows, peaks, 1)
+	}
+	return runs
+}
+
+// Stream builds a monitored stream of `windows` region-0 STSs with every
+// peak frequency scaled by shift. shift = 1 exercises the steady accept
+// path (the common case the fleet server lives in); shift around 1.05
+// matches no training mode, so every window drives the full rejection
+// machinery — mode scan, burst test, successor probes, global region
+// scan — the multi-mode worst case the sort-once kernel targets.
+func Stream(m *cfg.Machine, windows, peaks int, shift float64) []core.STS {
+	r := rand.New(rand.NewSource(99))
+	run := make([]core.STS, 0, windows)
+	for i := 0; i < windows; i++ {
+		s := sts(r, m.LoopRegionOf(0), baseHz(0), peaks, shift)
+		s.TimeSec = float64(i) * 0.001
+		run = append(run, s)
+	}
+	return run
+}

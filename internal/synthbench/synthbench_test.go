@@ -1,0 +1,44 @@
+package synthbench
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMachineRegionCount(t *testing.T) {
+	if _, err := Machine(0); err == nil {
+		t.Error("Machine(0) should fail")
+	}
+	m, err := Machine(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for nest := 0; nest < 5; nest++ {
+		if m.LoopRegionOf(nest) < 0 {
+			t.Errorf("nest %d has no loop region", nest)
+		}
+	}
+	for nest := 0; nest < 4; nest++ {
+		if _, ok := m.TransRegionOf(nest, nest+1); !ok {
+			t.Errorf("no transition region between nests %d and %d", nest, nest+1)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	m, err := Machine(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(TrainingRuns(m, 3, 4, 10, 5), TrainingRuns(m, 3, 4, 10, 5)) {
+		t.Error("TrainingRuns is not deterministic")
+	}
+	if !reflect.DeepEqual(Stream(m, 50, 5, 1.05), Stream(m, 50, 5, 1.05)) {
+		t.Error("Stream is not deterministic")
+	}
+	run := TrainingRuns(m, 3, 1, 10, 5)[0]
+	// 3 nests x 10 windows + 2 transitions x 4 windows.
+	if len(run) != 3*10+2*4 {
+		t.Errorf("run has %d windows, want %d", len(run), 3*10+2*4)
+	}
+}
