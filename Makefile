@@ -1,4 +1,4 @@
-.PHONY: all build vet test race bench dsp-bench obs-bench bench-decision bench-decision-smoke cover fleet-smoke
+.PHONY: all build vet test race bench dsp-bench obs-bench bench-decision bench-decision-smoke bench-fleet bench-fleet-smoke cover fleet-smoke
 
 all: build test
 
@@ -13,15 +13,17 @@ vet:
 test: build vet
 	go test ./...
 	$(MAKE) bench-decision-smoke
+	$(MAKE) bench-fleet-smoke
 
 # Race tier: vet plus the short suite under the race detector. Exercises
 # the FFT plan cache, the parallel run scheduler, the model cache, the
-# shared metrics registry, and the fleet server's concurrent-session
-# stress test (>= 8 device streams against one server).
+# shared metrics registry, and the fleet server's stress tests: >= 8
+# device streams against one server, and >= 64 mixed clean/anomalous
+# sessions with mid-stream disconnects against the sharded pool.
 race:
 	go vet ./...
 	go test -race -short ./...
-	go test -race -short -count=1 -run 'TestFleetStressConcurrentSessions' ./internal/fleet
+	go test -race -short -count=1 -run 'TestFleetStressConcurrentSessions|TestFleetStressShardedChurn' ./internal/fleet
 
 # Fleet smoke run: boot a real fleet server over TCP, stream devices
 # through it concurrently, drain it gracefully mid-stream.
@@ -41,6 +43,20 @@ dsp-bench:
 # steady-state Observe benchmark regresses >20% against it.
 bench-decision:
 	go run ./cmd/eddie-bench -decision-bench BENCH_decision.json
+
+# Fleet-load session-density benchmark: client swarms over localhost TCP
+# climb a session ladder against the sharded and goroutine-per-session
+# servers. Rewrites BENCH_fleet.json; fails (keeping the checked-in
+# baseline) when sustained sessions or p99 frame-to-verdict latency
+# regresses >20% against it.
+bench-fleet:
+	go run ./cmd/eddie-bench -fleet-bench BENCH_fleet.json
+
+# Cheap fleet-bench gate for `make test`: one tiny ungated rung in each
+# mode proves the harness still trains, connects, bursts and reports —
+# without paying for (or perturbing) the full ladder.
+bench-fleet-smoke:
+	go run ./cmd/eddie-bench -fleet-bench /tmp/eddie-fleet-smoke.json -fleet-smoke
 
 # Cheap decision-bench gate for `make test`: the driver must build, and
 # the go-test decision benchmarks must run (one iteration each) without

@@ -60,6 +60,7 @@ type options struct {
 	fleetAddr     string
 	modelDir      string
 	maxSessions   int
+	fleetShards   int
 	drainTimeout  time.Duration
 }
 
@@ -92,7 +93,8 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 	fs.StringVar(&o.serveAddr, "serve", "", `serve debug endpoints on this address (e.g. ":8080"): /debug/vars, /debug/pprof/*, /metrics, /eddie/last-alarm, /eddie/fleet`)
 	fs.StringVar(&o.fleetAddr, "fleet", "", `run the fleet monitoring server on this address (e.g. ":9000"); requires -model-dir`)
 	fs.StringVar(&o.modelDir, "model-dir", "", "fleet mode: directory of models saved with -save-model, one <workload>.json per workload")
-	fs.IntVar(&o.maxSessions, "fleet-max-sessions", 0, "fleet mode: concurrent device session bound (0 = scale with the worker pool)")
+	fs.IntVar(&o.maxSessions, "fleet-max-sessions", 0, fmt.Sprintf("fleet mode: concurrent device session bound (0 = derive from physical memory; %d on this node)", eddie.DefaultFleetMaxSessions()))
+	fs.IntVar(&o.fleetShards, "fleet-shards", 0, "fleet mode: processor goroutines the detector work is multiplexed over (0 = worker-pool parallelism)")
 	fs.DurationVar(&o.drainTimeout, "fleet-drain-timeout", 30*time.Second, "fleet mode: how long a SIGTERM drain may take before sessions are force-closed")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -148,6 +150,9 @@ func (o *options) validate() error {
 		}
 		if o.maxSessions < 0 {
 			return fmt.Errorf("-fleet-max-sessions %d: negative session bound", o.maxSessions)
+		}
+		if o.fleetShards < 0 {
+			return fmt.Errorf("-fleet-shards %d: negative shard count", o.fleetShards)
 		}
 		if o.drainTimeout <= 0 {
 			return fmt.Errorf("-fleet-drain-timeout %v: need a positive drain budget", o.drainTimeout)
@@ -231,6 +236,7 @@ func runFleet(o *options, stdout, stderr io.Writer) error {
 			Monitor: eddie.DefaultMonitorConfig(),
 		},
 		MaxSessions: o.maxSessions,
+		Shards:      o.fleetShards,
 		Registry:    reg,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stdout, format+"\n", args...)

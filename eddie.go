@@ -165,6 +165,9 @@ type (
 	// FleetClient is the reference device client: dial, stream samples,
 	// collect reports.
 	FleetClient = fleet.Client
+	// FleetClientConfig tunes a fleet client's dial and per-frame I/O
+	// timeouts (DialFleetConfig).
+	FleetClientConfig = fleet.ClientConfig
 	// FleetHello opens a fleet session (device name, workload name).
 	FleetHello = fleet.Hello
 	// FleetWelcome acknowledges a fleet hello.
@@ -316,6 +319,15 @@ func NewFleetDirModels(dir string) *FleetDirModels { return fleet.NewDirModels(d
 func DialFleet(addr string, hello FleetHello) (*FleetClient, error) {
 	return fleet.Dial(addr, hello)
 }
+
+// DialFleetConfig is DialFleet with explicit timeout configuration.
+func DialFleetConfig(addr string, hello FleetHello, c FleetClientConfig) (*FleetClient, error) {
+	return fleet.DialConfig(addr, hello, c)
+}
+
+// DefaultFleetMaxSessions is the memory-derived session bound a zero
+// FleetConfig.MaxSessions resolves to on this node.
+func DefaultFleetMaxSessions() int { return fleet.DefaultMaxSessions() }
 
 // ReduceSignal converts a captured (possibly impaired) signal back into
 // the run's labeled STS sequence — the signal-to-STS tail of CollectRun.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"eddie/internal/cfg"
 )
@@ -110,16 +111,28 @@ type Model struct {
 	// MaxGroupSize is the largest GroupSize across regions; the monitor
 	// keeps this much history.
 	MaxGroupSize int
+
+	// regionIDs caches the sorted region-id listing. Models are immutable
+	// once trained or loaded, so the listing is computed once and shared
+	// by every monitor on the model — a fleet node running thousands of
+	// sessions against one model would otherwise allocate a fresh id
+	// slice per global rejection scan per session.
+	regionIDsOnce sync.Once
+	regionIDs     []cfg.RegionID
 }
 
-// RegionIDs returns the modeled regions in ascending order.
+// RegionIDs returns the modeled regions in ascending order. The slice is
+// cached on the model and shared: callers must not modify it.
 func (m *Model) RegionIDs() []cfg.RegionID {
-	ids := make([]cfg.RegionID, 0, len(m.Regions))
-	for id := range m.Regions {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	m.regionIDsOnce.Do(func() {
+		ids := make([]cfg.RegionID, 0, len(m.Regions))
+		for id := range m.Regions {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		m.regionIDs = ids
+	})
+	return m.regionIDs
 }
 
 // String summarizes the model.

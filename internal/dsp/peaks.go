@@ -1,9 +1,6 @@
 package dsp
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // Peak is one spectral peak extracted from a Short-Term Spectrum.
 type Peak struct {
@@ -43,6 +40,16 @@ func DefaultPeakConfig() PeakConfig {
 // binHz converts a bin index to a frequency; STFTConfig.BinFrequency is the
 // usual choice.
 func FindPeaks(frame *Frame, cfg PeakConfig, binHz func(int) float64) []Peak {
+	return FindPeaksInto(nil, frame, cfg, binHz)
+}
+
+// FindPeaksInto is FindPeaks appending into dst's backing array (pass
+// dst[:0] of a reused scratch slice): the streaming detector extracts
+// peaks every hop, and per-window result allocations would dominate its
+// steady-state profile. The returned ordering is identical to
+// FindPeaks: the comparison (power descending, bin ascending) is a
+// total order, so every correct sort produces the same sequence.
+func FindPeaksInto(dst []Peak, frame *Frame, cfg PeakConfig, binHz func(int) float64) []Peak {
 	minBin := cfg.MinBin
 	if minBin < 1 {
 		minBin = 1
@@ -58,9 +65,9 @@ func FindPeaks(frame *Frame, cfg PeakConfig, binHz func(int) float64) []Peak {
 		total += p[i]
 	}
 	if total <= 0 {
-		return nil
+		return dst[:0]
 	}
-	var peaks []Peak
+	peaks := dst[:0]
 	for i := minBin; i < len(p); i++ {
 		left := math.Inf(-1)
 		if i > 0 {
@@ -93,16 +100,29 @@ func FindPeaks(frame *Frame, cfg PeakConfig, binHz func(int) float64) []Peak {
 			Fraction:  frac,
 		})
 	}
-	sort.Slice(peaks, func(a, b int) bool {
-		if peaks[a].Power != peaks[b].Power {
-			return peaks[a].Power > peaks[b].Power
-		}
-		return peaks[a].Bin < peaks[b].Bin
-	})
+	sortPeaks(peaks)
 	if cfg.MaxPeaks > 0 && len(peaks) > cfg.MaxPeaks {
 		peaks = peaks[:cfg.MaxPeaks]
 	}
 	return peaks
+}
+
+// sortPeaks orders peaks by power descending, breaking ties by bin
+// ascending — the same total order sort.Slice used to apply, without
+// the per-call closure and reflection swapper. Peak counts are small
+// (the 1%-of-energy rule admits at most 100 peaks), so insertion sort
+// is both allocation-free and fast.
+func sortPeaks(peaks []Peak) {
+	for i := 1; i < len(peaks); i++ {
+		v := peaks[i]
+		j := i - 1
+		for j >= 0 && (peaks[j].Power < v.Power ||
+			(peaks[j].Power == v.Power && peaks[j].Bin > v.Bin)) {
+			peaks[j+1] = peaks[j]
+			j--
+		}
+		peaks[j+1] = v
+	}
 }
 
 // InterpolatePeakFrequency refines a peak position by parabolic

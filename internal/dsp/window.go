@@ -3,6 +3,7 @@ package dsp
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // WindowKind identifies a taper applied to each STFT frame before the FFT.
@@ -65,6 +66,30 @@ func Window(k WindowKind, n int) []float64 {
 		}
 	}
 	return w
+}
+
+// sharedWindows caches one coefficient slice per (kind, length), keyed
+// by sharedWindowKey. Coefficients are pure functions of the key and
+// read-only by contract, so every caller shares one slice.
+var sharedWindows sync.Map
+
+type sharedWindowKey struct {
+	k WindowKind
+	n int
+}
+
+// SharedWindow returns the n coefficients of the window from a process-
+// wide cache. The returned slice is shared and MUST NOT be modified;
+// callers that need a private copy use Window instead. One fleet node
+// hosting tens of thousands of detector sessions with the same STFT
+// front end holds one coefficient table instead of one per session.
+func SharedWindow(k WindowKind, n int) []float64 {
+	key := sharedWindowKey{k, n}
+	if w, ok := sharedWindows.Load(key); ok {
+		return w.([]float64)
+	}
+	w, _ := sharedWindows.LoadOrStore(key, Window(k, n))
+	return w.([]float64)
 }
 
 // CoherentGain returns the mean of the window coefficients: the factor by

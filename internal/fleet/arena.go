@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"sync"
+
+	"eddie/internal/core"
+	"eddie/internal/metrics"
+)
+
+// modelArena is the shared read-only state for one workload: the trained
+// model (reference distributions, region machine, cached region-id
+// listing) interned once and handed to every live session monitoring
+// that workload. Model sources that build a fresh *core.Model per Load
+// would otherwise give N same-firmware sessions N copies of identical
+// reference data; the arena pins the first loaded instance while any
+// session uses it. Models are immutable once trained, so sharing is
+// free of synchronization on the hot path.
+type modelArena struct {
+	workload string
+	model    *core.Model
+	refs     int
+	gauge    *metrics.Gauge
+}
+
+// arenaTable interns arenas by workload name. An arena is dropped when
+// its last session ends, so a retrained model (e.g. DirModels after
+// Forget) takes effect for future sessions once the old cohort cycles
+// out.
+type arenaTable struct {
+	mu sync.Mutex
+	m  map[string]*modelArena
+}
+
+// acquire returns the workload's arena, creating it around model on
+// first use, and counts the caller as a live session.
+func (t *arenaTable) acquire(workload string, model *core.Model, reg *metrics.Registry) *modelArena {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = map[string]*modelArena{}
+	}
+	a := t.m[workload]
+	if a == nil {
+		a = &modelArena{
+			workload: workload,
+			model:    model,
+			gauge:    reg.Gauge("fleet_arena_sessions/" + workload),
+		}
+		// Prewarm derived state every session shares (the sorted
+		// region-id listing used by global re-lock scans).
+		model.RegionIDs()
+		t.m[workload] = a
+	}
+	a.refs++
+	a.gauge.Set(int64(a.refs))
+	return a
+}
+
+// release drops one session's reference; the arena is evicted when the
+// last reference goes.
+func (t *arenaTable) release(a *modelArena) {
+	if a == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a.refs--
+	a.gauge.Set(int64(a.refs))
+	if a.refs <= 0 {
+		delete(t.m, a.workload)
+	}
+}
+
+// snapshot lists live-session counts per interned workload.
+func (t *arenaTable) snapshot() map[string]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int, len(t.m))
+	for w, a := range t.m {
+		out[w] = a.refs
+	}
+	return out
+}

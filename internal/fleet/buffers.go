@@ -1,0 +1,67 @@
+package fleet
+
+import "math/bits"
+
+// Sample buffers are recycled in power-of-two size classes. The largest
+// class covers the biggest FrameSamples payload a server accepts under
+// DefaultMaxFrameBytes (1<<22 bytes = 1<<19 floats); anything larger is
+// allocated directly and never pooled.
+const (
+	minSampleClassBits = 8
+	maxSampleClassBits = 19
+	sampleClasses      = maxSampleClassBits - minSampleClassBits + 1
+)
+
+// samplePool recycles one session's decoded sample buffers: the reader
+// takes a buffer per FrameSamples, the shard processor returns it after
+// the batch Observe, so a steady-state session decodes every frame into
+// memory it already owns instead of a per-frame make([]float64, n).
+// The pool is per-session and guarded by the session mutex, so there is
+// no cross-session contention and no sync.Pool pointer boxing on the
+// hot path. Retained capacity is bounded by maxRetain samples — the
+// pool never holds more than the session's backpressure window could
+// have queued.
+type samplePool struct {
+	free      [sampleClasses][][]float64
+	retained  int // total retained capacity, in samples
+	maxRetain int
+}
+
+// get returns a buffer of length n with power-of-two capacity, reusing
+// a pooled one when the size class has stock.
+func (p *samplePool) get(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	b := bits.Len(uint(n - 1)) // smallest b with 1<<b >= n
+	if b < minSampleClassBits {
+		b = minSampleClassBits
+	}
+	if b > maxSampleClassBits {
+		return make([]float64, n)
+	}
+	c := b - minSampleClassBits
+	if s := p.free[c]; len(s) > 0 {
+		buf := s[len(s)-1]
+		s[len(s)-1] = nil
+		p.free[c] = s[:len(s)-1]
+		p.retained -= cap(buf)
+		return buf[:n]
+	}
+	return make([]float64, n, 1<<b)
+}
+
+// put returns a buffer to its size class. Oversized, undersized, and
+// over-budget buffers are dropped to the GC.
+func (p *samplePool) put(buf []float64) {
+	b := bits.Len(uint(cap(buf))) - 1 // largest b with 1<<b <= cap
+	if b < minSampleClassBits || b > maxSampleClassBits {
+		return
+	}
+	if p.maxRetain > 0 && p.retained+cap(buf) > p.maxRetain {
+		return
+	}
+	c := b - minSampleClassBits
+	p.free[c] = append(p.free[c], buf[:0])
+	p.retained += cap(buf)
+}

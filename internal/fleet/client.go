@@ -27,10 +27,43 @@ type Client struct {
 // DialTimeout is the default per-operation client deadline.
 const DialTimeout = 30 * time.Second
 
-// Dial connects to a fleet server, performs the hello/welcome
-// handshake, and returns a ready client.
+// ClientConfig tunes a client's timeouts. The zero value reproduces
+// Dial's defaults. The dial and I/O deadlines are separate knobs: a
+// connect should fail fast, while a send to a backpressured server may
+// legitimately block far longer than any sane dial bound (the old
+// single hardcoded DialTimeout served as both, which broke slow
+// sessions and made tests either flaky or slow).
+type ClientConfig struct {
+	// DialTimeout bounds the TCP connect. Zero means the DialTimeout
+	// constant (30s).
+	DialTimeout time.Duration
+	// IOTimeout is the per-operation deadline for the handshake, each
+	// Send, and each Finish read. Zero means the resolved dial timeout;
+	// negative disables I/O deadlines entirely.
+	IOTimeout time.Duration
+	// MaxFrameBytes caps inbound frames. Zero means
+	// DefaultMaxFrameBytes.
+	MaxFrameBytes int
+}
+
+// Dial connects to a fleet server with default timeouts, performs the
+// hello/welcome handshake, and returns a ready client.
 func Dial(addr string, hello Hello) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	return DialConfig(addr, hello, ClientConfig{})
+}
+
+// DialConfig is Dial with explicit timeout configuration.
+func DialConfig(addr string, hello Hello, cfg ClientConfig) (*Client, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DialTimeout
+	}
+	if cfg.IOTimeout == 0 {
+		cfg.IOTimeout = cfg.DialTimeout
+	}
+	if cfg.MaxFrameBytes <= 0 {
+		cfg.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -38,10 +71,10 @@ func Dial(addr string, hello Hello) (*Client, error) {
 		conn:     conn,
 		br:       bufio.NewReaderSize(conn, 1<<16),
 		bw:       bufio.NewWriterSize(conn, 1<<16),
-		maxFrame: DefaultMaxFrameBytes,
-		timeout:  DialTimeout,
+		maxFrame: cfg.MaxFrameBytes,
+		timeout:  cfg.IOTimeout,
 	}
-	conn.SetDeadline(time.Now().Add(c.timeout))
+	conn.SetDeadline(c.opDeadline())
 	if err := writeFrame(c.bw, FrameHello, mustJSON(hello)); err != nil {
 		conn.Close()
 		return nil, err
@@ -82,7 +115,7 @@ func (c *Client) Send(samples []float64) error {
 		return errors.New("fleet: client closed")
 	}
 	maxPer := c.maxFrame / 8
-	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	c.conn.SetWriteDeadline(c.opDeadline())
 	for len(samples) > 0 {
 		n := len(samples)
 		if n > maxPer {
@@ -104,7 +137,7 @@ func (c *Client) Finish() (Summary, []Report, error) {
 	if c.closed {
 		return sum, c.reports, errors.New("fleet: client closed")
 	}
-	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	c.conn.SetWriteDeadline(c.opDeadline())
 	if err := writeFrame(c.bw, FrameBye, nil); err != nil {
 		return sum, c.reports, err
 	}
@@ -112,7 +145,7 @@ func (c *Client) Finish() (Summary, []Report, error) {
 		return sum, c.reports, err
 	}
 	for {
-		c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+		c.conn.SetReadDeadline(c.opDeadline())
 		typ, payload, err := readFrame(c.br, c.maxFrame)
 		if err != nil {
 			return sum, c.reports, fmt.Errorf("fleet: awaiting summary: %w", err)
@@ -147,6 +180,15 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	return c.conn.Close()
+}
+
+// opDeadline returns the next per-operation deadline (zero time — no
+// deadline — when I/O deadlines are disabled).
+func (c *Client) opDeadline() time.Time {
+	if c.timeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(c.timeout)
 }
 
 // decodeError extracts the message of a FrameError payload.

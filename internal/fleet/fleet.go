@@ -26,10 +26,22 @@ type Config struct {
 	// models were trained under.
 	Stream stream.Config
 	// MaxSessions bounds concurrent device sessions; further connections
-	// are refused with a FrameError. Zero means 4×par.Parallelism(), but
-	// at least 8 (the detector work is CPU-bound, so the bound follows
-	// the machine's worker budget, same as the collection pool).
+	// are refused with a FrameError. Zero derives the bound from
+	// physical memory (a quarter of RAM at ~256 KiB per session, clamped
+	// to [64, 262144]): sessions are mostly idle and their detector work
+	// is multiplexed over the shard pool, so memory — not CPU count — is
+	// what limits density.
 	MaxSessions int
+	// Shards is the number of processor goroutines the detector work is
+	// multiplexed over. Sessions are hashed onto shards by device id;
+	// each shard drains a session's whole frame inbox per scheduling
+	// turn. Zero means par.Parallelism().
+	Shards int
+	// GoroutinePerSession restores the legacy architecture: every
+	// session gets a private processor goroutine instead of a slot in
+	// the shard pool. It exists as the A/B baseline for the fleet
+	// benchmark (cmd/eddie-bench -fleet-bench).
+	GoroutinePerSession bool
 	// IdleTimeout is the per-frame read deadline: a session that sends
 	// nothing for this long is torn down. Zero means 30s.
 	IdleTimeout time.Duration
@@ -61,9 +73,12 @@ type Config struct {
 // withDefaults resolves the zero values.
 func (c Config) withDefaults() Config {
 	if c.MaxSessions <= 0 {
-		c.MaxSessions = 4 * par.Parallelism()
-		if c.MaxSessions < 8 {
-			c.MaxSessions = 8
+		c.MaxSessions = defaultMaxSessions()
+	}
+	if c.Shards <= 0 {
+		c.Shards = par.Parallelism()
+		if c.Shards < 1 {
+			c.Shards = 1
 		}
 	}
 	if c.IdleTimeout <= 0 {
@@ -105,6 +120,12 @@ type Server struct {
 	cBackpress  *metrics.Counter // reader stalls on the pending cap
 	hSessionWin *metrics.Histogram
 
+	// shards is the shared processor pool (empty in GoroutinePerSession
+	// mode); arenas interns per-workload model state across sessions.
+	shards    []*shard
+	shardStop sync.Once
+	arenas    arenaTable
+
 	mu       sync.Mutex
 	ln       net.Listener
 	sessions map[int64]*session
@@ -113,7 +134,7 @@ type Server struct {
 	draining bool
 	closed   bool
 
-	wg sync.WaitGroup // live session handlers
+	wg sync.WaitGroup // live sessions (released in finish)
 }
 
 // recentClosedCap bounds the recently-closed session ring in Sessions
@@ -144,6 +165,12 @@ func NewServer(cfg Config) (*Server, error) {
 	s.cBackpress = s.reg.Counter("fleet_backpressure_stalls")
 	s.hSessionWin = s.reg.Histogram("fleet_session_windows",
 		[]float64{16, 64, 256, 1024, 4096, 16384, 65536})
+	if !cfg.GoroutinePerSession {
+		s.shards = make([]*shard, cfg.Shards)
+		for i := range s.shards {
+			s.shards[i] = newShard(s, i, shardLabel(i))
+		}
+	}
 	return s, nil
 }
 
@@ -236,11 +263,10 @@ func (s *Server) admit(conn net.Conn) bool {
 	s.sessions[sess.id] = sess
 	s.wg.Add(1)
 	s.mu.Unlock()
-	go func() {
-		defer s.wg.Done()
-		sess.run()
-		s.finish(sess)
-	}()
+	// The reader goroutine stays thin (decode + enqueue); detector work
+	// and session teardown happen on the session's shard. finish —
+	// reached exactly once via finalize — releases the wait group.
+	go sess.run()
 	return true
 }
 
@@ -251,8 +277,11 @@ func (s *Server) refuse(conn net.Conn, why string) {
 	conn.Close()
 }
 
-// finish unregisters an ended session and records its summary.
+// finish unregisters an ended session and records its summary. Called
+// exactly once per admitted session, from session.finalize.
 func (s *Server) finish(sess *session) {
+	defer s.wg.Done()
+	s.arenas.release(sess.arena)
 	info := sess.info()
 	info.Active = false
 	s.mu.Lock()
@@ -306,6 +335,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.stopShards()
 		return nil
 	case <-ctx.Done():
 		s.Close()
@@ -334,6 +364,13 @@ func (s *Server) Close() error {
 	for _, sess := range sessions {
 		sess.close()
 	}
+	// The shard pool must outlive every session (force-closed sessions
+	// still finalize on their shard), so it stops once the last one
+	// finishes.
+	go func() {
+		s.wg.Wait()
+		s.stopShards()
+	}()
 	return err
 }
 
@@ -372,17 +409,66 @@ func (s *Server) Sessions() []SessionInfo {
 	return append(out, recent...)
 }
 
-// FleetSessions implements obs.SessionLister for the /eddie/fleet debug
-// endpoint.
-func (s *Server) FleetSessions() any {
+// DefaultSessionPageLimit bounds one /eddie/fleet listing page: at
+// 100k+ sessions per node a full dump would render megabytes of JSON
+// per GET, so listings page by default.
+const DefaultSessionPageLimit = 1000
+
+// SessionsPage returns one page of the session listing — active
+// sessions in id order followed by the recently closed ring — plus the
+// listing total and the live-session count. A limit <= 0 falls back to
+// DefaultSessionPageLimit.
+func (s *Server) SessionsPage(offset, limit int) (page []SessionInfo, total, active int) {
+	if offset < 0 {
+		offset = 0
+	}
+	if limit <= 0 {
+		limit = DefaultSessionPageLimit
+	}
 	s.mu.Lock()
-	activeN := len(s.sessions)
+	act := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		act = append(act, sess)
+	}
+	recent := append([]SessionInfo(nil), s.recent...)
+	s.mu.Unlock()
+	sort.Slice(act, func(i, j int) bool { return act[i].id < act[j].id })
+	total = len(act) + len(recent)
+	active = len(act)
+	page = make([]SessionInfo, 0, min(limit, total))
+	for i := offset; i < total && len(page) < limit; i++ {
+		if i < len(act) {
+			page = append(page, act[i].info())
+		} else {
+			page = append(page, recent[i-len(act)])
+		}
+	}
+	return page, total, active
+}
+
+// FleetSessions implements obs.SessionLister for the /eddie/fleet debug
+// endpoint: the first listing page plus fleet-level state.
+func (s *Server) FleetSessions() any {
+	out, _, _ := s.FleetSessionsPage(0, DefaultSessionPageLimit)
+	return out
+}
+
+// FleetSessionsPage implements obs.SessionPager: one listing page with
+// totals for the paging headers.
+func (s *Server) FleetSessionsPage(offset, limit int) (any, int, int) {
+	page, total, active := s.SessionsPage(offset, limit)
+	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
 	return map[string]any{
-		"active":   activeN,
+		"active":   active,
 		"max":      s.cfg.MaxSessions,
+		"shards":   len(s.shards),
 		"draining": draining,
-		"sessions": s.Sessions(),
-	}
+		"arenas":   s.arenas.snapshot(),
+		"total":    total,
+		"offset":   offset,
+		"limit":    limit,
+		"sessions": page,
+	}, total, active
 }

@@ -7,6 +7,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -116,12 +117,44 @@ func feedDirect(t *testing.T, f *pipetest.F, samples []float64) (*stream.Detecto
 // server over real TCP and asserts the reports coming back over the wire
 // are bit-identical to a direct stream.Detector fed the same samples:
 // same report count, same window indices, same float64 timestamps (JSON
-// round-trips float64 exactly, so == is the right comparison).
+// round-trips float64 exactly, so == is the right comparison). The
+// differential runs at several shard counts and in the legacy
+// goroutine-per-session mode: batching and scheduling must never change
+// a verdict.
 func TestFleetDifferentialVsDirect(t *testing.T) {
 	f, sig := fleetSignal(t)
-	s, addr := startServer(t, serverConfig(f))
+	det, directReports := feedDirect(t, f, sig)
 
-	c, err := Dial(addr, Hello{Device: "dev-diff", Workload: "bitcount", DisableDCBlock: true})
+	variants := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"shards=1", func(c *Config) { c.Shards = 1 }},
+		{"shards=4", func(c *Config) { c.Shards = 4 }},
+		{"goroutine-per-session", func(c *Config) { c.GoroutinePerSession = true }},
+	}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		variants = append(variants, struct {
+			name   string
+			mutate func(*Config)
+		}{fmt.Sprintf("shards=gomaxprocs-%d", n), func(c *Config) { c.Shards = n }})
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			cfg := serverConfig(f)
+			v.mutate(&cfg)
+			testFleetDifferential(t, f, sig, cfg, det, directReports)
+		})
+	}
+}
+
+func testFleetDifferential(t *testing.T, f *pipetest.F, sig []float64, cfg Config, det *stream.Detector, directReports []core.Report) {
+	s, addr := startServer(t, cfg)
+
+	// Generous I/O timeout: a differential run pushes hundreds of frames
+	// through a single shard turnstile, and CI machines stall.
+	c, err := DialConfig(addr, Hello{Device: "dev-diff", Workload: "bitcount", DisableDCBlock: true},
+		ClientConfig{DialTimeout: 30 * time.Second, IOTimeout: 120 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +184,6 @@ func TestFleetDifferentialVsDirect(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	det, directReports := feedDirect(t, f, sig)
 	if sum.Samples != int64(len(sig)) {
 		t.Fatalf("summary samples %d, want %d", sum.Samples, len(sig))
 	}
@@ -298,19 +330,24 @@ func TestFleetIdleTimeout(t *testing.T) {
 	}
 }
 
-// TestBackpressureStalls drives the bounded session queue directly: an
+// TestBackpressureStalls drives the bounded session inbox directly: an
 // enqueue over the pending cap must block (and count a stall) until the
-// processor side drains, and must wake up when it does.
+// processor side drains, and must wake up when it does. The test stands
+// in for the shard processor, so the session is pre-marked queued and
+// drained with the same inbox operations processTurn uses.
 func TestBackpressureStalls(t *testing.T) {
+	reg := metrics.NewRegistry()
 	srv := &Server{cfg: Config{Models: StaticModels{}, MaxPendingSamples: 16}.withDefaults()}
-	srv.cBackpress = metrics.NewRegistry().Counter("fleet_backpressure_stalls")
+	srv.reg = reg
+	srv.cBackpress = reg.Counter("fleet_backpressure_stalls")
 	ss := newSession(srv, 1, nil)
+	ss.queued = true // the test plays the shard's role
 
-	if !ss.enqueue(item{samples: make([]float64, 512)}) {
+	if !ss.enqueue(make([]float64, 512)) {
 		t.Fatal("first enqueue refused")
 	}
 	done := make(chan bool, 1)
-	go func() { done <- ss.enqueue(item{samples: make([]float64, 512)}) }()
+	go func() { done <- ss.enqueue(make([]float64, 512)) }()
 	select {
 	case <-done:
 		t.Fatal("enqueue over the pending cap did not stall")
@@ -320,9 +357,14 @@ func TestBackpressureStalls(t *testing.T) {
 		t.Fatalf("stall counter %d, want 1", n)
 	}
 
-	it, ok := ss.dequeue()
-	if !ok || len(it.samples) != 512 {
-		t.Fatalf("dequeue: ok=%v len=%d", ok, len(it.samples))
+	// Drain the inbox the way a processor turn does.
+	ss.mu.Lock()
+	batch := ss.inbox.drainTo(nil)
+	ss.pending = 0
+	ss.cond.Broadcast()
+	ss.mu.Unlock()
+	if len(batch) != 1 || len(batch[0]) != 512 {
+		t.Fatalf("drained %d chunks, want the one 512-sample chunk", len(batch))
 	}
 	select {
 	case ok := <-done:
@@ -346,7 +388,8 @@ func TestFleetBackpressureEndToEnd(t *testing.T) {
 	cfg.MaxPendingSamples = 64 // far below the per-send chunk size
 	_, addr := startServer(t, cfg)
 
-	c, err := Dial(addr, Hello{Device: "dev-bp", Workload: "bitcount", DisableDCBlock: true})
+	c, err := DialConfig(addr, Hello{Device: "dev-bp", Workload: "bitcount", DisableDCBlock: true},
+		ClientConfig{DialTimeout: 30 * time.Second, IOTimeout: 120 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,7 +447,8 @@ func TestFleetStressConcurrentSessions(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			dev := fmt.Sprintf("dev-%d", i%devices)
-			c, err := Dial(addr, Hello{Device: dev, Workload: "bitcount", DisableDCBlock: true})
+			c, err := DialConfig(addr, Hello{Device: dev, Workload: "bitcount", DisableDCBlock: true},
+				ClientConfig{DialTimeout: 30 * time.Second, IOTimeout: 120 * time.Second})
 			if err != nil {
 				errs <- fmt.Errorf("session %d: dial: %w", i, err)
 				return

@@ -1,0 +1,70 @@
+package fleet
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+const (
+	// perSessionBytes is the planning estimate of one idle session's
+	// steady-state footprint: detector scratch (~5 windows of float64),
+	// monitor ring and history, recycled sample buffers, socket buffers
+	// and goroutine stack. Measured ~100-200 KiB for the default 512-pt
+	// STFT; 256 KiB keeps headroom for larger windows.
+	perSessionBytes = 256 << 10
+	// minDefaultSessions / maxDefaultSessions clamp the derived bound.
+	minDefaultSessions = 64
+	maxDefaultSessions = 1 << 18
+	// fallbackMemBytes stands in when physical memory is unreadable.
+	fallbackMemBytes = int64(8) << 30
+)
+
+// defaultMaxSessions derives the session bound from physical memory
+// instead of CPU count: sessions are mostly idle (readers parked in
+// epoll, work multiplexed over a few shard processors), so memory, not
+// cores, is what actually limits density. A quarter of RAM at the
+// per-session estimate — 128 GiB hosts ~131k sessions.
+func defaultMaxSessions() int {
+	mem := memTotalBytes()
+	if mem <= 0 {
+		mem = fallbackMemBytes
+	}
+	n := int(mem / 4 / perSessionBytes)
+	if n < minDefaultSessions {
+		return minDefaultSessions
+	}
+	if n > maxDefaultSessions {
+		return maxDefaultSessions
+	}
+	return n
+}
+
+// DefaultMaxSessions is the memory-derived session bound a zero
+// Config.MaxSessions resolves to, exported so tooling (flag help, the
+// fleet-load benchmark) can report the node's deployable density.
+func DefaultMaxSessions() int { return defaultMaxSessions() }
+
+// memTotalBytes returns physical memory from /proc/meminfo, or 0 when
+// unavailable (non-Linux, restricted container).
+func memTotalBytes() int64 {
+	data, err := os.ReadFile("/proc/meminfo")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "MemTotal:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

@@ -99,6 +99,19 @@ type ErrorInfo struct {
 	Error string `json:"error"`
 }
 
+// WriteFrame writes one protocol frame. It is exported for protocol-
+// level tooling (the fleet-load benchmark drives raw connections to
+// timestamp individual report arrivals); applications use Client.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	return writeFrame(w, typ, payload)
+}
+
+// ReadFrame reads one protocol frame, rejecting payloads larger than
+// maxLen. Exported for protocol-level tooling; applications use Client.
+func ReadFrame(r io.Reader, maxLen int) (typ byte, payload []byte, err error) {
+	return readFrame(r, maxLen)
+}
+
 // writeFrame writes one frame. payload may be nil (length 0).
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	if len(payload) > DefaultMaxFrameBytes {
@@ -137,6 +150,39 @@ func readFrame(r io.Reader, maxLen int) (typ byte, payload []byte, err error) {
 		return 0, nil, fmt.Errorf("fleet: truncated frame: %w", err)
 	}
 	return hdr[0], payload, nil
+}
+
+// readFrameInto reads one frame like readFrame, but into a reusable
+// scratch buffer: the returned payload aliases the returned scratch and
+// is only valid until the next call. Server-side readers use it so a
+// steady-state session reads every frame into memory it already owns.
+func readFrameInto(r io.Reader, maxLen int, scratch []byte) (typ byte, payload, newScratch []byte, err error) {
+	// The header is read into the scratch buffer too: a local array
+	// escapes through the io.Reader call and would heap-allocate on
+	// every frame.
+	if cap(scratch) < frameHeaderLen {
+		scratch = make([]byte, frameHeaderLen)
+	}
+	hdr := scratch[:frameHeaderLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, scratch, err
+	}
+	typ = hdr[0]
+	n := int(binary.BigEndian.Uint32(hdr[1:]))
+	if int64(n) > int64(maxLen) {
+		return 0, nil, scratch, fmt.Errorf("fleet: frame of %d bytes exceeds limit %d", n, maxLen)
+	}
+	if n == 0 {
+		return typ, nil, scratch, nil
+	}
+	if cap(scratch) < n {
+		scratch = make([]byte, n)
+	}
+	payload = scratch[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, scratch, fmt.Errorf("fleet: truncated frame: %w", err)
+	}
+	return typ, payload, scratch, nil
 }
 
 // EncodeSamples renders samples as a FrameSamples payload (little-endian

@@ -1,0 +1,72 @@
+package fleet
+
+// fifo is a growable ring-buffer FIFO with a reusable backing array: the
+// one queue type behind both the per-session frame inbox and each
+// shard's run queue of ready sessions (they used to be two hand-rolled
+// slice queues with duplicated bookkeeping). Push and pop are O(1);
+// popped slots are zeroed so the queue never pins freed payloads. fifo
+// is not synchronized — callers hold their own lock.
+type fifo[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// len returns the number of queued items.
+func (q *fifo[T]) len() int { return q.n }
+
+// push appends v at the tail, growing the ring when full.
+func (q *fifo[T]) push(v T) {
+	if q.n == len(q.buf) {
+		q.grow(1)
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+}
+
+// pop removes and returns the head item; ok is false when empty.
+func (q *fifo[T]) pop() (v T, ok bool) {
+	if q.n == 0 {
+		return v, false
+	}
+	v = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v, true
+}
+
+// drainTo appends every queued item to dst in FIFO order and empties the
+// queue, keeping both backing arrays for reuse. Passing dst[:0] of a
+// scratch slice makes a steady-state drain allocation-free.
+func (q *fifo[T]) drainTo(dst []T) []T {
+	var zero T
+	for q.n > 0 {
+		dst = append(dst, q.buf[q.head])
+		q.buf[q.head] = zero
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+	}
+	q.head = 0
+	return dst
+}
+
+// grow resizes the ring to hold at least n more items, relinearizing the
+// contents at the front of the new backing array.
+func (q *fifo[T]) grow(n int) {
+	need := q.n + n
+	size := len(q.buf) * 2
+	if size < 8 {
+		size = 8
+	}
+	for size < need {
+		size *= 2
+	}
+	buf := make([]T, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
+}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -14,43 +15,59 @@ import (
 	"eddie/internal/stream"
 )
 
-// item is one unit of session work, kept in arrival order: a decoded
-// sample chunk, or the end-of-stream marker from a FrameBye.
-type item struct {
-	samples []float64
-	bye     bool
-}
+// sessionReadBufBytes sizes the per-session buffered reader: big enough
+// to take a frame header plus a typical samples payload in one syscall.
+const sessionReadBufBytes = 1 << 16
 
-// session is one connected device: a reader goroutine that decodes
-// frames into a bounded FIFO, and a processor goroutine that feeds the
-// detector and streams reports back. The bound is the backpressure
-// mechanism: when pending samples exceed the cap the reader stops
-// draining the socket, and TCP flow control pushes back on the device.
+// session is one connected device. A thin reader goroutine decodes
+// frames into a bounded inbox (decode + enqueue only); the detector work
+// happens on the session's shard, whose processor drains the whole
+// inbox in one batched scheduling turn. The inbox bound is the
+// backpressure mechanism: when pending samples exceed the cap the
+// reader stops draining the socket, and TCP flow control pushes back on
+// the device.
 type session struct {
 	s    *Server
 	id   int64
 	conn net.Conn
+	br   *bufio.Reader
 
-	// Set during the handshake, read-only afterwards.
+	// Set during the handshake, read-only afterwards (sh/privateShard
+	// are written under mu because close() may race the handshake).
 	device   string
 	workload string
 	det      *stream.Detector
 	flight   *obs.FlightRecorder
+	arena    *modelArena
 	started  time.Time
+	remote   string
 
 	// Per-device counters in the server registry.
 	dSamples, dWindows, dReports, dSanitized *metrics.Counter
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []item
-	pending  int    // samples sitting in queue
-	stopRead bool   // reader finished; processor drains then finishes
-	closed   bool   // hard stop: processor exits without draining
-	finalMsg string // error sent to the client at session end ("" = clean)
+	mu           sync.Mutex
+	cond         *sync.Cond // wakes a reader stalled on the pending cap
+	sh           *shard
+	privateShard bool
+	inbox        fifo[[]float64]
+	pool         samplePool
+	pending      int    // samples sitting in the inbox
+	queued       bool   // session sits in its shard's run queue
+	readerDone   bool   // reader exited; processor drains then finalizes
+	sawBye       bool   // reader saw a clean FrameBye
+	stopRead     bool   // reader should stop taking frames
+	closed       bool   // hard stop: finalize without draining
+	finalized    bool   // terminal state reached exactly once
+	finalMsg     string // error sent to the client at session end ("" = clean)
+
+	// Processor-only state (one shard turn at a time, no lock needed).
+	batch         [][]float64
+	readBuf       []byte
+	prevWindows   int
+	prevSanitized int64
 
 	// Progress counters, atomically readable by Sessions listings while
-	// the processor runs.
+	// the shard processor runs.
 	aSamples   atomic.Int64
 	aSanitized atomic.Int64
 	aWindows   atomic.Int64
@@ -64,6 +81,11 @@ func newSession(s *Server, id int64, conn net.Conn) *session {
 	ss := &session{s: s, id: id, conn: conn, started: time.Now()}
 	ss.cond = sync.NewCond(&ss.mu)
 	ss.lastWindow.Store(-1)
+	ss.pool.maxRetain = 2 * s.cfg.MaxPendingSamples
+	if conn != nil {
+		ss.remote = conn.RemoteAddr().String()
+		ss.br = bufio.NewReaderSize(conn, sessionReadBufBytes)
+	}
 	return ss
 }
 
@@ -75,13 +97,13 @@ func (ss *session) fail(msg string) {
 // info snapshots the session for listings.
 func (ss *session) info() SessionInfo {
 	ss.mu.Lock()
-	active := !ss.closed
+	active := !ss.closed && !ss.finalized
 	ss.mu.Unlock()
 	info := SessionInfo{
 		Session:    ss.id,
 		Device:     ss.device,
 		Workload:   ss.workload,
-		Remote:     ss.conn.RemoteAddr().String(),
+		Remote:     ss.remote,
 		StartedAt:  ss.started.UTC().Format(time.RFC3339),
 		Active:     active,
 		Samples:    ss.aSamples.Load(),
@@ -99,31 +121,37 @@ func (ss *session) info() SessionInfo {
 	return info
 }
 
-// run is the session lifecycle: handshake, then reader + processor
-// until the stream ends. It returns once the connection is closed.
+// run is the reader lifecycle: handshake, then decode + enqueue until
+// the stream ends. The session's final frame and teardown happen on the
+// shard processor, which drains whatever the reader queued first.
 func (ss *session) run() {
-	defer ss.conn.Close()
 	if !ss.handshake() {
+		ss.finalize(false)
 		return
 	}
 	ss.s.cOpened.Inc()
 	ss.s.logf("fleet: session %d: device %s monitoring %s from %s",
-		ss.id, ss.device, ss.workload, ss.conn.RemoteAddr())
-
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		ss.process()
-	}()
+		ss.id, ss.device, ss.workload, ss.remote)
 	ss.read()
-	<-done
+
+	ss.mu.Lock()
+	ss.readerDone = true
+	enq := !ss.queued
+	if enq {
+		ss.queued = true
+	}
+	sh := ss.sh
+	ss.mu.Unlock()
+	if enq {
+		sh.enqueue(ss)
+	}
 }
 
-// handshake reads and validates the hello and builds the detector.
-// Failures answer with a FrameError and close the session.
+// handshake reads and validates the hello, builds the detector, and
+// assigns the session to its shard. Failures answer with a FrameError.
 func (ss *session) handshake() bool {
 	ss.conn.SetReadDeadline(time.Now().Add(ss.s.cfg.IdleTimeout))
-	typ, payload, err := readFrame(ss.conn, ss.s.cfg.MaxFrameBytes)
+	typ, payload, err := readFrame(ss.br, ss.s.cfg.MaxFrameBytes)
 	if err != nil {
 		ss.abort(fmt.Sprintf("reading hello: %v", err))
 		return false
@@ -150,6 +178,10 @@ func (ss *session) handshake() bool {
 		ss.abort(fmt.Sprintf("loading model: %v", err))
 		return false
 	}
+	// Sessions monitoring the same workload share one interned model
+	// (reference distributions are immutable), not one copy each.
+	ss.arena = ss.s.arenas.acquire(hello.Workload, model, ss.s.reg)
+	model = ss.arena.model
 
 	cfg := ss.s.cfg.Stream
 	// Per-session hooks from the template would be shared mutable state
@@ -184,6 +216,12 @@ func (ss *session) handshake() bool {
 	ss.dWindows = ss.s.reg.Counter("fleet_device_windows/" + ss.device)
 	ss.dReports = ss.s.reg.Counter("fleet_device_reports/" + ss.device)
 	ss.dSanitized = ss.s.reg.Counter("fleet_device_sanitized/" + ss.device)
+
+	sh, private := ss.s.shardFor(ss.device)
+	ss.mu.Lock()
+	ss.sh = sh
+	ss.privateShard = private
+	ss.mu.Unlock()
 
 	welcome := Welcome{
 		Session:    ss.id,
@@ -220,16 +258,17 @@ func (ss *session) armReadDeadline() bool {
 	return true
 }
 
-// read is the session's socket reader: it decodes frames and enqueues
-// sample chunks under the backpressure cap until the device says bye,
-// errs, goes idle, or the server drains.
+// read is the session's socket reader: it decodes frames into pooled
+// buffers and enqueues them under the backpressure cap until the device
+// says bye, errs, goes idle, or the server drains.
 func (ss *session) read() {
 	for {
 		if !ss.armReadDeadline() {
 			ss.finishRead("", false)
 			return
 		}
-		typ, payload, err := readFrame(ss.conn, ss.s.cfg.MaxFrameBytes)
+		typ, payload, scratch, err := readFrameInto(ss.br, ss.s.cfg.MaxFrameBytes, ss.readBuf)
+		ss.readBuf = scratch
 		if err != nil {
 			if ss.drainRequested() {
 				ss.finishRead("server draining", false)
@@ -244,12 +283,12 @@ func (ss *session) read() {
 		}
 		switch typ {
 		case FrameSamples:
-			samples, err := DecodeSamples(payload, nil)
+			samples, err := DecodeSamples(payload, ss.getBuf(len(payload)/8))
 			if err != nil {
 				ss.finishRead(err.Error(), false)
 				return
 			}
-			if !ss.enqueue(item{samples: samples}) {
+			if !ss.enqueue(samples) {
 				ss.finishRead("", false) // closed or draining underneath us
 				return
 			}
@@ -263,19 +302,26 @@ func (ss *session) read() {
 	}
 }
 
-// finishRead ends the reader: optionally queues the bye marker, records
-// the terminal error, and wakes the processor.
+// getBuf takes a decode buffer from the session pool.
+func (ss *session) getBuf(n int) []float64 {
+	ss.mu.Lock()
+	b := ss.pool.get(n)
+	ss.mu.Unlock()
+	return b
+}
+
+// finishRead ends the reader: records a clean bye or the terminal
+// error. The caller (run) then hands the session to its shard.
 func (ss *session) finishRead(errMsg string, bye bool) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if bye {
-		ss.queue = append(ss.queue, item{bye: true})
+		ss.sawBye = true
 	}
 	if errMsg != "" && ss.finalMsg == "" {
 		ss.finalMsg = errMsg
 	}
 	ss.stopRead = true
-	ss.cond.Broadcast()
 }
 
 // drainRequested reports whether the server asked this session to
@@ -286,14 +332,14 @@ func (ss *session) drainRequested() bool {
 	return ss.stopRead
 }
 
-// enqueue adds a decoded chunk, blocking while the pending-sample cap
-// is exceeded (the backpressure stall). Returns false when the session
-// stopped while waiting.
-func (ss *session) enqueue(it item) bool {
+// enqueue adds a decoded chunk to the inbox and marks the session
+// ready on its shard, blocking while the pending-sample cap is exceeded
+// (the backpressure stall). Returns false when the session stopped
+// while waiting.
+func (ss *session) enqueue(samples []float64) bool {
 	ss.mu.Lock()
-	defer ss.mu.Unlock()
 	stalled := false
-	for ss.pending > 0 && ss.pending+len(it.samples) > ss.s.cfg.MaxPendingSamples &&
+	for ss.pending > 0 && ss.pending+len(samples) > ss.s.cfg.MaxPendingSamples &&
 		!ss.closed && !ss.stopRead {
 		if !stalled {
 			stalled = true
@@ -302,117 +348,187 @@ func (ss *session) enqueue(it item) bool {
 		ss.cond.Wait()
 	}
 	if ss.closed || ss.stopRead {
+		ss.mu.Unlock()
 		return false
 	}
-	ss.queue = append(ss.queue, it)
-	ss.pending += len(it.samples)
-	ss.cond.Broadcast()
+	ss.inbox.push(samples)
+	ss.pending += len(samples)
+	enq := !ss.queued
+	if enq {
+		ss.queued = true
+	}
+	sh := ss.sh
+	ss.mu.Unlock()
+	if enq {
+		sh.enqueue(ss)
+	}
 	return true
 }
 
-// dequeue pops the next item in arrival order. ok is false once the
-// stream ended and the queue is empty (or the session was force-
-// closed).
-func (ss *session) dequeue() (item, bool) {
+// processTurn is one scheduling turn on the session's shard: drain the
+// whole inbox, feed it to the detector as one batch, stream the
+// resulting reports, then either requeue (more frames arrived while
+// feeding), finalize (stream ended), or go idle. Returns whether the
+// shard should requeue the session.
+func (ss *session) processTurn() (requeue bool) {
 	ss.mu.Lock()
-	defer ss.mu.Unlock()
-	for len(ss.queue) == 0 && !ss.stopRead && !ss.closed {
-		ss.cond.Wait()
+	if ss.finalized {
+		ss.mu.Unlock()
+		return false
 	}
-	if ss.closed || len(ss.queue) == 0 {
-		return item{}, false
+	if ss.closed {
+		ss.mu.Unlock()
+		ss.finalize(false)
+		return false
 	}
-	it := ss.queue[0]
-	ss.queue = ss.queue[1:]
-	ss.pending -= len(it.samples)
-	ss.cond.Broadcast()
-	return it, true
+	ss.batch = ss.inbox.drainTo(ss.batch[:0])
+	ss.pending = 0
+	ss.cond.Broadcast() // release a reader stalled on the pending cap
+	ss.mu.Unlock()
+
+	if len(ss.batch) > 0 && !ss.feedBatch() {
+		return false // report write failed; session finalized
+	}
+
+	ss.mu.Lock()
+	switch {
+	case ss.closed:
+		ss.mu.Unlock()
+		ss.finalize(false)
+		return false
+	case ss.inbox.len() > 0:
+		ss.mu.Unlock()
+		return true // keep queued=true; shard requeues at the tail
+	case ss.readerDone:
+		ss.mu.Unlock()
+		ss.finalize(true)
+		return false
+	default:
+		ss.queued = false
+		ss.mu.Unlock()
+		return false
+	}
 }
 
-// process feeds dequeued chunks to the detector in arrival order and
-// streams back every report, then sends the session's final frame
-// (summary after a bye, error otherwise).
-func (ss *session) process() {
-	sawBye := false
+// feedBatch runs the drained batch through the detector, updates the
+// progress counters, recycles the sample buffers, and streams the
+// reports. Returns false when a report write failed (the session is
+// finalized).
+func (ss *session) feedBatch() bool {
+	var total int64
+	for _, c := range ss.batch {
+		total += int64(len(c))
+	}
+	reports := ss.det.FeedChunks(ss.batch)
+
 	// Device counters may be shared by several sessions of the same
 	// device name, so deltas come from session-local progress, never
 	// from reading the shared counter back.
-	prevWindows, prevSanitized := 0, int64(0)
-	for {
-		it, ok := ss.dequeue()
-		if !ok {
-			break
+	ss.aSamples.Add(total)
+	ss.aSanitized.Store(ss.det.Sanitized())
+	ss.aWindows.Store(int64(ss.det.Windows()))
+	ss.dSamples.Add(total)
+	ss.dWindows.Add(int64(ss.det.Windows() - ss.prevWindows))
+	ss.dSanitized.Add(ss.det.Sanitized() - ss.prevSanitized)
+	ss.prevWindows, ss.prevSanitized = ss.det.Windows(), ss.det.Sanitized()
+
+	// The detector copies samples into its own ring, so the batch
+	// buffers recycle before the (comparatively slow) report writes.
+	ss.mu.Lock()
+	for i := range ss.batch {
+		ss.pool.put(ss.batch[i])
+		ss.batch[i] = nil
+	}
+	ss.mu.Unlock()
+	ss.batch = ss.batch[:0]
+
+	for i := range reports {
+		r := &reports[i]
+		ss.aReports.Add(1)
+		ss.dReports.Inc()
+		ss.s.cReports.Inc()
+		ss.lastWindow.Store(int64(r.Window))
+		ss.lastTime.Store(math.Float64bits(r.TimeSec))
+		ev := Report{
+			Device:  ss.device,
+			Session: ss.id,
+			Window:  r.Window,
+			TimeSec: r.TimeSec,
+			Region:  int(r.Region),
 		}
-		if it.bye {
-			sawBye = true
-			break
-		}
-		reports := ss.det.Feed(it.samples)
-		ss.aSamples.Add(int64(len(it.samples)))
-		ss.aSanitized.Store(ss.det.Sanitized())
-		ss.aWindows.Store(int64(ss.det.Windows()))
-		ss.dSamples.Add(int64(len(it.samples)))
-		ss.dWindows.Add(int64(ss.det.Windows() - prevWindows))
-		ss.dSanitized.Add(ss.det.Sanitized() - prevSanitized)
-		prevWindows, prevSanitized = ss.det.Windows(), ss.det.Sanitized()
-		for i := range reports {
-			r := &reports[i]
-			ss.aReports.Add(1)
-			ss.dReports.Inc()
-			ss.s.cReports.Inc()
-			ss.lastWindow.Store(int64(r.Window))
-			ss.lastTime.Store(math.Float64bits(r.TimeSec))
-			ev := Report{
-				Device:  ss.device,
-				Session: ss.id,
-				Window:  r.Window,
-				TimeSec: r.TimeSec,
-				Region:  int(r.Region),
-			}
-			if err := ss.writeFrame(FrameReport, mustJSON(ev)); err != nil {
-				ss.fail(fmt.Sprintf("writing report: %v", err))
-				ss.close()
-				return
-			}
+		if err := ss.writeFrame(FrameReport, mustJSON(ev)); err != nil {
+			ss.fail(fmt.Sprintf("writing report: %v", err))
+			ss.finalize(false)
+			return false
 		}
 	}
+	return true
+}
 
+// finalize reaches the session's terminal state exactly once: send the
+// final frame (summary after a clean bye, error otherwise) unless the
+// session was force-closed, tear down the connection, stop a private
+// shard, and unregister from the server.
+func (ss *session) finalize(sendFinal bool) {
 	ss.mu.Lock()
-	finalMsg := ss.finalMsg
-	closed := ss.closed
-	ss.mu.Unlock()
-	if closed {
+	if ss.finalized {
+		ss.mu.Unlock()
 		return
 	}
-	switch {
-	case sawBye:
-		sum := Summary{
-			Session:   ss.id,
-			Samples:   ss.aSamples.Load(),
-			Sanitized: ss.det.Sanitized(),
-			Windows:   ss.det.Windows(),
-			Reports:   int(ss.aReports.Load()),
+	ss.finalized = true
+	wasClosed := ss.closed
+	sawBye := ss.sawBye
+	finalMsg := ss.finalMsg
+	sh, private := ss.sh, ss.privateShard
+	ss.closed = true
+	ss.stopRead = true
+	ss.cond.Broadcast()
+	ss.mu.Unlock()
+
+	if sendFinal && !wasClosed {
+		switch {
+		case sawBye:
+			sum := Summary{
+				Session:   ss.id,
+				Samples:   ss.aSamples.Load(),
+				Sanitized: ss.det.Sanitized(),
+				Windows:   ss.det.Windows(),
+				Reports:   int(ss.aReports.Load()),
+			}
+			if err := ss.writeFrame(FrameSummary, mustJSON(sum)); err != nil {
+				ss.fail(fmt.Sprintf("writing summary: %v", err))
+			}
+		default:
+			if finalMsg == "" {
+				finalMsg = "session closed"
+			}
+			ss.fail(finalMsg)
+			ss.writeFrame(FrameError, mustJSON(ErrorInfo{Error: "fleet: " + finalMsg}))
 		}
-		if err := ss.writeFrame(FrameSummary, mustJSON(sum)); err != nil {
-			ss.fail(fmt.Sprintf("writing summary: %v", err))
-		}
-	default:
-		if finalMsg == "" {
-			finalMsg = "session closed"
-		}
-		ss.fail(finalMsg)
-		ss.writeFrame(FrameError, mustJSON(ErrorInfo{Error: "fleet: " + finalMsg}))
 	}
+	if ss.conn != nil {
+		ss.conn.Close()
+	}
+	if sh != nil && private {
+		sh.stop()
+	}
+	ss.s.finish(ss)
 }
 
 // writeFrame writes one outbound frame under the write deadline.
+// Detached sessions (tests and benchmarks drive the processor without a
+// socket) drop outbound frames.
 func (ss *session) writeFrame(typ byte, payload []byte) error {
+	if ss.conn == nil {
+		return nil
+	}
 	ss.conn.SetWriteDeadline(time.Now().Add(ss.s.cfg.WriteTimeout))
 	return writeFrame(ss.conn, typ, payload)
 }
 
-// drain asks the session to stop reading new frames, finish the queued
-// work, and close. Called by Server.Shutdown.
+// drain asks the session to stop reading new frames; the shard
+// processor finishes the queued work and closes. Called by
+// Server.Shutdown.
 func (ss *session) drain() {
 	ss.mu.Lock()
 	if ss.finalMsg == "" {
@@ -425,15 +541,27 @@ func (ss *session) drain() {
 	ss.conn.SetReadDeadline(time.Now())
 }
 
-// close force-stops the session: the processor exits without draining
-// and the connection is torn down. Called by Server.Close.
+// close force-stops the session: the processor finalizes without
+// draining and the connection is torn down. Called by Server.Close.
 func (ss *session) close() {
 	ss.mu.Lock()
+	if ss.finalized {
+		ss.mu.Unlock()
+		return
+	}
 	ss.closed = true
 	ss.stopRead = true
+	enq := ss.sh != nil && !ss.queued
+	if enq {
+		ss.queued = true
+	}
+	sh := ss.sh
 	ss.cond.Broadcast()
 	ss.mu.Unlock()
 	ss.conn.Close()
+	if enq {
+		sh.enqueue(ss) // prompt finalize on the shard
+	}
 }
 
 // mustJSON marshals a protocol payload; the payload types marshal

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"sync"
 
 	"eddie/internal/cfg"
 )
@@ -46,6 +47,34 @@ type Detector struct {
 	// LatencySTS and LatencySamples are detection latency distributions,
 	// from the first injected window of an episode to its report.
 	LatencySTS, LatencySamples *Histogram
+
+	// regions caches per-region instruments. Resolving them through the
+	// registry needs a formatted name, and the monitor consults these
+	// hooks every window — a Sprintf per K-S decision would put string
+	// allocation on the detector's zero-alloc sample path.
+	regions sync.Map // cfg.RegionID -> *regionInstruments
+}
+
+// regionInstruments bundles the instruments scoped to one region.
+type regionInstruments struct {
+	stat             *Histogram
+	windows, rejects *Counter
+}
+
+// region returns the cached instruments for one region, resolving them
+// from the registry on first use. Registry instruments are interned by
+// name, so a racing double-create resolves to the same counters.
+func (d *Detector) region(id cfg.RegionID) *regionInstruments {
+	if v, ok := d.regions.Load(id); ok {
+		return v.(*regionInstruments)
+	}
+	ri := &regionInstruments{
+		stat:    d.Reg.Histogram(fmt.Sprintf("region_stat/R%d", id), statBuckets),
+		windows: d.Reg.Counter(fmt.Sprintf("region_windows/R%d", id)),
+		rejects: d.Reg.Counter(fmt.Sprintf("region_rejects/R%d", id)),
+	}
+	v, _ := d.regions.LoadOrStore(id, ri)
+	return v.(*regionInstruments)
 }
 
 // NewDetector creates a detector instrument bundle on a fresh registry.
@@ -83,15 +112,16 @@ func (d *Detector) KSTest(region cfg.RegionID, rejFrac float64, rejected bool) {
 	if rejected {
 		d.KSRejects.Inc()
 	}
-	d.Reg.Histogram(fmt.Sprintf("region_stat/R%d", region), statBuckets).Observe(rejFrac)
+	d.region(region).stat.Observe(rejFrac)
 }
 
 // WindowObserved implements core.MonitorStats: one STS processed by the
 // monitor.
 func (d *Detector) WindowObserved(region cfg.RegionID, rejected, flagged bool) {
-	d.Reg.Counter(fmt.Sprintf("region_windows/R%d", region)).Inc()
+	ri := d.region(region)
+	ri.windows.Inc()
 	if rejected {
-		d.Reg.Counter(fmt.Sprintf("region_rejects/R%d", region)).Inc()
+		ri.rejects.Inc()
 	}
 }
 

@@ -32,6 +32,28 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is an instantaneous level (queue depth, live sessions): unlike a
+// Counter it can go down. Exposed in snapshots as a float64 so JSON and
+// Prometheus renderings distinguish it from monotone counters.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the current level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the level by d (d may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // Histogram accumulates a distribution of observations into fixed
 // buckets. Bounds are upper bounds of each bucket; one overflow bucket
 // catches everything above the last bound.
@@ -98,10 +120,15 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
-// Registry is a named collection of counters and histograms.
+// GaugeValue is a gauge's level in snapshots; a distinct type so the
+// JSON and Prometheus renderers can tell gauges from counters.
+type GaugeValue int64
+
+// Registry is a named collection of counters, gauges and histograms.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -109,6 +136,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 	}
 }
@@ -125,6 +153,18 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
 // Histogram returns the named histogram, creating it with the given
 // bucket bounds on first use (later calls ignore bounds).
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
@@ -139,13 +179,17 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 }
 
 // Snapshot returns every instrument's current value, keyed by name.
-// Counter values are int64, histograms HistogramSnapshot.
+// Counter values are int64, gauges GaugeValue, histograms
+// HistogramSnapshot.
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]any, len(r.counters)+len(r.hists))
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
 	for name, c := range r.counters {
 		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = GaugeValue(g.Value())
 	}
 	for name, h := range r.hists {
 		out[name] = h.Snapshot()

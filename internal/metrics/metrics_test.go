@@ -36,6 +36,41 @@ func TestCounterConcurrent(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Inc()
+	g.Add(4)
+	g.Dec()
+	if g.Value() != 11 {
+		t.Errorf("gauge value %d, want 11", g.Value())
+	}
+	g.Add(-20) // gauges, unlike counters, may go negative
+	if g.Value() != -9 {
+		t.Errorf("gauge value %d, want -9", g.Value())
+	}
+}
+
+func TestGaugeRegistryAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("queue_depth")
+	if r.Gauge("queue_depth") != g {
+		t.Fatal("registry did not intern the gauge by name")
+	}
+	g.Set(42)
+	snap := r.Snapshot()
+	if v, ok := snap["queue_depth"].(GaugeValue); !ok || int64(v) != 42 {
+		t.Errorf("snapshot queue_depth = %#v, want GaugeValue(42)", snap["queue_depth"])
+	}
+	var buf strings.Builder
+	r.WritePrometheus(&buf, "eddie")
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE eddie_queue_depth gauge") ||
+		!strings.Contains(out, "eddie_queue_depth 42") {
+		t.Errorf("prometheus exposition missing gauge:\n%s", out)
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewHistogram([]float64{1, 2, 4})
 	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {

@@ -38,6 +38,9 @@ func (r *Registry) WritePrometheus(w io.Writer, namespace string) {
 		case int64:
 			emitType(family, "counter")
 			fmt.Fprintf(w, "%s%s %d\n", family, labels, v)
+		case GaugeValue:
+			emitType(family, "gauge")
+			fmt.Fprintf(w, "%s%s %d\n", family, labels, int64(v))
 		case HistogramSnapshot:
 			emitType(family, "histogram")
 			cum := int64(0)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // PromWriter renders itself in Prometheus text exposition format;
@@ -22,6 +23,23 @@ type PromWriter interface {
 type SessionLister interface {
 	FleetSessions() any
 }
+
+// SessionPager is the paged variant of SessionLister for fleets too
+// large to dump in one response. FleetSessionsPage returns one listing
+// page plus the listing total and live-session count (surfaced as
+// response headers). The fleet server implements it; a plain
+// SessionLister still works, minus paging.
+type SessionPager interface {
+	FleetSessionsPage(offset, limit int) (page any, total, active int)
+}
+
+// DefaultFleetPageLimit is /eddie/fleet's page size when the request
+// has no explicit ?limit=.
+const DefaultFleetPageLimit = 1000
+
+// MaxFleetPageLimit caps an explicit ?limit= (one page stays a bounded
+// amount of JSON no matter what the query says).
+const MaxFleetPageLimit = 10000
 
 // ServeState bundles everything the debug mux exposes. Any field may be
 // nil; the corresponding endpoint then reports 404/empty.
@@ -104,7 +122,32 @@ func NewMux(s ServeState) *http.ServeMux {
 			http.Error(w, "no fleet server attached", http.StatusNotFound)
 			return
 		}
-		writeJSON(w, s.Fleet.FleetSessions())
+		pager, ok := s.Fleet.(SessionPager)
+		if !ok {
+			writeJSON(w, s.Fleet.FleetSessions())
+			return
+		}
+		offset, err := queryInt(r, "offset", 0)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		limit, err := queryInt(r, "limit", DefaultFleetPageLimit)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if offset < 0 || limit <= 0 {
+			http.Error(w, "offset must be >= 0 and limit > 0", http.StatusBadRequest)
+			return
+		}
+		if limit > MaxFleetPageLimit {
+			limit = MaxFleetPageLimit
+		}
+		page, total, active := pager.FleetSessionsPage(offset, limit)
+		w.Header().Set("X-Eddie-Fleet-Total", strconv.Itoa(total))
+		w.Header().Set("X-Eddie-Fleet-Active", strconv.Itoa(active))
+		writeJSON(w, page)
 	})
 
 	mux.HandleFunc("/eddie/trace", func(w http.ResponseWriter, r *http.Request) {
@@ -131,6 +174,19 @@ func NewMux(s ServeState) *http.ServeMux {
 			"/eddie/trace       Chrome trace-event JSON (load in Perfetto)\n")
 	})
 	return mux
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", name, err)
+	}
+	return n, nil
 }
 
 // writeJSON writes v as indented JSON with the right content type.

@@ -154,6 +154,107 @@ func TestMuxFleetListing(t *testing.T) {
 	}
 }
 
+// stubPagedFleet implements SessionPager on top of a fixed session
+// list, recording the offset/limit it was asked for.
+type stubPagedFleet struct {
+	total, active       int
+	gotOffset, gotLimit int
+}
+
+func (s *stubPagedFleet) FleetSessions() any {
+	page, _, _ := s.FleetSessionsPage(0, DefaultFleetPageLimit)
+	return page
+}
+
+func (s *stubPagedFleet) FleetSessionsPage(offset, limit int) (any, int, int) {
+	s.gotOffset, s.gotLimit = offset, limit
+	n := s.total - offset
+	if n < 0 {
+		n = 0
+	}
+	if n > limit {
+		n = limit
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = offset + i
+	}
+	return map[string]any{"sessions": ids, "offset": offset, "limit": limit}, s.total, s.active
+}
+
+func TestMuxFleetPaging(t *testing.T) {
+	fl := &stubPagedFleet{total: 2500, active: 40}
+	srv := httptest.NewServer(NewMux(ServeState{Fleet: fl}))
+	defer srv.Close()
+
+	page := func(t *testing.T, path string) (sessions []int, offset, limit int) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: code %d", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Eddie-Fleet-Total"); got != "2500" {
+			t.Errorf("X-Eddie-Fleet-Total %q, want 2500", got)
+		}
+		if got := resp.Header.Get("X-Eddie-Fleet-Active"); got != "40" {
+			t.Errorf("X-Eddie-Fleet-Active %q, want 40", got)
+		}
+		var body struct {
+			Sessions []int `json:"sessions"`
+			Offset   int   `json:"offset"`
+			Limit    int   `json:"limit"`
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(b, &body); err != nil {
+			t.Fatalf("GET %s: not JSON: %v", path, err)
+		}
+		return body.Sessions, body.Offset, body.Limit
+	}
+
+	// Default page: offset 0, the default limit.
+	sessions, offset, limit := page(t, "/eddie/fleet")
+	if offset != 0 || limit != DefaultFleetPageLimit || len(sessions) != DefaultFleetPageLimit {
+		t.Errorf("default page: offset %d limit %d len %d", offset, limit, len(sessions))
+	}
+
+	// Explicit window lands where asked.
+	sessions, offset, limit = page(t, "/eddie/fleet?offset=2400&limit=50")
+	if offset != 2400 || limit != 50 || len(sessions) != 50 || sessions[0] != 2400 {
+		t.Errorf("explicit page: offset %d limit %d sessions %v...", offset, limit, sessions[:1])
+	}
+
+	// Past the end: empty page, headers still present.
+	if sessions, _, _ = page(t, "/eddie/fleet?offset=99999"); len(sessions) != 0 {
+		t.Errorf("past-the-end page has %d sessions", len(sessions))
+	}
+
+	// An oversized limit is clamped, not rejected.
+	page(t, "/eddie/fleet?limit=999999")
+	if fl.gotLimit != MaxFleetPageLimit {
+		t.Errorf("oversized limit reached pager as %d, want clamp to %d", fl.gotLimit, MaxFleetPageLimit)
+	}
+
+	// Malformed and out-of-range parameters are a 400, not a panic or a
+	// silent default.
+	for _, q := range []string{"?offset=abc", "?limit=xyz", "?offset=-1", "?limit=0", "?limit=-5"} {
+		resp, err := srv.Client().Get(srv.URL + "/eddie/fleet" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("GET %s: code %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
 func TestMuxNamespace(t *testing.T) {
 	srv := httptest.NewServer(NewMux(ServeState{Metrics: stubProm{}, Namespace: "custom"}))
 	defer srv.Close()

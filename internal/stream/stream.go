@@ -85,6 +85,10 @@ type Detector struct {
 	work     []complex128
 	power    []float64
 	freqs    []float64
+	peaks    []dsp.Peak // per-window peak scratch
+	frame    dsp.Frame  // per-window frame header, reused
+	sts      core.STS   // per-window STS, reused (Observe copies what it keeps)
+	binHz    func(int) float64
 	chunkBuf []float64 // impairment scratch
 	dcMean   float64
 	dcInit   bool
@@ -136,18 +140,24 @@ func NewDetector(model *core.Model, cfg Config) (*Detector, error) {
 	ws := cfg.STFT.WindowSize
 	plan := dsp.PlanRFFT(ws)
 	return &Detector{
-		cfg:          cfg,
-		model:        model,
-		monitor:      mon,
-		win:          dsp.Window(cfg.STFT.Window, ws),
-		buf:          make([]float64, 0, ws),
-		plan:         plan,
-		windowed:     make([]float64, ws),
-		spec:         make([]complex128, plan.SpectrumLen()),
-		work:         make([]complex128, plan.WorkLen()),
-		power:        make([]float64, plan.SpectrumLen()),
-		dcAlpha:      1 / cfg.DCTau,
-		binW:         cfg.STFT.SampleRate / float64(ws),
+		cfg:     cfg,
+		model:   model,
+		monitor: mon,
+		// The coefficient table is a pure function of (kind, size) and
+		// only ever read, so all detectors of one process share it (a
+		// fleet node's sessions would otherwise each hold a copy).
+		win:      dsp.SharedWindow(cfg.STFT.Window, ws),
+		buf:      make([]float64, 0, ws),
+		plan:     plan,
+		windowed: make([]float64, ws),
+		spec:     make([]complex128, plan.SpectrumLen()),
+		work:     make([]complex128, plan.WorkLen()),
+		power:    make([]float64, plan.SpectrumLen()),
+		dcAlpha:  1 / cfg.DCTau,
+		binW:     cfg.STFT.SampleRate / float64(ws),
+		// Bound once: building the method value per window would
+		// allocate a closure on the hot path.
+		binHz:        cfg.STFT.BinFrequency,
 		episodeStart: -1,
 		track:        cfg.Trace.Track("stream"),
 	}, nil
@@ -161,8 +171,44 @@ func NewDetector(model *core.Model, cfg Config) (*Detector, error) {
 // corrupt transport frames) are replaced by zero and counted. The
 // internal buffer never holds more than one analysis window.
 func (d *Detector) Feed(samples []float64) []core.Report {
-	if len(samples) == 0 {
+	before := len(d.monitor.Reports)
+	d.feedChunk(samples)
+	if len(d.monitor.Reports) == before {
 		return nil
+	}
+	out := make([]core.Report, len(d.monitor.Reports)-before)
+	copy(out, d.monitor.Reports[before:])
+	return out
+}
+
+// FeedChunks feeds a sequence of sample chunks in order in a single
+// call, returning the reports that fired across all of them. It is
+// exactly equivalent to calling Feed once per chunk and concatenating
+// the results — the STS sequence and every verdict depend only on the
+// concatenated sample stream — but lets a batching caller (the fleet
+// server's shard processors, which drain a session's whole frame queue
+// in one scheduling turn) cross the detector boundary once per batch
+// instead of once per frame. When no report fires it allocates nothing.
+func (d *Detector) FeedChunks(chunks [][]float64) []core.Report {
+	var out []core.Report
+	for _, c := range chunks {
+		// Snapshot per chunk, not once for the batch: feedChunk may trim
+		// report history between chunks, which would invalidate an index
+		// taken before the batch.
+		before := len(d.monitor.Reports)
+		d.feedChunk(c)
+		if n := len(d.monitor.Reports) - before; n > 0 {
+			out = append(out, d.monitor.Reports[before:]...)
+		}
+	}
+	return out
+}
+
+// feedChunk pushes one chunk of raw samples through the front end and
+// the monitor; fired reports accumulate in the monitor's history.
+func (d *Detector) feedChunk(samples []float64) {
+	if len(samples) == 0 {
+		return
 	}
 	if cap := d.cfg.MaxHistoryWindows; cap > 0 && len(d.monitor.Outcomes) > cap {
 		// Trim between batches only, so the report bookkeeping below (a
@@ -189,7 +235,6 @@ func (d *Detector) Feed(samples []float64) []core.Report {
 		chunk = d.cfg.Impair.Process(d.chunkBuf)
 		sp.End()
 	}
-	before := len(d.monitor.Reports)
 	for _, s := range chunk {
 		if !isFinite(s) {
 			s = 0
@@ -217,12 +262,6 @@ func (d *Detector) Feed(samples []float64) []core.Report {
 	if m := d.cfg.Metrics; m != nil && d.sanitized > sanBefore {
 		m.Sanitized.Add(d.sanitized - sanBefore)
 	}
-	if len(d.monitor.Reports) == before {
-		return nil
-	}
-	out := make([]core.Report, len(d.monitor.Reports)-before)
-	copy(out, d.monitor.Reports[before:])
-	return out
 }
 
 // Write is an alias for Feed, kept for io.Writer-style call sites.
@@ -241,11 +280,12 @@ func (d *Detector) processWindow() {
 	d.plan.PowerInto(d.power, d.windowed, d.spec, d.work)
 	sp.End()
 	sp = d.track.Start("peaks")
-	frame := dsp.Frame{Index: d.windows, Power: d.power}
-	peaks := dsp.FindPeaks(&frame, d.cfg.Peaks, d.cfg.STFT.BinFrequency)
+	d.frame.Index = d.windows
+	d.frame.Power = d.power
+	d.peaks = dsp.FindPeaksInto(d.peaks[:0], &d.frame, d.cfg.Peaks, d.binHz)
 	d.freqs = d.freqs[:0]
-	for _, p := range peaks {
-		d.freqs = append(d.freqs, dsp.InterpolatePeakFrequency(&frame, p.Bin, d.binW))
+	for _, p := range d.peaks {
+		d.freqs = append(d.freqs, dsp.InterpolatePeakFrequency(&d.frame, p.Bin, d.binW))
 	}
 	stats.Sort(d.freqs)
 	sp.End()
@@ -257,15 +297,18 @@ func (d *Detector) processWindow() {
 	for b := minBin; b < len(d.power); b++ {
 		energy += d.power[b]
 	}
-	sts := core.STS{
+	// Reuse the detector-owned STS: a stack literal escapes through the
+	// Observe call and would heap-allocate every window. Monitor.Observe
+	// copies the peak list into its ring, so nothing here is retained.
+	d.sts = core.STS{
 		PeakFreqs: d.freqs,
 		Energy:    energy,
 		TimeSec:   float64(d.samplesIn-int64(len(d.buf))) / d.cfg.STFT.SampleRate,
 	}
 	if d.cfg.Tap != nil {
-		d.cfg.Tap(&sts)
+		d.cfg.Tap(&d.sts)
 	}
-	reported := d.monitor.Observe(&sts)
+	reported := d.monitor.Observe(&d.sts)
 	if m := d.cfg.Metrics; m != nil {
 		m.Windows.Inc()
 		m.PeakCount.Observe(float64(len(d.freqs)))

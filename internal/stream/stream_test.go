@@ -107,6 +107,62 @@ func TestDetectorBatchSizeInvariance(t *testing.T) {
 	}
 }
 
+// TestDetectorFeedChunksMatchesFeed pins the batched entry point the
+// fleet's shard processors use: feeding a run as one FeedChunks call
+// over many chunks must produce exactly the reports (same windows, same
+// timestamps) as sequential Feed calls on a second detector.
+func TestDetectorFeedChunksMatchesFeed(t *testing.T) {
+	f := pipetest.Fixture(t)
+	injector := &inject.InLoop{
+		Header: f.Machine.Nests[0].Header, Instrs: 8, MemOps: 4,
+		Contamination: 0.5, Seed: 11,
+	}
+	run, err := pipeline.CollectRun(f.W, f.Machine, f.Config, 650, injector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := make([][]float64, 0, len(run.Signal)/769+1)
+	for sig := run.Signal; len(sig) > 0; {
+		n := 769
+		if n > len(sig) {
+			n = len(sig)
+		}
+		chunks = append(chunks, sig[:n])
+		sig = sig[n:]
+	}
+
+	seq, err := NewDetector(f.Model, streamCfg(f.Config))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []core.Report
+	for _, c := range chunks {
+		want = append(want, seq.Feed(c)...)
+	}
+
+	bat, err := NewDetector(f.Model, streamCfg(f.Config))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := bat.FeedChunks(chunks)
+
+	if len(want) == 0 {
+		t.Fatal("contaminated run produced no reports; equivalence is vacuous")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("FeedChunks reports %d, sequential Feed %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Window != want[i].Window || got[i].TimeSec != want[i].TimeSec ||
+			got[i].Region != want[i].Region {
+			t.Fatalf("report %d: batched %+v, sequential %+v", i, got[i], want[i])
+		}
+	}
+	if bat.Windows() != seq.Windows() {
+		t.Fatalf("windows %d vs %d", bat.Windows(), seq.Windows())
+	}
+}
+
 func TestDetectorSanitizesNonFinite(t *testing.T) {
 	f := pipetest.Fixture(t)
 	d, err := NewDetector(f.Model, streamCfg(f.Config))

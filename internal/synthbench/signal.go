@@ -1,0 +1,94 @@
+package synthbench
+
+import (
+	"math"
+	"math/rand"
+
+	"eddie/internal/cfg"
+	"eddie/internal/core"
+	"eddie/internal/dsp"
+	"eddie/internal/trace"
+)
+
+// The fleet-load benchmark needs raw sample streams, not STS windows:
+// fleet clients ship float64 samples over the wire and the server runs
+// the whole decode → STFT → peaks → K-S pipeline per session. The
+// generators here synthesize deterministic captures whose spectra look
+// like the STS-level generators above — harmonics of baseHz(0), clean
+// or uniformly shifted — so one single-region model cleanly separates
+// the two stream kinds.
+
+// FleetSTFT is the capture format the fleet-load benchmark generates
+// for: 2 MHz sample rate, the paper's 1024-sample Hann window with 75%
+// overlap. baseHz(0)'s first five harmonics (100–500 kHz) sit well
+// below the 1 MHz Nyquist limit.
+func FleetSTFT() dsp.STFTConfig {
+	return dsp.STFTConfig{
+		WindowSize: 1024,
+		HopSize:    256,
+		Window:     dsp.Hann,
+		SampleRate: 2e6,
+	}
+}
+
+// signalPeaks is the harmonic count of a synthetic capture.
+const signalPeaks = 5
+
+// Signal synthesizes n samples: signalPeaks harmonics of baseHz(0)
+// with 1/k amplitude falloff plus low-level deterministic noise, all
+// scaled by shift (1 = in-distribution; 1.05 defeats every training
+// mode, mirroring Stream's anomalous variant). Same seed, same samples.
+func Signal(n int, stft dsp.STFTConfig, seed int64, shift float64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	dt := 1 / stft.SampleRate
+	for k := 1; k <= signalPeaks; k++ {
+		f := baseHz(0) * float64(k) * shift
+		amp := 1 / float64(k)
+		phase := r.Float64() * 2 * math.Pi
+		w := 2 * math.Pi * f
+		for i := range out {
+			out[i] += amp * math.Sin(w*float64(i)*dt+phase)
+		}
+	}
+	for i := range out {
+		out[i] += r.NormFloat64() * 0.02
+	}
+	return out
+}
+
+// TrainSignalModel trains a single-region model on nRuns clean
+// synthetic captures of samplesPerRun samples each, reduced exactly the
+// way the fleet server reduces live streams (detrend, STFT, peak
+// extraction). Every window is labeled with the machine's one loop
+// region, so the monitor starts there and stays there — the steady
+// in-region regime a dense fleet node lives in.
+func TrainSignalModel(nRuns, samplesPerRun int, stft dsp.STFTConfig, peakCfg dsp.PeakConfig) (*core.Model, *cfg.Machine, error) {
+	m, err := Machine(1)
+	if err != nil {
+		return nil, nil, err
+	}
+	region := m.LoopRegionOf(0)
+	runs := make([][]core.STS, nRuns)
+	for i := range runs {
+		sig := dsp.Detrend(Signal(samplesPerRun, stft, int64(i+1), 1))
+		frames, err := dsp.STFT(sig, stft)
+		if err != nil {
+			return nil, nil, err
+		}
+		labeled := make([]trace.LabeledFrame, len(frames))
+		for j := range frames {
+			labeled[j] = trace.LabeledFrame{
+				Frame:   frames[j],
+				Region:  region,
+				TimeSec: float64(frames[j].Start) / stft.SampleRate,
+			}
+		}
+		runs[i] = core.ExtractSTS(labeled, stft, peakCfg)
+	}
+	model, err := core.Train("synthfleet", m, runs, core.DefaultTrainConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	return model, m, nil
+}

@@ -3,6 +3,10 @@ package synthbench
 import (
 	"reflect"
 	"testing"
+
+	"eddie/internal/core"
+	"eddie/internal/dsp"
+	"eddie/internal/stream"
 )
 
 func TestMachineRegionCount(t *testing.T) {
@@ -40,5 +44,43 @@ func TestGeneratorsDeterministic(t *testing.T) {
 	// 3 nests x 10 windows + 2 transitions x 4 windows.
 	if len(run) != 3*10+2*4 {
 		t.Errorf("run has %d windows, want %d", len(run), 3*10+2*4)
+	}
+}
+
+// TestSignalModelSeparatesStreams is the fleet-load benchmark's
+// premise: a model trained on clean synthetic captures stays quiet on a
+// fresh clean capture and fires on the 5%-shifted anomalous variant.
+func TestSignalModelSeparatesStreams(t *testing.T) {
+	stft := FleetSTFT()
+	peaks := dsp.DefaultPeakConfig()
+	peaks.MinEnergyFraction = 0.02
+	peaks.MinBin = 3
+	model, _, err := TrainSignalModel(4, 200_000, stft, peaks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	feed := func(shift float64, seed int64) int {
+		det, err := stream.NewDetector(model, stream.Config{
+			STFT:    stft,
+			Peaks:   peaks,
+			Monitor: core.DefaultMonitorConfig(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := Signal(200_000, stft, seed, shift)
+		return len(det.Feed(sig))
+	}
+
+	if n := feed(1, 71); n != 0 {
+		t.Errorf("clean synthetic capture fired %d reports", n)
+	}
+	if n := feed(1.05, 71); n == 0 {
+		t.Error("shifted synthetic capture fired no reports")
+	}
+
+	if !reflect.DeepEqual(Signal(4096, stft, 7, 1.05), Signal(4096, stft, 7, 1.05)) {
+		t.Error("Signal is not deterministic")
 	}
 }
