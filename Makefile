@@ -1,4 +1,4 @@
-.PHONY: all build vet test race bench dsp-bench obs-bench bench-decision bench-decision-smoke bench-fleet bench-fleet-smoke cover fleet-smoke
+.PHONY: all build vet test race bench dsp-bench obs-bench bench-decision bench-decision-smoke bench-denoise bench-fleet bench-fleet-smoke cover fleet-smoke
 
 all: build test
 
@@ -19,11 +19,14 @@ test: build vet
 # the FFT plan cache, the parallel run scheduler, the model cache, the
 # shared metrics registry, and the fleet server's stress tests: >= 8
 # device streams against one server, and >= 64 mixed clean/anomalous
-# sessions with mid-stream disconnects against the sharded pool.
+# sessions with mid-stream disconnects against the sharded pool. The
+# offline-vs-stream differential (including the denoise-enabled legs)
+# runs explicitly so basis refactoring is raced too.
 race:
 	go vet ./...
 	go test -race -short ./...
 	go test -race -short -count=1 -run 'TestFleetStressConcurrentSessions|TestFleetStressShardedChurn' ./internal/fleet
+	go test -race -short -count=1 -run 'TestDifferentialOfflineVsStream' ./internal/stream
 
 # Fleet smoke run: boot a real fleet server over TCP, stream devices
 # through it concurrently, drain it gracefully mid-stream.
@@ -43,6 +46,13 @@ dsp-bench:
 # steady-state Observe benchmark regresses >20% against it.
 bench-decision:
 	go run ./cmd/eddie-bench -decision-bench BENCH_decision.json
+
+# Subspace-denoising kernel benchmarks (randomized truncated SVD,
+# Gram-Schmidt orthonormalization, steady-state denoiser push).
+# Rewrites BENCH_denoise.json; fails (keeping the checked-in baseline)
+# when the per-window DenoisePush cost regresses >20% against it.
+bench-denoise:
+	go run ./cmd/eddie-bench -denoise-bench BENCH_denoise.json
 
 # Fleet-load session-density benchmark: client swarms over localhost TCP
 # climb a session ladder against the sharded and goroutine-per-session
@@ -75,10 +85,11 @@ obs-bench:
 
 # Per-package coverage over the short suite; fails if the hardened
 # packages (internal/stream, internal/impair, internal/obs,
-# internal/fleet) drop below 80%.
+# internal/fleet, and internal/dsp with its linalg/denoise kernels)
+# drop below 80%.
 cover:
 	go test -short -cover ./... | tee /tmp/eddie-cover.txt
-	@awk '/eddie\/internal\/(stream|impair|obs|fleet)\t/ { \
+	@awk '/eddie\/internal\/(dsp|stream|impair|obs|fleet)\t/ { \
 	    for (i = 1; i <= NF; i++) if ($$i ~ /%/) { pct = $$i; sub(/%.*/, "", pct); \
 	        if (pct + 0 < 80) { printf "FAIL: %s coverage %s%% < 80%%\n", $$2, pct; bad = 1 } \
 	        else printf "ok:   %s coverage %s%%\n", $$2, pct } } \

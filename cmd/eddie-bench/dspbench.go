@@ -39,12 +39,7 @@ func runDSPBench(path string) error {
 	}
 	stftCfg := dsp.STFTConfig{WindowSize: 1024, HopSize: 512, Window: dsp.Hann, SampleRate: 1e6}
 
-	type bench struct {
-		name string
-		n    int
-		fn   func(b *testing.B)
-	}
-	benches := []bench{
+	benches := []kernelBench{
 		{"FFTPow2", 1024, func(b *testing.B) {
 			x := make([]complex128, 1024)
 			for i := range x {
@@ -86,6 +81,9 @@ func runDSPBench(path string) error {
 			}
 		}},
 	}
+	// The subspace kernels ride along so BENCH_dsp.json stays the one
+	// per-kernel reference file; -denoise-bench runs just them, gated.
+	benches = append(benches, denoiseBenches()...)
 
 	out := dspBenchFile{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	for _, bm := range benches {

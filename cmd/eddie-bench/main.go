@@ -5,6 +5,7 @@
 //	eddie-bench [-short] [-run table1,fig5,...] [-parallel N]
 //	eddie-bench -dsp-bench BENCH_dsp.json
 //	eddie-bench -decision-bench BENCH_decision.json
+//	eddie-bench -denoise-bench BENCH_denoise.json
 //	eddie-bench -fleet-bench BENCH_fleet.json [-fleet-short|-fleet-smoke]
 //
 // With no -run flag every experiment runs, in paper order. -short scales
@@ -15,6 +16,10 @@
 // -decision-bench does the same for the monitor decision path and the
 // training fan-out, and fails without overwriting the file when the
 // steady-state Observe benchmark regresses >20% against it.
+// -denoise-bench times the SVD subspace-denoising kernels (randomized
+// truncated SVD, Gram-Schmidt orthonormalization, steady-state denoiser
+// push) and fails without overwriting the file when the per-window
+// DenoisePush cost regresses >20%.
 // -fleet-bench runs the fleet-load harness: client swarms over localhost
 // TCP against the sharded and goroutine-per-session servers, climbing a
 // session-count ladder and recording frame-to-verdict latency; it fails
@@ -41,6 +46,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker-pool size for run collection (0 = EDDIE_PARALLELISM env or GOMAXPROCS)")
 	dspBench := flag.String("dsp-bench", "", "run the DSP kernel micro-benchmarks and write JSON results to this file, then exit")
 	decisionBench := flag.String("decision-bench", "", "run the decision/training benchmarks and write JSON results to this file (regression-gated on Observe), then exit")
+	denoiseBench := flag.String("denoise-bench", "", "run the subspace-denoising kernel benchmarks and write JSON results to this file (regression-gated on DenoisePush), then exit")
 	fleetBench := flag.String("fleet-bench", "", "run the fleet-load session-density benchmark and write JSON results to this file (regression-gated on sustained sessions and p99), then exit")
 	fleetShort := flag.Bool("fleet-short", false, "with -fleet-bench: shrink the session ladder")
 	fleetSmoke := flag.Bool("fleet-smoke", false, "with -fleet-bench: one tiny ungated rung (liveness check)")
@@ -56,6 +62,13 @@ func main() {
 	}
 	if *decisionBench != "" {
 		if err := runDecisionBench(*decisionBench); err != nil {
+			fmt.Fprintln(os.Stderr, "eddie-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *denoiseBench != "" {
+		if err := runDenoiseBench(*denoiseBench); err != nil {
 			fmt.Fprintln(os.Stderr, "eddie-bench:", err)
 			os.Exit(1)
 		}

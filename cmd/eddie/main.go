@@ -62,6 +62,22 @@ type options struct {
 	maxSessions   int
 	fleetShards   int
 	drainTimeout  time.Duration
+	denoiseRank   int
+	denoiseBlock  int
+	denoiseStride int
+}
+
+// denoise builds the subspace-denoising configuration from the flags;
+// the zero value (rank 0) disables the stage.
+func (o *options) denoise() eddie.DenoiseConfig {
+	if o.denoiseRank == 0 {
+		return eddie.DenoiseConfig{}
+	}
+	return eddie.DenoiseConfig{
+		Rank:   o.denoiseRank,
+		Block:  o.denoiseBlock,
+		Stride: o.denoiseStride,
+	}
 }
 
 // parseArgs parses flags from args with a dedicated FlagSet so tests can
@@ -96,6 +112,9 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 	fs.IntVar(&o.maxSessions, "fleet-max-sessions", 0, fmt.Sprintf("fleet mode: concurrent device session bound (0 = derive from physical memory; %d on this node)", eddie.DefaultFleetMaxSessions()))
 	fs.IntVar(&o.fleetShards, "fleet-shards", 0, "fleet mode: processor goroutines the detector work is multiplexed over (0 = worker-pool parallelism)")
 	fs.DurationVar(&o.drainTimeout, "fleet-drain-timeout", 30*time.Second, "fleet mode: how long a SIGTERM drain may take before sessions are force-closed")
+	fs.IntVar(&o.denoiseRank, "denoise-rank", 0, "SVD subspace denoising rank k (0 = disabled); applied between STFT and peak extraction in every pipeline and fleet session")
+	fs.IntVar(&o.denoiseBlock, "denoise-block", 0, "denoising: sliding spectrogram block length in windows (0 = 32)")
+	fs.IntVar(&o.denoiseStride, "denoise-stride", 0, "denoising: windows between subspace refactorizations (0 = block/4)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -117,6 +136,12 @@ func (o *options) validate() error {
 	case "iot", "sim":
 	default:
 		return fmt.Errorf("unknown mode %q (want iot or sim)", o.mode)
+	}
+	if o.denoiseRank == 0 && (o.denoiseBlock != 0 || o.denoiseStride != 0) {
+		return errors.New("-denoise-block/-denoise-stride require -denoise-rank")
+	}
+	if err := o.denoise().Validate(); err != nil {
+		return err
 	}
 	if o.experiment != "" {
 		if o.experiment != "robustness" {
@@ -233,6 +258,7 @@ func runFleet(o *options, stdout, stderr io.Writer) error {
 		Stream: eddie.StreamConfig{
 			STFT:    cfg.STFT,
 			Peaks:   cfg.Peaks,
+			Denoise: o.denoise(),
 			Monitor: eddie.DefaultMonitorConfig(),
 		},
 		MaxSessions: o.maxSessions,
@@ -324,6 +350,12 @@ func run(o *options, stdout io.Writer) error {
 		return err
 	}
 	cfg := pipelineConfig(o.mode)
+	cfg.Denoise = o.denoise()
+	if cfg.Denoise.Enabled() {
+		dn := cfg.Denoise.WithDefaults()
+		fmt.Fprintf(stdout, "denoising: rank %d, block %d, stride %d\n",
+			dn.Rank, dn.Block, dn.Stride)
+	}
 
 	// Observability: a span recorder when a trace sink exists, a flight
 	// recorder whenever we serve (so /eddie/last-alarm has evidence).

@@ -60,6 +60,11 @@ func TestFlagValidation(t *testing.T) {
 		{"fleet without model dir", []string{"-fleet", ":0"}, "-model-dir"},
 		{"fleet negative sessions", []string{"-fleet", ":0", "-model-dir", "x", "-fleet-max-sessions", "-2"}, "-fleet-max-sessions"},
 		{"fleet zero drain", []string{"-fleet", ":0", "-model-dir", "x", "-fleet-drain-timeout", "0s"}, "-fleet-drain-timeout"},
+		{"denoise block without rank", []string{"-denoise-block", "16"}, "-denoise-rank"},
+		{"denoise stride without rank", []string{"-denoise-stride", "4"}, "-denoise-rank"},
+		{"denoise negative rank", []string{"-denoise-rank", "-2"}, "rank"},
+		{"denoise tiny block", []string{"-denoise-rank", "4", "-denoise-block", "1"}, "block"},
+		{"denoise stride above block", []string{"-denoise-rank", "4", "-denoise-block", "8", "-denoise-stride", "9"}, "stride"},
 		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
 		{"positional junk", []string{"bitcount"}, "unexpected arguments"},
 	} {

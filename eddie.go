@@ -105,6 +105,13 @@ type (
 	// StreamConfig configures the streaming detector (STFT, monitor,
 	// optional impairment injection, metrics and ground-truth wiring).
 	StreamConfig = stream.Config
+	// DenoiseConfig configures the optional SVD subspace denoising stage
+	// shared by PipelineConfig.Denoise and StreamConfig.Denoise; the zero
+	// value disables it.
+	DenoiseConfig = dsp.DenoiseConfig
+	// Denoiser is the streaming subspace denoising stage itself, exposed
+	// for rank/energy introspection via Detector.Denoiser.
+	Denoiser = dsp.Denoiser
 	// Impairment is one streaming signal impairment (see the impair
 	// transforms re-exported below).
 	Impairment = impair.Transform

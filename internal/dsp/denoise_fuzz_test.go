@@ -1,0 +1,125 @@
+package dsp
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// decodeDenoiseFuzz maps raw fuzz bytes to a denoiser shape and a cell
+// stream. The first bytes pick bins/rank/block/stride so tiny blocks,
+// rank ≥ min(bins, block) and degenerate shapes all occur; the rest
+// become float64 bit patterns, so NaNs, ±Inf, denormals and huge values
+// arrive naturally. Streams shorter than the window count leave zero
+// columns — the rank-deficient case.
+func decodeDenoiseFuzz(data []byte) (cfg DenoiseConfig, bins int, cells []float64) {
+	if len(data) < 4 {
+		return DenoiseConfig{}, 0, nil
+	}
+	bins = 1 + int(data[0])%96
+	cfg = DenoiseConfig{
+		Rank:  1 + int(data[1])%140, // often ≥ min(bins, block): must clamp
+		Block: 2 + int(data[2])%40,
+		Seed:  uint64(data[0]) + 3,
+	}
+	cfg.Stride = 1 + int(data[3])%cfg.Block
+	data = data[4:]
+	n := len(data) / 8
+	const maxCells = 8192
+	if n > maxCells {
+		n = maxCells
+	}
+	cells = make([]float64, n)
+	for i := range cells {
+		cells[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return cfg, bins, cells
+}
+
+// FuzzDenoiser pushes arbitrary spectrogram content through arbitrary
+// denoiser shapes and asserts the stage's safety contract: never
+// panics, always emits finite non-negative spectra, counts every
+// non-finite cell it sanitized, and is a pure function of its input
+// (two identical denoisers stay bit-identical cell for cell). This is
+// the dsp-layer analogue of stream.FuzzDetectorFeed.
+func FuzzDenoiser(f *testing.F) {
+	f.Add([]byte{})                   // no-op
+	f.Add([]byte{3, 1, 0, 0})         // tiny block (2), rank 2, no cells
+	f.Add([]byte{0, 139, 0, 1, 1, 2}) // bins 1, huge rank, stray bytes
+	// Hostile cells: NaN, ±Inf, denormal, huge, negative, signed zero.
+	hostile := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 5e-324, 1e308, -1, math.Copysign(0, -1), 2}
+	hb := []byte{7, 5, 2, 1}
+	for _, v := range hostile {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		hb = append(hb, b[:]...)
+	}
+	f.Add(hb)
+	// Enough clean ramp cells to fill several blocks of a small shape.
+	ramp := []byte{15, 2, 6, 3}
+	for i := 0; i < 400; i++ {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(float64(i%23)))
+		ramp = append(ramp, b[:]...)
+	}
+	f.Add(ramp)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, bins, cells := decodeDenoiseFuzz(data)
+		if bins == 0 {
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("decoded config invalid: %v", err)
+		}
+		mk := func() *Denoiser {
+			d, err := NewDenoiser(cfg, bins)
+			if err != nil {
+				t.Fatalf("NewDenoiser(%+v, %d): %v", cfg, bins, err)
+			}
+			return d
+		}
+		d1, d2 := mk(), mk()
+		// Enough windows to fill the block and refactor several times even
+		// when the cell stream is short — the tail windows are all-zero
+		// columns.
+		windows := 3*cfg.Block + 2
+		if have := len(cells) / bins; have > windows {
+			windows = have
+		}
+		const maxWindows = 512
+		if windows > maxWindows {
+			windows = maxWindows
+		}
+		b1 := make([]float64, bins)
+		b2 := make([]float64, bins)
+		for w := 0; w < windows; w++ {
+			for i := range b1 {
+				b1[i] = 0
+				if idx := w*bins + i; idx < len(cells) {
+					b1[i] = cells[idx]
+				}
+			}
+			copy(b2, b1)
+			d1.Push(b1)
+			d2.Push(b2)
+			for i, v := range b1 {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("window %d bin %d: non-finite or negative output %v (cfg %+v bins %d)", w, i, v, cfg, bins)
+				}
+			}
+			if !sameBitsSlice(b1, b2) {
+				t.Fatalf("window %d: twin denoisers diverged (cfg %+v bins %d)", w, cfg, bins)
+			}
+		}
+		if d1.Sanitized() != d2.Sanitized() {
+			t.Fatalf("sanitized counts diverged: %d vs %d", d1.Sanitized(), d2.Sanitized())
+		}
+		if d1.Refactors() != d2.Refactors() {
+			t.Fatalf("refactor counts diverged: %d vs %d", d1.Refactors(), d2.Refactors())
+		}
+		if r := d1.EnergyRatio(); math.IsNaN(r) || r < 0 || r > 1 {
+			t.Fatalf("energy ratio %v outside [0,1]", r)
+		}
+	})
+}

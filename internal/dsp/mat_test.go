@@ -1,0 +1,153 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// naiveMul is the reference O(mnk) product used to pin the kernels.
+func naiveMul(a, b *Mat) *Mat {
+	out := NewMat(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// randMat returns a deterministic pseudo-random matrix.
+func randMat(rows, cols int, seed uint64) *Mat {
+	m := NewMat(rows, cols)
+	fillGaussian(m.Data, seed)
+	return m
+}
+
+func matsClose(t *testing.T, name string, got, want *Mat, tol float64) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > tol {
+			t.Fatalf("%s: element %d: got %v want %v", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulKernels(t *testing.T) {
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 2, 4}, {7, 5, 3}, {16, 8, 16}, {33, 12, 9}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randMat(m, k, 11)
+		b := randMat(k, n, 22)
+
+		var dst Mat
+		MulInto(&dst, a, b)
+		matsClose(t, "MulInto", &dst, naiveMul(a, b), 1e-12)
+
+		at := NewMat(k, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < k; j++ {
+				at.Set(j, i, a.At(i, j))
+			}
+		}
+		bigA := randMat(m, k, 33)
+		bigB := randMat(m, n, 44)
+		var atb Mat
+		MulATBInto(&atb, bigA, bigB)
+		bigAT := NewMat(k, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < k; j++ {
+				bigAT.Set(j, i, bigA.At(i, j))
+			}
+		}
+		matsClose(t, "MulATBInto", &atb, naiveMul(bigAT, bigB), 1e-12)
+
+		var abt Mat
+		c := randMat(m, k, 55)
+		d := randMat(n, k, 66)
+		mulABTInto(&abt, c, d)
+		dt := NewMat(k, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				dt.Set(j, i, d.At(i, j))
+			}
+		}
+		matsClose(t, "mulABTInto", &abt, naiveMul(c, dt), 1e-12)
+	}
+}
+
+func TestMatVecKernels(t *testing.T) {
+	a := randMat(9, 5, 7)
+	x := make([]float64, 5)
+	fillGaussian(x, 8)
+	y := make([]float64, 9)
+	MulVecInto(y, a, x)
+	for i := 0; i < 9; i++ {
+		var s float64
+		for j := 0; j < 5; j++ {
+			s += a.At(i, j) * x[j]
+		}
+		if math.Abs(y[i]-s) > 1e-12 {
+			t.Fatalf("MulVecInto[%d]: got %v want %v", i, y[i], s)
+		}
+	}
+	z := make([]float64, 5)
+	big := make([]float64, 9)
+	fillGaussian(big, 9)
+	MulTVecInto(z, a, big)
+	for j := 0; j < 5; j++ {
+		var s float64
+		for i := 0; i < 9; i++ {
+			s += a.At(i, j) * big[i]
+		}
+		if math.Abs(z[j]-s) > 1e-12 {
+			t.Fatalf("MulTVecInto[%d]: got %v want %v", j, z[j], s)
+		}
+	}
+}
+
+// TestMatReshapeReuse pins the workspace-reuse contract: shrinking and
+// re-growing within capacity keeps the backing array.
+func TestMatReshapeReuse(t *testing.T) {
+	m := NewMat(8, 8)
+	base := &m.Data[0]
+	m.Reshape(4, 3)
+	if &m.Data[0] != base {
+		t.Fatal("Reshape within capacity reallocated")
+	}
+	if m.Rows != 4 || m.Cols != 3 || len(m.Data) != 12 {
+		t.Fatalf("Reshape shape wrong: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Reshape(8, 8)
+	if &m.Data[0] != base {
+		t.Fatal("Reshape back to capacity reallocated")
+	}
+	m.Reshape(9, 9)
+	if len(m.Data) != 81 {
+		t.Fatalf("grown Reshape len %d", len(m.Data))
+	}
+}
+
+// TestMatMulZeroAlloc asserts the kernels allocate nothing once their
+// destinations have reached steady-state capacity — the property the
+// streaming denoiser's refactor loop depends on.
+func TestMatMulZeroAlloc(t *testing.T) {
+	a := randMat(64, 16, 1)
+	b := randMat(16, 24, 2)
+	var dst, atb Mat
+	MulInto(&dst, a, b)
+	MulATBInto(&atb, a, randMat(64, 8, 3))
+	c := randMat(64, 8, 3)
+	avg := testing.AllocsPerRun(50, func() {
+		MulInto(&dst, a, b)
+		MulATBInto(&atb, a, c)
+	})
+	if avg != 0 {
+		t.Errorf("warm matrix kernels allocate %.2f allocs/op, want 0", avg)
+	}
+}

@@ -1,0 +1,54 @@
+package dsp
+
+import "math"
+
+// orthonormTol is the relative column-norm floor below which a column is
+// treated as linearly dependent during orthonormalization: once the
+// residual after projecting out earlier columns drops under tol times
+// the column's pre-projection norm, nothing numerically meaningful is
+// left and the column is zeroed instead of normalized noise.
+const orthonormTol = 1e-12
+
+// Orthonormalize turns the columns of q into an orthonormal basis of
+// their span, in place, and returns the numerical rank (the number of
+// nonzero columns kept). It runs modified Gram-Schmidt with one full
+// re-orthogonalization pass per column ("twice is enough"), which keeps
+// QᵀQ within a few ulps of the identity even for the nearly dependent
+// columns a power-iterated range finder produces. Rank-deficient
+// columns are set to zero — projections through the basis then simply
+// ignore them — so the routine is total and deterministic for any
+// input, including zero and non-finite-free degenerate matrices.
+func Orthonormalize(q *Mat) int {
+	rank := 0
+	for j := 0; j < q.Cols; j++ {
+		cj := q.Col(j)
+		norm0 := math.Sqrt(dot(cj, cj))
+		// Two MGS passes: the second mops up the projection error the
+		// first leaves when cj is nearly inside the span so far.
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < j; i++ {
+				ci := q.Col(i)
+				r := dot(ci, cj)
+				if r == 0 {
+					continue
+				}
+				for k := range cj {
+					cj[k] -= r * ci[k]
+				}
+			}
+		}
+		norm := math.Sqrt(dot(cj, cj))
+		if norm <= orthonormTol*norm0 || norm == 0 || math.IsNaN(norm) || math.IsInf(norm, 0) {
+			for k := range cj {
+				cj[k] = 0
+			}
+			continue
+		}
+		inv := 1 / norm
+		for k := range cj {
+			cj[k] *= inv
+		}
+		rank++
+	}
+	return rank
+}

@@ -108,8 +108,8 @@ func trainCacheKey(name string, c pipeline.Config, runs int, tc core.TrainConfig
 	if c.Channel != nil {
 		channel = fmt.Sprintf("%+v", *c.Channel)
 	}
-	return fmt.Sprintf("%s|runs=%d|sim=%+v|stft=%+v|peaks=%+v|chan=%s|max=%d|tc=%+v",
-		name, runs, c.Sim, c.STFT, c.Peaks, channel, c.MaxInstrs, tc)
+	return fmt.Sprintf("%s|runs=%d|sim=%+v|stft=%+v|peaks=%+v|dn=%+v|chan=%s|max=%d|tc=%+v",
+		name, runs, c.Sim, c.STFT, c.Peaks, c.Denoise, channel, c.MaxInstrs, tc)
 }
 
 // trainCached trains a workload under a pipeline config, or returns the

@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"eddie/internal/core"
+	"eddie/internal/dsp"
 	"eddie/internal/impair"
 	"eddie/internal/inject"
 	"eddie/internal/metrics"
@@ -43,6 +45,23 @@ type StreamRobustness struct {
 	Metrics        map[string]any `json:"metrics"`
 }
 
+// DenoiseInfo records the subspace-denoising configuration of the
+// denoised SNR sweep together with its measured cost and subspace
+// quality on this workload.
+type DenoiseInfo struct {
+	Rank   int `json:"rank"`
+	Block  int `json:"block"`
+	Stride int `json:"stride"`
+	// PerWindowNs is the measured steady-state cost of the stage per
+	// spectrum (projection plus amortized refactorization).
+	PerWindowNs float64 `json:"per_window_ns"`
+	// EnergyRatio is the fraction of block spectral energy the final
+	// subspace captured on a clean capture; Refactors how many
+	// factorizations that capture triggered.
+	EnergyRatio float64 `json:"energy_ratio"`
+	Refactors   int64   `json:"refactors"`
+}
+
 // RobustnessResult is the full robustness experiment output
 // (BENCH_robustness.json).
 type RobustnessResult struct {
@@ -56,6 +75,12 @@ type RobustnessResult struct {
 	// degrades SNR, so accuracy should fall off the same way as severity
 	// rises.
 	SNR []RobustnessPoint `json:"snr"`
+	// SNRDenoised repeats the AWGN sweep with the SVD subspace denoising
+	// stage enabled (and a model trained under it): the low-SNR points
+	// should recover accuracy relative to SNR.
+	SNRDenoised []RobustnessPoint `json:"snr_denoised"`
+	// Denoise describes the stage the denoised sweep ran with.
+	Denoise *DenoiseInfo `json:"denoise,omitempty"`
 	// Impairments sweeps the non-noise faults (dropouts, clock skew, gain
 	// drift, DC wander, interferer tones) at increasing severity.
 	Impairments []RobustnessPoint `json:"impairments"`
@@ -66,6 +91,12 @@ type RobustnessResult struct {
 // robustnessSNRGrid is the AWGN sweep, in dB, descending. 120 dB is
 // effectively clean; 0 dB means noise as strong as the signal.
 var robustnessSNRGrid = []float64{120, 30, 20, 15, 10, 5, 0}
+
+// robustnessDenoise is the subspace-denoising configuration of the
+// denoised sweep: rank 3 keeps just the dominant loop-activity
+// directions (higher ranks readmit noise and cost accuracy at low SNR),
+// over a 32-window block, refactoring every 8 windows.
+var robustnessDenoise = dsp.DenoiseConfig{Rank: 3, Block: 32, Stride: 8}
 
 // robustnessAttack is the injected fault every monitored run carries:
 // the Fig 5 style in-loop injection at 50% contamination.
@@ -117,7 +148,7 @@ func Robustness(e *Env, w io.Writer) (*RobustnessResult, error) {
 	}
 
 	// Baseline: no impairment.
-	base, err := robustnessPoint(e, t, runs, "clean", func(runIdx int) impair.Transform { return nil })
+	base, err := robustnessPoint(e, t, e.Sim, runs, "clean", func(runIdx int) impair.Transform { return nil })
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +159,7 @@ func Robustness(e *Env, w io.Writer) (*RobustnessResult, error) {
 	res.SNR = make([]RobustnessPoint, len(robustnessSNRGrid))
 	err = par.Do(len(robustnessSNRGrid), 0, func(si int) error {
 		snr := robustnessSNRGrid[si]
-		p, err := robustnessPoint(e, t, runs, fmt.Sprintf("awgn(%gdB)", snr), func(runIdx int) impair.Transform {
+		p, err := robustnessPoint(e, t, e.Sim, runs, fmt.Sprintf("awgn(%gdB)", snr), func(runIdx int) impair.Transform {
 			return &impair.AWGN{SNRdB: snr, Seed: 7000 + int64(runIdx)}
 		})
 		if err != nil {
@@ -138,6 +169,37 @@ func Robustness(e *Env, w io.Writer) (*RobustnessResult, error) {
 		res.SNR[si] = *p
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Denoised AWGN sweep: the same grid and noise realizations with the
+	// SVD subspace stage in the pipeline and a model trained under it
+	// (training and monitoring must see the same spectra). The collected
+	// signals are reused — denoising acts on the reduction, not the run.
+	simD := e.Sim
+	simD.Denoise = robustnessDenoise
+	tD, err := e.train(benchmark, simD, e.TrainRunsSim)
+	if err != nil {
+		return nil, err
+	}
+	res.SNRDenoised = make([]RobustnessPoint, len(robustnessSNRGrid))
+	err = par.Do(len(robustnessSNRGrid), 0, func(si int) error {
+		snr := robustnessSNRGrid[si]
+		p, err := robustnessPoint(e, tD, simD, runs, fmt.Sprintf("awgn(%gdB)+denoise", snr), func(runIdx int) impair.Transform {
+			return &impair.AWGN{SNRdB: snr, Seed: 7000 + int64(runIdx)}
+		})
+		if err != nil {
+			return err
+		}
+		p.SNRdB = snr
+		res.SNRDenoised[si] = *p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Denoise, err = measureDenoise(simD, runs[0])
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +230,7 @@ func Robustness(e *Env, w io.Writer) (*RobustnessResult, error) {
 	}
 	res.Impairments = make([]RobustnessPoint, len(impairments))
 	err = par.Do(len(impairments), 0, func(ii int) error {
-		p, err := robustnessPoint(e, t, runs, impairments[ii].label, impairments[ii].mk)
+		p, err := robustnessPoint(e, t, e.Sim, runs, impairments[ii].label, impairments[ii].mk)
 		if err != nil {
 			return err
 		}
@@ -192,12 +254,14 @@ func Robustness(e *Env, w io.Writer) (*RobustnessResult, error) {
 }
 
 // robustnessPoint impairs every collected run with mk(runIdx), re-reduces
-// and re-monitors it, and aggregates the evaluation metrics.
-func robustnessPoint(e *Env, t *trained, runs []*pipeline.Run, label string, mk func(runIdx int) impair.Transform) (*RobustnessPoint, error) {
+// it under c (which may differ from the collection config by its Denoise
+// stage), re-monitors against t's model and aggregates the evaluation
+// metrics.
+func robustnessPoint(e *Env, t *trained, c pipeline.Config, runs []*pipeline.Run, label string, mk func(runIdx int) impair.Transform) (*RobustnessPoint, error) {
 	agg := &core.Metrics{}
 	for i, run := range runs {
 		signal := impair.Apply(mk(i), run.Signal)
-		sts, err := pipeline.Reduce(signal, run.Sim, e.Sim)
+		sts, err := pipeline.Reduce(signal, run.Sim, c)
 		if err != nil {
 			return nil, fmt.Errorf("robustness %s: %w", label, err)
 		}
@@ -205,7 +269,7 @@ func robustnessPoint(e *Env, t *trained, runs []*pipeline.Run, label string, mk 
 		if err != nil {
 			return nil, err
 		}
-		m, err := core.Evaluate(t.model, sts, mon.Outcomes, mon.Reports, e.Sim.HopSeconds())
+		m, err := core.Evaluate(t.model, sts, mon.Outcomes, mon.Reports, c.HopSeconds())
 		if err != nil {
 			return nil, err
 		}
@@ -219,6 +283,36 @@ func robustnessPoint(e *Env, t *trained, runs []*pipeline.Run, label string, mk 
 		DetectionPct: agg.DetectionRatePct(),
 		LatencyMs:    agg.DetectionLatencySec() * 1e3,
 	}, nil
+}
+
+// measureDenoise times the subspace stage on one clean capture's
+// spectrogram and reports the per-window cost together with the final
+// subspace quality.
+func measureDenoise(c pipeline.Config, run *pipeline.Run) (*DenoiseInfo, error) {
+	frames, err := dsp.STFT(dsp.Detrend(run.Signal), c.STFT)
+	if err != nil {
+		return nil, err
+	}
+	dn, err := dsp.NewDenoiser(c.Denoise, c.STFT.WindowSize/2+1)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for i := range frames {
+		dn.Push(frames[i].Power)
+	}
+	elapsed := time.Since(start)
+	info := &DenoiseInfo{
+		Rank:        c.Denoise.Rank,
+		Block:       c.Denoise.Block,
+		Stride:      c.Denoise.Stride,
+		EnergyRatio: dn.EnergyRatio(),
+		Refactors:   dn.Refactors(),
+	}
+	if len(frames) > 0 {
+		info.PerWindowNs = float64(elapsed.Nanoseconds()) / float64(len(frames))
+	}
+	return info, nil
 }
 
 // robustnessStream runs the online detector over one injected capture
@@ -272,6 +366,13 @@ func printRobustness(w io.Writer, res *RobustnessResult) {
 	fprintf(w, "accuracy vs SNR (cf. Fig 9's accuracy-vs-distance):\n")
 	for i := range res.SNR {
 		row(&res.SNR[i])
+	}
+	if res.Denoise != nil {
+		fprintf(w, "accuracy vs SNR with subspace denoising (rank %d, block %d, stride %d; %.0f ns/window, energy %.2f):\n",
+			res.Denoise.Rank, res.Denoise.Block, res.Denoise.Stride, res.Denoise.PerWindowNs, res.Denoise.EnergyRatio)
+		for i := range res.SNRDenoised {
+			row(&res.SNRDenoised[i])
+		}
 	}
 	fprintf(w, "impairment severities:\n")
 	for i := range res.Impairments {

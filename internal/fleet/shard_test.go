@@ -103,8 +103,12 @@ func detachedSession(tb testing.TB) (*session, []float64) {
 	srv.cReports = reg.Counter("fleet_reports")
 
 	det, err := stream.NewDetector(f.Model, stream.Config{
-		STFT:              f.Config.STFT,
-		Peaks:             f.Config.Peaks,
+		STFT:  f.Config.STFT,
+		Peaks: f.Config.Peaks,
+		// Explicitly disabled: the steady-state zero-alloc guard below
+		// covers the denoise-off fleet configuration, so a regression that
+		// puts the disabled stage on the per-frame path fails loudly.
+		Denoise:           dsp.DenoiseConfig{},
 		Monitor:           core.DefaultMonitorConfig(),
 		DisableDCBlock:    true,
 		MaxHistoryWindows: 256,
@@ -112,6 +116,9 @@ func detachedSession(tb testing.TB) (*session, []float64) {
 	})
 	if err != nil {
 		tb.Fatal(err)
+	}
+	if det.Denoiser() != nil {
+		tb.Fatal("disabled denoise config built a denoiser")
 	}
 	ss := newSession(srv, 1, nil)
 	ss.det = det

@@ -42,6 +42,13 @@ type Detector struct {
 	// TruePos/FalsePos/TrueNeg/FalseNeg classify windows against
 	// injected ground truth (only populated when ground truth is wired).
 	TruePos, FalsePos, TrueNeg, FalseNeg *Counter
+	// DenoiseRefactors counts subspace refactorizations of the denoising
+	// stage (zero when denoising is disabled).
+	DenoiseRefactors *Counter
+	// DenoiseRank is the effective rank of the current denoising basis;
+	// DenoiseEnergyPct the percentage of block spectral energy it
+	// captures. Both update on each refactorization.
+	DenoiseRank, DenoiseEnergyPct *Gauge
 	// PeakCount is the distribution of per-window peak counts.
 	PeakCount *Histogram
 	// LatencySTS and LatencySamples are detection latency distributions,
@@ -87,21 +94,24 @@ func NewDetector() *Detector { return NewDetectorWith(NewRegistry()) }
 // instruments are safe for concurrent use across sessions.
 func NewDetectorWith(reg *Registry) *Detector {
 	return &Detector{
-		Reg:            reg,
-		SamplesIn:      reg.Counter("samples_in"),
-		Sanitized:      reg.Counter("samples_sanitized"),
-		Windows:        reg.Counter("sts_produced"),
-		ReportsFired:   reg.Counter("reports_fired"),
-		KSTests:        reg.Counter("ks_tests"),
-		KSRejects:      reg.Counter("ks_rejects"),
-		RegionSwitches: reg.Counter("region_switches"),
-		TruePos:        reg.Counter("truth_true_positive"),
-		FalsePos:       reg.Counter("truth_false_positive"),
-		TrueNeg:        reg.Counter("truth_true_negative"),
-		FalseNeg:       reg.Counter("truth_false_negative"),
-		PeakCount:      reg.Histogram("peak_count", peakBuckets),
-		LatencySTS:     reg.Histogram("detection_latency_sts", latencyBucketsSTS),
-		LatencySamples: reg.Histogram("detection_latency_samples", nil),
+		Reg:              reg,
+		SamplesIn:        reg.Counter("samples_in"),
+		Sanitized:        reg.Counter("samples_sanitized"),
+		Windows:          reg.Counter("sts_produced"),
+		ReportsFired:     reg.Counter("reports_fired"),
+		KSTests:          reg.Counter("ks_tests"),
+		KSRejects:        reg.Counter("ks_rejects"),
+		RegionSwitches:   reg.Counter("region_switches"),
+		TruePos:          reg.Counter("truth_true_positive"),
+		FalsePos:         reg.Counter("truth_false_positive"),
+		TrueNeg:          reg.Counter("truth_true_negative"),
+		FalseNeg:         reg.Counter("truth_false_negative"),
+		DenoiseRefactors: reg.Counter("denoise_refactors"),
+		DenoiseRank:      reg.Gauge("denoise_rank"),
+		DenoiseEnergyPct: reg.Gauge("denoise_energy_pct"),
+		PeakCount:        reg.Histogram("peak_count", peakBuckets),
+		LatencySTS:       reg.Histogram("detection_latency_sts", latencyBucketsSTS),
+		LatencySamples:   reg.Histogram("detection_latency_samples", nil),
 	}
 }
 

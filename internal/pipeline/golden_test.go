@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"eddie/internal/core"
+	"eddie/internal/dsp"
 	"eddie/internal/inject"
 	"eddie/internal/pipeline"
 	"eddie/internal/pipeline/pipetest"
@@ -58,17 +59,26 @@ const (
 )
 
 // goldenCases are the recorded scenarios: two workloads, clean and
-// injected, all under the tiny fixture configuration and fixed seeds.
+// injected, all under the tiny fixture configuration and fixed seeds,
+// plus denoise-enabled bitcount variants that pin the subspace stage's
+// numerics (fixtures golden_denoise_*.json).
 var goldenCases = []struct {
 	workload string
 	injected bool
 	runIdx   int
+	denoise  bool
 }{
-	{"bitcount", false, 900},
-	{"bitcount", true, 901},
-	{"sha", false, 900},
-	{"sha", true, 901},
+	{"bitcount", false, 900, false},
+	{"bitcount", true, 901, false},
+	{"sha", false, 900, false},
+	{"sha", true, 901, false},
+	{"bitcount", false, 900, true},
+	{"bitcount", true, 901, true},
 }
+
+// goldenDenoise is the fixed denoising configuration of the denoise
+// golden vectors.
+var goldenDenoise = dsp.DenoiseConfig{Rank: 5, Block: 16, Stride: 4, Seed: 11}
 
 func TestGoldenVectors(t *testing.T) {
 	for _, gc := range goldenCases {
@@ -77,8 +87,15 @@ func TestGoldenVectors(t *testing.T) {
 		if gc.injected {
 			name = fmt.Sprintf("%s_injected", gc.workload)
 		}
+		if gc.denoise {
+			name = "denoise_" + name
+		}
 		t.Run(name, func(t *testing.T) {
-			f := pipetest.Train(t, gc.workload, pipetest.TinyConfig(), 5)
+			cfg := pipetest.TinyConfig()
+			if gc.denoise {
+				cfg.Denoise = goldenDenoise
+			}
+			f := pipetest.Train(t, gc.workload, cfg, 5)
 			var injector inject.Injector
 			if gc.injected {
 				injector = &inject.InLoop{

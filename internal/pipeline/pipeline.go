@@ -30,6 +30,12 @@ type Config struct {
 	STFT dsp.STFTConfig
 	// Peaks controls spectral peak extraction.
 	Peaks dsp.PeakConfig
+	// Denoise configures the optional SVD subspace denoising stage
+	// applied to each power spectrum between the STFT and STS extraction.
+	// The zero value disables it. The streaming detector applies the same
+	// stage at the same point in the same order, so offline and streamed
+	// reductions of one capture stay bit-identical with denoising on.
+	Denoise dsp.DenoiseConfig
 	// Channel, when non-nil, passes the power trace through the EM
 	// channel + receiver (the "real IoT device" mode of Table 1). Nil
 	// feeds the raw simulator power signal to EDDIE (Table 2 mode).
@@ -174,6 +180,19 @@ func reduce(signal []float64, res *sim.RunResult, c Config, tk obs.Track) ([]cor
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: STFT: %w", err)
+	}
+	if c.Denoise.Enabled() {
+		sp = tk.Start("denoise")
+		dn, err := dsp.NewDenoiser(c.Denoise, c.STFT.WindowSize/2+1)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+		// Push frames in stream order: the denoiser is causal, so this
+		// produces the exact spectra the streaming detector would see.
+		for i := range frames {
+			dn.Push(frames[i].Power)
+		}
+		sp.End()
 	}
 	sp = tk.Start("extract_sts")
 	labeled := trace.LabelFrames(frames, c.STFT, res)

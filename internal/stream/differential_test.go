@@ -28,12 +28,21 @@ func TestDifferentialOfflineVsStream(t *testing.T) {
 		Header: f.Machine.Nests[0].Header, Instrs: 8, MemOps: 4,
 		Contamination: 0.5, Seed: 3,
 	}
+	// The denoised variants reuse the clean/injected captures but
+	// re-reduce them with the subspace stage enabled: both paths must
+	// still agree bit for bit, because offline reduce and the stream push
+	// identical power spectra through one causal Denoiser in the same
+	// order.
+	denoise := dsp.DenoiseConfig{Rank: 5, Block: 16, Stride: 4, Seed: 11}
 	for _, tc := range []struct {
-		name string
-		inj  inject.Injector
+		name    string
+		inj     inject.Injector
+		denoise dsp.DenoiseConfig
 	}{
-		{"clean", nil},
-		{"injected", injector},
+		{"clean", nil, dsp.DenoiseConfig{}},
+		{"injected", injector, dsp.DenoiseConfig{}},
+		{"clean denoised", nil, denoise},
+		{"injected denoised", injector, denoise},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			run, err := pipeline.CollectRun(f.W, f.Machine, f.Config, 800, tc.inj)
@@ -41,9 +50,15 @@ func TestDifferentialOfflineVsStream(t *testing.T) {
 				t.Fatal(err)
 			}
 			detrended := dsp.Detrend(run.Signal)
+			pcfg := f.Config
+			pcfg.Denoise = tc.denoise
 
-			// Offline path: the exact reduction CollectRun used.
-			offSTS := run.STS
+			// Offline path: the exact reduction CollectRun runs, under the
+			// case's denoise configuration.
+			offSTS, err := pipeline.Reduce(run.Signal, run.Sim, pcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
 			offMon, err := pipeline.Monitor(f.Model, offSTS, core.DefaultMonitorConfig())
 			if err != nil {
 				t.Fatal(err)
@@ -53,7 +68,7 @@ func TestDifferentialOfflineVsStream(t *testing.T) {
 			// captures the produced STS sequence (copying the reused
 			// PeakFreqs slice).
 			var strSTS []core.STS
-			cfg := streamCfg(f.Config)
+			cfg := streamCfg(pcfg)
 			cfg.DisableDCBlock = true
 			cfg.Tap = func(sts *core.STS) {
 				c := *sts

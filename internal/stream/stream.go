@@ -25,6 +25,13 @@ type Config struct {
 	STFT dsp.STFTConfig
 	// Peaks controls spectral peak extraction.
 	Peaks dsp.PeakConfig
+	// Denoise configures the optional SVD subspace denoising stage that
+	// runs on each power spectrum between the STFT and peak extraction.
+	// The zero value disables it; the detector is then bit-identical to
+	// one built without the stage. The offline pipeline applies the same
+	// stage at the same point, so the offline-vs-stream differential holds
+	// with denoising on.
+	Denoise dsp.DenoiseConfig
 	// Monitor is the monitoring configuration.
 	Monitor core.MonitorConfig
 	// DCTau is the time constant (in samples) of the streaming DC
@@ -94,6 +101,9 @@ type Detector struct {
 	dcInit   bool
 	dcAlpha  float64
 
+	denoiser   *dsp.Denoiser // nil when denoising is disabled
+	dnRefactor int64         // refactor count already published to Metrics
+
 	samplesIn int64
 	sanitized int64
 	windows   int
@@ -139,6 +149,13 @@ func NewDetector(model *core.Model, cfg Config) (*Detector, error) {
 	}
 	ws := cfg.STFT.WindowSize
 	plan := dsp.PlanRFFT(ws)
+	var denoiser *dsp.Denoiser
+	if cfg.Denoise.Enabled() {
+		denoiser, err = dsp.NewDenoiser(cfg.Denoise, plan.SpectrumLen())
+		if err != nil {
+			return nil, fmt.Errorf("stream: %w", err)
+		}
+	}
 	return &Detector{
 		cfg:     cfg,
 		model:   model,
@@ -160,6 +177,7 @@ func NewDetector(model *core.Model, cfg Config) (*Detector, error) {
 		binHz:        cfg.STFT.BinFrequency,
 		episodeStart: -1,
 		track:        cfg.Trace.Track("stream"),
+		denoiser:     denoiser,
 	}, nil
 }
 
@@ -279,6 +297,19 @@ func (d *Detector) processWindow() {
 	}
 	d.plan.PowerInto(d.power, d.windowed, d.spec, d.work)
 	sp.End()
+	if d.denoiser != nil {
+		sp = d.track.Start("denoise")
+		d.denoiser.Push(d.power)
+		sp.End()
+		if m := d.cfg.Metrics; m != nil {
+			if rf := d.denoiser.Refactors(); rf > d.dnRefactor {
+				m.DenoiseRefactors.Add(rf - d.dnRefactor)
+				d.dnRefactor = rf
+				m.DenoiseRank.Set(int64(d.denoiser.Rank()))
+				m.DenoiseEnergyPct.Set(int64(d.denoiser.EnergyRatio()*100 + 0.5))
+			}
+		}
+	}
 	sp = d.track.Start("peaks")
 	d.frame.Index = d.windows
 	d.frame.Power = d.power
@@ -367,6 +398,9 @@ func (d *Detector) Buffered() int { return len(d.buf) }
 // Monitor exposes the underlying monitor (reports, outcomes, current
 // region estimate).
 func (d *Detector) Monitor() *core.Monitor { return d.monitor }
+
+// Denoiser exposes the subspace denoising stage, or nil when disabled.
+func (d *Detector) Denoiser() *dsp.Denoiser { return d.denoiser }
 
 // isFinite reports whether s is neither NaN nor ±Inf.
 func isFinite(s float64) bool {

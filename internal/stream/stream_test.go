@@ -13,7 +13,7 @@ import (
 )
 
 func streamCfg(p pipeline.Config) Config {
-	return Config{STFT: p.STFT, Peaks: p.Peaks, Monitor: core.DefaultMonitorConfig()}
+	return Config{STFT: p.STFT, Peaks: p.Peaks, Denoise: p.Denoise, Monitor: core.DefaultMonitorConfig()}
 }
 
 func TestDetectorQuietOnCleanStream(t *testing.T) {
