@@ -1,4 +1,4 @@
-.PHONY: all build vet test race bench dsp-bench obs-bench bench-decision bench-decision-smoke bench-denoise bench-fleet bench-fleet-smoke cover fleet-smoke
+.PHONY: all build vet test race bench dsp-bench obs-bench bench-obs bench-decision bench-decision-smoke bench-denoise bench-fleet bench-fleet-smoke cover fleet-smoke
 
 all: build test
 
@@ -27,6 +27,7 @@ race:
 	go test -race -short ./...
 	go test -race -short -count=1 -run 'TestFleetStressConcurrentSessions|TestFleetStressShardedChurn' ./internal/fleet
 	go test -race -short -count=1 -run 'TestDifferentialOfflineVsStream' ./internal/stream
+	go test -race -short -count=1 -run 'TestFleetDrainJournalAndSSE|TestFleetJournalRoundTrip' ./internal/fleet
 
 # Fleet smoke run: boot a real fleet server over TCP, stream devices
 # through it concurrently, drain it gracefully mid-stream.
@@ -77,11 +78,23 @@ bench-decision-smoke:
 	go test -short -run '^$$' -bench 'BenchmarkEvalGroups|BenchmarkObserveMultiMode|BenchmarkKSStatistic|BenchmarkKSRejectPresorted' -benchtime 1x ./internal/core ./internal/stats
 
 # Observability overhead check: asserts the monitor's decision loop does
-# 0 allocs/op with tracing/flight recording disabled (the default), and
+# 0 allocs/op with tracing/flight recording disabled (the default), that
+# the always-on fleet observability plane (journal lifecycle append,
+# log-histogram record, EWMA drift gauge) stays zero-alloc, and
 # benchmarks the enabled paths for comparison.
 obs-bench:
 	go test -run TestObserveDisabledObsZeroAlloc -count=1 ./internal/core
+	go test -run 'TestJournalEventZeroAlloc' -count=1 ./internal/obs
+	go test -run 'TestLogHistogramRecordZeroAlloc|TestFloatGaugeEWMAZeroAlloc' -count=1 ./internal/metrics
+	go test -run 'TestSLORecordZeroAlloc' -count=1 ./internal/obs
 	go test -run '^$$' -bench 'BenchmarkObserve' -benchmem -benchtime 3000x ./internal/core
+
+# Observability-plane micro-benchmarks, machine-readable output.
+# Rewrites BENCH_obs.json; fails (keeping the checked-in baseline) when
+# a per-frame instrument allocates, exceeds 1µs/op, or regresses >20%
+# in ns/op against the baseline.
+bench-obs:
+	go run ./cmd/eddie-bench -obs-bench BENCH_obs.json
 
 # Per-package coverage over the short suite; fails if the hardened
 # packages (internal/stream, internal/impair, internal/obs,

@@ -7,6 +7,7 @@
 //	eddie-bench -decision-bench BENCH_decision.json
 //	eddie-bench -denoise-bench BENCH_denoise.json
 //	eddie-bench -fleet-bench BENCH_fleet.json [-fleet-short|-fleet-smoke]
+//	eddie-bench -obs-bench BENCH_obs.json
 //
 // With no -run flag every experiment runs, in paper order. -short scales
 // the run counts down (~10x faster, noisier numbers). -parallel fixes the
@@ -26,6 +27,10 @@
 // without overwriting the file when sustained sessions or p99 latency
 // regresses >20%. -fleet-short shrinks the ladder; -fleet-smoke runs one
 // tiny ungated rung (CI liveness check).
+// -obs-bench times the observability plane (journal append, latency
+// histogram record, SLO record, drift EWMA); the per-frame instruments
+// must stay zero-alloc and under 1µs/op, and fail the run without
+// overwriting the file on a >20% ns/op regression.
 package main
 
 import (
@@ -50,6 +55,7 @@ func main() {
 	fleetBench := flag.String("fleet-bench", "", "run the fleet-load session-density benchmark and write JSON results to this file (regression-gated on sustained sessions and p99), then exit")
 	fleetShort := flag.Bool("fleet-short", false, "with -fleet-bench: shrink the session ladder")
 	fleetSmoke := flag.Bool("fleet-smoke", false, "with -fleet-bench: one tiny ungated rung (liveness check)")
+	obsBench := flag.String("obs-bench", "", "run the observability-plane micro-benchmarks and write JSON results to this file (zero-alloc and regression gated on the per-frame instruments), then exit")
 	flag.Parse()
 	par.SetParallelism(*parallel)
 
@@ -69,6 +75,13 @@ func main() {
 	}
 	if *denoiseBench != "" {
 		if err := runDenoiseBench(*denoiseBench); err != nil {
+			fmt.Fprintln(os.Stderr, "eddie-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *obsBench != "" {
+		if err := runObsBench(*obsBench); err != nil {
 			fmt.Fprintln(os.Stderr, "eddie-bench:", err)
 			os.Exit(1)
 		}

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -65,6 +66,10 @@ type options struct {
 	denoiseRank   int
 	denoiseBlock  int
 	denoiseStride int
+	version       bool
+	journalDir    string
+	journalMaxMB  int
+	journalFsync  string
 }
 
 // denoise builds the subspace-denoising configuration from the flags;
@@ -115,6 +120,10 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 	fs.IntVar(&o.denoiseRank, "denoise-rank", 0, "SVD subspace denoising rank k (0 = disabled); applied between STFT and peak extraction in every pipeline and fleet session")
 	fs.IntVar(&o.denoiseBlock, "denoise-block", 0, "denoising: sliding spectrogram block length in windows (0 = 32)")
 	fs.IntVar(&o.denoiseStride, "denoise-stride", 0, "denoising: windows between subspace refactorizations (0 = block/4)")
+	fs.BoolVar(&o.version, "version", false, "print version information and exit")
+	fs.StringVar(&o.journalDir, "journal-dir", "", "fleet mode: write a durable alarm/event journal (JSONL) to this directory")
+	fs.IntVar(&o.journalMaxMB, "journal-max-mb", 64, "fleet mode: rotate journal files at this size in MiB")
+	fs.StringVar(&o.journalFsync, "journal-fsync", "interval", `fleet mode: journal durability policy: "always", "interval" or "never"`)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -129,8 +138,19 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 // validate rejects nonsensical flag combinations up front, before any
 // training or serving starts.
 func (o *options) validate() error {
-	if o.list {
+	if o.list || o.version {
 		return nil
+	}
+	if o.fleetAddr == "" && o.journalDir != "" {
+		return errors.New("-journal-dir requires -fleet")
+	}
+	switch o.journalFsync {
+	case eddie.JournalFsyncAlways, eddie.JournalFsyncInterval, eddie.JournalFsyncNever:
+	default:
+		return fmt.Errorf("unknown -journal-fsync %q (want always, interval or never)", o.journalFsync)
+	}
+	if o.journalMaxMB < 1 {
+		return fmt.Errorf("-journal-max-mb %d: need at least 1 MiB per journal file", o.journalMaxMB)
 	}
 	switch o.mode {
 	case "iot", "sim":
@@ -214,6 +234,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	eddie.SetParallelism(o.parallel)
 
 	switch {
+	case o.version:
+		v, goVer := buildVersion()
+		fmt.Fprintf(stdout, "eddie %s (%s)\n", v, goVer)
+		return 0
 	case o.list:
 		for _, w := range eddie.Workloads() {
 			fmt.Fprintln(stdout, w.Name)
@@ -240,6 +264,28 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 }
 
+// buildVersion reports the binary's module version and Go toolchain
+// from the build info stamped by the linker ("devel" outside a module
+// build, e.g. in tests).
+func buildVersion() (version, goVersion string) {
+	version, goVersion = "devel", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		goVersion = bi.GoVersion
+	}
+	return version, goVersion
+}
+
+// publishBuildInfo exports the standard eddie_build_info metric (a
+// constant gauge of 1 whose labels carry the version) on the registry;
+// the Prometheus writer adds the eddie_ namespace prefix.
+func publishBuildInfo(reg *eddie.MetricsRegistry) {
+	v, goVer := buildVersion()
+	reg.SetInfo("build_info", map[string]string{"version": v, "go": goVer})
+}
+
 // pipelineConfig resolves -mode (validate already vetted it).
 func pipelineConfig(mode string) eddie.PipelineConfig {
 	if mode == "sim" {
@@ -253,6 +299,29 @@ func pipelineConfig(mode string) eddie.PipelineConfig {
 func runFleet(o *options, stdout, stderr io.Writer) error {
 	cfg := pipelineConfig(o.mode)
 	reg := eddie.NewDetectorMetrics().Reg
+	publishBuildInfo(reg)
+
+	// The observability plane: durable journal (opt-in via -journal-dir),
+	// live alarm streaming and SLO burn-rate health (always on — both are
+	// nearly free and nil-safe inside the server).
+	var journal *eddie.AlarmJournal
+	if o.journalDir != "" {
+		var err error
+		journal, err = eddie.OpenAlarmJournal(eddie.AlarmJournalConfig{
+			Dir:          o.journalDir,
+			MaxFileBytes: int64(o.journalMaxMB) << 20,
+			Fsync:        o.journalFsync,
+		})
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		fmt.Fprintf(stdout, "journaling alarms to %s (fsync %s, rotate at %d MiB)\n",
+			o.journalDir, o.journalFsync, o.journalMaxMB)
+	}
+	alarms := eddie.NewAlarmStream()
+	slo := eddie.NewSLOTracker(eddie.SLOConfig{})
+
 	srv, err := eddie.NewFleetServer(eddie.FleetConfig{
 		Models: eddie.NewFleetDirModels(o.modelDir),
 		Stream: eddie.StreamConfig{
@@ -264,6 +333,9 @@ func runFleet(o *options, stdout, stderr io.Writer) error {
 		MaxSessions: o.maxSessions,
 		Shards:      o.fleetShards,
 		Registry:    reg,
+		Journal:     journal,
+		Alarms:      alarms,
+		SLO:         slo,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stdout, format+"\n", args...)
 		},
@@ -278,8 +350,13 @@ func runFleet(o *options, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		mux := eddie.NewDebugMux(reg, nil, nil, srv)
-		fmt.Fprintf(stdout, "serving debug endpoints on http://%s (/metrics /eddie/fleet)\n", ln.Addr())
+		mux := eddie.NewServeMux(eddie.ServeState{
+			Metrics: reg,
+			Fleet:   srv,
+			Health:  slo,
+			Alarms:  alarms,
+		})
+		fmt.Fprintf(stdout, "serving debug endpoints on http://%s (/metrics /eddie/fleet /eddie/healthz /eddie/alarms)\n", ln.Addr())
 		go func() {
 			if err := http.Serve(ln, mux); err != nil {
 				fmt.Fprintln(stderr, "eddie: serve:", err)
@@ -375,6 +452,7 @@ func run(o *options, stdout io.Writer) error {
 	}
 	if o.serveAddr != "" {
 		dm.Reg.Publish("eddie") // /debug/vars; idempotent
+		publishBuildInfo(dm.Reg)
 		ln, err := net.Listen("tcp", o.serveAddr)
 		if err != nil {
 			return err

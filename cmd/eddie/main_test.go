@@ -65,6 +65,9 @@ func TestFlagValidation(t *testing.T) {
 		{"denoise negative rank", []string{"-denoise-rank", "-2"}, "rank"},
 		{"denoise tiny block", []string{"-denoise-rank", "4", "-denoise-block", "1"}, "block"},
 		{"denoise stride above block", []string{"-denoise-rank", "4", "-denoise-block", "8", "-denoise-stride", "9"}, "stride"},
+		{"journal without fleet", []string{"-journal-dir", "/tmp/j"}, "-journal-dir requires -fleet"},
+		{"bad journal fsync", []string{"-fleet", ":0", "-model-dir", "x", "-journal-fsync", "maybe"}, "-journal-fsync"},
+		{"zero journal size", []string{"-fleet", ":0", "-model-dir", "x", "-journal-max-mb", "0"}, "-journal-max-mb 0"},
 		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
 		{"positional junk", []string{"bitcount"}, "unexpected arguments"},
 	} {
@@ -99,6 +102,20 @@ func TestHelpAndList(t *testing.T) {
 	if !strings.Contains(stdout.String(), "bitcount") {
 		t.Fatalf("-list output %q misses bitcount", stdout.String())
 	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := realMain([]string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-version exit code %d, stderr %q", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "eddie ") || !strings.Contains(stdout.String(), "go1") {
+		t.Fatalf("-version output %q misses version/toolchain", stdout.String())
+	}
+	// -version wins even alongside flags that would otherwise be invalid.
+	stdout.Reset()
+	if code := realMain([]string{"-version", "-train", "0"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-version -train 0 exit code %d", code)
+	}
 }
 
 // TestRunErrorsExitNonZero checks runtime failures (past validation)
@@ -132,12 +149,14 @@ func TestFleetModeEndToEnd(t *testing.T) {
 
 	// The fleet template must match what the model was trained under;
 	// the tiny fixture uses the sim pipeline.
+	jdir := t.TempDir()
 	stdout, stderr := &syncWriter{}, &syncWriter{}
 	codeCh := make(chan int, 1)
 	go func() {
 		codeCh <- realMain([]string{
 			"-fleet", "127.0.0.1:0", "-model-dir", dir, "-mode", "sim",
 			"-fleet-drain-timeout", "10s",
+			"-journal-dir", jdir, "-journal-fsync", "never",
 		}, stdout, stderr)
 	}()
 
@@ -188,5 +207,24 @@ func TestFleetModeEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "draining") {
 		t.Errorf("drain was not announced; stdout %q", stdout.String())
+	}
+
+	// The CLI journaled the whole lifecycle and closed the journal on the
+	// way out; the directory must recover cleanly.
+	rec, err := eddie.RecoverAlarmJournal(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TruncatedTail || rec.CorruptLines != 0 {
+		t.Fatalf("journal recovered dirty: %+v", rec)
+	}
+	types := map[string]bool{}
+	for _, ev := range rec.Events {
+		types[ev.Type] = true
+	}
+	for _, typ := range []string{"server_start", "connect", "disconnect", "server_stop"} {
+		if !types[typ] {
+			t.Errorf("journal misses a %q event (have %v)", typ, types)
+		}
 	}
 }

@@ -152,6 +152,33 @@ type (
 	RankKS = obs.RankKS
 	// AlarmDump is the flight-recorder snapshot taken when a report fires.
 	AlarmDump = obs.AlarmDump
+	// AlarmJournal is the durable append-only JSONL event log recording
+	// fleet lifecycle events and every alarm with its full flight dump;
+	// recover with RecoverAlarmJournal after a crash.
+	AlarmJournal = obs.Journal
+	// AlarmJournalConfig configures an AlarmJournal: directory, rotation
+	// size, fsync policy.
+	AlarmJournalConfig = obs.JournalConfig
+	// JournalEvent is one journal line: sequence, timestamp, type,
+	// device/session/shard provenance and an optional alarm dump.
+	JournalEvent = obs.JournalEvent
+	// RecoveredJournal is the result of replaying a journal directory,
+	// tolerant of a torn tail from a crash mid-append.
+	RecoveredJournal = obs.RecoveredJournal
+	// AlarmStream fans journaled alarm events out to live subscribers
+	// (the /eddie/alarms SSE endpoint) with bounded per-subscriber
+	// queues and drop-slowest overflow.
+	AlarmStream = obs.AlarmStream
+	// SLOTracker tracks frame-to-verdict latency against an error budget
+	// and derives multi-window burn-rate health for /eddie/healthz.
+	SLOTracker = obs.SLOTracker
+	// SLOConfig sets the SLO budget, objective and burn thresholds.
+	SLOConfig = obs.SLOConfig
+	// SLOHealth is an SLOTracker health snapshot (status plus short/long
+	// window burn rates).
+	SLOHealth = obs.SLOHealth
+	// ServeState wires observability components into NewServeMux.
+	ServeState = obs.ServeState
 	// FleetServer hosts one streaming detector session per connected
 	// device over a small length-prefixed TCP protocol (eddie -fleet).
 	FleetServer = fleet.Server
@@ -310,6 +337,37 @@ func NewDebugMux(reg *MetricsRegistry, flight *FlightRecorder, trace *TraceRecor
 	}
 	return obs.NewMux(s)
 }
+
+// Journal fsync policies for AlarmJournalConfig.Fsync.
+const (
+	JournalFsyncAlways   = obs.FsyncAlways
+	JournalFsyncInterval = obs.FsyncInterval
+	JournalFsyncNever    = obs.FsyncNever
+)
+
+// OpenAlarmJournal opens a durable alarm/event journal in cfg.Dir,
+// always starting a fresh numbered file. Wire it into
+// FleetConfig.Journal and close it after the server stops.
+func OpenAlarmJournal(cfg AlarmJournalConfig) (*AlarmJournal, error) { return obs.OpenJournal(cfg) }
+
+// RecoverAlarmJournal replays every journal file in dir in sequence
+// order, tolerating a torn final line from a crash mid-append.
+func RecoverAlarmJournal(dir string) (*RecoveredJournal, error) { return obs.RecoverJournal(dir) }
+
+// NewAlarmStream creates a live alarm fan-out for FleetConfig.Alarms
+// and the /eddie/alarms SSE endpoint.
+func NewAlarmStream() *AlarmStream { return obs.NewAlarmStream() }
+
+// NewSLOTracker creates a latency SLO tracker for FleetConfig.SLO and
+// the /eddie/healthz endpoint; a zero SLOConfig uses the defaults
+// (500ms p99 budget, 5m/1h burn windows).
+func NewSLOTracker(cfg SLOConfig) *SLOTracker { return obs.NewSLOTracker(cfg) }
+
+// NewServeMux builds the eddie -serve HTTP handler from an explicit
+// ServeState — the general form of NewDebugMux, exposing the full
+// observability plane (/eddie/healthz, /eddie/alarms) alongside the
+// debug endpoints.
+func NewServeMux(s ServeState) *http.ServeMux { return obs.NewMux(s) }
 
 // NewFleetServer creates a fleet monitoring server; start it with
 // ListenAndServe (or Serve on an existing listener) and stop it with

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"eddie/internal/metrics"
+	"eddie/internal/obs"
 	"eddie/internal/par"
 	"eddie/internal/stream"
 )
@@ -66,6 +67,18 @@ type Config struct {
 	// Registry receives fleet-wide and per-device counters. Nil creates
 	// a private registry (exposed via Server.Registry).
 	Registry *metrics.Registry
+	// Journal, when non-nil, durably records session lifecycle events
+	// (connect, drain, disconnect, backpressure) and every alarm dump.
+	// The server syncs it at shutdown but never closes it — the journal
+	// outlives the server (its owner recovers it on the next start).
+	Journal *obs.Journal
+	// Alarms, when non-nil, receives every alarm as a JSON-encoded
+	// JournalEvent for live streaming (/eddie/alarms). The server closes
+	// it when shutdown completes, ending every SSE subscriber.
+	Alarms *obs.AlarmStream
+	// SLO, when non-nil, receives every scheduling turn's
+	// frame-to-verdict latency for the /eddie/healthz burn-rate verdict.
+	SLO *obs.SLOTracker
 	// Logf, when non-nil, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -124,6 +137,7 @@ type Server struct {
 	// mode); arenas interns per-workload model state across sessions.
 	shards    []*shard
 	shardStop sync.Once
+	obsStop   sync.Once // journal sync + alarm-stream close at shutdown
 	arenas    arenaTable
 
 	mu       sync.Mutex
@@ -220,6 +234,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.mu.Unlock()
 	s.logf("fleet: serving on %s (max %d sessions)", ln.Addr(), s.cfg.MaxSessions)
+	s.cfg.Journal.Event("server_start", "", 0, "", ln.Addr().String())
 
 	for {
 		conn, err := ln.Accept()
@@ -296,6 +311,7 @@ func (s *Server) finish(sess *session) {
 		s.cErrors.Inc()
 	}
 	s.hSessionWin.Observe(float64(info.Windows))
+	s.cfg.Journal.Event("disconnect", info.Device, sess.id, sess.shardLabel(), info.Error)
 	s.logf("fleet: session %d (%s/%s) closed: %d windows, %d reports%s",
 		sess.id, info.Device, info.Workload, info.Windows, info.Reports,
 		errSuffix(info.Error))
@@ -336,12 +352,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		s.stopShards()
+		s.finishObs("drained")
 		return nil
 	case <-ctx.Done():
 		s.Close()
 		<-done
 		return ctx.Err()
 	}
+}
+
+// finishObs ends the observability plane exactly once when the last
+// session is gone: the shutdown is journaled and made durable, and the
+// alarm stream closes so every SSE subscriber sees a clean end-of-
+// stream instead of a hang. The journal itself stays open — its owner
+// (cmd/eddie) closes it after the server is done.
+func (s *Server) finishObs(detail string) {
+	s.obsStop.Do(func() {
+		s.cfg.Journal.Event("server_stop", "", 0, "", detail)
+		s.cfg.Journal.Sync()
+		s.cfg.Alarms.Close()
+	})
 }
 
 // Close force-closes the listener and every session without draining.
@@ -370,20 +400,43 @@ func (s *Server) Close() error {
 	go func() {
 		s.wg.Wait()
 		s.stopShards()
+		s.finishObs("closed")
 	}()
 	return err
 }
 
+// Draining implements obs.FleetHealth: true once Shutdown (or Close)
+// has been requested.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.closed
+}
+
+// ActiveSessions implements obs.FleetHealth: the live session count and
+// the configured bound.
+func (s *Server) ActiveSessions() (active, max int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions), s.cfg.MaxSessions
+}
+
 // SessionInfo describes one device session for the /eddie/fleet listing.
 type SessionInfo struct {
-	Session    int64   `json:"session"`
-	Device     string  `json:"device"`
-	Workload   string  `json:"workload"`
-	Remote     string  `json:"remote"`
-	StartedAt  string  `json:"startedAt"`
-	Active     bool    `json:"active"`
-	Samples    int64   `json:"samples"`
-	Sanitized  int64   `json:"sanitized"`
+	Session   int64  `json:"session"`
+	Device    string `json:"device"`
+	Workload  string `json:"workload"`
+	Remote    string `json:"remote"`
+	StartedAt string `json:"startedAt"`
+	// LastActivity is the RFC3339 time of the session's newest enqueued
+	// frame (empty before any samples arrive).
+	LastActivity string `json:"lastActivity,omitempty"`
+	Active       bool   `json:"active"`
+	Samples      int64  `json:"samples"`
+	Sanitized    int64  `json:"sanitized"`
+	// QueueDepth is the number of decoded samples sitting in the
+	// session's inbox, waiting for its shard's next scheduling turn.
+	QueueDepth int     `json:"queueDepth"`
 	Windows    int     `json:"windows"`
 	Reports    int     `json:"reports"`
 	LastWindow int     `json:"lastReportWindow"`
@@ -461,14 +514,38 @@ func (s *Server) FleetSessionsPage(offset, limit int) (any, int, int) {
 	draining := s.draining
 	s.mu.Unlock()
 	return map[string]any{
-		"active":   active,
-		"max":      s.cfg.MaxSessions,
-		"shards":   len(s.shards),
-		"draining": draining,
-		"arenas":   s.arenas.snapshot(),
-		"total":    total,
-		"offset":   offset,
-		"limit":    limit,
-		"sessions": page,
+		"active":        active,
+		"max":           s.cfg.MaxSessions,
+		"shards":        len(s.shards),
+		"draining":      draining,
+		"arenas":        s.arenas.snapshot(),
+		"shard_latency": s.shardLatency(),
+		"total":         total,
+		"offset":        offset,
+		"limit":         limit,
+		"sessions":      page,
 	}, total, active
+}
+
+// shardLatency summarizes each shared shard's frame-to-verdict latency
+// histogram in milliseconds (shards with no completed turns are
+// omitted).
+func (s *Server) shardLatency() map[string]any {
+	out := map[string]any{}
+	toMS := func(ns int64) float64 { return float64(ns) / 1e6 }
+	for _, sh := range s.shards {
+		snap := sh.hVerdict.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		out[sh.label] = map[string]any{
+			"count":   snap.Count,
+			"mean_ms": snap.Mean / 1e6,
+			"p50_ms":  toMS(snap.P50),
+			"p90_ms":  toMS(snap.P90),
+			"p99_ms":  toMS(snap.P99),
+			"max_ms":  toMS(snap.Max),
+		}
+	}
+	return out
 }

@@ -51,7 +51,11 @@ type session struct {
 	privateShard bool
 	inbox        fifo[[]float64]
 	pool         samplePool
-	pending      int    // samples sitting in the inbox
+	pending      int // samples sitting in the inbox
+	// firstPending is when the oldest frame of the current inbox batch
+	// was enqueued — the start of its frame-to-verdict latency, measured
+	// when the turn that drains it completes.
+	firstPending time.Time
 	queued       bool   // session sits in its shard's run queue
 	readerDone   bool   // reader exited; processor drains then finalizes
 	sawBye       bool   // reader saw a clean FrameBye
@@ -74,6 +78,7 @@ type session struct {
 	aReports   atomic.Int64
 	lastWindow atomic.Int64
 	lastTime   atomic.Uint64 // float64 bits
+	lastActive atomic.Int64  // unix nanos of the newest enqueued frame
 	errMsg     atomic.Pointer[string]
 }
 
@@ -98,8 +103,10 @@ func (ss *session) fail(msg string) {
 func (ss *session) info() SessionInfo {
 	ss.mu.Lock()
 	active := !ss.closed && !ss.finalized
+	queueDepth := ss.pending
 	ss.mu.Unlock()
 	info := SessionInfo{
+		QueueDepth: queueDepth,
 		Session:    ss.id,
 		Device:     ss.device,
 		Workload:   ss.workload,
@@ -115,10 +122,25 @@ func (ss *session) info() SessionInfo {
 	if bits := ss.lastTime.Load(); bits != 0 {
 		info.LastTime = math.Float64frombits(bits)
 	}
+	if ns := ss.lastActive.Load(); ns != 0 {
+		info.LastActivity = time.Unix(0, ns).UTC().Format(time.RFC3339)
+	}
 	if e := ss.errMsg.Load(); e != nil {
 		info.Error = *e
 	}
 	return info
+}
+
+// shardLabel names the session's shard for journal provenance ("" when
+// unassigned).
+func (ss *session) shardLabel() string {
+	ss.mu.Lock()
+	sh := ss.sh
+	ss.mu.Unlock()
+	if sh == nil {
+		return ""
+	}
+	return sh.label
 }
 
 // run is the reader lifecycle: handshake, then decode + enqueue until
@@ -132,6 +154,7 @@ func (ss *session) run() {
 	ss.s.cOpened.Inc()
 	ss.s.logf("fleet: session %d: device %s monitoring %s from %s",
 		ss.id, ss.device, ss.workload, ss.remote)
+	ss.s.cfg.Journal.Event("connect", ss.device, ss.id, ss.shardLabel(), ss.remote)
 	ss.read()
 
 	ss.mu.Lock()
@@ -212,6 +235,9 @@ func (ss *session) handshake() bool {
 	ss.det = det
 	ss.device = hello.Device
 	ss.workload = hello.Workload
+	// Every alarm this session's recorder takes is published the moment
+	// it fires: journaled durably and fanned out to SSE subscribers.
+	ss.flight.SetOnAlarm(ss.publishAlarm)
 	ss.dSamples = ss.s.reg.Counter("fleet_device_samples/" + ss.device)
 	ss.dWindows = ss.s.reg.Counter("fleet_device_windows/" + ss.device)
 	ss.dReports = ss.s.reg.Counter("fleet_device_reports/" + ss.device)
@@ -337,6 +363,8 @@ func (ss *session) drainRequested() bool {
 // (the backpressure stall). Returns false when the session stopped
 // while waiting.
 func (ss *session) enqueue(samples []float64) bool {
+	now := time.Now()
+	ss.lastActive.Store(now.UnixNano())
 	ss.mu.Lock()
 	stalled := false
 	for ss.pending > 0 && ss.pending+len(samples) > ss.s.cfg.MaxPendingSamples &&
@@ -344,12 +372,22 @@ func (ss *session) enqueue(samples []float64) bool {
 		if !stalled {
 			stalled = true
 			ss.s.cBackpress.Inc()
+			if j := ss.s.cfg.Journal; j != nil {
+				label := ""
+				if ss.sh != nil {
+					label = ss.sh.label
+				}
+				j.Event("backpressure", ss.device, ss.id, label, "pending cap reached")
+			}
 		}
 		ss.cond.Wait()
 	}
 	if ss.closed || ss.stopRead {
 		ss.mu.Unlock()
 		return false
+	}
+	if ss.pending == 0 {
+		ss.firstPending = now
 	}
 	ss.inbox.push(samples)
 	ss.pending += len(samples)
@@ -383,11 +421,27 @@ func (ss *session) processTurn() (requeue bool) {
 	}
 	ss.batch = ss.inbox.drainTo(ss.batch[:0])
 	ss.pending = 0
+	t0 := ss.firstPending
+	ss.firstPending = time.Time{}
+	sh := ss.sh
 	ss.cond.Broadcast() // release a reader stalled on the pending cap
 	ss.mu.Unlock()
 
-	if len(ss.batch) > 0 && !ss.feedBatch() {
-		return false // report write failed; session finalized
+	if len(ss.batch) > 0 {
+		if !ss.feedBatch() {
+			return false // report write failed; session finalized
+		}
+		// Frame-to-verdict: oldest frame of the batch enqueued → its
+		// verdict rendered (the detector has decided on every window the
+		// batch completed). Atomic histogram + SLO record, no allocation
+		// — this runs on every steady-state turn.
+		if !t0.IsZero() {
+			lat := time.Since(t0)
+			if sh != nil {
+				sh.hVerdict.Record(int64(lat))
+			}
+			ss.s.cfg.SLO.Record(lat)
+		}
 	}
 
 	ss.mu.Lock()
@@ -449,6 +503,15 @@ func (ss *session) feedBatch() bool {
 		ss.s.cReports.Inc()
 		ss.lastWindow.Store(int64(r.Window))
 		ss.lastTime.Store(math.Float64bits(r.TimeSec))
+		if ss.flight == nil {
+			// No flight recorder (FlightDepth < 0), so the SetOnAlarm hook
+			// never fires: journal and stream a dump-less alarm event here
+			// so the alarm record stays complete either way.
+			ss.publishAlarmEvent(&obs.JournalEvent{
+				Type:   "alarm",
+				Detail: fmt.Sprintf("window %d region %d t=%.3fs", r.Window, int(r.Region), r.TimeSec),
+			})
+		}
 		ev := Report{
 			Device:  ss.device,
 			Session: ss.id,
@@ -463,6 +526,34 @@ func (ss *session) feedBatch() bool {
 		}
 	}
 	return true
+}
+
+// publishAlarm is the flight recorder's SetOnAlarm hook: the dump is
+// journaled durably and fanned out to SSE subscribers as one
+// JSON-encoded JournalEvent. It runs on the session's shard processor,
+// right after the monitor fired the report — the alarm is on disk
+// before the report frame reaches the device.
+func (ss *session) publishAlarm(d *obs.AlarmDump) {
+	ss.publishAlarmEvent(&obs.JournalEvent{Type: "alarm", Alarm: d})
+}
+
+// publishAlarmEvent stamps the session's provenance onto ev, appends it
+// to the journal (which assigns the sequence number) and publishes the
+// same encoded event to the live alarm stream.
+func (ss *session) publishAlarmEvent(ev *obs.JournalEvent) {
+	ev.Device = ss.device
+	ev.Session = ss.id
+	ev.Shard = ss.shardLabel()
+	ss.s.cfg.Journal.AppendEvent(ev) // stamps Seq and TimeUnixNano
+	if ss.s.cfg.Alarms == nil {
+		return
+	}
+	if ev.TimeUnixNano == 0 { // no journal attached; stamp for the stream
+		ev.TimeUnixNano = time.Now().UnixNano()
+	}
+	if b, err := json.Marshal(ev); err == nil {
+		ss.s.cfg.Alarms.Publish(b)
+	}
 }
 
 // finalize reaches the session's terminal state exactly once: send the
@@ -537,6 +628,7 @@ func (ss *session) drain() {
 	ss.stopRead = true
 	ss.cond.Broadcast()
 	ss.mu.Unlock()
+	ss.s.cfg.Journal.Event("drain", ss.device, ss.id, ss.shardLabel(), "")
 	// Wake a reader blocked in a frame read.
 	ss.conn.SetReadDeadline(time.Now())
 }

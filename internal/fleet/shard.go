@@ -2,8 +2,8 @@ package fleet
 
 import (
 	"fmt"
-
 	"sync"
+	"time"
 
 	"eddie/internal/metrics"
 )
@@ -16,8 +16,9 @@ import (
 // (decode + enqueue only) and block on the per-session pending cap, so
 // TCP flow control still pushes back on individual devices.
 type shard struct {
-	srv *Server
-	id  int
+	srv   *Server
+	id    int
+	label string
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -26,7 +27,14 @@ type shard struct {
 
 	gDepth   *metrics.Gauge   // sessions waiting for this processor
 	cBatches *metrics.Counter // scheduling turns executed
-	done     chan struct{}    // closed when the processor exits
+	// Per-shard latency/depth histograms (log-bucketed, zero-alloc
+	// record): frame-to-verdict latency of each completed turn, the
+	// turn's own processing duration, and the run-queue depth observed
+	// at each turn. Always on — a handful of atomic adds per turn.
+	hVerdict *metrics.LogHistogram // fleet_frame_to_verdict_ns
+	hTurn    *metrics.LogHistogram // fleet_turn_ns
+	hQDepth  *metrics.LogHistogram // fleet_turn_queue_depth
+	done     chan struct{}         // closed when the processor exits
 }
 
 // newShard creates a shard and starts its processor goroutine. label
@@ -34,10 +42,13 @@ type shard struct {
 // shards (GoroutinePerSession mode) share one label so the registry
 // does not grow with session count.
 func newShard(srv *Server, id int, label string) *shard {
-	sh := &shard{srv: srv, id: id, done: make(chan struct{})}
+	sh := &shard{srv: srv, id: id, label: label, done: make(chan struct{})}
 	sh.cond = sync.NewCond(&sh.mu)
 	sh.gDepth = srv.reg.Gauge("fleet_shard_depth/" + label)
 	sh.cBatches = srv.reg.Counter("fleet_shard_batches/" + label)
+	sh.hVerdict = srv.reg.LogHist("fleet_frame_to_verdict_ns/" + label)
+	sh.hTurn = srv.reg.LogHist("fleet_turn_ns/" + label)
+	sh.hQDepth = srv.reg.LogHist("fleet_turn_queue_depth/" + label)
 	go sh.run()
 	return sh
 }
@@ -75,7 +86,11 @@ func (sh *shard) run() {
 		}
 		sh.gDepth.Dec()
 		sh.cBatches.Inc()
-		if ss.processTurn() {
+		sh.hQDepth.Record(sh.gDepth.Value())
+		t0 := time.Now()
+		requeue := ss.processTurn()
+		sh.hTurn.Record(int64(time.Since(t0)))
+		if requeue {
 			sh.enqueue(ss)
 		}
 	}

@@ -18,6 +18,15 @@ var peakBuckets = []float64{0, 1, 2, 4, 6, 8, 12, 16, 24, 32}
 // fraction (the share of peak-rank tests that rejected, in [0,1]).
 var statBuckets = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
 
+// DriftEWMAAlpha is the smoothing factor of the per-region K-S
+// statistic EWMAs (region_stat_ewma/R*): slow enough to average over
+// the test-to-test jitter of a healthy channel, fast enough that gain
+// drift or reference staleness moves the gauge within a few hundred
+// windows. These gauges are the drift-adaptive roadmap item's input
+// signal: a region whose EWMA climbs while no alarm fires is a channel
+// drifting away from its frozen training-time reference.
+const DriftEWMAAlpha = 0.02
+
 // Detector bundles the instruments of one detector instance. It
 // implements core.MonitorStats, so handing it to a monitor (or a
 // stream.Detector, which forwards it) captures the monitoring internals:
@@ -54,6 +63,11 @@ type Detector struct {
 	// LatencySTS and LatencySamples are detection latency distributions,
 	// from the first injected window of an episode to its report.
 	LatencySTS, LatencySamples *Histogram
+	// WindowNanos is the distribution of per-window processing cost
+	// (STFT + denoise + peaks + decision) in nanoseconds — the
+	// detector-level half of the fleet's frame-to-verdict budget.
+	// Lock-free and zero-alloc, recorded on every window.
+	WindowNanos *LogHistogram
 
 	// regions caches per-region instruments. Resolving them through the
 	// registry needs a formatted name, and the monitor consults these
@@ -65,6 +79,7 @@ type Detector struct {
 // regionInstruments bundles the instruments scoped to one region.
 type regionInstruments struct {
 	stat             *Histogram
+	statEWMA         *FloatGauge
 	windows, rejects *Counter
 }
 
@@ -76,9 +91,10 @@ func (d *Detector) region(id cfg.RegionID) *regionInstruments {
 		return v.(*regionInstruments)
 	}
 	ri := &regionInstruments{
-		stat:    d.Reg.Histogram(fmt.Sprintf("region_stat/R%d", id), statBuckets),
-		windows: d.Reg.Counter(fmt.Sprintf("region_windows/R%d", id)),
-		rejects: d.Reg.Counter(fmt.Sprintf("region_rejects/R%d", id)),
+		stat:     d.Reg.Histogram(fmt.Sprintf("region_stat/R%d", id), statBuckets),
+		statEWMA: d.Reg.FloatGauge(fmt.Sprintf("region_stat_ewma/R%d", id)),
+		windows:  d.Reg.Counter(fmt.Sprintf("region_windows/R%d", id)),
+		rejects:  d.Reg.Counter(fmt.Sprintf("region_rejects/R%d", id)),
 	}
 	v, _ := d.regions.LoadOrStore(id, ri)
 	return v.(*regionInstruments)
@@ -112,6 +128,7 @@ func NewDetectorWith(reg *Registry) *Detector {
 		PeakCount:        reg.Histogram("peak_count", peakBuckets),
 		LatencySTS:       reg.Histogram("detection_latency_sts", latencyBucketsSTS),
 		LatencySamples:   reg.Histogram("detection_latency_samples", nil),
+		WindowNanos:      reg.LogHist("window_process_ns"),
 	}
 }
 
@@ -122,7 +139,13 @@ func (d *Detector) KSTest(region cfg.RegionID, rejFrac float64, rejected bool) {
 	if rejected {
 		d.KSRejects.Inc()
 	}
-	d.region(region).stat.Observe(rejFrac)
+	ri := d.region(region)
+	ri.stat.Observe(rejFrac)
+	// Drift telemetry: the EWMA of the region test statistic. Healthy
+	// channels hold it near the training-time baseline; slow channel
+	// drift (gain, DC wander, clock skew) pushes it up long before the
+	// rejection streak threshold fires an alarm.
+	ri.statEWMA.ObserveEWMA(rejFrac, DriftEWMAAlpha)
 }
 
 // WindowObserved implements core.MonitorStats: one STS processed by the

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,54 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 
 // Value returns the current level.
 func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is an instantaneous float64 level (an EWMA of a test
+// statistic, an energy ratio). Lock-free: the value is stored as raw
+// float bits in one atomic word.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the current level.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current level.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// ObserveEWMA folds one observation into the gauge as an exponentially
+// weighted moving average with the given smoothing factor alpha in
+// (0, 1]. The first observation seeds the average directly (the gauge's
+// zero bit pattern doubles as the "unseeded" sentinel; a genuine zero
+// average is stored as -0.0, which compares equal to 0). Lock-free and
+// allocation-free — safe on the monitor's zero-alloc decision path.
+func (g *FloatGauge) ObserveEWMA(x, alpha float64) {
+	for {
+		old := g.bits.Load()
+		var next float64
+		if old == 0 {
+			next = x
+		} else {
+			prev := math.Float64frombits(old)
+			next = prev + alpha*(x-prev)
+		}
+		nb := math.Float64bits(next)
+		if nb == 0 {
+			nb = math.Float64bits(math.Copysign(0, -1))
+		}
+		if g.bits.CompareAndSwap(old, nb) {
+			return
+		}
+	}
+}
+
+// FloatGaugeValue is a float gauge's level in snapshots; a distinct
+// type so renderers can tell it from histogram summaries.
+type FloatGaugeValue float64
+
+// InfoValue is a constant info metric's label set in snapshots —
+// rendered as a Prometheus gauge with value 1 and the labels attached
+// (the `build_info` idiom).
+type InfoValue map[string]string
 
 // Histogram accumulates a distribution of observations into fixed
 // buckets. Bounds are upper bounds of each bucket; one overflow bucket
@@ -124,12 +173,16 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 // JSON and Prometheus renderers can tell gauges from counters.
 type GaugeValue int64
 
-// Registry is a named collection of counters, gauges and histograms.
+// Registry is a named collection of counters, gauges, histograms,
+// log-bucketed histograms, float gauges and info metrics.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	fgauges  map[string]*FloatGauge
 	hists    map[string]*Histogram
+	logHists map[string]*LogHistogram
+	infos    map[string]InfoValue
 }
 
 // NewRegistry returns an empty registry.
@@ -137,7 +190,10 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
+		fgauges:  map[string]*FloatGauge{},
 		hists:    map[string]*Histogram{},
+		logHists: map[string]*LogHistogram{},
+		infos:    map[string]InfoValue{},
 	}
 }
 
@@ -165,6 +221,18 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// FloatGauge returns the named float gauge, creating it on first use.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.fgauges[name]
+	if g == nil {
+		g = &FloatGauge{}
+		r.fgauges[name] = g
+	}
+	return g
+}
+
 // Histogram returns the named histogram, creating it with the given
 // bucket bounds on first use (later calls ignore bounds).
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
@@ -178,21 +246,57 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// LogHist returns the named log-bucketed histogram, creating it on
+// first use.
+func (r *Registry) LogHist(name string) *LogHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.logHists[name]
+	if h == nil {
+		h = &LogHistogram{}
+		r.logHists[name] = h
+	}
+	return h
+}
+
+// SetInfo publishes a constant info metric: a label set rendered as a
+// gauge with value 1 (the Prometheus `build_info` idiom). The labels
+// are copied; calling again replaces them.
+func (r *Registry) SetInfo(name string, labels map[string]string) {
+	cp := make(InfoValue, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.infos[name] = cp
+}
+
 // Snapshot returns every instrument's current value, keyed by name.
 // Counter values are int64, gauges GaugeValue, histograms
 // HistogramSnapshot.
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.fgauges)+
+		len(r.hists)+len(r.logHists)+len(r.infos))
 	for name, c := range r.counters {
 		out[name] = c.Value()
 	}
 	for name, g := range r.gauges {
 		out[name] = GaugeValue(g.Value())
 	}
+	for name, g := range r.fgauges {
+		out[name] = FloatGaugeValue(g.Value())
+	}
 	for name, h := range r.hists {
 		out[name] = h.Snapshot()
+	}
+	for name, h := range r.logHists {
+		out[name] = h.Snapshot()
+	}
+	for name, labels := range r.infos {
+		out[name] = labels
 	}
 	return out
 }

@@ -41,6 +41,24 @@ func (r *Registry) WritePrometheus(w io.Writer, namespace string) {
 		case GaugeValue:
 			emitType(family, "gauge")
 			fmt.Fprintf(w, "%s%s %d\n", family, labels, int64(v))
+		case FloatGaugeValue:
+			emitType(family, "gauge")
+			fmt.Fprintf(w, "%s%s %g\n", family, labels, float64(v))
+		case InfoValue:
+			emitType(family, "gauge")
+			fmt.Fprintf(w, "%s%s 1\n", family, promInfoLabels(labels, v))
+		case LogHistogramSnapshot:
+			// Log-bucketed histograms export as a summary: the fixed
+			// quantile set plus sum and count. 960 le-buckets would bloat
+			// the exposition; the quantiles carry the same information at
+			// bounded relative error.
+			emitType(family, "summary")
+			for i, q := range logHistQuantiles {
+				val := [4]int64{v.P50, v.P90, v.P99, v.P999}[i]
+				fmt.Fprintf(w, "%s%s %d\n", family, promLabel(labels, "quantile", fmt.Sprintf("%g", q)), val)
+			}
+			fmt.Fprintf(w, "%s_sum%s %d\n", family, labels, v.Sum)
+			fmt.Fprintf(w, "%s_count%s %d\n", family, labels, v.Count)
 		case HistogramSnapshot:
 			emitType(family, "histogram")
 			cum := int64(0)
@@ -66,11 +84,28 @@ func promName(namespace, name string) (family, labels string) {
 }
 
 // promLE splices an le label into an existing label clause.
-func promLE(labels, le string) string {
+func promLE(labels, le string) string { return promLabel(labels, "le", le) }
+
+// promLabel splices one key="value" pair into an existing label clause.
+func promLabel(labels, key, value string) string {
 	if labels == "" {
-		return fmt.Sprintf(`{le=%q}`, le)
+		return fmt.Sprintf(`{%s=%q}`, key, value)
 	}
-	return fmt.Sprintf(`%s,le=%q}`, labels[:len(labels)-1], le)
+	return fmt.Sprintf(`%s,%s=%q}`, labels[:len(labels)-1], key, value)
+}
+
+// promInfoLabels splices an info metric's label set (sorted by key)
+// into an existing label clause.
+func promInfoLabels(labels string, info InfoValue) string {
+	keys := make([]string, 0, len(info))
+	for k := range info {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		labels = promLabel(labels, sanitizeMetricName(k), info[k])
+	}
+	return labels
 }
 
 // sanitizeMetricName maps arbitrary instrument names onto the Prometheus

@@ -127,12 +127,13 @@ const DefaultFlightDepth = 64
 // disabled state: Record and Alarm are no-ops, and the monitor's
 // decision loop stays allocation-free.
 type FlightRecorder struct {
-	mu     sync.Mutex
-	depth  int
-	ring   []WindowRecord
-	seen   int
-	alarms int
-	last   *AlarmDump
+	mu      sync.Mutex
+	depth   int
+	ring    []WindowRecord
+	seen    int
+	alarms  int
+	last    *AlarmDump
+	onAlarm func(*AlarmDump)
 }
 
 // NewFlightRecorder creates a recorder retaining the last depth window
@@ -201,6 +202,20 @@ func (f *FlightRecorder) Seen() int {
 	return f.seen
 }
 
+// SetOnAlarm installs a hook invoked with each alarm dump right after
+// it is taken (outside the recorder's lock). The fleet server uses it
+// to journal and stream alarms the moment they fire; the dump is
+// immutable, so the hook may retain it. Safe on a nil recorder (no-op).
+// Not safe to call concurrently with Alarm; install before feeding.
+func (f *FlightRecorder) SetOnAlarm(fn func(*AlarmDump)) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.onAlarm = fn
+	f.mu.Unlock()
+}
+
 // Alarm snapshots the ring into the last-alarm dump. The monitor calls
 // it right after Record-ing the firing window, so the dump's final
 // record is the alarm window itself. Safe on a nil recorder.
@@ -209,9 +224,8 @@ func (f *FlightRecorder) Alarm(window int, timeSec float64, region, streak int, 
 		return
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	f.alarms++
-	f.last = &AlarmDump{
+	dump := &AlarmDump{
 		Alarm:         f.alarms,
 		Window:        window,
 		TimeSec:       timeSec,
@@ -219,6 +233,12 @@ func (f *FlightRecorder) Alarm(window int, timeSec float64, region, streak int, 
 		Streak:        streak,
 		RejectedRanks: append([]int(nil), rejectedRanks...),
 		Records:       f.recentLocked(),
+	}
+	f.last = dump
+	hook := f.onAlarm
+	f.mu.Unlock()
+	if hook != nil {
+		hook(dump)
 	}
 }
 

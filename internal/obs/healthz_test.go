@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// fakeFleetHealth implements FleetHealth for handler tests.
+type fakeFleetHealth struct {
+	SessionLister
+	draining    bool
+	active, max int
+}
+
+func (f *fakeFleetHealth) Draining() bool             { return f.draining }
+func (f *fakeFleetHealth) ActiveSessions() (int, int) { return f.active, f.max }
+func (f *fakeFleetHealth) FleetSessions() any         { return []any{} }
+
+func getHealthz(t *testing.T, s ServeState) (int, map[string]any) {
+	t.Helper()
+	srv := httptest.NewServer(NewMux(s))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/eddie/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestHealthzReady(t *testing.T) {
+	slo := NewSLOTracker(SLOConfig{})
+	for i := 0; i < 100; i++ {
+		slo.Record(time.Millisecond)
+	}
+	code, body := getHealthz(t, ServeState{Health: slo})
+	if code != 200 || body["status"] != HealthReady {
+		t.Fatalf("code %d status %v, want 200 ready", code, body["status"])
+	}
+	if body["budget_ms"] != 500.0 {
+		t.Fatalf("budget_ms %v", body["budget_ms"])
+	}
+}
+
+func TestHealthzNilTracker(t *testing.T) {
+	code, body := getHealthz(t, ServeState{})
+	if code != 200 || body["status"] != HealthReady {
+		t.Fatalf("nil tracker: code %d status %v", code, body["status"])
+	}
+}
+
+func TestHealthzOverloaded503(t *testing.T) {
+	slo := NewSLOTracker(SLOConfig{})
+	for i := 0; i < 100; i++ {
+		slo.Record(10 * time.Second)
+	}
+	code, body := getHealthz(t, ServeState{Health: slo})
+	if code != 503 || body["status"] != HealthOverloaded {
+		t.Fatalf("code %d status %v, want 503 overloaded", code, body["status"])
+	}
+}
+
+func TestHealthzDrainingOverrides(t *testing.T) {
+	slo := NewSLOTracker(SLOConfig{})
+	slo.Record(time.Millisecond)
+	fleet := &fakeFleetHealth{draining: true, active: 3, max: 100}
+	code, body := getHealthz(t, ServeState{Health: slo, Fleet: fleet})
+	if code != 503 || body["status"] != HealthDraining {
+		t.Fatalf("code %d status %v, want 503 draining", code, body["status"])
+	}
+	if body["sessions_active"] != 3.0 || body["sessions_max"] != 100.0 {
+		t.Fatalf("session counts: %v / %v", body["sessions_active"], body["sessions_max"])
+	}
+}

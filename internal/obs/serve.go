@@ -54,6 +54,19 @@ type ServeState struct {
 	Trace *Recorder
 	// Fleet serves /eddie/fleet (the live device-session listing).
 	Fleet SessionLister
+	// Health serves /eddie/healthz (the SLO burn-rate verdict).
+	Health *SLOTracker
+	// Alarms serves /eddie/alarms (live alarm SSE streaming).
+	Alarms *AlarmStream
+}
+
+// FleetHealth augments the healthz verdict with fleet lifecycle state;
+// the fleet server implements it (obs stays stdlib-only by depending on
+// the interface). A draining server reports HealthDraining regardless
+// of burn rates.
+type FleetHealth interface {
+	Draining() bool
+	ActiveSessions() (active, max int)
 }
 
 // NewMux builds the detector's debug HTTP mux:
@@ -64,6 +77,9 @@ type ServeState struct {
 //	/eddie/last-alarm  latest flight-recorder alarm dump (JSON)
 //	/eddie/flight      current flight-recorder ring contents (JSON)
 //	/eddie/fleet       live device-session listing (JSON)
+//	/eddie/healthz     SLO burn-rate health verdict (JSON; 503 when
+//	                   overloaded or draining)
+//	/eddie/alarms      live alarm stream (Server-Sent Events)
 //	/eddie/trace       Chrome trace-event JSON of the spans so far
 //	/                  plain-text index of the above
 func NewMux(s ServeState) *http.ServeMux {
@@ -150,6 +166,44 @@ func NewMux(s ServeState) *http.ServeMux {
 		writeJSON(w, page)
 	})
 
+	mux.HandleFunc("/eddie/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := s.Health.Health() // nil-safe: ready with empty windows
+		body := map[string]any{
+			"status":    h.Status,
+			"budget_ms": h.BudgetMillis,
+			"objective": h.Objective,
+			"short":     h.Short,
+			"long":      h.Long,
+		}
+		if fh, ok := s.Fleet.(FleetHealth); ok {
+			if fh.Draining() {
+				h.Status = HealthDraining
+				body["status"] = HealthDraining
+			}
+			active, max := fh.ActiveSessions()
+			body["sessions_active"] = active
+			body["sessions_max"] = max
+		}
+		code := http.StatusOK
+		if h.Status == HealthOverloaded || h.Status == HealthDraining {
+			// 503 lets load balancers and the future coordinator act on
+			// the verdict without parsing the body; degraded stays 200
+			// (the node still serves, it is a paging signal not an
+			// eviction one).
+			code = http.StatusServiceUnavailable
+		}
+		b, err := json.MarshalIndent(body, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		w.Write(append(b, '\n'))
+	})
+
+	mux.HandleFunc("/eddie/alarms", handleAlarmSSE(s.Alarms))
+
 	mux.HandleFunc("/eddie/trace", func(w http.ResponseWriter, r *http.Request) {
 		if s.Trace == nil {
 			http.Error(w, "no trace recorder attached", http.StatusNotFound)
@@ -171,6 +225,8 @@ func NewMux(s ServeState) *http.ServeMux {
 			"/eddie/last-alarm  latest alarm dump with decision provenance\n"+
 			"/eddie/flight      flight-recorder ring contents\n"+
 			"/eddie/fleet       live device-session listing\n"+
+			"/eddie/healthz     SLO burn-rate health verdict\n"+
+			"/eddie/alarms      live alarm stream (Server-Sent Events)\n"+
 			"/eddie/trace       Chrome trace-event JSON (load in Perfetto)\n")
 	})
 	return mux

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// DefaultSubscriberQueue is the per-subscriber buffered-event capacity
+// when AlarmStream.QueueLen is zero.
+const DefaultSubscriberQueue = 64
+
+// AlarmStream fans out alarm events to live subscribers (the
+// /eddie/alarms SSE endpoint). Each subscriber owns a bounded queue;
+// when a slow subscriber's queue fills, its oldest queued event is
+// dropped to make room for the new one (drop-slowest: a live tail
+// should show the latest alarms, and the journal — not the stream — is
+// the durable record). A nil *AlarmStream no-ops, and Publish never
+// blocks on subscribers.
+type AlarmStream struct {
+	// QueueLen is the per-subscriber queue capacity (default
+	// DefaultSubscriberQueue). Set before the first Subscribe.
+	QueueLen int
+
+	mu      sync.Mutex
+	subs    map[int]chan []byte
+	nextID  int
+	closed  bool
+	dropped int64
+	pubs    int64
+}
+
+// NewAlarmStream creates an empty stream.
+func NewAlarmStream() *AlarmStream { return &AlarmStream{} }
+
+// Subscribe registers a new subscriber and returns its event channel
+// and a cancel function (idempotent; closes the channel). On a nil or
+// closed stream the channel is already closed.
+func (a *AlarmStream) Subscribe() (<-chan []byte, func()) {
+	ch := make(chan []byte, func() int {
+		if a == nil || a.QueueLen <= 0 {
+			return DefaultSubscriberQueue
+		}
+		return a.QueueLen
+	}())
+	if a == nil {
+		close(ch)
+		return ch, func() {}
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	if a.subs == nil {
+		a.subs = map[int]chan []byte{}
+	}
+	id := a.nextID
+	a.nextID++
+	a.subs[id] = ch
+	a.mu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			a.mu.Lock()
+			if _, ok := a.subs[id]; ok {
+				delete(a.subs, id)
+				close(ch)
+			}
+			a.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// Publish delivers one pre-encoded event to every subscriber without
+// blocking: a full subscriber queue evicts its oldest event first.
+// Publishing happens under the stream lock, so it is the only writer
+// to the channels and the evict-then-retry cannot race another send.
+// Safe on a nil stream.
+func (a *AlarmStream) Publish(event []byte) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return
+	}
+	a.pubs++
+	for _, ch := range a.subs {
+		select {
+		case ch <- event:
+		default:
+			// Queue full: drop the slowest subscriber's oldest event.
+			select {
+			case <-ch:
+				a.dropped++
+			default:
+			}
+			select {
+			case ch <- event:
+			default:
+				a.dropped++
+			}
+		}
+	}
+}
+
+// Stats returns lifetime published/dropped counts and the live
+// subscriber count. Safe on a nil stream.
+func (a *AlarmStream) Stats() (published, dropped int64, subscribers int) {
+	if a == nil {
+		return 0, 0, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pubs, a.dropped, len(a.subs)
+}
+
+// Close terminates the stream: every subscriber channel is closed and
+// later Publish/Subscribe calls no-op. Safe on a nil stream and
+// idempotent.
+func (a *AlarmStream) Close() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return
+	}
+	a.closed = true
+	for id, ch := range a.subs {
+		delete(a.subs, id)
+		close(ch)
+	}
+}
+
+// sseHeartbeat is how often the SSE handler emits a comment line to
+// keep idle connections alive (and detect dead peers).
+var sseHeartbeat = 15 * time.Second
+
+// handleAlarmSSE serves one Server-Sent Events subscriber: each
+// published alarm event becomes one `data:` frame; comment heartbeats
+// keep the connection alive between alarms. The handler exits when the
+// client disconnects or the stream closes (server drain).
+func handleAlarmSSE(a *AlarmStream) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if a == nil {
+			http.Error(w, "alarm streaming not enabled", http.StatusNotFound)
+			return
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		h := w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("Cache-Control", "no-store")
+		h.Set("X-Accel-Buffering", "no")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, ": eddie alarm stream\n\n")
+		fl.Flush()
+
+		ch, cancel := a.Subscribe()
+		defer cancel()
+		hb := time.NewTicker(sseHeartbeat)
+		defer hb.Stop()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-hb.C:
+				if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+					return
+				}
+				fl.Flush()
+			case ev, ok := <-ch:
+				if !ok {
+					fmt.Fprint(w, "event: shutdown\ndata: {}\n\n")
+					fl.Flush()
+					return
+				}
+				if _, err := fmt.Fprintf(w, "event: alarm\ndata: %s\n\n", ev); err != nil {
+					return
+				}
+				fl.Flush()
+			}
+		}
+	}
+}

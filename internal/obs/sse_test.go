@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAlarmStreamFanout(t *testing.T) {
+	a := NewAlarmStream()
+	ch1, cancel1 := a.Subscribe()
+	ch2, cancel2 := a.Subscribe()
+	defer cancel1()
+	defer cancel2()
+	a.Publish([]byte(`{"alarm":1}`))
+	for i, ch := range []<-chan []byte{ch1, ch2} {
+		select {
+		case ev := <-ch:
+			if string(ev) != `{"alarm":1}` {
+				t.Errorf("sub %d got %s", i, ev)
+			}
+		default:
+			t.Fatalf("sub %d got nothing", i)
+		}
+	}
+	pubs, dropped, subs := a.Stats()
+	if pubs != 1 || dropped != 0 || subs != 2 {
+		t.Fatalf("stats: %d/%d/%d", pubs, dropped, subs)
+	}
+}
+
+// TestAlarmStreamDropSlowest: a full subscriber queue loses its OLDEST
+// event; the newest published events survive.
+func TestAlarmStreamDropSlowest(t *testing.T) {
+	a := &AlarmStream{QueueLen: 2}
+	ch, cancel := a.Subscribe()
+	defer cancel()
+	for i := 1; i <= 5; i++ {
+		a.Publish([]byte(fmt.Sprintf("ev%d", i)))
+	}
+	var got []string
+	for len(ch) > 0 {
+		got = append(got, string(<-ch))
+	}
+	if strings.Join(got, ",") != "ev4,ev5" {
+		t.Fatalf("queued events %v, want [ev4 ev5]", got)
+	}
+	if _, dropped, _ := a.Stats(); dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
+	}
+}
+
+func TestAlarmStreamCancelAndClose(t *testing.T) {
+	a := NewAlarmStream()
+	ch1, cancel1 := a.Subscribe()
+	ch2, _ := a.Subscribe()
+	cancel1()
+	cancel1() // idempotent
+	if _, ok := <-ch1; ok {
+		t.Fatal("canceled channel not closed")
+	}
+	a.Publish([]byte("x")) // must not panic on the removed sub
+	a.Close()
+	a.Close() // idempotent
+	// ch2 drains its queued event, then reports closed.
+	if ev, ok := <-ch2; !ok || string(ev) != "x" {
+		t.Fatalf("queued event lost at close: %q %v", ev, ok)
+	}
+	if _, ok := <-ch2; ok {
+		t.Fatal("channel not closed by Close")
+	}
+	// Post-close Subscribe/Publish no-op.
+	ch3, cancel3 := a.Subscribe()
+	if _, ok := <-ch3; ok {
+		t.Fatal("post-close Subscribe returned a live channel")
+	}
+	cancel3()
+	a.Publish([]byte("y"))
+}
+
+func TestAlarmStreamNil(t *testing.T) {
+	var a *AlarmStream
+	a.Publish([]byte("x"))
+	ch, cancel := a.Subscribe()
+	if _, ok := <-ch; ok {
+		t.Fatal("nil stream channel not closed")
+	}
+	cancel()
+	a.Close()
+	if p, d, s := a.Stats(); p != 0 || d != 0 || s != 0 {
+		t.Fatal("nil stats not zero")
+	}
+}
+
+func TestAlarmStreamConcurrent(t *testing.T) {
+	a := NewAlarmStream()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ch, cancel := a.Subscribe()
+				for range ch {
+				}
+				_ = cancel
+			}
+		}()
+	}
+	for i := 0; i < 1000; i++ {
+		a.Publish([]byte("ev"))
+	}
+	a.Close()
+	close(stop)
+	wg.Wait()
+}
+
+// TestAlarmSSEHandler: the endpoint streams published alarms as SSE
+// frames and emits a shutdown event when the stream closes.
+func TestAlarmSSEHandler(t *testing.T) {
+	a := NewAlarmStream()
+	srv := httptest.NewServer(NewMux(ServeState{Alarms: a}))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/eddie/alarms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	r := bufio.NewReader(resp.Body)
+	readLine := func() string {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		return strings.TrimRight(line, "\n")
+	}
+	if got := readLine(); got != ": eddie alarm stream" {
+		t.Fatalf("preamble %q", got)
+	}
+	readLine() // blank
+
+	// The subscriber registers asynchronously with the handler goroutine;
+	// poll until the publish lands.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, subs := a.Stats(); subs > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.Publish([]byte(`{"alarm":7}`))
+	if got := readLine(); got != "event: alarm" {
+		t.Fatalf("event line %q", got)
+	}
+	if got := readLine(); got != `data: {"alarm":7}` {
+		t.Fatalf("data line %q", got)
+	}
+	readLine() // blank
+
+	a.Close()
+	if got := readLine(); got != "event: shutdown" {
+		t.Fatalf("shutdown line %q", got)
+	}
+}
+
+func TestAlarmSSEHandlerDisabled(t *testing.T) {
+	srv := httptest.NewServer(NewMux(ServeState{}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/eddie/alarms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}

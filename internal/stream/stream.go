@@ -9,6 +9,7 @@ package stream
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"eddie/internal/core"
 	"eddie/internal/dsp"
@@ -290,6 +291,10 @@ func (d *Detector) Write(samples []float64) []core.Report { return d.Feed(sample
 // extraction as the offline pipeline, so given identical input samples
 // the produced STS is bit-identical to the batch path's.
 func (d *Detector) processWindow() {
+	var t0 time.Time
+	if d.cfg.Metrics != nil {
+		t0 = time.Now()
+	}
 	ws := d.cfg.STFT.WindowSize
 	sp := d.track.Start("stft")
 	for j := 0; j < ws; j++ {
@@ -343,6 +348,7 @@ func (d *Detector) processWindow() {
 	if m := d.cfg.Metrics; m != nil {
 		m.Windows.Inc()
 		m.PeakCount.Observe(float64(len(d.freqs)))
+		m.WindowNanos.Record(int64(time.Since(t0)))
 	}
 	d.scoreGroundTruth(reported)
 	d.windows++
