@@ -70,6 +70,22 @@ type options struct {
 	journalDir    string
 	journalMaxMB  int
 	journalFsync  string
+	adapt         bool
+	adaptRate     float64
+	adaptGuard    int
+}
+
+// adaptConfig builds the drift-adaptive reference layer configuration
+// from the flags; the zero value (adapt off) disables the layer.
+func (o *options) adaptConfig() eddie.AdaptConfig {
+	if !o.adapt {
+		return eddie.AdaptConfig{}
+	}
+	return eddie.AdaptConfig{
+		Enabled:        true,
+		Rate:           o.adaptRate,
+		MinCleanStreak: o.adaptGuard,
+	}
 }
 
 // denoise builds the subspace-denoising configuration from the flags;
@@ -124,6 +140,9 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 	fs.StringVar(&o.journalDir, "journal-dir", "", "fleet mode: write a durable alarm/event journal (JSONL) to this directory")
 	fs.IntVar(&o.journalMaxMB, "journal-max-mb", 64, "fleet mode: rotate journal files at this size in MiB")
 	fs.StringVar(&o.journalFsync, "journal-fsync", "interval", `fleet mode: journal durability policy: "always", "interval" or "never"`)
+	fs.BoolVar(&o.adapt, "adapt", false, "enable the drift-adaptive reference layer: clean-judged windows slowly re-center per-region references (long-lived sessions under channel drift)")
+	fs.Float64Var(&o.adaptRate, "adapt-rate", 0, fmt.Sprintf("adaptation blend rate per admitted update in (0, 1] (0 = %g)", eddie.DefaultAdaptRate))
+	fs.IntVar(&o.adaptGuard, "adapt-guard", 0, fmt.Sprintf("contamination guard: consecutive clean windows required before updates are admitted (0 = %d)", eddie.DefaultAdaptMinCleanStreak))
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -159,6 +178,15 @@ func (o *options) validate() error {
 	}
 	if o.denoiseRank == 0 && (o.denoiseBlock != 0 || o.denoiseStride != 0) {
 		return errors.New("-denoise-block/-denoise-stride require -denoise-rank")
+	}
+	if !o.adapt && (o.adaptRate != 0 || o.adaptGuard != 0) {
+		return errors.New("-adapt-rate/-adapt-guard require -adapt")
+	}
+	if !(o.adaptRate >= 0 && o.adaptRate <= 1) { // also rejects NaN
+		return fmt.Errorf("-adapt-rate %v outside [0, 1] (0 = default %g)", o.adaptRate, eddie.DefaultAdaptRate)
+	}
+	if o.adaptGuard < 0 {
+		return fmt.Errorf("-adapt-guard %d: negative clean-window guard", o.adaptGuard)
 	}
 	if err := o.denoise().Validate(); err != nil {
 		return err
@@ -322,13 +350,18 @@ func runFleet(o *options, stdout, stderr io.Writer) error {
 	alarms := eddie.NewAlarmStream()
 	slo := eddie.NewSLOTracker(eddie.SLOConfig{})
 
+	mc := eddie.DefaultMonitorConfig()
+	mc.Adapt = o.adaptConfig()
+	if mc.Adapt.Enabled {
+		fmt.Fprintln(stdout, "drift adaptation enabled for all sessions")
+	}
 	srv, err := eddie.NewFleetServer(eddie.FleetConfig{
 		Models: eddie.NewFleetDirModels(o.modelDir),
 		Stream: eddie.StreamConfig{
 			STFT:    cfg.STFT,
 			Peaks:   cfg.Peaks,
 			Denoise: o.denoise(),
-			Monitor: eddie.DefaultMonitorConfig(),
+			Monitor: mc,
 		},
 		MaxSessions: o.maxSessions,
 		Shards:      o.fleetShards,
@@ -521,6 +554,7 @@ func run(o *options, stdout io.Writer) error {
 	}
 	mc.Trace = rec
 	mc.Flight = flight
+	mc.Adapt = o.adaptConfig()
 	agg := &eddie.Metrics{}
 	for i := 0; i < o.monitorRuns; i++ {
 		runIdx := 1000 + i*7

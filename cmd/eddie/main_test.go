@@ -66,6 +66,11 @@ func TestFlagValidation(t *testing.T) {
 		{"denoise tiny block", []string{"-denoise-rank", "4", "-denoise-block", "1"}, "block"},
 		{"denoise stride above block", []string{"-denoise-rank", "4", "-denoise-block", "8", "-denoise-stride", "9"}, "stride"},
 		{"journal without fleet", []string{"-journal-dir", "/tmp/j"}, "-journal-dir requires -fleet"},
+		{"adapt rate without adapt", []string{"-adapt-rate", "0.1"}, "-adapt-rate/-adapt-guard require -adapt"},
+		{"adapt guard without adapt", []string{"-adapt-guard", "8"}, "-adapt-rate/-adapt-guard require -adapt"},
+		{"adapt rate above one", []string{"-adapt", "-adapt-rate", "1.5"}, "-adapt-rate 1.5"},
+		{"adapt rate NaN", []string{"-adapt", "-adapt-rate", "NaN"}, "-adapt-rate NaN"},
+		{"adapt negative guard", []string{"-adapt", "-adapt-guard", "-4"}, "-adapt-guard -4"},
 		{"bad journal fsync", []string{"-fleet", ":0", "-model-dir", "x", "-journal-fsync", "maybe"}, "-journal-fsync"},
 		{"zero journal size", []string{"-fleet", ":0", "-model-dir", "x", "-journal-max-mb", "0"}, "-journal-max-mb 0"},
 		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
@@ -115,6 +120,43 @@ func TestHelpAndList(t *testing.T) {
 	stdout.Reset()
 	if code := realMain([]string{"-version", "-train", "0"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-version -train 0 exit code %d", code)
+	}
+}
+
+// TestAdaptFlagMapping checks -adapt/-adapt-rate/-adapt-guard translate
+// into the monitor's AdaptConfig: off by default, defaults resolved by
+// the core layer when only -adapt is given, overrides passed through.
+func TestAdaptFlagMapping(t *testing.T) {
+	var stderr bytes.Buffer
+	o, err := parseArgs(nil, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac := o.adaptConfig(); ac != (eddie.AdaptConfig{}) {
+		t.Fatalf("adaptation not disabled by default: %+v", ac)
+	}
+
+	o, err = parseArgs([]string{"-adapt", "-adapt-rate", "0.1", "-adapt-guard", "20"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	ac := o.adaptConfig()
+	if !ac.Enabled || ac.Rate != 0.1 || ac.MinCleanStreak != 20 {
+		t.Fatalf("flag overrides not mapped: %+v", ac)
+	}
+
+	// Bare -adapt leaves the tuning fields zero; the core layer fills in
+	// its documented defaults.
+	o, err = parseArgs([]string{"-adapt"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac = o.adaptConfig()
+	if !ac.Enabled || ac.Rate != 0 || ac.MinCleanStreak != 0 {
+		t.Fatalf("bare -adapt should defer tuning to core defaults: %+v", ac)
 	}
 }
 

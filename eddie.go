@@ -84,6 +84,9 @@ type (
 	TrainConfig = core.TrainConfig
 	// MonitorConfig controls monitoring (report threshold etc.).
 	MonitorConfig = core.MonitorConfig
+	// AdaptConfig controls the optional drift-adaptive reference layer
+	// (MonitorConfig.Adapt); the zero value disables it.
+	AdaptConfig = core.AdaptConfig
 	// PipelineConfig describes the measurement pipeline: simulated core,
 	// STFT parameters, optional EM channel.
 	PipelineConfig = pipeline.Config
@@ -343,6 +346,12 @@ const (
 	JournalFsyncAlways   = obs.FsyncAlways
 	JournalFsyncInterval = obs.FsyncInterval
 	JournalFsyncNever    = obs.FsyncNever
+)
+
+// Defaults for the zero-valued AdaptConfig fields.
+const (
+	DefaultAdaptRate           = core.DefaultAdaptRate
+	DefaultAdaptMinCleanStreak = core.DefaultAdaptMinCleanStreak
 )
 
 // OpenAlarmJournal opens a durable alarm/event journal in cfg.Dir,

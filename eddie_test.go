@@ -13,8 +13,8 @@ func TestPublicAPISurface(t *testing.T) {
 		t.Skip("integration test")
 	}
 	ws := Workloads()
-	if len(ws) != 10 {
-		t.Fatalf("Workloads() returned %d entries, want 10", len(ws))
+	if len(ws) != 11 {
+		t.Fatalf("Workloads() returned %d entries, want 11 (ten MiBench + icsduty)", len(ws))
 	}
 	if _, err := WorkloadByName("no-such-benchmark"); err == nil {
 		t.Error("unknown workload accepted")

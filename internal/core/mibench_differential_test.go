@@ -47,6 +47,11 @@ func TestMibenchDifferentialLegacyVsPresorted(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// Prime the lazy region-id cache on both sides: DeepEqual sees
+			// the unexported cache fields, and whether the shared fixture's
+			// cache is already populated depends on which tests ran first.
+			f.Model.RegionIDs()
+			legacyModel.RegionIDs()
 			if !reflect.DeepEqual(f.Model, legacyModel) {
 				t.Error("legacy serial training differs from presorted parallel training")
 			}

@@ -52,6 +52,10 @@ type MonitorConfig struct {
 	// provenance are bit-identical; the differential tests prove it.
 	// Production leaves this false.
 	LegacySort bool
+	// Adapt configures the drift-adaptive reference layer (see
+	// AdaptConfig). The zero value disables it, leaving the decision path
+	// bit-identical to the static monitor.
+	Adapt AdaptConfig
 	// Stats, when non-nil, receives monitoring-internals events (K-S
 	// tests, per-window outcomes, region switches, reports). It is never
 	// consulted for decisions; internal/metrics provides the standard
@@ -150,6 +154,9 @@ type Monitor struct {
 	// energyRing buffers each window's AC energy alongside ring.
 	energyRing []float64
 	lastMode   map[cfg.RegionID]int
+	// adapt holds the drift-adaptive reference state; nil (the default)
+	// is the static monitor.
+	adapt *adaptState
 
 	// Reports collects the anomalies reported so far.
 	Reports []Report
@@ -231,6 +238,13 @@ func NewMonitor(model *Model, mcfg MonitorConfig) (*Monitor, error) {
 			m.slots[i].g.sorted = true
 		}
 	}
+	if mcfg.Adapt.Enabled {
+		a, err := newAdaptState(mcfg.Adapt)
+		if err != nil {
+			return nil, err
+		}
+		m.adapt = a
+	}
 	return m, nil
 }
 
@@ -244,17 +258,17 @@ type fillSlot struct {
 	g    groupSet
 }
 
-// newGroupSet allocates a group set with capacity for cap windows across
-// ranks peak ranks; all later fills reuse these backing arrays, keeping
-// the decision loop allocation-free.
-func newGroupSet(ranks, cap int) groupSet {
+// newGroupSet allocates a group set with capacity for capacity windows
+// across ranks peak ranks; all later fills reuse these backing arrays,
+// keeping the decision loop allocation-free.
+func newGroupSet(ranks, capacity int) groupSet {
 	g := groupSet{
 		ranks:    make([][]float64, ranks),
-		counts:   make([]float64, 0, cap),
-		energies: make([]float64, 0, cap),
+		counts:   make([]float64, 0, capacity),
+		energies: make([]float64, 0, capacity),
 	}
 	for k := range g.ranks {
-		g.ranks[k] = make([]float64, 0, cap)
+		g.ranks[k] = make([]float64, 0, capacity)
 	}
 	return g
 }
@@ -353,7 +367,7 @@ func (m *Monitor) Observe(sts *STS) bool {
 		rec = &m.rec
 	}
 
-	curModel := m.model.Regions[m.cur]
+	curModel := m.regionModel(m.cur)
 	switch {
 	case curModel == nil:
 		// The monitor believes it is in a region training never modeled;
@@ -381,9 +395,11 @@ func (m *Monitor) Observe(sts *STS) bool {
 		// mixing the previous region's windows into the group would make
 		// every region border look anomalous.
 		n := m.groupSize(curModel)
+		full := true
 		avail := m.seen - m.lastSwitch
 		if avail < n {
 			n = avail
+			full = false
 		}
 		if n < m.mcfg.MinTestWindows {
 			break // too few windows of this region yet
@@ -414,6 +430,12 @@ func (m *Monitor) Observe(sts *STS) bool {
 		} else {
 			m.streak = 0
 			m.alarm = false
+			if m.adapt != nil {
+				// A clean verdict: extend the clean streak, and offer the
+				// group as a teacher if it is the region's trained group
+				// (or a still-representative partial one).
+				m.adaptObserve(curModel, n, full || n >= adaptMinGroup)
+			}
 		}
 	}
 
@@ -446,6 +468,11 @@ func (m *Monitor) Observe(sts *STS) bool {
 // successor regions; failing that, count toward an anomaly report. rec,
 // when non-nil, receives the transition provenance.
 func (m *Monitor) handleRejection(sts *STS, out *WindowOutcome, rec *obs.WindowRecord) bool {
+	if m.adapt != nil {
+		// Any rejection — including one resolved by a region switch —
+		// breaks the clean streak that gates reference updates.
+		m.adapt.cleanStreak = 0
+	}
 	if id, ok := m.bestSuccessor(); ok {
 		m.switchTo(id)
 		if rec != nil {
@@ -498,7 +525,7 @@ func (m *Monitor) bestRegionGlobal() (cfg.RegionID, bool) {
 		if id == m.cur {
 			continue
 		}
-		rm := m.model.Regions[id]
+		rm := m.regionModel(id)
 		if !rm.Testable() {
 			continue
 		}
@@ -529,7 +556,7 @@ func (m *Monitor) bestSuccessor() (cfg.RegionID, bool) {
 	bestScore := -1.0
 	var blindID cfg.RegionID = cfg.NoRegion
 	for _, succ := range m.model.Machine.Successors(m.cur) {
-		rm := m.model.Regions[succ]
+		rm := m.regionModel(succ)
 		if rm == nil {
 			continue
 		}
@@ -569,7 +596,11 @@ func (m *Monitor) bestSuccessor() (cfg.RegionID, bool) {
 	return cfg.NoRegion, false
 }
 
-// switchTo moves the monitor to a new region.
+// switchTo moves the monitor to a new region. The adaptive clean streak
+// deliberately survives the switch: a border crossing is normal program
+// behavior, and resetting here would keep short-dwell regions from ever
+// accumulating enough trust to learn. Suspicion events (rejections,
+// relocks) reset the streak in handleRejection instead.
 func (m *Monitor) switchTo(id cfg.RegionID) {
 	if id == m.cur {
 		m.streak = 0
@@ -729,14 +760,12 @@ func (m *Monitor) regionRejects(rm *RegionModel, n int, rec *obs.WindowRecord) b
 // push appends an STS's peak-frequency vector and energy to the history
 // ring.
 func (m *Monitor) push(sts *STS) {
-	var v []float64
 	if len(m.ring) < m.ringCap {
-		v = make([]float64, len(sts.PeakFreqs))
+		v := make([]float64, len(sts.PeakFreqs))
 		copy(v, sts.PeakFreqs)
 		m.ring = append(m.ring, v)
 	} else {
-		v = append(m.ring[m.seen%m.ringCap][:0], sts.PeakFreqs...)
-		m.ring[m.seen%m.ringCap] = v
+		m.ring[m.seen%m.ringCap] = append(m.ring[m.seen%m.ringCap][:0], sts.PeakFreqs...)
 	}
 	m.energyRing[m.seen%m.ringCap] = sts.Energy
 	m.seen++

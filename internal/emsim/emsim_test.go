@@ -154,13 +154,13 @@ func TestSynthesizeAMSidebands(t *testing.T) {
 	binHz := fs / 8192
 	peakAt := func(f float64) float64 {
 		bin := int(f/binHz + 0.5)
-		max := 0.0
+		peak := 0.0
 		for b := bin - 2; b <= bin+2; b++ {
-			if b >= 0 && b < len(spec) && spec[b] > max {
-				max = spec[b]
+			if b >= 0 && b < len(spec) && spec[b] > peak {
+				peak = spec[b]
 			}
 		}
-		return max
+		return peak
 	}
 	carrierP := peakAt(carrier)
 	upper := peakAt(carrier + loopHz)

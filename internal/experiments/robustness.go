@@ -45,6 +45,37 @@ type StreamRobustness struct {
 	Metrics        map[string]any `json:"metrics"`
 }
 
+// DriftPoint is one severity rung of the slow-drift leg: both detectors
+// saw the same impaired samples, so the flagged counts compare directly.
+type DriftPoint struct {
+	// Impairment names the rung ("skew(1500ppm)+gaindrift").
+	Impairment string `json:"impairment"`
+	// PPM is the clock-skew severity of this rung.
+	PPM float64 `json:"ppm"`
+	// Windows is how many STFT windows each detector judged on this rung.
+	Windows int `json:"windows"`
+	// StaticFlagged / AdaptiveFlagged count flagged (false-positive)
+	// windows on this clean stream.
+	StaticFlagged   int `json:"static_flagged"`
+	AdaptiveFlagged int `json:"adaptive_flagged"`
+	// StaticCleanPct / AdaptiveCleanPct are the corresponding clean-window
+	// percentages (100 = no false positives).
+	StaticCleanPct   float64 `json:"static_clean_pct"`
+	AdaptiveCleanPct float64 `json:"adaptive_clean_pct"`
+}
+
+// DriftLeg is the long-lived-session leg: one clean capture replayed
+// through a stateful channel-drift chain whose severity ramps between
+// rungs, fed chunk-for-chunk to a static and an adaptive detector.
+type DriftLeg struct {
+	Segments []DriftPoint `json:"segments"`
+	// AdaptUpdates / AdaptDrift are the adaptive detector's accounting at
+	// the end of the session: admitted reference updates and cumulative
+	// normalized reference movement.
+	AdaptUpdates int64   `json:"adapt_updates"`
+	AdaptDrift   float64 `json:"adapt_drift"`
+}
+
 // DenoiseInfo records the subspace-denoising configuration of the
 // denoised SNR sweep together with its measured cost and subspace
 // quality on this workload.
@@ -86,6 +117,9 @@ type RobustnessResult struct {
 	Impairments []RobustnessPoint `json:"impairments"`
 	// Stream is the online-detector leg.
 	Stream StreamRobustness `json:"stream"`
+	// Drift is the slow-drift leg: static vs adaptive detection across a
+	// ramping clock-skew session (the tentpole's acceptance measurement).
+	Drift DriftLeg `json:"drift"`
 }
 
 // robustnessSNRGrid is the AWGN sweep, in dB, descending. 120 dB is
@@ -249,8 +283,106 @@ func Robustness(e *Env, w io.Writer) (*RobustnessResult, error) {
 	}
 	res.Stream = *str
 
+	// Slow-drift leg: clean capture, ramping skew, static vs adaptive.
+	drift, err := robustnessDrift(e, t, runs[0])
+	if err != nil {
+		return nil, err
+	}
+	res.Drift = *drift
+
 	printRobustness(w, res)
 	return res, nil
+}
+
+// robustnessDriftPPM is the clock-skew ramp of the drift leg, in ppm.
+// Each rung replays the clean capture twice through the same stateful
+// impairment chain, so the skew accumulates phase continuously and the
+// step between rungs stays far below the adaptive pursuit range.
+var robustnessDriftPPM = []float64{0, 500, 1500, 4000}
+
+// robustnessDrift replays one clean capture through a ramping
+// channel-drift chain (clock skew plus a mild gain walk) and feeds the
+// impaired chunks to a static and an adaptive detector in lockstep. On a
+// clean stream every flagged window is a false positive, so the two
+// flagged counts measure how much detection budget each detector loses
+// to drift at every severity rung.
+func robustnessDrift(e *Env, t *trained, run *pipeline.Run) (*DriftLeg, error) {
+	mkDet := func(adapt core.AdaptConfig) (*stream.Detector, error) {
+		mc := e.MonitorCfg
+		mc.Adapt = adapt
+		return stream.NewDetector(t.model, stream.Config{
+			STFT:    e.Sim.STFT,
+			Peaks:   e.Sim.Peaks,
+			Monitor: mc,
+		})
+	}
+	static, err := mkDet(core.AdaptConfig{})
+	if err != nil {
+		return nil, err
+	}
+	adaptive, err := mkDet(core.AdaptConfig{Enabled: true, Rate: 0.1, MinCleanStreak: 8})
+	if err != nil {
+		return nil, err
+	}
+
+	// One stateful chain for the whole session: mutating the skew's PPM
+	// between chunks ramps severity without discontinuity (the resampler
+	// keeps its phase), and the gain walk continues across rungs.
+	skew := &impair.ClockSkew{}
+	gain := &impair.GainDrift{Std: 1e-6, Seed: 7900}
+	flaggedSince := func(d *stream.Detector, from int) (int, int) {
+		out := d.Monitor().Outcomes
+		n := 0
+		for _, o := range out[from:] {
+			if o.Flagged {
+				n++
+			}
+		}
+		return n, len(out)
+	}
+
+	leg := &DriftLeg{Segments: make([]DriftPoint, 0, len(robustnessDriftPPM))}
+	buf := make([]float64, 0, 4096)
+	for _, ppm := range robustnessDriftPPM {
+		skew.PPM = ppm
+		sMark := len(static.Monitor().Outcomes)
+		aMark := len(adaptive.Monitor().Outcomes)
+		for rep := 0; rep < 2; rep++ {
+			sig := run.Signal
+			for len(sig) > 0 {
+				n := min(4096, len(sig))
+				// The chain mutates its input and returns internal buffers,
+				// so impair a copy and feed both detectors the same output
+				// before the next Process call invalidates it.
+				buf = append(buf[:0], sig[:n]...)
+				out := gain.Process(skew.Process(buf))
+				static.Feed(out)
+				adaptive.Feed(out)
+				sig = sig[n:]
+			}
+		}
+		sf, sEnd := flaggedSince(static, sMark)
+		af, aEnd := flaggedSince(adaptive, aMark)
+		windows := sEnd - sMark
+		if aw := aEnd - aMark; aw != windows {
+			return nil, fmt.Errorf("drift leg: detectors diverged on window count (%d vs %d)", windows, aw)
+		}
+		p := DriftPoint{
+			Impairment:      fmt.Sprintf("skew(%gppm)+gaindrift", ppm),
+			PPM:             ppm,
+			Windows:         windows,
+			StaticFlagged:   sf,
+			AdaptiveFlagged: af,
+		}
+		if windows > 0 {
+			p.StaticCleanPct = 100 * float64(windows-sf) / float64(windows)
+			p.AdaptiveCleanPct = 100 * float64(windows-af) / float64(windows)
+		}
+		leg.Segments = append(leg.Segments, p)
+	}
+	leg.AdaptUpdates = adaptive.Monitor().AdaptUpdates()
+	leg.AdaptDrift = adaptive.Monitor().AdaptDrift()
+	return leg, nil
 }
 
 // robustnessPoint impairs every collected run with mk(runIdx), re-reduces
@@ -381,4 +513,11 @@ func printRobustness(w io.Writer, res *RobustnessResult) {
 	s := &res.Stream
 	fprintf(w, "online detector (%s): %d windows, %d reports, TP %d FP %d FN %d TN %d\n",
 		s.Impairment, s.Windows, s.Reports, s.TruePositives, s.FalsePositives, s.FalseNegatives, s.TrueNegatives)
+	fprintf(w, "slow-drift leg, static vs adaptive (updates %d, drift %.3f):\n",
+		res.Drift.AdaptUpdates, res.Drift.AdaptDrift)
+	for i := range res.Drift.Segments {
+		p := &res.Drift.Segments[i]
+		fprintf(w, "  %-24s %4d windows  static %3d flagged (%5.1f%% clean)  adaptive %3d flagged (%5.1f%% clean)\n",
+			p.Impairment, p.Windows, p.StaticFlagged, p.StaticCleanPct, p.AdaptiveFlagged, p.AdaptiveCleanPct)
+	}
 }

@@ -60,6 +60,41 @@ func TestQuickRobustness(t *testing.T) {
 	if len(res.Stream.Metrics) == 0 {
 		t.Error("stream leg metrics snapshot empty")
 	}
+
+	// Drift leg: the adaptive detector must be no worse than the static
+	// one at every severity rung, the ramp must actually degrade the
+	// static detector, and the static-vs-adaptive gap must be widest at
+	// maximum drift (the tentpole's acceptance criterion).
+	seg := res.Drift.Segments
+	if len(seg) < 3 {
+		t.Fatalf("drift leg has %d segments", len(seg))
+	}
+	for i, p := range seg {
+		if p.Windows == 0 {
+			t.Fatalf("drift segment %d (%s) judged no windows", i, p.Impairment)
+		}
+		if p.AdaptiveFlagged > p.StaticFlagged {
+			t.Errorf("%s: adaptive flagged %d clean windows, static %d",
+				p.Impairment, p.AdaptiveFlagged, p.StaticFlagged)
+		}
+	}
+	dFirst, dTop := seg[0], seg[len(seg)-1]
+	if dTop.StaticFlagged <= dFirst.StaticFlagged {
+		t.Errorf("drift ramp did not degrade the static detector: %d flagged at %g ppm vs %d at %g ppm",
+			dTop.StaticFlagged, dTop.PPM, dFirst.StaticFlagged, dFirst.PPM)
+	}
+	firstGap := dFirst.StaticFlagged - dFirst.AdaptiveFlagged
+	topGap := dTop.StaticFlagged - dTop.AdaptiveFlagged
+	if topGap <= firstGap {
+		t.Errorf("adaptive advantage did not widen with drift: gap %d at %g ppm vs %d at %g ppm",
+			topGap, dTop.PPM, firstGap, dFirst.PPM)
+	}
+	if res.Drift.AdaptUpdates == 0 {
+		t.Error("drift leg admitted no adaptive reference updates")
+	}
+	if res.Drift.AdaptDrift == 0 {
+		t.Error("drift leg tracked a real ramp but reports zero cumulative drift")
+	}
 }
 
 // TestRobustnessDeterministic re-runs the experiment and expects
@@ -90,5 +125,17 @@ func TestRobustnessDeterministic(t *testing.T) {
 		if a.Impairments[i] != b.Impairments[i] {
 			t.Errorf("impairment point %d differs between runs:\n%+v\n%+v", i, a.Impairments[i], b.Impairments[i])
 		}
+	}
+	if len(a.Drift.Segments) != len(b.Drift.Segments) {
+		t.Fatalf("drift leg sizes differ: %d vs %d", len(a.Drift.Segments), len(b.Drift.Segments))
+	}
+	for i := range a.Drift.Segments {
+		if a.Drift.Segments[i] != b.Drift.Segments[i] {
+			t.Errorf("drift segment %d differs between runs:\n%+v\n%+v", i, a.Drift.Segments[i], b.Drift.Segments[i])
+		}
+	}
+	if a.Drift.AdaptUpdates != b.Drift.AdaptUpdates || a.Drift.AdaptDrift != b.Drift.AdaptDrift {
+		t.Errorf("drift accounting differs between runs: %d/%g vs %d/%g",
+			a.Drift.AdaptUpdates, a.Drift.AdaptDrift, b.Drift.AdaptUpdates, b.Drift.AdaptDrift)
 	}
 }

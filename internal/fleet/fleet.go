@@ -131,6 +131,7 @@ type Server struct {
 	cErrors     *metrics.Counter // sessions ended by a protocol error
 	cReports    *metrics.Counter // anomaly reports streamed out
 	cBackpress  *metrics.Counter // reader stalls on the pending cap
+	cAdapt      *metrics.Counter // adaptive reference updates across sessions
 	hSessionWin *metrics.Histogram
 
 	// shards is the shared processor pool (empty in GoroutinePerSession
@@ -177,6 +178,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.cErrors = s.reg.Counter("fleet_session_errors")
 	s.cReports = s.reg.Counter("fleet_reports")
 	s.cBackpress = s.reg.Counter("fleet_backpressure_stalls")
+	s.cAdapt = s.reg.Counter("fleet_adapt_updates")
 	s.hSessionWin = s.reg.Histogram("fleet_session_windows",
 		[]float64{16, 64, 256, 1024, 4096, 16384, 65536})
 	if !cfg.GoroutinePerSession {
@@ -415,7 +417,7 @@ func (s *Server) Draining() bool {
 
 // ActiveSessions implements obs.FleetHealth: the live session count and
 // the configured bound.
-func (s *Server) ActiveSessions() (active, max int) {
+func (s *Server) ActiveSessions() (active, limit int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.sessions), s.cfg.MaxSessions

@@ -6,10 +6,14 @@ import (
 	"net"
 	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
+	"eddie/internal/core"
+	"eddie/internal/dsp"
 	"eddie/internal/obs"
+	"eddie/internal/pipeline"
 )
 
 // obsConfig wires a full observability plane (journal + alarm stream +
@@ -325,12 +329,26 @@ func TestFleetListingActivityAndDepth(t *testing.T) {
 	if info.LastActivity == "" {
 		t.Fatal("LastActivity not surfaced")
 	}
-	ts, err := time.Parse(time.RFC3339, info.LastActivity)
+	ts, err := time.Parse(time.RFC3339Nano, info.LastActivity)
 	if err != nil {
-		t.Fatalf("LastActivity %q not RFC3339: %v", info.LastActivity, err)
+		t.Fatalf("LastActivity %q not RFC3339Nano: %v", info.LastActivity, err)
 	}
 	if ts.Before(before) {
 		t.Fatalf("LastActivity %v predates the frames (%v)", ts, before)
+	}
+	// Sub-second precision must survive the listing: sessions churn far
+	// faster than once a second, so whole-second timestamps made distinct
+	// sessions look simultaneous. (A true zero-nanosecond instant is a
+	// one-in-a-billion event; a regression here is deterministic.)
+	if ts.Nanosecond() == 0 {
+		t.Fatalf("LastActivity %q truncated to whole seconds", info.LastActivity)
+	}
+	started, err := time.Parse(time.RFC3339Nano, info.StartedAt)
+	if err != nil {
+		t.Fatalf("StartedAt %q not RFC3339Nano: %v", info.StartedAt, err)
+	}
+	if started.Nanosecond() == 0 {
+		t.Fatalf("StartedAt %q truncated to whole seconds", info.StartedAt)
 	}
 	if info.QueueDepth < 0 {
 		t.Fatalf("QueueDepth %d", info.QueueDepth)
@@ -353,5 +371,85 @@ func TestFleetListingActivityAndDepth(t *testing.T) {
 		if sm["p99_ms"].(float64) < 0 {
 			t.Fatalf("shard %s p99 %v", label, sm["p99_ms"])
 		}
+	}
+}
+
+// TestFleetAdaptationObservability: a session whose stream template has
+// the adaptive reference layer enabled surfaces its activity on every
+// observability channel — the fleet_adapt_updates counter advances,
+// per-region region_adapt_drift/R* gauges are registered, and the alarm
+// journal carries throttled "adapt" checkpoint events.
+func TestFleetAdaptationObservability(t *testing.T) {
+	f, _ := fleetSignal(t)
+	// A clean capture: adaptation must engage (the contaminated fleet
+	// signal would keep resetting the clean streak).
+	run, err := pipeline.CollectRun(f.W, f.Machine, f.Config, 801, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := dsp.Detrend(run.Signal)
+
+	cfg := serverConfig(f)
+	cfg.Stream.Monitor.Adapt = core.AdaptConfig{Enabled: true, MinCleanStreak: 4}
+	cfg, jdir, _ := obsConfig(t, cfg)
+	s, addr := startServer(t, cfg)
+
+	c, err := DialConfig(addr, Hello{Device: "dev-adapt", Workload: "bitcount", DisableDCBlock: true},
+		ClientConfig{DialTimeout: 30 * time.Second, IOTimeout: 120 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for rep := 0; rep < 3; rep++ {
+		for i := 0; i < len(clean); i += 1024 {
+			end := min(i+1024, len(clean))
+			if err := c.Send(clean[i:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, _, err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	updates := s.Registry().Counter("fleet_adapt_updates").Value()
+	if updates == 0 {
+		t.Fatal("fleet_adapt_updates did not advance on a clean adaptive session")
+	}
+	var gauges int
+	for name := range s.Registry().Snapshot() {
+		if strings.HasPrefix(name, "region_adapt_drift/R") {
+			gauges++
+		}
+	}
+	if gauges == 0 {
+		t.Fatal("no region_adapt_drift gauges registered after admitted updates")
+	}
+
+	if err := cfg.Journal.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := obs.RecoverJournal(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adaptEvents int
+	for _, ev := range rec.Events {
+		if ev.Type != "adapt" {
+			continue
+		}
+		adaptEvents++
+		if ev.Device != "dev-adapt" || !strings.Contains(ev.Detail, "updates=") {
+			t.Fatalf("malformed adapt event: %+v", ev)
+		}
+	}
+	if adaptEvents == 0 {
+		t.Fatal("journal has no adapt checkpoint events")
+	}
+	// The journal trail is throttled, not per-update: one checkpoint at
+	// the first admitted update plus one per adaptJournalEvery after.
+	if wantMax := 1 + int(updates)/adaptJournalEvery; adaptEvents > wantMax {
+		t.Fatalf("journal has %d adapt events for %d updates (throttle broken, want <= %d)",
+			adaptEvents, updates, wantMax)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"eddie/internal/cfg"
 	"eddie/internal/metrics"
 	"eddie/internal/obs"
 	"eddie/internal/stream"
@@ -69,6 +70,12 @@ type session struct {
 	readBuf       []byte
 	prevWindows   int
 	prevSanitized int64
+	// Adaptation accounting (only touched when the stream template
+	// enables the monitor's drift-adaptive layer).
+	prevAdaptUpdates int64
+	nextAdaptJournal int64
+	adaptGauges      map[cfg.RegionID]*metrics.FloatGauge
+	adaptDriftFn     func(cfg.RegionID, float64)
 
 	// Progress counters, atomically readable by Sessions listings while
 	// the shard processor runs.
@@ -111,7 +118,7 @@ func (ss *session) info() SessionInfo {
 		Device:     ss.device,
 		Workload:   ss.workload,
 		Remote:     ss.remote,
-		StartedAt:  ss.started.UTC().Format(time.RFC3339),
+		StartedAt:  ss.started.UTC().Format(time.RFC3339Nano),
 		Active:     active,
 		Samples:    ss.aSamples.Load(),
 		Sanitized:  ss.aSanitized.Load(),
@@ -123,7 +130,7 @@ func (ss *session) info() SessionInfo {
 		info.LastTime = math.Float64frombits(bits)
 	}
 	if ns := ss.lastActive.Load(); ns != 0 {
-		info.LastActivity = time.Unix(0, ns).UTC().Format(time.RFC3339)
+		info.LastActivity = time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
 	}
 	if e := ss.errMsg.Load(); e != nil {
 		info.Error = *e
@@ -242,6 +249,12 @@ func (ss *session) handshake() bool {
 	ss.dWindows = ss.s.reg.Counter("fleet_device_windows/" + ss.device)
 	ss.dReports = ss.s.reg.Counter("fleet_device_reports/" + ss.device)
 	ss.dSanitized = ss.s.reg.Counter("fleet_device_sanitized/" + ss.device)
+	if det.Monitor().AdaptEnabled() {
+		// Bound once: the method value would otherwise allocate a closure
+		// on every shard turn that admits updates.
+		ss.adaptDriftFn = ss.recordRegionDrift
+		ss.nextAdaptJournal = 1
+	}
 
 	sh, private := ss.s.shardFor(ss.device)
 	ss.mu.Lock()
@@ -485,6 +498,9 @@ func (ss *session) feedBatch() bool {
 	ss.dWindows.Add(int64(ss.det.Windows() - ss.prevWindows))
 	ss.dSanitized.Add(ss.det.Sanitized() - ss.prevSanitized)
 	ss.prevWindows, ss.prevSanitized = ss.det.Windows(), ss.det.Sanitized()
+	if ss.adaptDriftFn != nil {
+		ss.publishAdapt()
+	}
 
 	// The detector copies samples into its own ring, so the batch
 	// buffers recycle before the (comparatively slow) report writes.
@@ -526,6 +542,52 @@ func (ss *session) feedBatch() bool {
 		}
 	}
 	return true
+}
+
+// adaptJournalEvery is how many admitted reference updates pass between
+// journaled adaptation events: the first update a session ever admits is
+// journaled immediately (the reference started moving — that is the
+// forensically interesting moment), then one event per this many updates
+// keeps a durable trail of the accumulated drift without writing the
+// journal on every scheduling turn.
+const adaptJournalEvery = 256
+
+// publishAdapt runs on the session's shard turn after a batch was fed:
+// it forwards newly admitted adaptation updates to the fleet counter,
+// refreshes the per-region drift gauges, and journals the adaptation
+// trail at adaptJournalEvery granularity.
+func (ss *session) publishAdapt() {
+	mon := ss.det.Monitor()
+	u := mon.AdaptUpdates()
+	if u == ss.prevAdaptUpdates {
+		return
+	}
+	ss.s.cAdapt.Add(u - ss.prevAdaptUpdates)
+	ss.prevAdaptUpdates = u
+	mon.AdaptRegionDrift(ss.adaptDriftFn)
+	if u >= ss.nextAdaptJournal {
+		ss.nextAdaptJournal = u + adaptJournalEvery
+		ss.publishAlarmEvent(&obs.JournalEvent{
+			Type:   "adapt",
+			Detail: fmt.Sprintf("updates=%d drift=%.3f", u, mon.AdaptDrift()),
+		})
+	}
+}
+
+// recordRegionDrift publishes one region's cumulative adaptation drift,
+// resolving and caching the gauge on first use. Fleet-wide the gauge
+// holds the most recently reported session's value — a troubleshooting
+// signal, not an aggregate.
+func (ss *session) recordRegionDrift(id cfg.RegionID, drift float64) {
+	if ss.adaptGauges == nil {
+		ss.adaptGauges = map[cfg.RegionID]*metrics.FloatGauge{}
+	}
+	g := ss.adaptGauges[id]
+	if g == nil {
+		g = ss.s.reg.FloatGauge(fmt.Sprintf("region_adapt_drift/R%d", id))
+		ss.adaptGauges[id] = g
+	}
+	g.Set(drift)
 }
 
 // publishAlarm is the flight recorder's SetOnAlarm hook: the dump is

@@ -255,7 +255,9 @@ func (d *DCWander) Process(chunk []float64) []float64 {
 // Dropout zeroes stretches of samples: the receiver loses the signal
 // (squelch, ADC overrange, USB frame loss) and delivers silence until it
 // recovers. Dropout starts are Bernoulli per sample; durations are
-// geometric with the configured mean.
+// discretized-exponential — floor of an Exp(MeanLen) draw plus one, so
+// the realized mean length is MeanLen + 0.5 to first order (exactly
+// 1/(e^(1/MeanLen)-1) + 1).
 type Dropout struct {
 	// Rate is the per-sample probability of a dropout starting.
 	Rate float64
@@ -293,7 +295,8 @@ func (d *Dropout) Process(chunk []float64) []float64 {
 			continue
 		}
 		if d.Rate > 0 && d.rng.Float64() < d.Rate {
-			// Geometric duration with the configured mean, at least 1.
+			// Discretized-exponential duration, at least 1 (realized mean
+			// ≈ mean + 0.5; see the type doc).
 			n := int(d.rng.ExpFloat64()*mean) + 1
 			chunk[i] = 0
 			d.remaining = n - 1

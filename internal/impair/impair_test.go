@@ -153,6 +153,48 @@ func TestDropoutFraction(t *testing.T) {
 	}
 }
 
+// TestDropoutMeanLength pins the documented duration distribution:
+// dropout lengths are discretized-exponential with realized mean
+// 1/(e^(1/MeanLen)-1) + 1 ≈ MeanLen + 0.5. A doc-only "geometric"
+// claim drifted from the code once; this measures what it draws.
+func TestDropoutMeanLength(t *testing.T) {
+	sig := testSignal(4_000_000)
+	for i := range sig {
+		sig[i] += 100 // nonzero everywhere: zeros identify dropouts
+	}
+	mean := 32.0
+	out := Apply(&Dropout{Rate: 2e-4, MeanLen: mean, Seed: 22}, sig)
+	var bursts, zeros int
+	run := 0
+	for _, s := range out {
+		if s == 0 {
+			run++
+			continue
+		}
+		if run > 0 {
+			bursts++
+			zeros += run
+			run = 0
+		}
+	}
+	if run > 0 {
+		bursts++
+		zeros += run
+	}
+	if bursts < 200 {
+		t.Fatalf("only %d dropout bursts; sample too small to estimate the mean", bursts)
+	}
+	got := float64(zeros) / float64(bursts)
+	want := 1/(math.Exp(1/mean)-1) + 1
+	// Standard error of the mean is ~mean/sqrt(bursts); allow 4 sigma.
+	// Adjacent bursts can merge (underestimating the count), so also
+	// allow the same slack upward.
+	tol := 4 * mean / math.Sqrt(float64(bursts))
+	if math.Abs(got-want) > tol {
+		t.Errorf("mean dropout length %.2f, want %.2f ± %.2f (%d bursts)", got, want, tol, bursts)
+	}
+}
+
 // TestClockSkewLength: positive PPM (fast receiver clock) produces more
 // output samples, negative fewer, by about |PPM|·1e-6.
 func TestClockSkewLength(t *testing.T) {

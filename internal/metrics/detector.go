@@ -58,6 +58,12 @@ type Detector struct {
 	// DenoiseEnergyPct the percentage of block spectral energy it
 	// captures. Both update on each refactorization.
 	DenoiseRank, DenoiseEnergyPct *Gauge
+	// AdaptUpdates counts reference updates admitted by the monitor's
+	// drift-adaptive layer; AdaptDrift is the cumulative normalized
+	// distance the adaptive references have moved from their trained
+	// position. Both stay zero with adaptation disabled.
+	AdaptUpdates *Counter
+	AdaptDrift   *FloatGauge
 	// PeakCount is the distribution of per-window peak counts.
 	PeakCount *Histogram
 	// LatencySTS and LatencySamples are detection latency distributions,
@@ -125,6 +131,8 @@ func NewDetectorWith(reg *Registry) *Detector {
 		DenoiseRefactors: reg.Counter("denoise_refactors"),
 		DenoiseRank:      reg.Gauge("denoise_rank"),
 		DenoiseEnergyPct: reg.Gauge("denoise_energy_pct"),
+		AdaptUpdates:     reg.Counter("adapt_updates"),
+		AdaptDrift:       reg.FloatGauge("adapt_drift"),
 		PeakCount:        reg.Histogram("peak_count", peakBuckets),
 		LatencySTS:       reg.Histogram("detection_latency_sts", latencyBucketsSTS),
 		LatencySamples:   reg.Histogram("detection_latency_samples", nil),

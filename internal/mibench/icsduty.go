@@ -1,0 +1,260 @@
+package mibench
+
+import "eddie/internal/isa"
+
+// ICSDuty memory layout (word addresses):
+//
+//	0:        C (scan cycle count)
+//	1..4:     per-phase checksum outputs (filter, pid, duty, final)
+//	5:        watchdog heartbeat word (stored from the duty phase)
+//	8..71:    duty-cycle pattern table (64 words)
+//	sens:     icsSens .. +icsS   raw sensor readings
+//	setp:     icsSetp .. +icsS   control setpoints
+//	filt:     icsFilt .. +icsS   filtered sensor state
+//	prev:     icsPrev .. +icsS   previous control error (derivative term)
+//	integ:    icsInteg .. +icsS  integrator state
+//	outp:     icsOut .. +icsS    actuator outputs
+//
+// The program mirrors an ICS/PLC scan-cycle firmware — the long-lived,
+// periodic workload class EDDIE targets in deployment: an input filter
+// pass, a PID control-law pass with anti-windup and output saturation
+// (data-dependent clamping branches), and a duty-cycled poll phase that
+// alternates heavy table-driven bursts with light busy-wait spins. Each
+// phase is its own top-level loop nest sweeping all scan cycles, so the
+// region machine sees the same nest structure as the other workloads.
+const (
+	icsS     = 256 // sensors / actuators (power of two: masked indexing)
+	icsP     = 256 // poll slots per scan cycle
+	icsDuty  = 8
+	icsSens  = 128
+	icsSetp  = icsSens + icsS
+	icsFilt  = icsSetp + icsS
+	icsPrev  = icsFilt + icsS
+	icsInteg = icsPrev + icsS
+	icsOut   = icsInteg + icsS
+	icsWords = icsOut + icsS
+)
+
+// ICSDuty builds the industrial-control duty-cycle workload.
+func ICSDuty() *Workload {
+	b := isa.NewBuilder("icsduty", icsWords)
+
+	// Registers: r0=0, r1=C, r2=cycle, r3=i/k, r4=addr, r5=value,
+	// r6=checksum acc, r7=scratch, r8=error, r9=integrator, r10=deriv,
+	// r11=control output, r12=limit, r13=spin state, r14=loop bound.
+	entry := b.NewBlock("entry")
+	flHead := b.NewBlock("fl_head")
+	flCyc := b.NewBlock("fl_cyc")
+	flIHead := b.NewBlock("fl_i_head")
+	flIBody := b.NewBlock("fl_i_body")
+	flCycDone := b.NewBlock("fl_cyc_done")
+	flDone := b.NewBlock("fl_done")
+	pidHead := b.NewBlock("pid_head")
+	pidCyc := b.NewBlock("pid_cyc")
+	pidIHead := b.NewBlock("pid_i_head")
+	pidIBody := b.NewBlock("pid_i_body")
+	pidWindHi := b.NewBlock("pid_wind_hi")
+	pidWindLoChk := b.NewBlock("pid_wind_lo_chk")
+	pidWindLo := b.NewBlock("pid_wind_lo")
+	pidDer := b.NewBlock("pid_der")
+	pidSatHi := b.NewBlock("pid_sat_hi")
+	pidSatLoChk := b.NewBlock("pid_sat_lo_chk")
+	pidSatLo := b.NewBlock("pid_sat_lo")
+	pidOut := b.NewBlock("pid_out")
+	pidCycDone := b.NewBlock("pid_cyc_done")
+	pidDone := b.NewBlock("pid_done")
+	dtHead := b.NewBlock("dt_head")
+	dtCyc := b.NewBlock("dt_cyc")
+	dtIHead := b.NewBlock("dt_i_head")
+	dtIBody := b.NewBlock("dt_i_body")
+	dtHeavy := b.NewBlock("dt_heavy")
+	dtLight := b.NewBlock("dt_light")
+	dtNext := b.NewBlock("dt_next")
+	dtCycDone := b.NewBlock("dt_cyc_done")
+	dtDone := b.NewBlock("dt_done")
+	exit := b.NewBlock("exit")
+
+	entry.
+		Li(r0, 0).
+		Load(r1, r0, 0).
+		Li(r2, 0).
+		Li(r6, 0).
+		Li(r13, 0)
+	entry.Jump(flHead)
+
+	// Nest 1: exponential input filter, all scan cycles. The read order
+	// rotates with the cycle (i + 7c mod S), so addresses and filter
+	// trajectories are data-dependent.
+	flHead.Branch(isa.LT, r2, r1, flCyc, flDone)
+	flCyc.
+		Li(r3, 0).
+		MulI(r7, r2, 7)
+	flCyc.Jump(flIHead)
+	flIHead.
+		Li(r14, icsS)
+	flIHead.Branch(isa.LT, r3, r14, flIBody, flCycDone)
+	flIBody.
+		Add(r4, r3, r7).
+		AndI(r4, r4, icsS-1).
+		AddI(r4, r4, icsSens).
+		Load(r5, r4, 0).
+		AddI(r4, r3, icsFilt).
+		Load(r8, r4, 0).
+		MulI(r8, r8, 3).
+		Add(r8, r8, r5).
+		ShrI(r8, r8, 2).
+		Store(r4, 0, r8).
+		Add(r6, r6, r8).
+		AddI(r3, r3, 1)
+	flIBody.Jump(flIHead)
+	flCycDone.
+		AddI(r2, r2, 1)
+	flCycDone.Jump(flHead)
+	flDone.
+		Store(r0, 1, r6).
+		Li(r2, 0).
+		Li(r6, 0)
+	flDone.Jump(pidHead)
+
+	// Nest 2: PID control law with integrator anti-windup and output
+	// saturation — the clamping branches fire data-dependently as the
+	// integrator charges over the scan cycles. The windup limit is tight
+	// (a few cycles' worth of error) so the charge transient is short and
+	// the per-cycle branch pattern settles to a run-stable steady state.
+	pidHead.Branch(isa.LT, r2, r1, pidCyc, pidDone)
+	pidCyc.
+		Li(r3, 0)
+	pidCyc.Jump(pidIHead)
+	pidIHead.
+		Li(r14, icsS)
+	pidIHead.Branch(isa.LT, r3, r14, pidIBody, pidCycDone)
+	pidIBody.
+		AddI(r4, r3, icsSetp).
+		Load(r5, r4, 0).
+		AddI(r4, r3, icsFilt).
+		Load(r7, r4, 0).
+		Sub(r8, r5, r7).
+		AddI(r4, r3, icsInteg).
+		Load(r9, r4, 0).
+		Add(r9, r9, r8).
+		Li(r12, 4096)
+	pidIBody.Branch(isa.GT, r9, r12, pidWindHi, pidWindLoChk)
+	pidWindHi.
+		Mov(r9, r12)
+	pidWindHi.Jump(pidDer)
+	pidWindLoChk.
+		Li(r12, -4096)
+	pidWindLoChk.Branch(isa.LT, r9, r12, pidWindLo, pidDer)
+	pidWindLo.
+		Mov(r9, r12)
+	pidWindLo.Jump(pidDer)
+	pidDer.
+		AddI(r4, r3, icsPrev).
+		Load(r10, r4, 0).
+		Sub(r10, r8, r10).
+		Store(r4, 0, r8).
+		AddI(r4, r3, icsInteg).
+		Store(r4, 0, r9).
+		MulI(r11, r8, 3).
+		Add(r11, r11, r10).
+		Add(r11, r11, r9).
+		Li(r12, 4095)
+	pidDer.Branch(isa.GT, r11, r12, pidSatHi, pidSatLoChk)
+	pidSatHi.
+		Mov(r11, r12)
+	pidSatHi.Jump(pidOut)
+	pidSatLoChk.Branch(isa.LT, r11, r0, pidSatLo, pidOut)
+	pidSatLo.
+		Li(r11, 0)
+	pidSatLo.Jump(pidOut)
+	pidOut.
+		AddI(r4, r3, icsOut).
+		Store(r4, 0, r11).
+		Add(r6, r6, r11).
+		AddI(r3, r3, 1)
+	pidOut.Jump(pidIHead)
+	pidCycDone.
+		AddI(r2, r2, 1)
+	pidCycDone.Jump(pidHead)
+	pidDone.
+		Store(r0, 2, r6).
+		Li(r2, 0).
+		Li(r6, 0)
+	pidDone.Jump(dtHead)
+
+	// Nest 3: duty-cycled polling on a fixed alternating schedule (slot
+	// parity flips with the scan cycle, as a real PLC poll table would):
+	// heavy slots do table-driven output accumulation scaled by the duty
+	// word plus a watchdog heartbeat store, light slots spin a cheap
+	// LFSR-ish state. The schedule is deliberately input-independent so
+	// the loop period — what EDDIE fingerprints — is stable run to run;
+	// the duty table only scales the accumulated data.
+	dtHead.Branch(isa.LT, r2, r1, dtCyc, dtDone)
+	dtCyc.
+		Li(r3, 0)
+	dtCyc.Jump(dtIHead)
+	dtIHead.
+		Li(r14, icsP)
+	dtIHead.Branch(isa.LT, r3, r14, dtIBody, dtCycDone)
+	dtIBody.
+		AndI(r4, r3, 63).
+		AddI(r4, r4, icsDuty).
+		Load(r5, r4, 0).
+		Add(r7, r3, r2).
+		AndI(r7, r7, 1)
+	dtIBody.Branch(isa.NE, r7, r0, dtHeavy, dtLight)
+	dtHeavy.
+		MulI(r4, r3, 13).
+		Add(r4, r4, r2).
+		AndI(r4, r4, icsS-1).
+		AddI(r4, r4, icsOut).
+		Load(r7, r4, 0).
+		Mul(r7, r7, r5).
+		Add(r6, r6, r7).
+		Store(r0, 5, r6)
+	dtHeavy.Jump(dtNext)
+	dtLight.
+		ShlI(r7, r13, 1).
+		Xor(r13, r13, r7).
+		AddI(r13, r13, 1).
+		AndI(r13, r13, 0xffff)
+	dtLight.Jump(dtNext)
+	dtNext.
+		AddI(r3, r3, 1)
+	dtNext.Jump(dtIHead)
+	dtCycDone.
+		AddI(r2, r2, 1)
+	dtCycDone.Jump(dtHead)
+	dtDone.
+		Store(r0, 3, r6).
+		Load(r5, r0, 1).
+		Load(r7, r0, 2).
+		Xor(r5, r5, r7).
+		Load(r7, r0, 3).
+		Xor(r5, r5, r7).
+		Add(r5, r5, r13).
+		Store(r0, 4, r5)
+	dtDone.Jump(exit)
+	exit.Halt()
+
+	prog := b.Build()
+	return &Workload{Name: "icsduty", Program: prog, GenInput: icsDutyInput}
+}
+
+// icsDutyInput builds one run's memory image: scan-cycle count, sensor
+// readings, setpoints and the duty pattern all vary per run.
+func icsDutyInput(run int) []int64 {
+	r := rng("icsduty", run)
+	mem := make([]int64, icsWords)
+	// 88..112 scan cycles: ~1.3-1.7M dynamic instructions, inside the
+	// tiny-fixture 2M budget (pipetest.TinyConfig) with headroom.
+	mem[0] = int64(88 + r.Intn(25)) // C
+	for i := 0; i < 64; i++ {
+		mem[icsDuty+i] = int64(1 + r.Intn(16))
+	}
+	for i := 0; i < icsS; i++ {
+		mem[icsSens+i] = int64(r.Intn(4096))
+		mem[icsSetp+i] = int64(r.Intn(4096))
+	}
+	return mem
+}

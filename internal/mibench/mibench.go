@@ -57,7 +57,8 @@ const (
 	r23
 )
 
-// All returns all ten workloads in the paper's Table 1 order.
+// All returns the ten workloads in the paper's Table 1 order, plus the
+// ICS duty-cycle workload (the deployment-class program EDDIE targets).
 func All() []*Workload {
 	return []*Workload{
 		Bitcount(),
@@ -70,6 +71,7 @@ func All() []*Workload {
 		Sha(),
 		Rijndael(),
 		Stringsearch(),
+		ICSDuty(),
 	}
 }
 

@@ -56,13 +56,13 @@ type Recorder struct {
 // NewRecorder creates an enabled recorder with the default event cap.
 func NewRecorder() *Recorder { return NewRecorderCap(DefaultMaxEvents) }
 
-// NewRecorderCap creates a recorder holding at most max events; further
-// events are dropped (and counted) rather than buffered.
-func NewRecorderCap(max int) *Recorder {
-	if max <= 0 {
-		max = DefaultMaxEvents
+// NewRecorderCap creates a recorder holding at most limit events;
+// further events are dropped (and counted) rather than buffered.
+func NewRecorderCap(limit int) *Recorder {
+	if limit <= 0 {
+		limit = DefaultMaxEvents
 	}
-	return &Recorder{t0: time.Now(), max: max}
+	return &Recorder{t0: time.Now(), max: limit}
 }
 
 // Track names one horizontal lane of the trace (a pipeline stage, a run,

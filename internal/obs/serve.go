@@ -180,9 +180,9 @@ func NewMux(s ServeState) *http.ServeMux {
 				h.Status = HealthDraining
 				body["status"] = HealthDraining
 			}
-			active, max := fh.ActiveSessions()
+			active, limit := fh.ActiveSessions()
 			body["sessions_active"] = active
-			body["sessions_max"] = max
+			body["sessions_max"] = limit
 		}
 		code := http.StatusOK
 		if h.Status == HealthOverloaded || h.Status == HealthDraining {

@@ -59,20 +59,20 @@ func MedianScratch(xs, scratch []float64) float64 {
 
 // MinMax returns the smallest and largest value of xs. For an empty slice
 // it returns (0, 0).
-func MinMax(xs []float64) (min, max float64) {
+func MinMax(xs []float64) (lo, hi float64) {
 	if len(xs) == 0 {
 		return 0, 0
 	}
-	min, max = xs[0], xs[0]
+	lo, hi = xs[0], xs[0]
 	for _, x := range xs[1:] {
-		if x < min {
-			min = x
+		if x < lo {
+			lo = x
 		}
-		if x > max {
-			max = x
+		if x > hi {
+			hi = x
 		}
 	}
-	return min, max
+	return lo, hi
 }
 
 // Histogram bins xs into nbins equal-width bins spanning [lo, hi] and

@@ -1,0 +1,83 @@
+package stats
+
+import "math"
+
+// QuantileSorted returns the q-quantile (q in [0,1]) of a sample already
+// sorted ascending, with linear interpolation between adjacent order
+// statistics. An empty sample yields 0.
+func QuantileSorted(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return xs[0]
+	}
+	if q >= 1 {
+		return xs[len(xs)-1]
+	}
+	pos := q * float64(len(xs)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(xs) {
+		return xs[len(xs)-1]
+	}
+	return xs[lo] + frac*(xs[lo+1]-xs[lo])
+}
+
+// BlendSorted nudges a sorted reference sample toward the empirical
+// quantiles of a sorted observed sample, in place and without
+// allocating. Each reference value ref[i] — the (i+0.5)/len(ref)
+// quantile of the reference distribution — moves a fraction rate of the
+// way toward the same quantile of obs, with the per-value step bounded
+// to maxStepFrac of the reference span. The bound is the contamination
+// guard's backstop: even an adversarial observation admitted past the
+// K-S gate can move the reference only a bounded distance per update.
+//
+// The effective span is floored at minSpan (pass 0 for pure span
+// semantics): a near-point-mass reference has a span orders of magnitude
+// below its position, and a purely span-relative step bound would freeze
+// it in place; callers that need such references to track slow drift pass
+// a floor proportional to the reference's magnitude.
+//
+// ref is re-sorted before returning (clamped steps can locally reorder
+// an almost-converged sketch), so it remains a valid presorted K-S
+// reference. The return value is the mean absolute shift normalized by
+// the effective span — the per-update drift distance, accumulated by
+// callers into drift telemetry. Non-finite observation quantiles leave
+// the corresponding reference value untouched.
+func BlendSorted(ref, obs []float64, rate, maxStepFrac, minSpan float64) float64 {
+	if len(ref) == 0 || len(obs) == 0 || rate <= 0 {
+		return 0
+	}
+	span := ref[len(ref)-1] - ref[0]
+	if span < minSpan {
+		span = minSpan
+	}
+	if span <= 0 {
+		// Degenerate (constant) reference: fall back to its magnitude so
+		// the step bound and drift normalization stay meaningful.
+		span = math.Abs(ref[0])
+		if span == 0 {
+			span = 1
+		}
+	}
+	maxStep := maxStepFrac * span
+	var total float64
+	for i := range ref {
+		q := (float64(i) + 0.5) / float64(len(ref))
+		target := QuantileSorted(obs, q)
+		if math.IsNaN(target) || math.IsInf(target, 0) {
+			continue
+		}
+		step := rate * (target - ref[i])
+		if step > maxStep {
+			step = maxStep
+		} else if step < -maxStep {
+			step = -maxStep
+		}
+		ref[i] += step
+		total += math.Abs(step)
+	}
+	Sort(ref)
+	return total / (float64(len(ref)) * span)
+}

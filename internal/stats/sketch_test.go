@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestQuantileSorted pins the interpolation convention against hand
+// computations and the edge clamps.
+func TestQuantileSorted(t *testing.T) {
+	xs := []float64{1, 2, 4, 8}
+	cases := []struct{ q, want float64 }{
+		{-1, 1}, {0, 1}, {1, 8}, {2, 8},
+		{0.5, 3},       // midway between 2 and 4
+		{1.0 / 3.0, 2}, // exactly the second order statistic
+		{0.25, 1.75},   // pos 0.75 between 1 and 2
+		{5.0 / 6.0, 6}, // pos 2.5 between 4 and 8
+	}
+	for _, c := range cases {
+		if got := QuantileSorted(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("QuantileSorted(q=%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if got := QuantileSorted(nil, 0.5); got != 0 {
+		t.Errorf("QuantileSorted(empty) = %g, want 0", got)
+	}
+	if got := QuantileSorted([]float64{7}, 0.9); got != 7 {
+		t.Errorf("QuantileSorted(single) = %g, want 7", got)
+	}
+}
+
+// TestBlendSortedConverges drives a reference sketch toward a shifted
+// target distribution through repeated bounded blends: the sketch must
+// converge to the target quantiles and stay sorted after every step.
+func TestBlendSortedConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 32
+	ref := make([]float64, n)
+	target := make([]float64, 256)
+	for i := range ref {
+		ref[i] = rng.NormFloat64()
+	}
+	for i := range target {
+		target[i] = 5 + 2*rng.NormFloat64()
+	}
+	Sort(ref)
+	Sort(target)
+
+	var total float64
+	for step := 0; step < 400; step++ {
+		total += BlendSorted(ref, target, 0.1, 0.05, 0)
+		for i := 1; i < n; i++ {
+			if ref[i] < ref[i-1] {
+				t.Fatalf("step %d: reference left unsorted at %d", step, i)
+			}
+		}
+	}
+	if total <= 0 {
+		t.Fatal("BlendSorted reported zero cumulative drift for a real shift")
+	}
+	// After convergence each sketch value should sit near its target
+	// quantile (sampling noise in the 256-point target dominates).
+	for i := range ref {
+		q := (float64(i) + 0.5) / float64(n)
+		want := QuantileSorted(target, q)
+		if math.Abs(ref[i]-want) > 0.5 {
+			t.Errorf("sketch[%d] = %g, want ~%g (q=%.3f)", i, ref[i], want, q)
+		}
+	}
+}
+
+// TestBlendSortedStepBound verifies the contamination backstop: one
+// update against an adversarially distant observation moves no value by
+// more than maxStepFrac of the reference span.
+func TestBlendSortedStepBound(t *testing.T) {
+	ref := []float64{0, 1, 2, 3, 4} // span 4
+	before := append([]float64(nil), ref...)
+	obs := []float64{1e6, 1e6 + 1, 1e6 + 2}
+	Sort(obs)
+	const maxFrac = 0.05
+	drift := BlendSorted(ref, obs, 1.0, maxFrac, 0)
+	maxStep := maxFrac * 4
+	for i := range ref {
+		if d := math.Abs(ref[i] - before[i]); d > maxStep+1e-12 {
+			t.Errorf("value %d moved %g, bound %g", i, d, maxStep)
+		}
+	}
+	if drift > maxFrac+1e-12 {
+		t.Errorf("normalized drift %g exceeds per-update bound %g", drift, maxFrac)
+	}
+}
+
+// TestBlendSortedDegenerate covers empty inputs, zero rate, NaN targets
+// and a constant reference.
+func TestBlendSortedDegenerate(t *testing.T) {
+	if d := BlendSorted(nil, []float64{1}, 0.5, 0.1, 0); d != 0 {
+		t.Errorf("empty ref drift = %g", d)
+	}
+	if d := BlendSorted([]float64{1, 2}, nil, 0.5, 0.1, 0); d != 0 {
+		t.Errorf("empty obs drift = %g", d)
+	}
+	if d := BlendSorted([]float64{1, 2}, []float64{3}, 0, 0.1, 0); d != 0 {
+		t.Errorf("zero-rate drift = %g", d)
+	}
+	ref := []float64{2, 2, 2}
+	BlendSorted(ref, []float64{math.NaN(), math.NaN()}, 0.5, 0.1, 0)
+	for i, v := range ref {
+		if v != 2 {
+			t.Errorf("NaN obs moved ref[%d] to %g", i, v)
+		}
+	}
+	// Constant reference: span falls back to |ref[0]|, blend still moves.
+	ref = []float64{2, 2, 2}
+	BlendSorted(ref, []float64{4, 4, 4}, 0.5, 1, 0)
+	for i, v := range ref {
+		if v <= 2 {
+			t.Errorf("constant ref[%d] did not move toward target: %g", i, v)
+		}
+	}
+}
+
+// TestBlendSortedSpanFloor verifies that minSpan widens the step bound of
+// a near-point-mass reference: with the natural span the sketch could
+// barely move per update; with the floor it tracks a shifted target.
+func TestBlendSortedSpanFloor(t *testing.T) {
+	// Span 0.002 around 1000; target shifted by 1 (500 natural spans away).
+	narrow := func() []float64 { return []float64{999.999, 1000, 1000.001} }
+	obs := []float64{1000.999, 1001, 1001.001}
+
+	ref := narrow()
+	BlendSorted(ref, obs, 1.0, 0.05, 0)
+	if moved := ref[1] - 1000; moved > 0.001 {
+		t.Fatalf("floorless blend moved midpoint by %g; natural span bound broken", moved)
+	}
+
+	ref = narrow()
+	BlendSorted(ref, obs, 1.0, 0.05, 10) // step bound now 0.05*10 = 0.5
+	moved := ref[1] - 1000
+	if moved < 0.4 || moved > 0.5+1e-9 {
+		t.Errorf("floored blend moved midpoint by %g, want ~0.5", moved)
+	}
+}

@@ -30,20 +30,20 @@ func Sort(xs []float64) {
 }
 
 // SlideSorted advances a sorted sliding-window sample by one step in
-// place: it removes one occurrence of old and inserts new, keeping g
+// place: it removes one occurrence of old and inserts next, keeping g
 // sorted ascending. It runs in O(len(g)) with zero allocations — the
 // monitor's incremental group maintenance when the window slides by one
 // hop. It returns false (leaving g in an unspecified but same-multiset
 // state) when old is not present, e.g. because a non-finite value
 // defeated the binary search; callers must then rebuild the window from
 // scratch.
-func SlideSorted(g []float64, old, new float64) bool {
-	if new != new {
+func SlideSorted(g []float64, old, next float64) bool {
+	if next != next {
 		// NaN breaks the total order every comparison below relies on;
 		// make the caller rebuild rather than silently corrupt the window.
 		return false
 	}
-	if old == new {
+	if old == next {
 		// The leaving and entering values are equal: the sorted window is
 		// unchanged as a multiset, and any occurrence of the value stands
 		// in for any other.
@@ -54,19 +54,19 @@ func SlideSorted(g []float64, old, new float64) bool {
 	if i >= len(g) || g[i] != old {
 		return false
 	}
-	if new > old {
-		// Shift the gap right until new fits.
-		for i+1 < len(g) && g[i+1] < new {
+	if next > old {
+		// Shift the gap right until the entering value fits.
+		for i+1 < len(g) && g[i+1] < next {
 			g[i] = g[i+1]
 			i++
 		}
 	} else {
-		for i > 0 && g[i-1] > new {
+		for i > 0 && g[i-1] > next {
 			g[i] = g[i-1]
 			i--
 		}
 	}
-	g[i] = new
+	g[i] = next
 	return true
 }
 

@@ -105,6 +105,10 @@ type Detector struct {
 	denoiser   *dsp.Denoiser // nil when denoising is disabled
 	dnRefactor int64         // refactor count already published to Metrics
 
+	// adaptUpdates is the monitor adaptation-update count already
+	// published to Metrics (always 0 with adaptation disabled).
+	adaptUpdates int64
+
 	samplesIn int64
 	sanitized int64
 	windows   int
@@ -229,10 +233,10 @@ func (d *Detector) feedChunk(samples []float64) {
 	if len(samples) == 0 {
 		return
 	}
-	if cap := d.cfg.MaxHistoryWindows; cap > 0 && len(d.monitor.Outcomes) > cap {
+	if limit := d.cfg.MaxHistoryWindows; limit > 0 && len(d.monitor.Outcomes) > limit {
 		// Trim between batches only, so the report bookkeeping below (a
 		// length taken before feeding) stays consistent within one call.
-		d.monitor.TrimHistory(cap / 2)
+		d.monitor.TrimHistory(limit / 2)
 	}
 	if m := d.cfg.Metrics; m != nil {
 		m.SamplesIn.Add(int64(len(samples)))
@@ -349,6 +353,11 @@ func (d *Detector) processWindow() {
 		m.Windows.Inc()
 		m.PeakCount.Observe(float64(len(d.freqs)))
 		m.WindowNanos.Record(int64(time.Since(t0)))
+		if u := d.monitor.AdaptUpdates(); u > d.adaptUpdates {
+			m.AdaptUpdates.Add(u - d.adaptUpdates)
+			d.adaptUpdates = u
+			m.AdaptDrift.Set(d.monitor.AdaptDrift())
+		}
 	}
 	d.scoreGroundTruth(reported)
 	d.windows++

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"eddie/internal/core"
@@ -160,6 +161,87 @@ func TestDetectorFeedChunksMatchesFeed(t *testing.T) {
 	}
 	if bat.Windows() != seq.Windows() {
 		t.Fatalf("windows %d vs %d", bat.Windows(), seq.Windows())
+	}
+}
+
+// TestDetectorImpairmentChainChunkInvariance extends the chunk-
+// invariance guarantee to a stateful impairment chain: ClockSkew carries
+// its resampling phase and Dropout its RNG and gap countdown across
+// chunk boundaries, so the verdict history must depend only on the
+// concatenated sample stream, never on how the caller batched it.
+func TestDetectorImpairmentChainChunkInvariance(t *testing.T) {
+	f := pipetest.Fixture(t)
+	run, err := pipeline.CollectRun(f.W, f.Machine, f.Config, 720, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(batch int) *Detector {
+		cfg := streamCfg(f.Config)
+		// A fresh chain per detector: the transforms are stateful.
+		cfg.Impair = impair.NewChain(
+			&impair.ClockSkew{PPM: 300},
+			&impair.Dropout{Rate: 2e-5, MeanLen: 32, Seed: 5},
+		)
+		d, err := NewDetector(f.Model, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for sig := run.Signal; len(sig) > 0; {
+			n := batch
+			if n > len(sig) {
+				n = len(sig)
+			}
+			d.Feed(sig[:n])
+			sig = sig[n:]
+		}
+		return d
+	}
+	whole := feed(len(run.Signal))
+	odd := feed(911)
+	small := feed(173)
+	for _, d := range []*Detector{odd, small} {
+		if d.Windows() != whole.Windows() {
+			t.Fatalf("window counts differ by batch size: %d vs %d", d.Windows(), whole.Windows())
+		}
+		if !reflect.DeepEqual(d.Monitor().Outcomes, whole.Monitor().Outcomes) {
+			t.Fatal("outcome histories differ by batch size under an impairment chain")
+		}
+		if !reflect.DeepEqual(d.Monitor().Reports, whole.Monitor().Reports) {
+			t.Fatal("report lists differ by batch size under an impairment chain")
+		}
+	}
+}
+
+// TestDetectorAdaptMetrics verifies the detector publishes the monitor's
+// adaptation counters: with the adaptive layer on, a long clean stream
+// admits updates and the adapt_updates/adapt_drift instruments track the
+// monitor's own accounting.
+func TestDetectorAdaptMetrics(t *testing.T) {
+	f := pipetest.Tiny(t)
+	run, err := pipeline.CollectRun(f.W, f.Machine, f.Config, 730, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := metrics.NewDetector()
+	cfg := streamCfg(f.Config)
+	cfg.Metrics = m
+	cfg.Monitor.Adapt = core.AdaptConfig{Enabled: true, MinCleanStreak: 4}
+	d, err := NewDetector(f.Model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		d.Feed(run.Signal)
+	}
+	mon := d.Monitor()
+	if mon.AdaptUpdates() == 0 {
+		t.Fatal("no adaptation updates on a repeated clean stream")
+	}
+	if got := m.AdaptUpdates.Value(); got != mon.AdaptUpdates() {
+		t.Errorf("adapt_updates metric %d, monitor reports %d", got, mon.AdaptUpdates())
+	}
+	if got := m.AdaptDrift.Value(); got != mon.AdaptDrift() {
+		t.Errorf("adapt_drift metric %g, monitor reports %g", got, mon.AdaptDrift())
 	}
 }
 
