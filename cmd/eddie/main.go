@@ -28,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime/debug"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,6 +60,8 @@ type options struct {
 	traceOut      string
 	serveAddr     string
 	fleetAddr     string
+	coordAddr     string
+	backends      string
 	modelDir      string
 	maxSessions   int
 	fleetShards   int
@@ -101,6 +104,16 @@ func (o *options) denoise() eddie.DenoiseConfig {
 	}
 }
 
+// backendList splits -backends into trimmed addresses.
+func (o *options) backendList() []string {
+	parts := strings.Split(o.backends, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
 // parseArgs parses flags from args with a dedicated FlagSet so tests can
 // drive the CLI without touching the process-global flag state.
 func parseArgs(args []string, stderr io.Writer) (*options, error) {
@@ -129,6 +142,8 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 	fs.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event JSON file of every pipeline stage (load in Perfetto)")
 	fs.StringVar(&o.serveAddr, "serve", "", `serve debug endpoints on this address (e.g. ":8080"): /debug/vars, /debug/pprof/*, /metrics, /eddie/last-alarm, /eddie/fleet`)
 	fs.StringVar(&o.fleetAddr, "fleet", "", `run the fleet monitoring server on this address (e.g. ":9000"); requires -model-dir`)
+	fs.StringVar(&o.coordAddr, "coord", "", `run the multi-node fleet coordinator on this address (e.g. ":9100"); requires -backends`)
+	fs.StringVar(&o.backends, "backends", "", `coordinator mode: comma-separated fleet backend addresses (host:port,host:port,...)`)
 	fs.StringVar(&o.modelDir, "model-dir", "", "fleet mode: directory of models saved with -save-model, one <workload>.json per workload")
 	fs.IntVar(&o.maxSessions, "fleet-max-sessions", 0, fmt.Sprintf("fleet mode: concurrent device session bound (0 = derive from physical memory; %d on this node)", eddie.DefaultFleetMaxSessions()))
 	fs.IntVar(&o.fleetShards, "fleet-shards", 0, "fleet mode: processor goroutines the detector work is multiplexed over (0 = worker-pool parallelism)")
@@ -160,8 +175,29 @@ func (o *options) validate() error {
 	if o.list || o.version {
 		return nil
 	}
-	if o.fleetAddr == "" && o.journalDir != "" {
-		return errors.New("-journal-dir requires -fleet")
+	if o.fleetAddr == "" && o.coordAddr == "" && o.journalDir != "" {
+		return errors.New("-journal-dir requires -fleet or -coord")
+	}
+	if o.coordAddr != "" && o.fleetAddr != "" {
+		return errors.New("-coord and -fleet are mutually exclusive (run backends and the coordinator as separate processes)")
+	}
+	if o.coordAddr == "" && o.backends != "" {
+		return errors.New("-backends requires -coord")
+	}
+	if o.coordAddr != "" {
+		if o.backends == "" {
+			return errors.New("-coord requires -backends (comma-separated fleet backend addresses)")
+		}
+		seen := map[string]bool{}
+		for _, b := range o.backendList() {
+			if b == "" {
+				return errors.New("-backends has an empty address")
+			}
+			if seen[b] {
+				return fmt.Errorf("-backends lists %s twice", b)
+			}
+			seen[b] = true
+		}
 	}
 	switch o.journalFsync {
 	case eddie.JournalFsyncAlways, eddie.JournalFsyncInterval, eddie.JournalFsyncNever:
@@ -279,6 +315,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return 0
 	case o.fleetAddr != "":
 		if err := runFleet(o, stdout, stderr); err != nil {
+			fmt.Fprintln(stderr, "eddie:", err)
+			return 1
+		}
+		return 0
+	case o.coordAddr != "":
+		if err := runCoord(o, stdout, stderr); err != nil {
 			fmt.Fprintln(stderr, "eddie:", err)
 			return 1
 		}
@@ -418,6 +460,86 @@ func runFleet(o *options, stdout, stderr io.Writer) error {
 		}
 		<-serveDone
 		fmt.Fprintln(stdout, "fleet server stopped")
+		return nil
+	case err := <-serveDone:
+		return err
+	}
+}
+
+// runCoord runs the multi-node fleet coordinator until SIGINT or
+// SIGTERM: consistent-hash device sharding across the -backends fleet,
+// health probes, and re-homing when a backend dies.
+func runCoord(o *options, stdout, stderr io.Writer) error {
+	reg := eddie.NewMetricsRegistry()
+	publishBuildInfo(reg)
+
+	var journal *eddie.AlarmJournal
+	if o.journalDir != "" {
+		var err error
+		journal, err = eddie.OpenAlarmJournal(eddie.AlarmJournalConfig{
+			Dir:          o.journalDir,
+			MaxFileBytes: int64(o.journalMaxMB) << 20,
+			Fsync:        o.journalFsync,
+		})
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		fmt.Fprintf(stdout, "journaling coordinator events to %s (fsync %s, rotate at %d MiB)\n",
+			o.journalDir, o.journalFsync, o.journalMaxMB)
+	}
+
+	c, err := eddie.NewCoordinator(eddie.CoordinatorConfig{
+		Backends: o.backendList(),
+		Registry: reg,
+		Journal:  journal,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stdout, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	if o.serveAddr != "" {
+		reg.Publish("eddie") // /debug/vars; idempotent
+		ln, err := net.Listen("tcp", o.serveAddr)
+		if err != nil {
+			return err
+		}
+		mux := eddie.NewServeMux(eddie.ServeState{
+			Metrics: reg,
+			Fleet:   c, // cross-backend aggregated session listing
+		})
+		fmt.Fprintf(stdout, "serving debug endpoints on http://%s (/metrics /eddie/fleet)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				fmt.Fprintln(stderr, "eddie: serve:", err)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", o.coordAddr)
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- c.Serve(ln) }()
+	fmt.Fprintf(stdout, "fleet coordinator on %s, %d backends: %s; SIGTERM drains\n",
+		ln.Addr(), len(o.backendList()), o.backends)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(stdout, "received %v, stopping...\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+		defer cancel()
+		if err := c.Shutdown(ctx); err != nil {
+			fmt.Fprintf(stderr, "eddie: shutdown incomplete: %v\n", err)
+		}
+		<-serveDone
+		fmt.Fprintln(stdout, "fleet coordinator stopped")
 		return nil
 	case err := <-serveDone:
 		return err

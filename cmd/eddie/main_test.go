@@ -66,6 +66,11 @@ func TestFlagValidation(t *testing.T) {
 		{"denoise tiny block", []string{"-denoise-rank", "4", "-denoise-block", "1"}, "block"},
 		{"denoise stride above block", []string{"-denoise-rank", "4", "-denoise-block", "8", "-denoise-stride", "9"}, "stride"},
 		{"journal without fleet", []string{"-journal-dir", "/tmp/j"}, "-journal-dir requires -fleet"},
+		{"coord without backends", []string{"-coord", ":0"}, "-coord requires -backends"},
+		{"backends without coord", []string{"-backends", "a:1"}, "-backends requires -coord"},
+		{"coord with fleet", []string{"-coord", ":0", "-backends", "a:1", "-fleet", ":0", "-model-dir", "x"}, "mutually exclusive"},
+		{"coord duplicate backends", []string{"-coord", ":0", "-backends", "a:1,a:1"}, "twice"},
+		{"coord empty backend", []string{"-coord", ":0", "-backends", "a:1,,b:1"}, "empty address"},
 		{"adapt rate without adapt", []string{"-adapt-rate", "0.1"}, "-adapt-rate/-adapt-guard require -adapt"},
 		{"adapt guard without adapt", []string{"-adapt-guard", "8"}, "-adapt-rate/-adapt-guard require -adapt"},
 		{"adapt rate above one", []string{"-adapt", "-adapt-rate", "1.5"}, "-adapt-rate 1.5"},

@@ -40,6 +40,7 @@ import (
 	"net/http"
 
 	"eddie/internal/cfg"
+	"eddie/internal/coord"
 	"eddie/internal/core"
 	"eddie/internal/dsp"
 	"eddie/internal/fleet"
@@ -213,6 +214,19 @@ type (
 	FleetReport = fleet.Report
 	// FleetSummary is a fleet session's final counters.
 	FleetSummary = fleet.Summary
+	// FleetRedirect is a coordinator's answer to a hello: the backend
+	// owning the device (clients follow it transparently).
+	FleetRedirect = fleet.Redirect
+	// FleetLoadReport is a backend's live load (sessions, cap, queue
+	// depth, latency, SLO status), the coordinator's health-probe
+	// payload.
+	FleetLoadReport = fleet.LoadReport
+	// Coordinator fronts N fleet backends and shards devices across
+	// them by consistent hash of device ID (eddie -coord).
+	Coordinator = coord.Coordinator
+	// CoordinatorConfig configures a Coordinator: backend addresses,
+	// ring geometry, health-probe cadence, registry, journal.
+	CoordinatorConfig = coord.Config
 )
 
 // DefaultTrainConfig returns the paper-equivalent training configuration
@@ -317,6 +331,10 @@ func ApplyImpairment(t Impairment, signal []float64) []float64 { return impair.A
 // registry's JSON.
 func NewDetectorMetrics() *DetectorMetrics { return metrics.NewDetector() }
 
+// NewMetricsRegistry creates an empty metrics registry, for components
+// that carry no detector of their own (e.g. the fleet coordinator).
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
 // NewTraceRecorder creates a span recorder for PipelineConfig.Trace,
 // StreamConfig.Trace or MonitorConfig.Trace.
 func NewTraceRecorder() *TraceRecorder { return obs.NewRecorder() }
@@ -382,6 +400,11 @@ func NewServeMux(s ServeState) *http.ServeMux { return obs.NewMux(s) }
 // ListenAndServe (or Serve on an existing listener) and stop it with
 // Shutdown for a graceful drain.
 func NewFleetServer(c FleetConfig) (*FleetServer, error) { return fleet.NewServer(c) }
+
+// NewCoordinator creates a multi-node fleet coordinator fronting the
+// configured backends (eddie -coord) and starts its health probes; call
+// Serve or ListenAndServe to start redirecting devices.
+func NewCoordinator(c CoordinatorConfig) (*Coordinator, error) { return coord.New(c) }
 
 // NewFleetDirModels creates a fleet model source backed by a directory
 // of model files saved by SaveModel, one per workload

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 )
@@ -44,16 +45,30 @@ type ClientConfig struct {
 	// MaxFrameBytes caps inbound frames. Zero means
 	// DefaultMaxFrameBytes.
 	MaxFrameBytes int
+	// MaxRedirects caps how many FrameRedirect hops one dial follows
+	// before giving up (a coordinator normally answers with exactly
+	// one). Zero means 4; negative refuses redirects entirely — the
+	// hello then omits the proto field and is bit-identical to the
+	// original protocol, so a coordinator answers it with an error
+	// instead of a redirect.
+	MaxRedirects int
+	// Retries is how many additional dial attempts follow a transport
+	// failure (connection refused, dial timeout, or a redirect target
+	// that cannot be reached — each retry restarts from the original
+	// address, so a redirect to a freshly dead backend re-asks the
+	// coordinator, which re-homes the device). Protocol-level failures
+	// (a FrameError, a redirect loop) never retry. Zero means 2;
+	// negative disables retries.
+	Retries int
+	// RetryBackoff is the base of the jittered exponential backoff
+	// between retries: attempt i sleeps a uniform random duration in
+	// [base/2, base) * 2^i, so a thundering herd of re-homing clients
+	// spreads instead of re-dialing in lockstep. Zero means 100ms.
+	RetryBackoff time.Duration
 }
 
-// Dial connects to a fleet server with default timeouts, performs the
-// hello/welcome handshake, and returns a ready client.
-func Dial(addr string, hello Hello) (*Client, error) {
-	return DialConfig(addr, hello, ClientConfig{})
-}
-
-// DialConfig is Dial with explicit timeout configuration.
-func DialConfig(addr string, hello Hello, cfg ClientConfig) (*Client, error) {
+// withDefaults resolves the zero values.
+func (cfg ClientConfig) withDefaults() ClientConfig {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = DialTimeout
 	}
@@ -63,45 +78,129 @@ func DialConfig(addr string, hello Hello, cfg ClientConfig) (*Client, error) {
 	if cfg.MaxFrameBytes <= 0 {
 		cfg.MaxFrameBytes = DefaultMaxFrameBytes
 	}
-	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
-	if err != nil {
-		return nil, err
+	if cfg.MaxRedirects == 0 {
+		cfg.MaxRedirects = 4
 	}
-	c := &Client{
-		conn:     conn,
-		br:       bufio.NewReaderSize(conn, 1<<16),
-		bw:       bufio.NewWriterSize(conn, 1<<16),
-		maxFrame: cfg.MaxFrameBytes,
-		timeout:  cfg.IOTimeout,
+	if cfg.Retries == 0 {
+		cfg.Retries = 2
 	}
-	conn.SetDeadline(c.opDeadline())
-	if err := writeFrame(c.bw, FrameHello, mustJSON(hello)); err != nil {
-		conn.Close()
-		return nil, err
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
 	}
-	if err := c.bw.Flush(); err != nil {
-		conn.Close()
-		return nil, err
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
 	}
-	typ, payload, err := readFrame(c.br, c.maxFrame)
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("fleet: reading welcome: %w", err)
+	return cfg
+}
+
+// dialTCP is swapped out by the reconnect table tests to exercise the
+// retry loop deterministically.
+var dialTCP = net.DialTimeout
+
+// retryableError marks a transport-level dial failure the retry loop
+// may re-attempt from the original address.
+type retryableError struct{ err error }
+
+func (e retryableError) Error() string { return e.err.Error() }
+func (e retryableError) Unwrap() error { return e.err }
+
+// Dial connects to a fleet server (or a coordinator fronting several)
+// with default timeouts, performs the hello/welcome handshake —
+// transparently following a coordinator's redirect to the owning
+// backend — and returns a ready client.
+func Dial(addr string, hello Hello) (*Client, error) {
+	return DialConfig(addr, hello, ClientConfig{})
+}
+
+// DialConfig is Dial with explicit timeout, redirect and retry
+// configuration.
+func DialConfig(addr string, hello Hello, cfg ClientConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MaxRedirects > 0 {
+		hello.Proto = ProtoRedirect
 	}
-	switch typ {
-	case FrameWelcome:
-		if err := json.Unmarshal(payload, &c.welcome); err != nil {
-			conn.Close()
-			return nil, fmt.Errorf("fleet: bad welcome: %w", err)
+	backoff := cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		c, err := dialHops(addr, hello, cfg)
+		if err == nil {
+			return c, nil
 		}
-		conn.SetDeadline(time.Time{})
-		return c, nil
-	case FrameError:
-		conn.Close()
-		return nil, errors.New(decodeError(payload))
-	default:
-		conn.Close()
-		return nil, fmt.Errorf("fleet: unexpected frame 0x%02x in handshake", typ)
+		var re retryableError
+		if !errors.As(err, &re) {
+			return nil, err
+		}
+		lastErr = err
+		if attempt >= cfg.Retries {
+			break
+		}
+		// Jittered exponential backoff: uniform in [backoff/2, backoff).
+		time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff/2))))
+		backoff *= 2
+	}
+	if cfg.Retries > 0 {
+		return nil, fmt.Errorf("fleet: dial %s failed after %d attempts: %w",
+			addr, cfg.Retries+1, lastErr)
+	}
+	return nil, lastErr
+}
+
+// dialHops performs one dial pass: connect, handshake, and follow up to
+// MaxRedirects coordinator redirects. Transport failures come back
+// wrapped as retryableError; protocol failures are final.
+func dialHops(addr string, hello Hello, cfg ClientConfig) (*Client, error) {
+	for hop := 0; ; hop++ {
+		conn, err := dialTCP("tcp", addr, cfg.DialTimeout)
+		if err != nil {
+			return nil, retryableError{err}
+		}
+		c := &Client{
+			conn:     conn,
+			br:       bufio.NewReaderSize(conn, 1<<16),
+			bw:       bufio.NewWriterSize(conn, 1<<16),
+			maxFrame: cfg.MaxFrameBytes,
+			timeout:  cfg.IOTimeout,
+		}
+		conn.SetDeadline(c.opDeadline())
+		if err := writeFrame(c.bw, FrameHello, mustJSON(hello)); err != nil {
+			conn.Close()
+			return nil, retryableError{err}
+		}
+		if err := c.bw.Flush(); err != nil {
+			conn.Close()
+			return nil, retryableError{err}
+		}
+		typ, payload, err := readFrame(c.br, c.maxFrame)
+		if err != nil {
+			conn.Close()
+			return nil, retryableError{fmt.Errorf("fleet: reading welcome: %w", err)}
+		}
+		switch typ {
+		case FrameWelcome:
+			if err := json.Unmarshal(payload, &c.welcome); err != nil {
+				conn.Close()
+				return nil, fmt.Errorf("fleet: bad welcome: %w", err)
+			}
+			conn.SetDeadline(time.Time{})
+			return c, nil
+		case FrameRedirect:
+			conn.Close()
+			var rd Redirect
+			if err := json.Unmarshal(payload, &rd); err != nil || rd.Addr == "" {
+				return nil, fmt.Errorf("fleet: bad redirect: %v", err)
+			}
+			if hop >= cfg.MaxRedirects {
+				return nil, fmt.Errorf("fleet: redirect limit (%d hops) exceeded at %s -> %s",
+					cfg.MaxRedirects, addr, rd.Addr)
+			}
+			addr = rd.Addr
+		case FrameError:
+			conn.Close()
+			return nil, errors.New(decodeError(payload))
+		default:
+			conn.Close()
+			return nil, fmt.Errorf("fleet: unexpected frame 0x%02x in handshake", typ)
+		}
 	}
 }
 

@@ -1,0 +1,205 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptedDialer swaps in for dialTCP: each dial either fails with a
+// scripted transport error or hands back one end of a pipe whose other
+// end is served by the scripted responder. Steps repeat their last
+// entry once the script runs out.
+type scriptedDialer struct {
+	t     *testing.T
+	steps []dialStep
+	calls atomic.Int32
+	// addrs records the address of every dial attempt, in order.
+	addrs []string
+}
+
+type dialStep struct {
+	// err, when non-nil, fails the dial (transport error).
+	err error
+	// respond, otherwise, serves the handshake on the server side of
+	// the pipe: it gets the decoded hello and answers with one frame.
+	respond func(hello Hello) (typ byte, payload []byte)
+}
+
+func (d *scriptedDialer) dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	i := int(d.calls.Add(1)) - 1
+	d.addrs = append(d.addrs, addr)
+	if i >= len(d.steps) {
+		i = len(d.steps) - 1
+	}
+	step := d.steps[i]
+	if step.err != nil {
+		return nil, step.err
+	}
+	client, server := net.Pipe()
+	go func() {
+		defer server.Close()
+		typ, payload, err := readFrame(server, DefaultMaxFrameBytes)
+		if err != nil || typ != FrameHello {
+			return
+		}
+		var hello Hello
+		if err := json.Unmarshal(payload, &hello); err != nil {
+			return
+		}
+		rtyp, rpayload := step.respond(hello)
+		writeFrame(server, rtyp, rpayload)
+	}()
+	return client, nil
+}
+
+// install swaps the dialer in and restores the real one on cleanup.
+func (d *scriptedDialer) install(t *testing.T) {
+	t.Helper()
+	prev := dialTCP
+	dialTCP = d.dial
+	t.Cleanup(func() { dialTCP = prev })
+}
+
+// welcomeStep answers any hello with a minimal welcome.
+func welcomeStep() dialStep {
+	return dialStep{respond: func(h Hello) (byte, []byte) {
+		return FrameWelcome, mustJSON(Welcome{Session: 1, Device: h.Device})
+	}}
+}
+
+// redirectStep answers any hello with a redirect to addr.
+func redirectStep(addr string) dialStep {
+	return dialStep{respond: func(Hello) (byte, []byte) {
+		return FrameRedirect, mustJSON(Redirect{Addr: addr})
+	}}
+}
+
+// errorStep answers any hello with a protocol error.
+func errorStep(msg string) dialStep {
+	return dialStep{respond: func(Hello) (byte, []byte) {
+		return FrameError, mustJSON(ErrorInfo{Error: msg})
+	}}
+}
+
+// TestClientReconnect is the reconnect-hardening table: which dial
+// outcomes retry (with backoff, restarting from the original address)
+// and which fail fast.
+func TestClientReconnect(t *testing.T) {
+	refused := &net.OpError{Op: "dial", Err: errors.New("connection refused")}
+	timeout := fmt.Errorf("dial tcp: i/o timeout")
+	cases := []struct {
+		name    string
+		steps   []dialStep
+		cfg     ClientConfig
+		wantErr string // substring; empty means success
+		dials   int32
+		// addrs, when non-nil, is the exact expected dial sequence.
+		addrs []string
+	}{
+		{
+			name:  "refused then up",
+			steps: []dialStep{{err: refused}, {err: refused}, welcomeStep()},
+			dials: 3,
+		},
+		{
+			name:    "persistently refused exhausts retries",
+			steps:   []dialStep{{err: refused}},
+			wantErr: "after 3 attempts",
+			dials:   3,
+		},
+		{
+			name:    "dial timeout exhausts retries",
+			steps:   []dialStep{{err: timeout}},
+			wantErr: "after 3 attempts",
+			dials:   3,
+		},
+		{
+			name:    "retries disabled fails fast",
+			steps:   []dialStep{{err: refused}},
+			cfg:     ClientConfig{Retries: -1},
+			wantErr: "refused",
+			dials:   1,
+		},
+		{
+			name:  "redirect then welcome",
+			steps: []dialStep{redirectStep("backend-1:9000"), welcomeStep()},
+			dials: 2,
+			addrs: []string{"coord:9000", "backend-1:9000"},
+		},
+		{
+			name: "redirect to dead backend retries from the original address",
+			steps: []dialStep{
+				redirectStep("backend-1:9000"), // coord answers
+				{err: refused},                 // backend is freshly dead
+				redirectStep("backend-2:9000"), // coord re-homes
+				welcomeStep(),
+			},
+			dials: 4,
+			addrs: []string{"coord:9000", "backend-1:9000", "coord:9000", "backend-2:9000"},
+		},
+		{
+			name:    "redirect loop fails without retry",
+			steps:   []dialStep{redirectStep("coord:9000")},
+			cfg:     ClientConfig{MaxRedirects: 2},
+			wantErr: "redirect limit",
+			dials:   3, // original + 2 hops, no retry pass afterwards
+		},
+		{
+			name:    "server error fails without retry",
+			steps:   []dialStep{errorStep("fleet: at capacity (4 sessions)")},
+			wantErr: "at capacity",
+			dials:   1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := &scriptedDialer{t: t, steps: tc.steps}
+			d.install(t)
+			cfg := tc.cfg
+			cfg.RetryBackoff = time.Millisecond // keep the table fast
+			cl, err := DialConfig("coord:9000", Hello{Device: "d1", Workload: "w"}, cfg)
+			if cl != nil {
+				cl.Close()
+			}
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("dial: %v", err)
+				}
+			} else if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("dial error %v, want substring %q", err, tc.wantErr)
+			}
+			if got := d.calls.Load(); got != tc.dials {
+				t.Errorf("%d dial attempts, want %d", got, tc.dials)
+			}
+			if tc.addrs != nil {
+				if fmt.Sprint(d.addrs) != fmt.Sprint(tc.addrs) {
+					t.Errorf("dial sequence %v, want %v", d.addrs, tc.addrs)
+				}
+			}
+		})
+	}
+}
+
+// TestClientRetryBackoffGrows checks the retry loop actually sleeps a
+// growing, jittered backoff rather than hammering: three attempts at a
+// 40ms base must take at least base/2 + base = 60ms in total.
+func TestClientRetryBackoffGrows(t *testing.T) {
+	refused := &net.OpError{Op: "dial", Err: errors.New("connection refused")}
+	d := &scriptedDialer{t: t, steps: []dialStep{{err: refused}}}
+	d.install(t)
+	start := time.Now()
+	_, err := DialConfig("coord:9000", Hello{Device: "d", Workload: "w"},
+		ClientConfig{Retries: 2, RetryBackoff: 40 * time.Millisecond})
+	if err == nil {
+		t.Fatal("dial against a refusing server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Errorf("3 attempts finished in %v; backoff did not accumulate", elapsed)
+	}
+}

@@ -144,6 +144,7 @@ type Server struct {
 	mu       sync.Mutex
 	ln       net.Listener
 	sessions map[int64]*session
+	devices  int           // sessions holding a MaxSessions slot (past a valid hello)
 	recent   []SessionInfo // ring of recently closed sessions
 	nextID   int64
 	draining bool
@@ -259,7 +260,16 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// admit registers a new connection under the session bound; refused
+// controlHeadroom is how many connections beyond MaxSessions the accept
+// path admits. The strict MaxSessions bound applies to device sessions
+// at hello time (claimDeviceSlot); the headroom exists so coordinator
+// health probes and listing queries still get answered when the backend
+// is at its device cap — a probe refused for capacity would read as
+// "backend down" and trigger a spurious re-home exactly when the fleet
+// is busiest.
+const controlHeadroom = 8
+
+// admit registers a new connection under the connection bound; refused
 // connections get an error frame and are closed. Returns false when the
 // connection was refused.
 func (s *Server) admit(conn net.Conn) bool {
@@ -269,7 +279,7 @@ func (s *Server) admit(conn net.Conn) bool {
 		s.refuse(conn, "server draining")
 		return false
 	}
-	if len(s.sessions) >= s.cfg.MaxSessions {
+	if len(s.sessions) >= s.cfg.MaxSessions+controlHeadroom {
 		s.mu.Unlock()
 		s.cRefused.Inc()
 		s.refuse(conn, fmt.Sprintf("at capacity (%d sessions)", s.cfg.MaxSessions))
@@ -294,15 +304,42 @@ func (s *Server) refuse(conn net.Conn, why string) {
 	conn.Close()
 }
 
+// claimDeviceSlot reserves one of the MaxSessions device slots for a
+// session that presented a valid hello. The check and the increment are
+// one critical section, so the device cap is exact no matter how many
+// handshakes race.
+func (s *Server) claimDeviceSlot() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed || s.devices >= s.cfg.MaxSessions {
+		return false
+	}
+	s.devices++
+	return true
+}
+
 // finish unregisters an ended session and records its summary. Called
 // exactly once per admitted session, from session.finalize.
 func (s *Server) finish(sess *session) {
 	defer s.wg.Done()
 	s.arenas.release(sess.arena)
+	if sess.control.Load() {
+		// Control connections (coordinator probes and listing queries)
+		// release their slot without touching the listing ring, the
+		// journal, or the session counters — a probe every second would
+		// otherwise drown the real session history.
+		s.mu.Lock()
+		delete(s.sessions, sess.id)
+		s.mu.Unlock()
+		return
+	}
 	info := sess.info()
 	info.Active = false
 	s.mu.Lock()
 	delete(s.sessions, sess.id)
+	if sess.slot.Load() {
+		s.devices--
+	}
 	s.recent = append(s.recent, info)
 	if len(s.recent) > recentClosedCap {
 		s.recent = append(s.recent[:0], s.recent[len(s.recent)-recentClosedCap:]...)
@@ -420,7 +457,7 @@ func (s *Server) Draining() bool {
 func (s *Server) ActiveSessions() (active, limit int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.sessions), s.cfg.MaxSessions
+	return s.devices, s.cfg.MaxSessions
 }
 
 // SessionInfo describes one device session for the /eddie/fleet listing.
@@ -452,6 +489,9 @@ func (s *Server) Sessions() []SessionInfo {
 	s.mu.Lock()
 	active := make([]*session, 0, len(s.sessions))
 	for _, sess := range s.sessions {
+		if sess.control.Load() {
+			continue
+		}
 		active = append(active, sess)
 	}
 	recent := append([]SessionInfo(nil), s.recent...)
@@ -483,6 +523,9 @@ func (s *Server) SessionsPage(offset, limit int) (page []SessionInfo, total, act
 	s.mu.Lock()
 	act := make([]*session, 0, len(s.sessions))
 	for _, sess := range s.sessions {
+		if sess.control.Load() {
+			continue
+		}
 		act = append(act, sess)
 	}
 	recent := append([]SessionInfo(nil), s.recent...)
@@ -527,6 +570,39 @@ func (s *Server) FleetSessionsPage(offset, limit int) (any, int, int) {
 		"limit":         limit,
 		"sessions":      page,
 	}, total, active
+}
+
+// loadReport assembles the control-RPC load answer the coordinator's
+// health probes consume: live sessions against the admission cap,
+// scheduling pressure, the worst per-shard p99 frame-to-verdict
+// latency, and the SLO health verdict.
+func (s *Server) loadReport() LoadReport {
+	s.mu.Lock()
+	rep := LoadReport{
+		Active:   s.devices, // slot holders only: not probes, not half-open handshakes
+		Max:      s.cfg.MaxSessions,
+		Draining: s.draining || s.closed,
+	}
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		rep.QueueDepth += int(sh.gDepth.Value())
+		snap := sh.hVerdict.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		if ms := float64(snap.P99) / 1e6; ms > rep.P99Ms {
+			rep.P99Ms = ms
+		}
+	}
+	switch {
+	case rep.Draining:
+		rep.Status = obs.HealthDraining
+	case s.cfg.SLO != nil:
+		rep.Status = s.cfg.SLO.Health().Status
+	default:
+		rep.Status = obs.HealthReady
+	}
+	return rep
 }
 
 // shardLatency summarizes each shared shard's frame-to-verdict latency

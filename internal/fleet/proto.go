@@ -32,6 +32,14 @@ const (
 	// FrameBye asks the server to drain the session and answer with a
 	// FrameSummary.
 	FrameBye byte = 0x03
+	// FrameLoadQuery asks a backend for its live load (empty payload);
+	// the answer is a FrameLoadReport. The coordinator's health probes
+	// and fleet-listing aggregation speak this control side of the
+	// protocol instead of opening a detector session.
+	FrameLoadQuery byte = 0x04
+	// FrameFleetQuery asks a backend for one page of its session
+	// listing: a JSON FleetQuery payload, answered by a FrameFleetPage.
+	FrameFleetQuery byte = 0x05
 
 	// FrameWelcome acknowledges a hello: a JSON Welcome payload.
 	FrameWelcome byte = 0x10
@@ -39,10 +47,29 @@ const (
 	FrameReport byte = 0x11
 	// FrameSummary closes a session cleanly: a JSON Summary payload.
 	FrameSummary byte = 0x12
+	// FrameRedirect answers a hello at a coordinator: a JSON Redirect
+	// payload naming the backend that owns the device. Only sent to
+	// clients that announced ProtoRedirect in their hello; the sender
+	// closes the connection afterwards and the client re-dials the
+	// named backend.
+	FrameRedirect byte = 0x13
+	// FrameLoadReport answers a FrameLoadQuery: a JSON LoadReport
+	// payload.
+	FrameLoadReport byte = 0x14
+	// FrameFleetPage answers a FrameFleetQuery: a JSON FleetPage
+	// payload.
+	FrameFleetPage byte = 0x15
 	// FrameError reports a fatal session error: a JSON ErrorInfo
 	// payload. The server closes the connection after sending it.
 	FrameError byte = 0x1f
 )
+
+// ProtoRedirect is the protocol feature level at which a client accepts
+// FrameRedirect answers to its hello. Level 0 (the field absent from
+// the wire) is the original protocol: a hello against a plain backend
+// is answered with a welcome either way, so old clients against old
+// servers — and old clients against new backends — stay bit-identical.
+const ProtoRedirect = 1
 
 // DefaultMaxFrameBytes caps one frame's payload (2^22 bytes = 512k
 // samples); oversized frames are a protocol error, not an allocation.
@@ -63,6 +90,53 @@ type Hello struct {
 	// DisableDCBlock requests the raw-sample path (for pre-detrended
 	// captures; mirrors stream.Config.DisableDCBlock).
 	DisableDCBlock bool `json:"disableDCBlock,omitempty"`
+	// Proto announces the client's protocol feature level (see
+	// ProtoRedirect). Zero is omitted from the wire, so a hello that
+	// uses no new feature marshals byte-identically to the original
+	// protocol; servers ignore levels they do not know.
+	Proto int `json:"proto,omitempty"`
+}
+
+// Redirect is the payload of a FrameRedirect: which backend owns the
+// device that said hello, and where to re-dial it.
+type Redirect struct {
+	// Addr is the owning backend's device-facing listen address.
+	Addr string `json:"addr"`
+	// Backend labels the backend for logs and metrics.
+	Backend string `json:"backend,omitempty"`
+}
+
+// LoadReport is the payload of a FrameLoadReport: a backend's live load,
+// consumed by the coordinator's health probes.
+type LoadReport struct {
+	// Active and Max are the live session count and the admission cap.
+	Active int `json:"active"`
+	Max    int `json:"max"`
+	// Draining is true once a graceful shutdown has been requested.
+	Draining bool `json:"draining"`
+	// QueueDepth is the number of sessions waiting for a processor
+	// across all shards (scheduling pressure, not byte backlog).
+	QueueDepth int `json:"queueDepth"`
+	// P99Ms is the worst per-shard p99 frame-to-verdict latency in
+	// milliseconds (0 before any completed turn).
+	P99Ms float64 `json:"p99Ms"`
+	// Status is the SLO burn-rate health verdict ("ready", "degraded",
+	// "overloaded", "draining"; "ready" when no SLO tracker is wired).
+	Status string `json:"status"`
+}
+
+// FleetQuery is the payload of a FrameFleetQuery: one page of the
+// backend's session listing.
+type FleetQuery struct {
+	Offset int `json:"offset"`
+	Limit  int `json:"limit"`
+}
+
+// FleetPage is the payload of a FrameFleetPage.
+type FleetPage struct {
+	Sessions []SessionInfo `json:"sessions"`
+	Total    int           `json:"total"`
+	Active   int           `json:"active"`
 }
 
 // Welcome acknowledges a hello and describes the session's front end.

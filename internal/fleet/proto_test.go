@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -97,5 +98,72 @@ func TestValidName(t *testing.T) {
 		if validName(s) {
 			t.Errorf("validName(%q) = true", s)
 		}
+	}
+}
+
+// oldHello is the Hello type as it existed before protocol feature
+// levels: the differential below proves the new field is invisible on
+// the wire unless used.
+type oldHello struct {
+	Device         string `json:"device"`
+	Workload       string `json:"workload"`
+	DisableDCBlock bool   `json:"disableDCBlock,omitempty"`
+}
+
+// TestHelloWireCompatOldClient checks old-client -> new-server
+// byte-compatibility: a hello that uses no new feature marshals
+// byte-for-byte as the original protocol did, golden bytes included.
+func TestHelloWireCompatOldClient(t *testing.T) {
+	now := Hello{Device: "d1", Workload: "w"}
+	old := oldHello{Device: "d1", Workload: "w"}
+	nb, _ := json.Marshal(now)
+	ob, _ := json.Marshal(old)
+	if !bytes.Equal(nb, ob) {
+		t.Fatalf("hello payload changed:\n new: %s\n old: %s", nb, ob)
+	}
+	const golden = `{"device":"d1","workload":"w"}`
+	if string(nb) != golden {
+		t.Fatalf("hello payload %s, want golden %s", nb, golden)
+	}
+	// The full frame too: header byte, big-endian length, payload.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameHello, nb); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte{0x01, 0, 0, 0, byte(len(golden))}, golden...)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("hello frame % x, want % x", buf.Bytes(), want)
+	}
+}
+
+// TestHelloWireCompatNewClient checks new-client -> old-server
+// compatibility: an old server (modeled by the pre-feature-level Hello
+// struct) decodes a proto-announcing hello without error, simply
+// ignoring the unknown field, and the known fields survive unchanged.
+func TestHelloWireCompatNewClient(t *testing.T) {
+	payload, _ := json.Marshal(Hello{Device: "d1", Workload: "w", Proto: ProtoRedirect})
+	if !bytes.Contains(payload, []byte(`"proto":1`)) {
+		t.Fatalf("new-client hello %s does not announce its feature level", payload)
+	}
+	var old oldHello
+	if err := json.Unmarshal(payload, &old); err != nil {
+		t.Fatalf("old server rejected a new-client hello: %v", err)
+	}
+	if old.Device != "d1" || old.Workload != "w" {
+		t.Fatalf("old server decoded %+v from %s", old, payload)
+	}
+}
+
+// TestServerIgnoresFutureProto checks forward compatibility on the
+// server side: a hello announcing a feature level beyond anything this
+// server knows is still welcomed normally (levels gate client-side
+// behavior; servers never reject on them).
+func TestServerIgnoresFutureProto(t *testing.T) {
+	var h Hello
+	if err := json.Unmarshal([]byte(`{"device":"d1","workload":"w","proto":99}`), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Proto != 99 || h.Device != "d1" {
+		t.Fatalf("decoded %+v", h)
 	}
 }

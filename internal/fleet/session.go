@@ -46,6 +46,16 @@ type session struct {
 	// Per-device counters in the server registry.
 	dSamples, dWindows, dReports, dSanitized *metrics.Counter
 
+	// control marks a coordinator control connection (load probes,
+	// fleet-listing queries): it holds a session slot but opens no
+	// detector and stays out of the listing/journal/counter plane.
+	// Atomic because listings race the handshake that sets it.
+	control atomic.Bool
+	// slot marks a session holding one of the MaxSessions device slots
+	// (claimed at hello, released in finish). Atomic for the same
+	// reason as control: finish may run on a shard goroutine.
+	slot atomic.Bool
+
 	mu           sync.Mutex
 	cond         *sync.Cond // wakes a reader stalled on the pending cap
 	sh           *shard
@@ -186,6 +196,11 @@ func (ss *session) handshake() bool {
 		ss.abort(fmt.Sprintf("reading hello: %v", err))
 		return false
 	}
+	if typ == FrameLoadQuery || typ == FrameFleetQuery {
+		ss.control.Store(true)
+		ss.serveControl(typ, payload)
+		return false
+	}
 	if typ != FrameHello {
 		ss.abort(fmt.Sprintf("expected hello frame, got 0x%02x", typ))
 		return false
@@ -203,6 +218,16 @@ func (ss *session) handshake() bool {
 		ss.abort("invalid workload name (want 1-64 chars of [A-Za-z0-9._-])")
 		return false
 	}
+	// The device cap is enforced here, not at accept: the accept path
+	// over-admits by a small headroom so control probes get through at
+	// a full backend, and only sessions presenting a real hello claim a
+	// MaxSessions slot.
+	if !ss.s.claimDeviceSlot() {
+		ss.s.cRefused.Inc()
+		ss.abort(fmt.Sprintf("at capacity (%d sessions)", ss.s.cfg.MaxSessions))
+		return false
+	}
+	ss.slot.Store(true)
 	model, err := ss.s.cfg.Models.Load(hello.Workload)
 	if err != nil {
 		ss.abort(fmt.Sprintf("loading model: %v", err))
@@ -276,6 +301,47 @@ func (ss *session) handshake() bool {
 		return false
 	}
 	return true
+}
+
+// serveControl answers coordinator control queries on this connection
+// until it closes, goes idle, or the server drains: FrameLoadQuery ->
+// FrameLoadReport, FrameFleetQuery -> FrameFleetPage. A control
+// connection occupies a session slot (the admission bound covers it)
+// but opens no detector and stays out of the listing and journal.
+func (ss *session) serveControl(typ byte, payload []byte) {
+	for {
+		switch typ {
+		case FrameLoadQuery:
+			if err := ss.writeFrame(FrameLoadReport, mustJSON(ss.s.loadReport())); err != nil {
+				return
+			}
+		case FrameFleetQuery:
+			var q FleetQuery
+			if err := json.Unmarshal(payload, &q); err != nil {
+				ss.writeFrame(FrameError, mustJSON(ErrorInfo{Error: "fleet: bad fleet query: " + err.Error()}))
+				return
+			}
+			page, total, active := ss.s.SessionsPage(q.Offset, q.Limit)
+			if page == nil {
+				page = []SessionInfo{} // "sessions":[] rather than null
+			}
+			if err := ss.writeFrame(FrameFleetPage, mustJSON(FleetPage{Sessions: page, Total: total, Active: active})); err != nil {
+				return
+			}
+		default:
+			ss.writeFrame(FrameError, mustJSON(ErrorInfo{
+				Error: fmt.Sprintf("fleet: unexpected control frame 0x%02x", typ)}))
+			return
+		}
+		if !ss.armReadDeadline() {
+			return
+		}
+		var err error
+		typ, payload, ss.readBuf, err = readFrameInto(ss.br, ss.s.cfg.MaxFrameBytes, ss.readBuf)
+		if err != nil {
+			return
+		}
+	}
 }
 
 // abort answers a handshake failure with a FrameError.

@@ -66,6 +66,44 @@ func TestHealthzOverloaded503(t *testing.T) {
 	}
 }
 
+// fakeStatusFleet adds a self-supplied verdict (HealthStatuser), the
+// shape the coordinator exposes from ring membership.
+type fakeStatusFleet struct {
+	fakeFleetHealth
+	status string
+}
+
+func (f *fakeStatusFleet) HealthStatus() string { return f.status }
+
+func TestHealthzFleetStatusOverride(t *testing.T) {
+	slo := NewSLOTracker(SLOConfig{})
+	slo.Record(time.Millisecond) // SLO plane says ready
+
+	fleet := &fakeStatusFleet{status: HealthDegraded}
+	code, body := getHealthz(t, ServeState{Health: slo, Fleet: fleet})
+	if code != 200 || body["status"] != HealthDegraded {
+		t.Fatalf("degraded fleet: code %d status %v, want 200 degraded", code, body["status"])
+	}
+
+	fleet.status = HealthOverloaded // no live backend: fail closed
+	code, body = getHealthz(t, ServeState{Health: slo, Fleet: fleet})
+	if code != 503 || body["status"] != HealthOverloaded {
+		t.Fatalf("dead fleet: code %d status %v, want 503 overloaded", code, body["status"])
+	}
+
+	// The worse verdict wins in both directions: a ready fleet does not
+	// mask an overloaded SLO tracker.
+	burned := NewSLOTracker(SLOConfig{})
+	for i := 0; i < 100; i++ {
+		burned.Record(10 * time.Second)
+	}
+	fleet.status = HealthReady
+	code, body = getHealthz(t, ServeState{Health: burned, Fleet: fleet})
+	if code != 503 || body["status"] != HealthOverloaded {
+		t.Fatalf("burned SLO: code %d status %v, want 503 overloaded", code, body["status"])
+	}
+}
+
 func TestHealthzDrainingOverrides(t *testing.T) {
 	slo := NewSLOTracker(SLOConfig{})
 	slo.Record(time.Millisecond)

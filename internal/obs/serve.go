@@ -60,6 +60,23 @@ type ServeState struct {
 	Alarms *AlarmStream
 }
 
+// HealthStatuser lets the fleet object supply its own health verdict in
+// addition to the SLO tracker's — the coordinator derives one from ring
+// membership (no live backend = overloaded, partial fleet = degraded).
+// The worse of the two verdicts wins, so healthz fails closed whichever
+// plane sees the trouble first.
+type HealthStatuser interface {
+	HealthStatus() string
+}
+
+// healthSeverity orders verdicts for combining independent sources.
+var healthSeverity = map[string]int{
+	HealthReady:      0,
+	HealthDegraded:   1,
+	HealthOverloaded: 2,
+	HealthDraining:   3,
+}
+
 // FleetHealth augments the healthz verdict with fleet lifecycle state;
 // the fleet server implements it (obs stays stdlib-only by depending on
 // the interface). A draining server reports HealthDraining regardless
@@ -174,6 +191,12 @@ func NewMux(s ServeState) *http.ServeMux {
 			"objective": h.Objective,
 			"short":     h.Short,
 			"long":      h.Long,
+		}
+		if hs, ok := s.Fleet.(HealthStatuser); ok {
+			if st := hs.HealthStatus(); healthSeverity[st] > healthSeverity[h.Status] {
+				h.Status = st
+				body["status"] = st
+			}
 		}
 		if fh, ok := s.Fleet.(FleetHealth); ok {
 			if fh.Draining() {
